@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench artifacts compare examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+artifacts:
+	python -m repro.harness.runall --out results --csv
+
+compare:
+	python -m repro.harness.compare
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+all: install test bench artifacts compare

@@ -1,0 +1,22 @@
+"""Shared helpers for the per-artifact benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+chapter: the benchmarked callable *is* the artifact's full computation
+(simulation + model), and the rendered rows are printed so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's
+artifacts verbatim.  Heavy artifacts run a single round.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Benchmark ``func`` with a single round (the simulations inside are
+    deterministic, so repetition only re-measures Python overhead)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def show(render_fn, name):
+    """Print the rendered artifact (visible with -s / in CI logs)."""
+    print()
+    print(render_fn(name))

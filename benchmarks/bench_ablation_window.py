@@ -1,0 +1,68 @@
+"""Algorithm-choice ablation: sliding-window width for the signature's
+scalar multiplication (the DESIGN.md design-choice list).
+
+The paper fixes the window at width 3 ({P, 3P, 5P}); this ablation sweeps
+widths 2-6, counting the real point-operation mix each width produces on
+a full-size scalar and pricing it in Monte FFAU cycles.  The sweep shows
+the knee the paper's choice sits on: width 3 captures most of the
+add-count reduction while the precompute (and, on Billie, register
+pressure: width 4 already needs 7 table points) grows exponentially
+beyond it.
+"""
+
+from repro.accel.monte import Monte
+from repro.ec.curves import get_curve
+from repro.ec.scalar import width_naf
+from repro.ecdsa import generate_keypair
+
+from _common import run_once
+
+
+def _sweep():
+    curve = get_curve("P-192")
+    d, _ = generate_keypair(curve, seed=b"ablation")
+    monte = Monte(curve.field.p)
+    mul_eff = monte.field_op_pattern_cycles("mul", 0.5)
+    add_eff = monte.field_op_pattern_cycles("add", 0.5)
+    results = {}
+    for width in (2, 3, 4, 5, 6):
+        digits = width_naf(d, width)
+        doubles = len(digits) - 1
+        adds = sum(1 for digit in digits if digit)
+        table_points = max(0, (1 << (width - 1)) // 2)
+        precompute_adds = table_points  # one full add per odd multiple
+        # mixed add 8M+3S, double 4M+4S, full add 12M+4S (field muls),
+        # plus ~9 cheap additions each
+        muls = (doubles * 8 + adds * 11 + precompute_adds * 16)
+        field_adds = (doubles + adds + precompute_adds) * 9
+        cycles = muls * mul_eff + field_adds * add_eff
+        results[width] = {
+            "doubles": doubles,
+            "adds": adds,
+            "table_points": 1 + table_points,
+            "scalar_mult_cycles": cycles,
+        }
+    return results
+
+
+def test_bench_ablation_window(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Sliding-window width ablation (P-192 scalar mult on Monte)")
+    for width, row in results.items():
+        print(f"  w={width}: {row['adds']:3d} adds, "
+              f"{row['table_points']} table points, "
+              f"{row['scalar_mult_cycles'] / 1e3:7.1f}K cycles")
+
+    cycles = {w: r["scalar_mult_cycles"] for w, r in results.items()}
+    # wider windows mean fewer adds ...
+    adds = [results[w]["adds"] for w in (2, 3, 4, 5)]
+    assert adds == sorted(adds, reverse=True)
+    # ... and width 3 captures most of the benefit over width 2
+    gain_23 = cycles[2] - cycles[3]
+    gain_36 = cycles[3] - min(cycles[4], cycles[5], cycles[6])
+    assert gain_23 > gain_36, \
+        "diminishing returns beyond the paper's width-3 choice"
+    # the precompute eventually wins: width 6 is no longer improving
+    assert cycles[6] > cycles[5] * 0.97

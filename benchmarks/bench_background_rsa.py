@@ -1,0 +1,43 @@
+"""Background study: ECC vs security-equivalent RSA on the baseline
+(paper Section 2.1.5 and the Wander et al. related work).
+
+Reproduces the premise that made ECC "the only asymmetric cryptosystem
+evaluated in this study": modular-exponentiation cryptography priced on
+the same baseline system falls farther and farther behind ECC as the
+security level rises.
+"""
+
+from repro.model.rsa_compare import (
+    compare_handshake,
+    compare_node_signing,
+)
+
+from _common import run_once
+
+
+def _study():
+    handshakes = {c: compare_handshake(c)
+                  for c in ("P-192", "P-256", "P-384")}
+    return handshakes, compare_node_signing(), compare_handshake("B-163")
+
+
+def test_bench_background_rsa(benchmark):
+    handshakes, wander, b163 = run_once(benchmark, _study)
+
+    print()
+    print("ECC vs security-equivalent RSA, baseline config (Sign+Verify)")
+    for curve, cmp in handshakes.items():
+        print(f"  {curve} ({cmp.ecc_uj:8.1f} uJ) vs RSA-{cmp.rsa_bits} "
+              f"({cmp.rsa_uj:10.1f} uJ): ECC {cmp.ecc_advantage:6.1f}x "
+              f"better")
+    print(f"  Wander-style node signing: {wander.curve} vs "
+          f"RSA-{wander.rsa_bits}: ECC {wander.ecc_advantage:.1f}x "
+          f"(published: ~4.2x battery life)")
+    print(f"  software B-163 vs RSA-1024: {b163.ecc_advantage:.2f}x "
+          f"(software binary ECC loses -- the Section 7.2 point)")
+
+    advantages = [cmp.ecc_advantage for cmp in handshakes.values()]
+    assert advantages == sorted(advantages), \
+        "ECC's advantage grows with the security level"
+    assert 2.0 <= wander.ecc_advantage <= 7.0
+    assert b163.ecc_advantage < 1.5

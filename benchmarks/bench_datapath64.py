@@ -1,0 +1,31 @@
+"""Section 8 / Section 2.2 question: would a 64-bit Pete save energy?
+
+An estimation study (not a simulation -- Pete's ISA is 32-bit) applying
+the FFAU-validated datapath-width scaling to the software
+configurations; see repro.model.datapath64 for the assumptions.
+"""
+
+from repro.model.datapath64 import study
+
+from _common import run_once
+
+
+def _both():
+    return {"baseline": study("baseline"), "isa_ext": study("isa_ext")}
+
+
+def test_bench_datapath64(benchmark):
+    results = run_once(benchmark, _both)
+
+    print()
+    print("64-bit datapath estimate (structural scaling, 3 ns clock,")
+    print("core dynamic energy x1.8):")
+    for config, per_curve in results.items():
+        for curve, e in per_curve.items():
+            print(f"  {config:9s} {curve}: {e.speedup:4.2f}x faster, "
+                  f"{e.energy_factor:4.2f}x less energy "
+                  f"({e.energy_32_uj:7.1f} -> {e.energy_64_uj:7.1f} uJ)")
+
+    base = results["baseline"]
+    assert all(e.energy_factor > 1.7 for e in base.values())
+    assert base["P-521"].speedup > base["P-192"].speedup

@@ -1,0 +1,17 @@
+"""Fig. 7.1: energy per Sign+Verify vs key size, prime-field architectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_1
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_01(benchmark):
+    rows = run_once(benchmark, fig7_1)
+    assert set(rows) == {'baseline', 'isa_ext', 'isa_ext_ic', 'monte'}
+    show(render_figure, "7.1")

@@ -1,0 +1,17 @@
+"""Fig. 7.2: energy breakdown at 192/256-bit across prime architectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_2
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_02(benchmark):
+    rows = run_once(benchmark, fig7_2)
+    assert any('monte' in key for key in rows)
+    show(render_figure, "7.2")

@@ -1,0 +1,17 @@
+"""Fig. 7.3: baseline energy breakdown across the five prime fields.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_3
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_03(benchmark):
+    rows = run_once(benchmark, fig7_3)
+    assert len(rows) == 5
+    show(render_figure, "7.3")

@@ -1,0 +1,17 @@
+"""Fig. 7.5: binary fields, software baseline vs binary ISA extensions.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_5
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_05(benchmark):
+    rows = run_once(benchmark, fig7_5)
+    assert set(rows) == {'baseline', 'binary_isa'}
+    show(render_figure, "7.5")

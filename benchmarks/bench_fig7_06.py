@@ -1,0 +1,17 @@
+"""Fig. 7.6: binary ISA-extension breakdown across the binary fields.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_6
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_06(benchmark):
+    rows = run_once(benchmark, fig7_6)
+    assert len(rows) == 5
+    show(render_figure, "7.6")

@@ -1,0 +1,17 @@
+"""Fig. 7.7: prime vs binary at equivalent security, all architectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_7
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_07(benchmark):
+    rows = run_once(benchmark, fig7_7)
+    assert 'Billie' in rows and 'Monte' in rows
+    show(render_figure, "7.7")

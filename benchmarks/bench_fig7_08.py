@@ -1,0 +1,17 @@
+"""Fig. 7.8: Monte vs Billie energy breakdowns across field sizes.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_8
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_08(benchmark):
+    rows = run_once(benchmark, fig7_8)
+    assert len(rows) == 10
+    show(render_figure, "7.8")

@@ -1,0 +1,17 @@
+"""Fig. 7.9: accelerated-architecture breakdowns at 192/163 and 256/283.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_9
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_09(benchmark):
+    rows = run_once(benchmark, fig7_9)
+    assert len(rows) == 8
+    show(render_figure, "7.9")

@@ -1,0 +1,17 @@
+"""Fig. 7.10: static and dynamic power of the evaluated microarchitectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_10
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_10(benchmark):
+    rows = run_once(benchmark, fig7_10)
+    assert all('static_mw' in v for v in rows.values())
+    show(render_figure, "7.10")

@@ -1,0 +1,17 @@
+"""Fig. 7.11: ideal-instruction-cache energy improvement vs key size.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_11
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_11(benchmark):
+    rows = run_once(benchmark, fig7_11)
+    assert rows['monte']['P-384'] < rows['baseline']['P-384']
+    show(render_figure, "7.11")

@@ -1,0 +1,17 @@
+"""Fig. 7.12: energy per 192-bit Sign+Verify vs real I-cache configuration.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_12
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_12(benchmark):
+    rows = run_once(benchmark, fig7_12)
+    assert min(rows, key=rows.get).startswith('4KB')
+    show(render_figure, "7.12")

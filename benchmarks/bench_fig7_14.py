@@ -1,0 +1,17 @@
+"""Fig. 7.14: 163-bit scalar multiplication, Billie vs prior work, vs digit size.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_14
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_14(benchmark):
+    rows = run_once(benchmark, fig7_14)
+    assert all(rows['billie_sliding'][d] < c for d, c in rows['guo_et_al'].items())
+    show(render_figure, "7.14")

@@ -1,0 +1,17 @@
+"""Fig. 7.15: energy per Montgomery multiplication vs datapath width.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import fig7_15
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_fig7_15(benchmark):
+    rows = run_once(benchmark, fig7_15)
+    assert min(rows['FFAU 192-bit'], key=rows['FFAU 192-bit'].get) == 32
+    show(render_figure, "7.15")

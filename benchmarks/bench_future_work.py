@@ -1,0 +1,34 @@
+"""Section 8 future-work studies: SRAM register file, clock gating,
+Monte-accelerated group-order inversion, flash program memory.
+
+Regenerates all four variant studies and checks their headline effects;
+run with ``pytest benchmarks/ --benchmark-only -s`` to see the numbers.
+"""
+
+from repro.model.future_work import summary
+
+from _common import run_once
+
+
+def test_bench_future_work(benchmark):
+    studies = run_once(benchmark, summary)
+
+    print()
+    print("Section 8 future-work studies (energy saving vs base config)")
+    for name, results in studies.items():
+        print(f"  {name}:")
+        for r in results:
+            print(f"    {r.curve:6s} {r.base_config} -> "
+                  f"{r.variant_config:18s} {r.base_uj:8.1f} -> "
+                  f"{r.variant_uj:8.1f} uJ  ({r.saving_percent:+6.1f} %)")
+
+    by_key = {(r.curve, r.variant_config): r
+              for rs in studies.values() for r in rs}
+    # gating + SRAM rescue Billie's large-field scaling
+    assert by_key[("B-571", "billie_sram_gated")].saving_percent > 25.0
+    # the Amdahl fix shortens Monte's critical path
+    assert all(r.saving_percent > 5.0
+               for r in studies["order_inversion"])
+    # flash makes fetches dear; the I-cache then matters even more
+    assert studies["flash_memory"][0].saving_percent < -50.0
+    assert studies["flash_memory"][1].saving_percent > 50.0

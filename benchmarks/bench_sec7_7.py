@@ -1,0 +1,17 @@
+"""Section 7.7 ablation: energy cost of disabling Monte's double buffering.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import sec7_7_double_buffer
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_sec7_7(benchmark):
+    rows = run_once(benchmark, sec7_7_double_buffer)
+    assert all(v > 0 for v in rows.values())
+    show(render_figure, "s7.7")

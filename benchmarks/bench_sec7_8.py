@@ -1,0 +1,32 @@
+"""Section 7.8 ablation: Pete core power with alternative multiplier designs.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.figures import sec7_8_multiplier_ablation
+from repro.harness import render_figure
+
+from _common import run_once, show
+
+
+def test_bench_sec7_8(benchmark):
+    rows = run_once(benchmark, sec7_8_multiplier_ablation)
+    assert rows['karatsuba']['dynamic_factor'] == 1.0
+    show(render_figure, "s7.8")
+
+    from repro.model.prior_work import (
+        KARATSUBA_POWER_SAVINGS,
+        MICROBLAZE_COMPARISON,
+    )
+
+    print()
+    print("Section 7.8 validation anchors:")
+    print(f"  vs Microblaze (Virtex-5): +{100 * MICROBLAZE_COMPARISON['pete_extra_lut_ff_pairs']:.1f}% "
+          f"LUT-FF pairs, -{100 * MICROBLAZE_COMPARISON['pete_fewer_dsp_blocks']:.1f}% DSP blocks, "
+          f"+{100 * MICROBLAZE_COMPARISON['pete_performance_advantage']:.1f}% performance")
+    print(f"  Karatsuba power saving: "
+          f"{100 * KARATSUBA_POWER_SAVINGS['vs_operand_scan_multicycle']:.2f}% vs operand-scan, "
+          f"{100 * KARATSUBA_POWER_SAVINGS['vs_parallel_pipelined']:.1f}% vs parallel multiplier")
+    assert MICROBLAZE_COMPARISON["pete_performance_advantage"] > 0

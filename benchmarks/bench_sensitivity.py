@@ -1,0 +1,24 @@
+"""Calibration-sensitivity study: perturb every energy coefficient by
++-25 % and check that the paper's qualitative conclusions all survive
+(DESIGN.md Section 6's calibration policy, stress-tested).
+"""
+
+from repro.model.sensitivity import robustness_summary, sensitivity_sweep
+
+from _common import run_once
+
+
+def test_bench_sensitivity(benchmark):
+    outcomes = run_once(benchmark, sensitivity_sweep)
+
+    print()
+    print("Calibration sensitivity (+-25 % per coefficient):")
+    summary = robustness_summary()
+    for conclusion, held in summary.items():
+        print(f"  {conclusion:28s}: {'robust' if held else 'FRAGILE'}")
+    fragile = [o for o in outcomes if not o.all_hold]
+    print(f"  perturbations tested: {len(outcomes)}; "
+          f"violations: {len(fragile)}")
+
+    assert all(summary.values())
+    assert not fragile

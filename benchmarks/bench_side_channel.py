@@ -1,0 +1,35 @@
+"""Timing side-channel study on the cycle-accurate Billie model
+(the paper's Section 2.1.5 remark about Algorithm 1, measured).
+
+Sweeps 162-bit scalars across Hamming weights through three scalar-
+multiplication algorithms and reports the timing spread each one leaks.
+"""
+
+from repro.ec.curves import get_curve
+from repro.model.side_channel import leakage_report
+
+from _common import run_once
+
+
+def _study():
+    curve = get_curve("B-163")
+    return {alg: leakage_report(alg, curve)
+            for alg in ("double_and_add", "sliding_window",
+                        "montgomery_ladder")}
+
+
+def test_bench_side_channel(benchmark):
+    reports = run_once(benchmark, _study)
+
+    print()
+    print("Timing leakage vs scalar Hamming weight (B-163 on Billie)")
+    for alg, report in reports.items():
+        per_weight = ", ".join(f"w{w}={c}" for w, c in
+                               sorted(report.cycles_by_weight.items()))
+        print(f"  {alg:18s}: spread {100 * report.spread:5.1f}%  "
+              f"[{per_weight}]")
+
+    assert reports["double_and_add"].leaks_weight
+    assert reports["double_and_add"].spread > 0.25
+    assert reports["montgomery_ladder"].spread < 0.02
+    assert not reports["sliding_window"].leaks_weight

@@ -1,0 +1,17 @@
+"""Table 7.1: latency per operation (100K cycles), prime-field microarchitectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.tables import table7_1
+from repro.harness import render_table
+
+from _common import run_once, show
+
+
+def test_bench_table7_1(benchmark):
+    rows = run_once(benchmark, table7_1)
+    assert len(rows) == 15
+    show(render_table, "7.1")

@@ -1,0 +1,17 @@
+"""Table 7.2: latency per operation (100K cycles), binary-field microarchitectures.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.tables import table7_2
+from repro.harness import render_table
+
+from _common import run_once, show
+
+
+def test_bench_table7_2(benchmark):
+    rows = run_once(benchmark, table7_2)
+    assert len(rows) == 15
+    show(render_table, "7.2")

@@ -1,0 +1,17 @@
+"""Table 7.3: FFAU area / static / dynamic power vs datapath width.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.tables import table7_3
+from repro.harness import render_table
+
+from _common import run_once, show
+
+
+def test_bench_table7_3(benchmark):
+    rows = run_once(benchmark, table7_3)
+    assert len(rows) == 12
+    show(render_table, "7.3")

@@ -1,0 +1,17 @@
+"""Table 7.4: FFAU average power / execution time / energy per Montgomery multiplication.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.tables import table7_4
+from repro.harness import render_table
+
+from _common import run_once, show
+
+
+def test_bench_table7_4(benchmark):
+    rows = run_once(benchmark, table7_4)
+    assert len(rows) == 12
+    show(render_table, "7.4")

@@ -1,0 +1,17 @@
+"""Table 7.5: ARM Cortex-M3 power and energy per modular multiplication.
+
+Regenerates the artifact end to end (simulators + models) and checks its
+structural claims; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the rendered rows.
+"""
+
+from repro.harness.tables import table7_5
+from repro.harness import render_table
+
+from _common import run_once, show
+
+
+def test_bench_table7_5(benchmark):
+    rows = run_once(benchmark, table7_5)
+    assert len(rows) == 3
+    show(render_table, "7.5")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""One-command reproduction tour: regenerate the paper's key artifacts
+and run the paper-vs-measured gate.
+
+For the complete set use ``python -m repro.harness.runall``; this script
+walks the highlights with commentary -- useful as a first look at what
+the reproduction claims and how close it lands.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.harness import render_figure, render_table
+from repro.harness.compare import run_report
+
+
+def main() -> None:
+    print("=" * 70)
+    print("The Design Space of Ultra-low Energy Asymmetric Cryptography")
+    print("(ISPASS 2014) -- reproduction tour")
+    print("=" * 70)
+
+    print("\n--- Table 7.1: prime-field latencies "
+          "(measured columns vs paper_*) ---")
+    print(render_table("7.1"))
+
+    print("\n--- Fig 7.1: the design-space result -- each step right on "
+          "the\n    spectrum buys energy (uJ per Sign+Verify) ---")
+    print(render_figure("7.1"))
+
+    print("\n--- Fig 7.7: prime vs binary at equivalent security ---")
+    print(render_figure("7.7"))
+
+    print("\n--- Fig 7.15: FFAU datapath-width crossover ---")
+    print(render_figure("7.15"))
+
+    print("\n--- Section 8 future work, carried out ---")
+    print(render_figure("s8.fw"))
+
+    print("\n--- The reproduction gate "
+          "(every tracked quantity vs the paper) ---")
+    passed, failed = run_report(verbose=False)
+    print(f"{passed} comparisons within tolerance, {failed} failures")
+    if failed:
+        raise SystemExit(1)
+    print("\nreproduction gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

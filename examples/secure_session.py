@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""End-to-end secure session: authenticated key establishment between
+two embedded devices, with the energy ledger the paper's motivation
+chapters describe.
+
+Two devices run the full station-to-station handshake (ECDH key
+agreement + mutual ECDSA authentication, compressed points on the wire),
+then the session key amortizes over symmetric traffic -- showing why
+"it is more energy efficient to amortize a key-exchange across a lengthy
+communication session" (Section 2.1.1), and how hardware acceleration
+changes the compute/radio balance (the Pabbuleti trade-off).
+
+Run:  python examples/secure_session.py
+"""
+
+from repro.ec.curves import get_curve
+from repro.ecdsa import generate_keypair
+from repro.protocols import handshake_energy
+from repro.protocols.handshake import (
+    RADIO_UJ_PER_BYTE,
+    run_handshake,
+    symmetric_uj_per_byte,
+)
+
+#: measured on Pete: the Speck64/128 kernel (see repro.symmetric)
+SYMMETRIC_UJ_PER_BYTE = symmetric_uj_per_byte()
+
+
+def main() -> None:
+    curve = get_curve("B-283")  # ~128-bit security, binary field
+    alice_priv, alice_pub = generate_keypair(curve, seed=b"alice")
+    bob_priv, bob_pub = generate_keypair(curve, seed=b"bob")
+
+    # --- the functional handshake ---------------------------------------
+    session = run_handshake(curve, alice_priv, alice_pub,
+                            bob_priv, bob_pub, nonce_seed=b"session-1")
+    assert session.succeeded
+    print(f"handshake on {curve.name}: session key "
+          f"{session.session_key_a.hex()}")
+    print(f"radio traffic: {session.transcript.radio_bytes} bytes "
+          f"(compressed points + fixed-width signatures)\n")
+
+    # --- the energy ledger per configuration ----------------------------
+    print("per-side handshake energy (compute + radio):")
+    for config in ("baseline", "binary_isa", "billie"):
+        he = handshake_energy(curve.name, config)
+        print(f"  {config:10s}: {he.total_uj:8.1f} uJ "
+              f"({he.compute_uj:8.1f} compute + {he.radio_uj:5.1f} radio; "
+              f"compute share {he.compute_share:5.1%})")
+
+    # --- amortization over session traffic -------------------------------
+    print(f"\nsymmetric bulk encryption (Speck64/128 on Pete, measured): "
+          f"{SYMMETRIC_UJ_PER_BYTE * 1000:.2f} nJ/byte")
+    print("amortization: handshake overhead vs session length "
+          "(baseline vs Billie):")
+    sw = handshake_energy(curve.name, "baseline")
+    hw = handshake_energy(curve.name, "billie")
+    for kb in (1, 16, 256):
+        traffic = kb * 1024
+        bulk = traffic * (SYMMETRIC_UJ_PER_BYTE + RADIO_UJ_PER_BYTE)
+        share_sw = sw.total_uj / (sw.total_uj + bulk)
+        share_hw = hw.total_uj / (hw.total_uj + bulk)
+        print(f"  {kb:4d} KB session: handshake is {share_sw:6.1%} of "
+              f"energy in software, {share_hw:6.1%} with Billie")
+
+    print("\nthe Potlapally observation reproduced: for short exchanges "
+          "the asymmetric handshake dominates; acceleration (or long "
+          "sessions) makes it a rounding error.")
+
+
+if __name__ == "__main__":
+    main()

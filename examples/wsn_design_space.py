@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Wireless-sensor-network design-space exploration (Fig. 1.1's
+trade-off, driven end to end).
+
+A WSN node re-keys its link every hour with an ECDSA handshake.  The
+designer must pick a point on the reconfigurability/efficiency spectrum:
+pure software keeps the device field-upgradable to new curves; ISA
+extensions keep generality with modest silicon; Monte stays run-time
+configurable across key sizes; Billie fixes the field at tape-out but
+minimizes energy.
+
+This example sweeps every (configuration x key size) point, prints the
+design space with energy, average power and die-cost proxies, and applies
+a simple selection rule: cheapest energy subject to a reconfigurability
+requirement.
+
+Run:  python examples/wsn_design_space.py [--security 128]
+      [--require-reconfigurable]
+"""
+
+import argparse
+
+from repro.ec.curves import SECURITY_PAIRS
+from repro.model.system import SystemModel
+
+#: approximate NIST security strength per curve pair (bits)
+SECURITY_LEVELS = {80: 0, 112: 1, 128: 2, 192: 3, 256: 4}
+
+#: (config, family) -> reconfigurability class from Fig. 1.1
+RECONFIGURABILITY = {
+    ("baseline", "prime"): "full software",
+    ("baseline", "binary"): "full software",
+    ("isa_ext", "prime"): "software + ISA",
+    ("binary_isa", "binary"): "software + ISA",
+    ("isa_ext_ic", "prime"): "software + ISA",
+    ("monte", "prime"): "microcoded (any key size)",
+    ("billie", "binary"): "fixed field at tape-out",
+}
+
+
+def design_space(model: SystemModel, security_bits: int):
+    prime, binary = SECURITY_PAIRS[SECURITY_LEVELS[security_bits]]
+    points = []
+    for config in ("baseline", "isa_ext", "isa_ext_ic", "monte"):
+        report = model.report(prime, config)
+        points.append((config, prime, "prime", report))
+    for config in ("baseline", "binary_isa", "billie"):
+        report = model.report(binary, config)
+        points.append((config, binary, "binary", report))
+    return points
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--security", type=int, default=128,
+                        choices=sorted(SECURITY_LEVELS))
+    parser.add_argument("--require-reconfigurable", action="store_true",
+                        help="exclude fixed-field hardware (Billie)")
+    args = parser.parse_args()
+
+    model = SystemModel()
+    points = design_space(model, args.security)
+
+    print(f"design space at ~{args.security}-bit security "
+          f"(energy per hourly re-key handshake):\n")
+    header = (f"{'config':12s} {'curve':7s} {'energy':>10s} {'power':>8s} "
+              f"{'latency':>9s}  reconfigurability")
+    print(header)
+    print("-" * len(header))
+    for config, curve, family, report in sorted(
+            points, key=lambda p: p[3].total_uj):
+        label = RECONFIGURABILITY[(config, family)]
+        print(f"{config:12s} {curve:7s} {report.total_uj:8.1f}uJ "
+              f"{report.power_mw:6.2f}mW {report.time_s * 1e3:7.1f}ms  "
+              f"{label}")
+
+    candidates = [
+        (config, curve, report) for config, curve, family, report in points
+        if not (args.require_reconfigurable
+                and RECONFIGURABILITY[(config, family)].startswith("fixed"))
+    ]
+    best = min(candidates, key=lambda p: p[2].total_uj)
+    print(f"\nrecommendation: {best[0]} on {best[1]} "
+          f"({best[2].total_uj:.1f} uJ per handshake)")
+
+    # yearly energy at one handshake per hour
+    yearly_j = best[2].total_uj * 1e-6 * 24 * 365
+    print(f"yearly re-keying cost: {yearly_j * 1000:.2f} mJ "
+          f"-- {yearly_j / (3.6 * 2):.4%} of a AA cell (2 Ah @ 1.5 V)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Legacy setuptools entry point.
+
+Kept (instead of a [build-system] table in pyproject.toml) so that
+``pip install -e .`` works in fully offline environments: the PEP 517
+path creates an isolated build environment and tries to download
+setuptools/wheel, which air-gapped targets -- like the embedded-lab
+machines this reproduction is aimed at -- cannot do.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'The Design Space of Ultra-low Energy "
+                 "Asymmetric Cryptography' (ISPASS 2014)"),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "numpy"],
+    },
+)

@@ -1,0 +1,60 @@
+"""Reproduction of *The Design Space of Ultra-low Energy Asymmetric
+Cryptography* (Targhetta, Owen & Gratz, ISPASS 2014).
+
+The package implements, from scratch:
+
+* all ten NIST finite fields (five prime, five binary) with the paper's
+  multi-precision algorithms (:mod:`repro.fields`, :mod:`repro.mp`);
+* elliptic-curve arithmetic in mixed Jacobian-affine and mixed
+  Lopez-Dahab-affine coordinates with the paper's scalar-multiplication
+  algorithms (:mod:`repro.ec`);
+* ECDSA signing and verification (:mod:`repro.ecdsa`);
+* "Pete", a cycle-level timing simulator of the paper's 5-stage MIPS-subset
+  RISC core, with its assembler, multi-cycle Karatsuba multiplier, ISA
+  extensions, memories and instruction cache (:mod:`repro.pete`);
+* generated assembly kernels for the multi-precision inner loops
+  (:mod:`repro.kernels`);
+* "Monte", the microcoded prime-field accelerator built around the FFAU, and
+  "Billie", the binary-field accelerator (:mod:`repro.accel`);
+* a 45 nm energy model (:mod:`repro.energy`) and the whole-system ECDSA
+  energy/latency model with the paper's six microarchitecture configurations
+  (:mod:`repro.model`);
+* a harness that regenerates every table and figure of the paper's
+  evaluation chapter (:mod:`repro.harness`).
+"""
+
+__version__ = "1.0.0"
+
+# Public API is re-exported lazily so that importing light-weight subpackages
+# (e.g. repro.fields) does not pull in the whole simulator stack.
+_LAZY_EXPORTS = {
+    "CURVES": ("repro.ec.curves", "CURVES"),
+    "get_curve": ("repro.ec.curves", "get_curve"),
+    "generate_keypair": ("repro.ecdsa", "generate_keypair"),
+    "sign": ("repro.ecdsa", "sign"),
+    "verify": ("repro.ecdsa", "verify"),
+    "ALL_CONFIGS": ("repro.model.configs", "ALL_CONFIGS"),
+    "get_config": ("repro.model.configs", "get_config"),
+    "SystemModel": ("repro.model.system", "SystemModel"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "CURVES",
+    "get_curve",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "ALL_CONFIGS",
+    "get_config",
+    "SystemModel",
+    "__version__",
+]

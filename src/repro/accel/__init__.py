@@ -1,0 +1,32 @@
+"""The two coprocessors: "Monte" (GF(p)) and "Billie" (GF(2^m)).
+
+* :mod:`repro.accel.ffau` / :mod:`repro.accel.microcode` -- the
+  Finite-Field Arithmetic Unit at Monte's core (Section 5.4.2): a 2-stage
+  pipelined multiply-add datapath driven by a 64-entry microcode control
+  unit, executing CIOS Montgomery multiplication plus modular add/sub for
+  any field size that fits its scratchpad memories.
+* :mod:`repro.accel.monte` -- the coprocessor wrapper (Section 5.4.1):
+  instruction queue, DMA with operand/result double buffering and
+  store-to-load forwarding over the shared dual-port RAM.
+* :mod:`repro.accel.billie` / :mod:`repro.accel.digit_serial` -- the
+  non-configurable binary-field accelerator (Section 5.5): a 16-entry
+  full-width register file, digit-serial multiplier, single-cycle
+  hardwired squarer and full-width adder behind a 4-entry instruction
+  queue.
+"""
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.accel.cop2_adapter import BillieCop2Adapter, MonteCop2Adapter
+from repro.accel.ffau import FFAU, FFAUConfig
+from repro.accel.monte import Monte, MonteConfig
+
+__all__ = [
+    "FFAU",
+    "FFAUConfig",
+    "Monte",
+    "MonteConfig",
+    "Billie",
+    "BillieConfig",
+    "MonteCop2Adapter",
+    "BillieCop2Adapter",
+]

@@ -1,0 +1,192 @@
+"""'Billie': the non-configurable GF(2^m) accelerator (paper Section 5.5).
+
+Architecture (Fig. 5.12): a four-entry instruction queue fed by Pete over
+the coprocessor interface; a sixteen-entry register file of full
+field-width registers (two read/write ports); four functional units --
+digit-serial multiplier, single-cycle hardwired squarer, full-width adder,
+and a load/store unit bridging the 32-bit shared-RAM port to the
+field-width register file.  Write-back ports are shared pairwise
+(multiplier+squarer, adder+load/store) with fixed priority.
+
+The model is an event-timing simulator: instructions carry issue
+timestamps, dispatch when their functional unit is free and their source
+registers are ready, and write back one cycle after completion.  Field
+values are computed exactly, so a whole scalar multiplication run on
+Billie is checked against :func:`repro.ec.scalar.sliding_window_mul`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.digit_serial import (
+    digit_serial_cycles,
+    digit_serial_mul,
+    hardwired_square,
+)
+from repro.fields.nist import NIST_BINARY_POLYS
+
+
+@dataclass(frozen=True)
+class BillieConfig:
+    """Synthesis-time parameters."""
+
+    m: int = 163            # field degree (fixed at fabrication)
+    digit: int = 3          # multiplier digit width D
+    n_registers: int = 16
+    queue_depth: int = 4
+    ram_port_bits: int = 32
+
+    @property
+    def load_cycles(self) -> int:
+        """Load/store unit: one 32-bit beat per cycle plus handshake."""
+        return -(-self.m // self.ram_port_bits) + 2
+
+    @property
+    def mul_cycles(self) -> int:
+        return digit_serial_cycles(self.m, self.digit)
+
+    #: squarer and adder complete in one cycle plus write-back
+    sqr_cycles: int = 2
+    add_cycles: int = 2
+
+
+@dataclass
+class BillieStats:
+    """Activity counters for the energy model."""
+
+    busy_cycles: int = 0        # any functional unit active
+    mul_ops: int = 0
+    sqr_ops: int = 0
+    add_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    ram_words: int = 0
+    queue_stall_cycles: int = 0
+    hazard_wait_cycles: int = 0
+
+
+class Billie:
+    """Timing + functional model of the binary accelerator."""
+
+    def __init__(self, config: BillieConfig | None = None) -> None:
+        self.config = config or BillieConfig()
+        if self.config.m not in NIST_BINARY_POLYS:
+            raise KeyError(f"no NIST binary field of degree {self.config.m}")
+        self.stats = BillieStats()
+        self.regs = [0] * self.config.n_registers
+        self.reg_ready = [0] * self.config.n_registers
+        # next free cycle per functional unit
+        self.unit_free = {"mul": 0, "sqr": 0, "add": 0, "ldst": 0}
+        self.queue_free_at: list[int] = [0] * self.config.queue_depth
+        self.now = 0  # time of the last issued instruction
+
+    def reset_time(self) -> None:
+        self.stats = BillieStats()
+        self.reg_ready = [0] * self.config.n_registers
+        self.unit_free = {key: 0 for key in self.unit_free}
+        self.queue_free_at = [0] * self.config.queue_depth
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Instruction issue (Table 5.6)
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, at: int) -> int:
+        """Model the 4-entry queue: returns the time the instruction is
+        accepted (Pete stalls if the queue is full)."""
+        slot_time = min(self.queue_free_at)
+        accept = max(at, slot_time)
+        self.stats.queue_stall_cycles += max(0, slot_time - at)
+        return accept
+
+    def _dispatch(self, accept: int, unit: str, srcs: list[int],
+                  latency: int) -> tuple[int, int]:
+        """Dispatch once unit free + operands ready; return
+        (start, done)."""
+        ready = max([self.reg_ready[s] for s in srcs], default=0)
+        start = max(accept, self.unit_free[unit], ready)
+        self.stats.hazard_wait_cycles += max(0, ready - accept)
+        done = start + latency
+        self.unit_free[unit] = done
+        # retire from the queue at dispatch
+        idx = self.queue_free_at.index(min(self.queue_free_at))
+        self.queue_free_at[idx] = start
+        self.stats.busy_cycles += latency
+        return start, done
+
+    def issue_load(self, rd: int, value: int, at: int | None = None) -> int:
+        """COP2LD: memory -> BR[rd].  Returns completion time."""
+        at = self.now if at is None else at
+        accept = self._enqueue(at)
+        start, done = self._dispatch(accept, "ldst", [], self.config.load_cycles)
+        self.regs[rd] = value
+        self.reg_ready[rd] = done
+        self.stats.loads += 1
+        self.stats.ram_words += -(-self.config.m // 32)
+        self.now = accept + 1
+        return done
+
+    def issue_store(self, rs: int, at: int | None = None) -> tuple[int, int]:
+        """COP2ST: BR[rs] -> memory.  Returns (value, completion)."""
+        at = self.now if at is None else at
+        accept = self._enqueue(at)
+        start, done = self._dispatch(accept, "ldst", [rs],
+                                     self.config.load_cycles)
+        self.stats.stores += 1
+        self.stats.ram_words += -(-self.config.m // 32)
+        self.now = accept + 1
+        return self.regs[rs], done
+
+    def issue_mul(self, fd: int, fs: int, ft: int,
+                  at: int | None = None) -> int:
+        """COP2MUL: BR[fd] = BR[fs] * BR[ft] mod f(x)."""
+        at = self.now if at is None else at
+        accept = self._enqueue(at)
+        start, done = self._dispatch(accept, "mul", [fs, ft],
+                                     self.config.mul_cycles)
+        result = digit_serial_mul(self.regs[fs], self.regs[ft],
+                                  self.config.m, self.config.digit)
+        self.regs[fd] = result.value
+        self.reg_ready[fd] = done + 1  # write-back cycle
+        self.stats.mul_ops += 1
+        self.now = accept + 1
+        return done
+
+    def issue_sqr(self, fd: int, ft: int, at: int | None = None) -> int:
+        """COP2SQR: BR[fd] = BR[ft]^2 mod f(x)."""
+        at = self.now if at is None else at
+        accept = self._enqueue(at)
+        start, done = self._dispatch(accept, "sqr", [ft],
+                                     self.config.sqr_cycles)
+        self.regs[fd] = hardwired_square(self.regs[ft], self.config.m)
+        self.reg_ready[fd] = done + 1
+        self.stats.sqr_ops += 1
+        self.now = accept + 1
+        return done
+
+    def issue_add(self, fd: int, fs: int, ft: int,
+                  at: int | None = None) -> int:
+        """COP2ADD: BR[fd] = BR[fs] + BR[ft] (XOR)."""
+        at = self.now if at is None else at
+        accept = self._enqueue(at)
+        start, done = self._dispatch(accept, "add", [fs, ft],
+                                     self.config.add_cycles)
+        self.regs[fd] = self.regs[fs] ^ self.regs[ft]
+        self.reg_ready[fd] = done + 1
+        self.stats.add_ops += 1
+        self.now = accept + 1
+        return done
+
+    def sync(self) -> int:
+        """COP2SYNC: Pete waits until every unit drains."""
+        done = max(max(self.unit_free.values()), self.now)
+        self.now = done
+        return done
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def completion_time(self) -> int:
+        return max(self.unit_free.values())

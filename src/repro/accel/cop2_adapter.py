@@ -1,0 +1,125 @@
+"""Coprocessor-2 adapters: Pete's instruction stream drives Monte/Billie.
+
+The paper's Tables 5.3 and 5.6 define the COP2 instructions Pete fetches
+and forwards to the accelerators in its execute stage.  These adapters
+implement Pete's :class:`~repro.pete.cpu.Coprocessor` protocol, so real
+assembled programs containing ``cop2lda`` / ``cop2mul`` / ``cop2sync``
+etc. execute end to end: Pete decodes and issues, the coprocessor timing
+machine schedules, and the stall cycles (full queue, SYNC waits) flow
+back into Pete's pipeline accounting.
+
+Data moves through the shared dual-port RAM exactly as in Fig. 5.7/5.11:
+the adapters read operand words from (and write results to) Pete's RAM
+at the addresses in the general-purpose registers.
+"""
+
+from __future__ import annotations
+
+from repro.accel.billie import Billie
+from repro.accel.monte import Monte
+from repro.pete.isa import Decoded
+
+
+class MonteCop2Adapter:
+    """Table 5.3: CTC2, COP2SYNC, COP2LDA/B/N, COP2MUL/ADD/SUB, COP2ST."""
+
+    def __init__(self, monte: Monte) -> None:
+        self.monte = monte
+        self.control_regs: dict[int, int] = {}
+        self._pending_store: tuple[int, list[int]] | None = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _read_operand(self, cpu, addr: int) -> list[int]:
+        return cpu.mem.read_ram_words(addr, self.monte.k)
+
+    def _sync_monte_clock(self, cpu) -> None:
+        """The coprocessor shares Pete's clock: never schedule in the
+        past."""
+        self.monte.now = max(self.monte.now, cpu.cycle)
+
+    def _commit_store(self, cpu) -> None:
+        if self._pending_store is not None:
+            addr, words = self._pending_store
+            cpu.mem.write_ram_words(addr, words)
+            self._pending_store = None
+
+    # -- the Coprocessor protocol -------------------------------------------
+
+    def issue(self, instr: Decoded, cpu) -> int:
+        m = instr.mnemonic
+        self._sync_monte_clock(cpu)
+        before = self.monte.stats.queue_stall_cycles
+        if m == "ctc2":
+            self.control_regs[instr.rd] = cpu.regs[instr.rt]
+            return 0
+        if m == "cop2sync":
+            self._commit_store(cpu)
+            done = self.monte.sync()
+            return max(0, done - cpu.cycle)
+        if m in ("cop2lda", "cop2ldb", "cop2ldn"):
+            addr = cpu.regs[instr.rt]
+            words = self._read_operand(cpu, addr)
+            if m == "cop2lda":
+                self.monte.load_a(words, addr=addr, at=cpu.cycle)
+            elif m == "cop2ldb":
+                self.monte.load_b(words, addr=addr, at=cpu.cycle)
+            else:
+                self.monte.load_n(at=cpu.cycle)
+        elif m == "cop2mul":
+            self.monte.mul(at=cpu.cycle)
+        elif m == "cop2add":
+            self.monte.add(at=cpu.cycle)
+        elif m == "cop2sub":
+            self.monte.sub(at=cpu.cycle)
+        elif m == "cop2st":
+            addr = cpu.regs[instr.rt]
+            self._commit_store(cpu)
+            words, _ = self.monte.store(addr=addr, at=cpu.cycle)
+            # data reaches RAM when the DMA drains; commit it at the
+            # next dependent instruction (sync/store) -- functionally
+            # equivalent since Pete cannot observe it before syncing
+            self._pending_store = (addr, words)
+        else:
+            raise RuntimeError(f"Monte cannot execute {m}")
+        return self.monte.stats.queue_stall_cycles - before
+
+
+class BillieCop2Adapter:
+    """Table 5.6: COP2SYNC, COP2LD/ST, COP2MUL/SQR/ADD."""
+
+    def __init__(self, billie: Billie) -> None:
+        self.billie = billie
+        self._k = -(-billie.config.m // 32)
+
+    def _sync_clock(self, cpu) -> None:
+        self.billie.now = max(self.billie.now, cpu.cycle)
+
+    def issue(self, instr: Decoded, cpu) -> int:
+        from repro.mp.words import from_int, to_int
+
+        m = instr.mnemonic
+        self._sync_clock(cpu)
+        before = self.billie.stats.queue_stall_cycles
+        # Billie register fields: fd in rs, fs in rd, ft in shamt
+        fd, fs, ft = instr.rs, instr.rd, instr.shamt
+        if m == "cop2sync":
+            done = self.billie.sync()
+            return max(0, done - cpu.cycle)
+        if m == "cop2ld":
+            addr = cpu.regs[instr.rt]
+            value = to_int(cpu.mem.read_ram_words(addr, self._k))
+            self.billie.issue_load(fs, value, at=cpu.cycle)
+        elif m == "cop2st":
+            addr = cpu.regs[instr.rt]
+            value, _ = self.billie.issue_store(fs, at=cpu.cycle)
+            cpu.mem.write_ram_words(addr, from_int(value, self._k))
+        elif m == "cop2mul":
+            self.billie.issue_mul(fd, fs, ft, at=cpu.cycle)
+        elif m == "cop2sqr":
+            self.billie.issue_sqr(fd, ft, at=cpu.cycle)
+        elif m == "cop2add":
+            self.billie.issue_add(fd, fs, ft, at=cpu.cycle)
+        else:
+            raise RuntimeError(f"Billie cannot execute {m}")
+        return self.billie.stats.queue_stall_cycles - before

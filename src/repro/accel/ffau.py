@@ -1,0 +1,173 @@
+"""The Finite-Field Arithmetic Unit (paper Section 5.4.2).
+
+The FFAU couples a pipelined multiply-add arithmetic core (throughput one
+operation per cycle, latency ``p`` cycles) with dual scratchpad memories
+(AB and T), index-register address generation and a 64-entry microcoded
+control unit.  Its datapath width is a synthesis parameter -- the paper's
+standalone study (Section 7.9) sweeps 8/16/32/64 bits.
+
+Functional results are computed with the word-exact CIOS routine from
+:mod:`repro.mp.montgomery` (the same word flow the microprogram encodes);
+cycle counts come from *executing the microprogram* in
+:meth:`FFAU.run_microprogram`, which walks the control store cycle by
+cycle with the hardware loop counters.  A regression test checks the
+measured cycles against the paper's Eq. 5.2::
+
+    cc = 2k^2 + 6k + (k+1)p + 22
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.mp.montgomery import cios_montmul
+from repro.mp.words import add_words, sub_words
+from repro.accel.microcode import (
+    CONST_K,
+    CONST_KM1,
+    MicroProgram,
+    build_addsub_program,
+    build_cios_program,
+)
+
+
+@dataclass(frozen=True)
+class FFAUConfig:
+    """Synthesis-time parameters (Section 5.4.2.1)."""
+
+    width: int = 32          # datapath width w in bits
+    pipeline_latency: int = 3  # p: arithmetic-core latency in cycles
+    mem_words: int = 0       # scratchpad depth (0 = 4k for largest field)
+
+    def words_for(self, bits: int) -> int:
+        return -(-bits // self.width)
+
+
+@dataclass
+class FFAUStats:
+    """Activity counters for the energy model."""
+
+    busy_cycles: int = 0
+    idle_cycles: int = 0
+    core_ops: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    microcode_fetches: int = 0
+
+
+class FFAU:
+    """One FFAU instance with loaded microcode."""
+
+    #: Dispatch overhead per coprocessor command (decode + start/stop the
+    #: sequencer), part of the "+22" constant of Eq. 5.2.
+    DISPATCH_OVERHEAD = 4
+
+    def __init__(self, config: FFAUConfig | None = None) -> None:
+        self.config = config or FFAUConfig()
+        self.stats = FFAUStats()
+        self._cios = build_cios_program()
+        self._add = build_addsub_program(subtract=False)
+        self._sub = build_addsub_program(subtract=True)
+
+    # ------------------------------------------------------------------
+    # Microprogram timing
+    # ------------------------------------------------------------------
+
+    def run_microprogram(self, prog: MicroProgram, k: int) -> int:
+        """Execute a microprogram's control flow; return cycles.
+
+        One micro-op issues per cycle; ``wait_drain`` stalls for the core
+        latency p; hardware loop counters come from the constant RAM
+        (k and k-1 are the only bounds the shipped programs use).
+        """
+        p = self.config.pipeline_latency
+        consts = {CONST_K: k, CONST_KM1: k - 1}
+        loops = {"i": 0, "j": 0}
+        pc = 0
+        cycles = 0
+        while True:
+            op = prog.ops[pc]
+            cycles += 1
+            self.stats.microcode_fetches += 1
+            if op.op.value != "nop":
+                self.stats.core_ops += 1
+                self.stats.mem_reads += 2
+                self.stats.mem_writes += 1
+            if op.wait_drain:
+                cycles += p
+            if op.loop_set is not None:
+                loops[op.loop_set] = consts.get(op.loop_set_const,
+                                                op.loop_set_const)
+            if op.loop is not None:
+                loops[op.loop] -= 1
+                if loops[op.loop] > 0:
+                    pc = op.loop_target
+                    continue
+            if op.halt:
+                break
+            pc += 1
+        self.stats.busy_cycles += cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Operations (functional + cycles)
+    # ------------------------------------------------------------------
+
+    def montmul_cycles(self, k: int) -> int:
+        """Cycles for one CIOS Montgomery multiplication of k words."""
+        return _montmul_cycles_cached(self.config, k) + self.DISPATCH_OVERHEAD
+
+    def addsub_cycles(self, k: int) -> int:
+        """Cycles for one modular addition or subtraction of k words."""
+        return _addsub_cycles_cached(self.config, k) + self.DISPATCH_OVERHEAD
+
+    def montmul(self, a: list[int], b: list[int], n: list[int],
+                n0p: int) -> tuple[list[int], int]:
+        """(a * b * R^-1 mod n, cycles) at the configured width."""
+        k = len(n)
+        result = cios_montmul(a, b, n, n0p, self.config.width)
+        return result, self.montmul_cycles(k)
+
+    def mod_add(self, a: list[int], b: list[int], n: list[int]
+                ) -> tuple[list[int], int]:
+        """Word-exact modular addition: the add pass and the conditional
+        correction pass the add/sub microprogram encodes."""
+        w = self.config.width
+        k = len(n)
+        total, carry = add_words(a, b, w)
+        corrected, borrow = sub_words(total, n, w)
+        result = corrected if (carry or not borrow) else total
+        return result, self.addsub_cycles(k)
+
+    def mod_sub(self, a: list[int], b: list[int], n: list[int]
+                ) -> tuple[list[int], int]:
+        """Word-exact modular subtraction with the conditional add-back
+        of the modulus."""
+        w = self.config.width
+        k = len(n)
+        diff, borrow = sub_words(a, b, w)
+        if borrow:
+            diff, _ = add_words(diff, n, w)
+        return diff, self.addsub_cycles(k)
+
+    # ------------------------------------------------------------------
+    # Paper cross-checks
+    # ------------------------------------------------------------------
+
+    def eq52_cycles(self, k: int) -> int:
+        """The paper's cycle model (Eq. 5.2)."""
+        p = self.config.pipeline_latency
+        return 2 * k * k + 6 * k + (k + 1) * p + 22
+
+
+@lru_cache(maxsize=None)
+def _montmul_cycles_cached(config: FFAUConfig, k: int) -> int:
+    ffau = FFAU(config)
+    return ffau.run_microprogram(ffau._cios, k)
+
+
+@lru_cache(maxsize=None)
+def _addsub_cycles_cached(config: FFAUConfig, k: int) -> int:
+    ffau = FFAU(config)
+    return ffau.run_microprogram(ffau._add, k)

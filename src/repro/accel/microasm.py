@@ -1,0 +1,193 @@
+"""A textual microassembler for the FFAU control store.
+
+Section 5.4.2.2: "the control complexity is moved into the microprogram;
+however, a good microcode assembler can help improve the situation."
+This is that assembler.  One micro-instruction per line::
+
+    label:  OP [a=<src>] [b=<src>] [c=<src>] [dst=<dst>]
+            [idxA=<ctl>] [idxB=<ctl>] [idxT=<ctl>] [idxW=<ctl>]
+            [const=<name>] [set j=<name>] [loop j -> label]
+            [drain] [halt]
+
+where ``OP`` is a :class:`~repro.accel.microcode.CoreOp` name (or NOP),
+sources/destinations name the datapath muxes (``ab``, ``tmp``, ``const``,
+``t``, ``zero``, ``none``), index controls are ``hold/load/clear/inc``,
+and constants are the symbolic constant-RAM slots (``K``, ``KM1``,
+``N0P``, ``A_BASE``, ``B_BASE``, ``N_BASE``).
+
+The shipped CIOS/add/sub programs are provided both as constructed
+objects (:mod:`repro.accel.microcode`) and as source text here; the test
+suite asserts the assembler reproduces the constructed programs
+field-for-field.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.accel.microcode import (
+    CONST_A_BASE,
+    CONST_B_BASE,
+    CONST_K,
+    CONST_KM1,
+    CONST_N0P,
+    CONST_N_BASE,
+    ASrc,
+    BSrc,
+    CSrc,
+    CoreOp,
+    Dst,
+    IdxCtl,
+    MicroOp,
+    MicroProgram,
+)
+
+
+class MicroAssemblyError(Exception):
+    """Malformed microcode source."""
+
+
+_CONSTS = {
+    "K": CONST_K, "N0P": CONST_N0P, "KM1": CONST_KM1,
+    "A_BASE": CONST_A_BASE, "B_BASE": CONST_B_BASE, "N_BASE": CONST_N_BASE,
+}
+_IDX = {"hold": IdxCtl.HOLD, "load": IdxCtl.LOAD, "clear": IdxCtl.CLEAR,
+        "inc": IdxCtl.INC}
+_ASRC = {"ab": ASrc.AB, "tmp": ASrc.TMP}
+_BSRC = {"ab": BSrc.AB, "const": BSrc.CONST, "none": BSrc.NONE}
+_CSRC = {"t": CSrc.T, "zero": CSrc.ZERO}
+_DST = {"t": Dst.T, "tmp": Dst.TMP, "none": Dst.NONE}
+_OPS = {op.name: op for op in CoreOp}
+
+
+def assemble_microcode(source: str) -> MicroProgram:
+    """Assemble microcode source text into a :class:`MicroProgram`."""
+    prog = MicroProgram()
+    pending: list[tuple[int, str, str]] = []  # (index, loop var, label)
+    labels: dict[str, int] = {}
+
+    for raw in source.splitlines():
+        line = raw.split("#")[0].strip()
+        if not line:
+            continue
+        label_match = re.match(r"^(\w+):\s*(.*)$", line)
+        if label_match:
+            name, rest = label_match.groups()
+            if name in labels:
+                raise MicroAssemblyError(f"duplicate label {name!r}")
+            labels[name] = len(prog.ops)
+            line = rest.strip()
+            if not line:
+                continue
+        fields = _parse_fields(line)
+        index = prog.add(_build_op(fields, len(prog.ops)))
+        if "loop_label" in fields:
+            pending.append((index, fields["loop"], fields["loop_label"]))
+
+    for index, loop_var, label in pending:
+        if label not in labels:
+            raise MicroAssemblyError(f"undefined loop target {label!r}")
+        from dataclasses import replace
+
+        prog.ops[index] = replace(prog.ops[index],
+                                  loop_target=labels[label])
+    return prog
+
+
+def _parse_fields(line: str) -> dict:
+    tokens = line.split()
+    fields: dict = {"op": tokens[0].upper()}
+    i = 1
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "drain":
+            fields["drain"] = True
+        elif token == "halt":
+            fields["halt"] = True
+        elif token == "loop":
+            if i + 3 >= len(tokens) or tokens[i + 2] != "->":
+                raise MicroAssemblyError(f"bad loop clause: {line}")
+            fields["loop"] = tokens[i + 1]
+            fields["loop_label"] = tokens[i + 3]
+            i += 3
+        elif token == "set" and i + 1 < len(tokens):
+            var, _, const = tokens[i + 1].partition("=")
+            fields["loop_set"] = var
+            fields["loop_set_const"] = const
+            i += 1
+        elif "=" in token:
+            key, _, value = token.partition("=")
+            fields[key] = value
+        else:
+            raise MicroAssemblyError(f"bad token {token!r} in: {line}")
+        i += 1
+    return fields
+
+
+def _build_op(fields: dict, index: int) -> MicroOp:
+    op_name = fields["op"]
+    if op_name not in _OPS:
+        raise MicroAssemblyError(f"unknown core op {op_name!r}")
+
+    def lookup(table, key, default):
+        value = fields.get(key)
+        if value is None:
+            return default
+        if value not in table:
+            raise MicroAssemblyError(f"bad {key} value {value!r}")
+        return table[value]
+
+    const_sel = 0
+    if "const" in fields:
+        if fields["const"] not in _CONSTS:
+            raise MicroAssemblyError(f"unknown constant {fields['const']!r}")
+        const_sel = _CONSTS[fields["const"]]
+    loop_set = fields.get("loop_set")
+    loop_set_const = 0
+    if loop_set is not None:
+        name = fields["loop_set_const"]
+        if name not in _CONSTS:
+            raise MicroAssemblyError(f"unknown constant {name!r}")
+        loop_set_const = _CONSTS[name]
+    return MicroOp(
+        op=_OPS[op_name],
+        a_src=lookup(_ASRC, "a", ASrc.AB),
+        b_src=lookup(_BSRC, "b", BSrc.NONE),
+        c_src=lookup(_CSRC, "c", CSrc.ZERO),
+        dst=lookup(_DST, "dst", Dst.NONE),
+        const_sel=const_sel,
+        idx_a=lookup(_IDX, "idxA", IdxCtl.HOLD),
+        idx_b=lookup(_IDX, "idxB", IdxCtl.HOLD),
+        idx_t=lookup(_IDX, "idxT", IdxCtl.HOLD),
+        idx_w=lookup(_IDX, "idxW", IdxCtl.HOLD),
+        loop=fields.get("loop"),
+        loop_set=loop_set,
+        loop_set_const=loop_set_const,
+        wait_drain=bool(fields.get("drain")),
+        halt=bool(fields.get("halt")),
+    )
+
+
+#: The CIOS microprogram as assembler source -- the same control flow
+#: :func:`repro.accel.microcode.build_cios_program` constructs in code.
+CIOS_SOURCE = """
+# CIOS Montgomery multiplication (Algorithm 5) for the FFAU
+init:   NOP set i=K idxT=clear idxW=clear idxB=load const=B_BASE
+outer:  NOP set j=K idxA=load const=A_BASE idxT=clear idxW=clear
+# inner loop 1: T += A * B[i]
+in1:    MUL_ADD_C a=ab b=ab c=t dst=t idxA=inc idxT=inc idxW=inc loop j -> in1
+        CLEAR_PIPE c=t dst=t idxT=inc idxW=inc
+        DRAIN dst=t idxT=clear idxW=clear
+# m = T[0] * n0' (pass T[0] through the core, forward into the multiply)
+        CLEAR_PIPE c=t dst=tmp drain
+        MUL a=tmp b=const const=N0P dst=tmp
+# inner loop 2: T = (T + m*N) >> w
+        MUL_ADD a=tmp b=ab c=t dst=none idxB=load const=N_BASE set j=KM1 idxT=inc
+in2:    MUL_ADD_C a=tmp b=ab c=t dst=t idxB=inc idxT=inc idxW=inc loop j -> in2
+        CLEAR_PIPE c=t dst=t idxT=inc idxW=inc
+        ADD_C a=ab c=t dst=t idxB=load const=B_BASE loop i -> outer
+# final conditional subtraction
+        NOP drain idxT=clear idxW=clear idxB=load const=N_BASE set j=K
+csub:   SUB_C a=ab b=none c=t dst=t idxB=inc idxT=inc idxW=inc loop j -> csub
+        NOP drain halt
+"""

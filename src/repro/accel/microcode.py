@@ -1,0 +1,238 @@
+"""The FFAU's microcode (paper Section 5.4.2, Figs. 5.9/5.10).
+
+The control unit holds a 64-entry microcode table; each micro-instruction
+selects an arithmetic-core operation (Table 5.4), operand sources, a
+result destination, index-register controls (Table 5.5) and sequencing.
+Two hardware loop counters with bounds from the constant RAM provide
+nested loops; a return-address register allows leaf subroutine calls.
+
+This module defines the micro-ISA and assembles the three microprograms
+Monte ships with: CIOS Montgomery multiplication, modular addition and
+modular subtraction.  The table-size limit (64 entries) is enforced so
+the reconfigurability claim stays honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CoreOp(Enum):
+    """Arithmetic-core operations (subset of Table 5.4)."""
+
+    NOP = "nop"
+    MUL_ADD_C = "mul_add_c"    # (carry, r) = A*B + C + carry
+    MUL_ADD = "mul_add"        # (carry, r) = A*B + C
+    MUL = "mul"                # (carry, r) = A*B
+    ADD_C = "add_c"            # (carry, r) = A + C + carry
+    ADD = "add"                # (carry, r) = A + C
+    SUB_C = "sub_c"            # (carry, r) = -A + C + borrow chain
+    SUB = "sub"                # (carry, r) = -A + C
+    CLEAR_PIPE = "clear_pipe"  # (carry, r) = C + carry
+    DRAIN = "drain"            # (carry, r) = carry
+
+
+class ASrc(Enum):
+    AB = "ab"        # AB memory at index register A
+    TMP = "tmp"      # temporary result register
+
+
+class BSrc(Enum):
+    AB = "ab"        # AB memory at index register B
+    CONST = "const"  # constant RAM entry
+    NONE = "none"
+
+
+class CSrc(Enum):
+    T = "t"          # T memory at read index register
+    ZERO = "zero"
+
+
+class Dst(Enum):
+    T = "t"          # T memory at store index
+    TMP = "tmp"
+    NONE = "none"
+
+
+class IdxCtl(Enum):
+    """Index-register control codes (Table 5.5)."""
+
+    HOLD = 0b00
+    LOAD = 0b01      # load from constant bus
+    CLEAR = 0b10
+    INC = 0b11
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One microcode table entry."""
+
+    op: CoreOp = CoreOp.NOP
+    a_src: ASrc = ASrc.AB
+    b_src: BSrc = BSrc.NONE
+    c_src: CSrc = CSrc.ZERO
+    dst: Dst = Dst.NONE
+    const_sel: int = 0          # constant-RAM entry for LOAD / CONST
+    # index controls: (A read, B read, T read, T write)
+    idx_a: IdxCtl = IdxCtl.HOLD
+    idx_b: IdxCtl = IdxCtl.HOLD
+    idx_t: IdxCtl = IdxCtl.HOLD
+    idx_w: IdxCtl = IdxCtl.HOLD
+    # base offsets into the AB memory (a=0, b=k, n=2k), resolved by the
+    # address logic from constant-RAM entries
+    a_base: int = 0
+    b_base: int = 0
+    # sequencing
+    loop: str | None = None     # "i" or "j": decrement/test this counter
+    loop_target: int = 0        # microcode address to branch to while != 0
+    loop_set: str | None = None # load counter ("i"/"j") from constant RAM
+    loop_set_const: int = 0
+    wait_drain: bool = False    # stall until the core pipeline drains
+    halt: bool = False
+    label: str = ""
+
+
+MICROCODE_TABLE_SIZE = 64
+
+
+@dataclass
+class MicroProgram:
+    """An assembled microprogram with named entry points."""
+
+    ops: list[MicroOp] = field(default_factory=list)
+    entries: dict[str, int] = field(default_factory=dict)
+
+    def add(self, op: MicroOp) -> int:
+        self.ops.append(op)
+        if len(self.ops) > MICROCODE_TABLE_SIZE:
+            raise OverflowError(
+                "microprogram exceeds the 64-entry control store"
+            )
+        return len(self.ops) - 1
+
+    def entry(self, name: str) -> None:
+        self.entries[name] = len(self.ops)
+
+
+# Constant-RAM allocation (8 entries, Fig. 5.10):
+CONST_K = 0        # k, the word count
+CONST_N0P = 1      # -n^{-1} mod 2^w
+CONST_KM1 = 2      # k - 1
+CONST_A_BASE = 3   # AB-memory base of operand A (0)
+CONST_B_BASE = 4   # AB-memory base of operand B (k)
+CONST_N_BASE = 5   # AB-memory base of the modulus (2k)
+
+
+def build_cios_program() -> MicroProgram:
+    """CIOS Montgomery multiplication as FFAU microcode (Algorithm 5).
+
+    The structure matches Section 5.4.2.1: the first inner loop multiplies
+    a word of B into T; a pass moves T[0] into the temporary register; a
+    multiply by n0' (constant RAM) forms m; the second inner loop folds
+    m*N into T shifted down a word; the outer loop repeats k times; a
+    final conditional subtraction corrects the result.  The data
+    dependency on T[0] at the m computation forces a pipeline drain each
+    outer iteration -- the (k+1)p term of Eq. 5.2.
+    """
+    prog = MicroProgram()
+    prog.entry("cios")
+    # -- outer loop setup -------------------------------------------------
+    prog.add(MicroOp(label="init", loop_set="i", loop_set_const=CONST_K,
+                     idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR,
+                     idx_b=IdxCtl.LOAD, const_sel=CONST_B_BASE))
+    outer = prog.add(MicroOp(label="outer", loop_set="j",
+                             loop_set_const=CONST_K,
+                             idx_a=IdxCtl.LOAD, const_sel=CONST_A_BASE,
+                             idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR))
+    # -- inner loop 1: T += A * B[i] --------------------------------------
+    in1 = prog.add(MicroOp(op=CoreOp.MUL_ADD_C, a_src=ASrc.AB,
+                           b_src=BSrc.AB, c_src=CSrc.T, dst=Dst.T,
+                           idx_a=IdxCtl.INC, idx_t=IdxCtl.INC,
+                           idx_w=IdxCtl.INC, loop="j", label="in1"))
+    prog.ops[in1] = _with(prog.ops[in1], loop_target=in1)
+    # tail: T[k] += carry; T[k+1] = carry'
+    prog.add(MicroOp(op=CoreOp.CLEAR_PIPE, c_src=CSrc.T, dst=Dst.T,
+                     idx_t=IdxCtl.INC, idx_w=IdxCtl.INC))
+    prog.add(MicroOp(op=CoreOp.DRAIN, dst=Dst.T,
+                     idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR))
+    # -- m = T[0] * n0' mod 2^w -------------------------------------------
+    # pass T[0] through the core into the temporary register; the read of
+    # T[0] depends on the in-flight writes, so the pipeline must drain.
+    prog.add(MicroOp(op=CoreOp.CLEAR_PIPE, c_src=CSrc.T, dst=Dst.TMP,
+                     wait_drain=True))
+    # the multiply consumes the pass result straight off the core's
+    # output register (forwarding path), so no second drain is needed --
+    # this keeps the cycle count on the paper's Eq. 5.2 curve
+    prog.add(MicroOp(op=CoreOp.MUL, a_src=ASrc.TMP, b_src=BSrc.CONST,
+                     const_sel=CONST_N0P, dst=Dst.TMP))
+    # -- inner loop 2: T = (T + m*N) >> w ----------------------------------
+    # first iteration: discard the zero low word (store suppressed by
+    # writing to T[k+1] slot which the tail overwrites)
+    prog.add(MicroOp(op=CoreOp.MUL_ADD, a_src=ASrc.TMP, b_src=BSrc.AB,
+                     c_src=CSrc.T, dst=Dst.NONE,
+                     idx_b=IdxCtl.LOAD, const_sel=CONST_N_BASE,
+                     loop_set="j", loop_set_const=CONST_KM1))
+    prog.ops[-1] = _with(prog.ops[-1], idx_t=IdxCtl.INC, idx_w=IdxCtl.HOLD)
+    in2 = prog.add(MicroOp(op=CoreOp.MUL_ADD_C, a_src=ASrc.TMP, b_src=BSrc.AB,
+                           c_src=CSrc.T, dst=Dst.T,
+                           idx_b=IdxCtl.INC, idx_t=IdxCtl.INC,
+                           idx_w=IdxCtl.INC, loop="j", label="in2"))
+    prog.ops[in2] = _with(prog.ops[in2], loop_target=in2)
+    # tail: T[k-1] = T[k] + carry; T[k] = T[k+1] + carry'
+    prog.add(MicroOp(op=CoreOp.CLEAR_PIPE, c_src=CSrc.T, dst=Dst.T,
+                     idx_t=IdxCtl.INC, idx_w=IdxCtl.INC))
+    prog.add(MicroOp(op=CoreOp.ADD_C, a_src=ASrc.AB, c_src=CSrc.T, dst=Dst.T,
+                     idx_b=IdxCtl.LOAD, const_sel=CONST_B_BASE,
+                     loop="i", loop_target=outer))
+    # -- final correction: conditional subtract of N -----------------------
+    prog.add(MicroOp(op=CoreOp.NOP, wait_drain=True,
+                     idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR,
+                     idx_b=IdxCtl.LOAD, const_sel=CONST_N_BASE,
+                     loop_set="j", loop_set_const=CONST_K))
+    sub = prog.add(MicroOp(op=CoreOp.SUB_C, a_src=ASrc.AB, b_src=BSrc.NONE,
+                           c_src=CSrc.T, dst=Dst.T,
+                           idx_b=IdxCtl.INC, idx_t=IdxCtl.INC,
+                           idx_w=IdxCtl.INC, loop="j", label="csub"))
+    prog.ops[sub] = _with(prog.ops[sub], loop_target=sub)
+    prog.add(MicroOp(op=CoreOp.NOP, wait_drain=True, halt=True))
+    return prog
+
+
+def build_addsub_program(subtract: bool) -> MicroProgram:
+    """Modular addition/subtraction microcode: one O(k) pass computing
+    a +/- b, one pass applying the conditional correction by N."""
+    prog = MicroProgram()
+    name = "sub" if subtract else "add"
+    prog.entry(name)
+    # one LOAD per cycle: the constant RAM has a single bus (Fig. 5.10)
+    prog.add(MicroOp(label="init", loop_set="j", loop_set_const=CONST_K,
+                     idx_a=IdxCtl.LOAD, const_sel=CONST_A_BASE,
+                     idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR))
+    prog.add(MicroOp(idx_b=IdxCtl.LOAD, const_sel=CONST_B_BASE))
+    main = prog.add(MicroOp(
+        op=CoreOp.SUB_C if subtract else CoreOp.ADD_C,
+        a_src=ASrc.AB, b_src=BSrc.AB, c_src=CSrc.ZERO, dst=Dst.T,
+        idx_a=IdxCtl.INC, idx_b=IdxCtl.INC, idx_w=IdxCtl.INC,
+        loop="j", label="main"))
+    prog.ops[main] = _with(prog.ops[main], loop_target=main)
+    # correction pass: add N back (sub) or subtract N (add), conditionally
+    prog.add(MicroOp(op=CoreOp.NOP, wait_drain=True,
+                     idx_b=IdxCtl.LOAD, const_sel=CONST_N_BASE,
+                     idx_t=IdxCtl.CLEAR, idx_w=IdxCtl.CLEAR,
+                     loop_set="j", loop_set_const=CONST_K))
+    corr = prog.add(MicroOp(
+        op=CoreOp.ADD_C if subtract else CoreOp.SUB_C,
+        a_src=ASrc.AB, c_src=CSrc.T, dst=Dst.T,
+        idx_b=IdxCtl.INC, idx_t=IdxCtl.INC, idx_w=IdxCtl.INC,
+        loop="j", label="corr"))
+    prog.ops[corr] = _with(prog.ops[corr], loop_target=corr)
+    prog.add(MicroOp(op=CoreOp.NOP, wait_drain=True, halt=True))
+    return prog
+
+
+def _with(op: MicroOp, **changes) -> MicroOp:
+    """dataclasses.replace that keeps MicroOp frozen."""
+    from dataclasses import replace
+
+    return replace(op, **changes)

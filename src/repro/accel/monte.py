@@ -1,0 +1,273 @@
+"""'Monte': the microcoded GF(p) coprocessor (paper Section 5.4).
+
+Monte couples the FFAU with an instruction queue, a DMA engine moving
+operands between the shared dual-port RAM and internal operand/result
+buffers, and a double-buffering scheme that overlaps data movement with
+computation (the code walk-through in Section 5.4.1):
+
+* operand and result buffers are double-buffered pairs, so loads for the
+  next operation proceed while the FFAU computes the current one;
+* a store waits in a *reservation register* until its result is ready --
+  later loads "run ahead of the store" on the DMA;
+* a load whose source address equals the pending store's destination is
+  satisfied by the result->operand forwarding path and costs no DMA
+  transfer.
+
+The model is an event-timing machine processing the instruction stream of
+Table 5.3.  With ``double_buffering=False`` (the Section 7.7 ablation)
+every DMA transfer serializes behind the FFAU and no store bypassing
+occurs.  Operand values are tracked exactly (Montgomery-domain words), so
+results are verified against :mod:`repro.mp.montgomery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.ffau import FFAU, FFAUConfig
+from repro.mp.montgomery import MontgomeryContext
+from repro.mp.words import from_int
+
+
+@dataclass(frozen=True)
+class MonteConfig:
+    """Monte's structural parameters."""
+
+    ffau: FFAUConfig = field(default_factory=FFAUConfig)
+    queue_depth: int = 4
+    dma_setup_cycles: int = 2     # per-transfer handshake
+    double_buffering: bool = True
+    forwarding: bool = True       # result buffer -> operand buffer path
+
+
+@dataclass
+class MonteStats:
+    """Activity counters for the energy model."""
+
+    dma_words: int = 0
+    dma_transfers: int = 0
+    forwarded_loads: int = 0
+    ffau_busy_cycles: int = 0
+    ffau_ops: int = 0
+    queue_stall_cycles: int = 0
+
+
+class Monte:
+    """Timing + functional model of the prime-field coprocessor."""
+
+    def __init__(self, modulus: int, config: MonteConfig | None = None
+                 ) -> None:
+        self.config = config or MonteConfig()
+        self.ffau = FFAU(self.config.ffau)
+        self.ctx = MontgomeryContext(modulus, self.config.ffau.width)
+        self.k = self.ctx.k
+        self.stats = MonteStats()
+        self.op_a: list[int] | None = None
+        self.op_b: list[int] | None = None
+        self.result: list[int] | None = None
+        # timing state
+        self.dma_free = 0          # the single DMA engine
+        self.ffau_free = 0
+        self.result_ready = 0
+        self.pending_store: int | None = None   # result-ready time
+        self.pending_store_addr: int | None = None
+        self.queue_free_at: list[int] = [0] * self.config.queue_depth
+        self.now = 0
+
+    def reset_time(self) -> None:
+        self.stats = MonteStats()
+        self.dma_free = 0
+        self.ffau_free = 0
+        self.result_ready = 0
+        self.pending_store = None
+        self.pending_store_addr = None
+        self.queue_free_at = [0] * self.config.queue_depth
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Internal scheduling helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _dma_cycles(self) -> int:
+        return self.k + self.config.dma_setup_cycles
+
+    _last_slot: int = 0
+
+    def _accept(self, at: int) -> int:
+        """Queue admission: Pete stalls while the queue is full.  The
+        entry occupies its slot until the instruction dispatches; the
+        dispatching operation updates the slot via :meth:`_dispatched`."""
+        slot = min(self.queue_free_at)
+        accept = max(at, slot)
+        self.stats.queue_stall_cycles += max(0, slot - at)
+        self._last_slot = self.queue_free_at.index(slot)
+        self.queue_free_at[self._last_slot] = accept + 1
+        return accept
+
+    def _dispatched(self, when: int) -> None:
+        """Record when the just-accepted instruction left the queue."""
+        self.queue_free_at[self._last_slot] = max(
+            self.queue_free_at[self._last_slot], when)
+
+    def _flush_store(self) -> None:
+        """Commit the reserved store once its result is ready."""
+        if self.pending_store is None:
+            return
+        start = max(self.pending_store, self.dma_free)
+        if not self.config.double_buffering:
+            start = max(start, self.ffau_free)
+        self.dma_free = start + self._dma_cycles
+        self.stats.dma_words += self.k
+        self.stats.dma_transfers += 1
+        self.pending_store = None
+
+    def _dma_load(self, at: int, addr: int | None) -> int:
+        """Schedule one operand load; may bypass a reserved store."""
+        if (self.config.forwarding and addr is not None
+                and addr == self.pending_store_addr):
+            # forwarding: data copied buffer-to-buffer during the store
+            self.stats.forwarded_loads += 1
+            done = max(at, self.pending_store or at)
+            return done
+        if not self.config.double_buffering:
+            # strict order: any reserved store goes first, and DMA waits
+            # for the FFAU
+            self._flush_store()
+            start = max(at, self.dma_free, self.ffau_free)
+        else:
+            start = max(at, self.dma_free)
+        self.dma_free = start + self._dma_cycles
+        self.stats.dma_words += self.k
+        self.stats.dma_transfers += 1
+        return self.dma_free
+
+    # ------------------------------------------------------------------
+    # Coprocessor instructions (Table 5.3)
+    # ------------------------------------------------------------------
+
+    def load_a(self, words: list[int], addr: int | None = None,
+               at: int | None = None) -> int:
+        at = self._accept(self.now if at is None else at)
+        done = self._dma_load(at, addr)
+        self._dispatched(done - self._dma_cycles if done > at else at)
+        self.op_a = list(words)
+        self._op_ready = max(getattr(self, "_op_ready", 0), done)
+        self.now = at + 1
+        return done
+
+    def load_b(self, words: list[int], addr: int | None = None,
+               at: int | None = None) -> int:
+        at = self._accept(self.now if at is None else at)
+        done = self._dma_load(at, addr)
+        self._dispatched(done - self._dma_cycles if done > at else at)
+        self.op_b = list(words)
+        self._op_ready = max(getattr(self, "_op_ready", 0), done)
+        self.now = at + 1
+        return done
+
+    def load_n(self, at: int | None = None) -> int:
+        """COP2LDN: modulus transfer (once per field configuration)."""
+        at = self._accept(self.now if at is None else at)
+        done = self._dma_load(at, None)
+        self.now = at + 1
+        return done
+
+    _op_ready: int = 0
+
+    def _execute(self, op: str, at: int) -> int:
+        if self.op_a is None or self.op_b is None:
+            raise RuntimeError("operands not loaded")
+        start = max(at, self.ffau_free, self._op_ready)
+        if op == "mul":
+            self.result, cycles = self.ffau.montmul(
+                self.op_a, self.op_b, self.ctx.n_words, self.ctx.n0p)
+        elif op == "add":
+            self.result, cycles = self.ffau.mod_add(
+                self.op_a, self.op_b, self.ctx.n_words)
+        elif op == "sub":
+            self.result, cycles = self.ffau.mod_sub(
+                self.op_a, self.op_b, self.ctx.n_words)
+        else:  # pragma: no cover
+            raise ValueError(op)
+        done = start + cycles
+        self.ffau_free = done
+        self.result_ready = done
+        self.stats.ffau_busy_cycles += cycles
+        self.stats.ffau_ops += 1
+        self._dispatched(start)
+        return done
+
+    def mul(self, at: int | None = None) -> int:
+        at = self._accept(self.now if at is None else at)
+        done = self._execute("mul", at)
+        self.now = at + 1
+        return done
+
+    def add(self, at: int | None = None) -> int:
+        at = self._accept(self.now if at is None else at)
+        done = self._execute("add", at)
+        self.now = at + 1
+        return done
+
+    def sub(self, at: int | None = None) -> int:
+        at = self._accept(self.now if at is None else at)
+        done = self._execute("sub", at)
+        self.now = at + 1
+        return done
+
+    def store(self, addr: int | None = None, at: int | None = None
+              ) -> tuple[list[int], int]:
+        """COP2ST: reserve the store; it commits when the result is
+        ready.  Only one store reservation exists, so a second store
+        flushes the first."""
+        at = self._accept(self.now if at is None else at)
+        self._flush_store()
+        self.pending_store = max(at, self.result_ready)
+        self._dispatched(self.pending_store)
+        self.pending_store_addr = addr
+        self.now = at + 1
+        if self.result is None:
+            raise RuntimeError("no result to store")
+        return list(self.result), self.pending_store + self._dma_cycles
+
+    def sync(self) -> int:
+        """COP2SYNC: drain the queue, the FFAU and the DMA."""
+        self._flush_store()
+        done = max(self.dma_free, self.ffau_free, self.now)
+        self.now = done
+        return done
+
+    # ------------------------------------------------------------------
+    # Whole-field-operation timing (used by the system model)
+    # ------------------------------------------------------------------
+
+    def field_op_pattern_cycles(self, op: str, reuse_fraction: float = 0.0
+                                ) -> float:
+        """Effective cycles one field operation adds to a back-to-back
+        stream (the way the point routines emit them).
+
+        ``reuse_fraction`` models the operand loads satisfied by the
+        forwarding path in real point-operation code (a result is often
+        an operand of the next operation).
+        """
+        probe = Monte(self.ctx.n, self.config)
+        reps = 16
+        dummy = [0] * self.k
+        addr = 0x100
+        for rep in range(reps):
+            forward = self.config.forwarding and (
+                rep > 0 and (rep % max(1, round(1 / reuse_fraction))) == 0
+                if reuse_fraction else False)
+            probe.load_a(dummy, addr=addr if forward else None)
+            probe.load_b(dummy)
+            probe.op_a = from_int(1, self.k, self.config.ffau.width)
+            probe.op_b = from_int(1, self.k, self.config.ffau.width)
+            if op == "mul":
+                probe.mul()
+            elif op == "add":
+                probe.add()
+            else:
+                probe.sub()
+            probe.store(addr=addr)
+        return probe.sync() / reps

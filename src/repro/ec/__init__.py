@@ -1,0 +1,34 @@
+"""Elliptic-curve arithmetic (paper Sections 2.1.5 and 4.1).
+
+Curves over both field families with the coordinate systems the paper
+selects as optimal: mixed Jacobian-affine for GF(p) and mixed
+Lopez-Dahab-affine for GF(2^m), plus the scalar-multiplication algorithms
+used by the evaluation (sliding window with precomputed 3P/5P, twin
+multiplication for verification, Montgomery ladder, and the pedagogical
+right-to-left double-and-add of Algorithm 1).
+"""
+
+from repro.ec.curves import CURVES, Curve, get_curve
+from repro.ec.point import AffinePoint, INFINITY
+from repro.ec.scalar import (
+    montgomery_ladder,
+    naf,
+    rtl_double_and_add,
+    sliding_window_mul,
+    twin_mul,
+    width_naf,
+)
+
+__all__ = [
+    "CURVES",
+    "Curve",
+    "get_curve",
+    "AffinePoint",
+    "INFINITY",
+    "sliding_window_mul",
+    "twin_mul",
+    "montgomery_ladder",
+    "rtl_double_and_add",
+    "naf",
+    "width_naf",
+]

@@ -1,0 +1,193 @@
+"""Point compression and serialization (SEC 1 style).
+
+Embedded protocols transmit compressed points (one coordinate plus one
+parity bit) because radio energy per byte rivals computation energy --
+the Pabbuleti et al. trade-off the paper's related work discusses.
+Decompression needs a square root: modular (Tonelli-Shanks, or the cheap
+(p+1)/4 exponent all NIST primes except P-224 admit) over GF(p), and the
+half-trace quadratic solver over GF(2^m).
+"""
+
+from __future__ import annotations
+
+from repro.ec.curves import Curve
+from repro.ec.point import INFINITY, AffinePoint
+
+
+class DecompressionError(ValueError):
+    """The encoded x-coordinate does not lie on the curve."""
+
+
+# ---------------------------------------------------------------------------
+# Square roots modulo p
+# ---------------------------------------------------------------------------
+
+
+def sqrt_mod_p(a: int, p: int) -> int | None:
+    """A square root of a modulo prime p, or None if a is a non-residue."""
+    a %= p
+    if a == 0:
+        return 0
+    if pow(a, (p - 1) // 2, p) != 1:
+        return None
+    if p % 4 == 3:
+        root = pow(a, (p + 1) // 4, p)
+        return root
+    return _tonelli_shanks(a, p)
+
+
+def _tonelli_shanks(a: int, p: int) -> int:
+    """General square root for p = 1 (mod 4) (needed for P-224)."""
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while pow(z, (p - 1) // 2, p) != p - 1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        i = 0
+        probe = t
+        while probe != 1:
+            probe = probe * probe % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r
+
+
+# ---------------------------------------------------------------------------
+# Compression
+# ---------------------------------------------------------------------------
+
+
+def compress(curve: Curve, point: AffinePoint) -> bytes:
+    """SEC 1 compressed encoding: 0x02/0x03 prefix + x coordinate.
+
+    The parity bit is y mod 2 for prime curves and the trace-style bit
+    y/x mod 2 for binary curves (x = 0 never occurs for points of odd
+    order on the NIST B-curves).
+    """
+    if not point:
+        return b"\x00"
+    length = (curve.bits + 7) // 8
+    if curve.is_binary:
+        if point.x == 0:
+            raise ValueError("cannot compress the 2-torsion point")
+        z = curve.field.div(point.y, point.x)
+        bit = z & 1
+    else:
+        bit = point.y & 1
+    return bytes([0x02 | bit]) + point.x.to_bytes(length, "big")
+
+
+def decompress(curve: Curve, data: bytes) -> AffinePoint:
+    """Recover the point from its compressed encoding."""
+    if data == b"\x00":
+        return INFINITY
+    if not data or data[0] not in (0x02, 0x03):
+        raise DecompressionError("bad compression prefix")
+    length = (curve.bits + 7) // 8
+    if len(data) != 1 + length:
+        raise DecompressionError("bad encoding length")
+    x = int.from_bytes(data[1:], "big")
+    bit = data[0] & 1
+    if curve.is_binary:
+        point = _decompress_binary(curve, x, bit)
+    else:
+        point = _decompress_prime(curve, x, bit)
+    if not curve.contains(point):  # pragma: no cover - defensive
+        raise DecompressionError("decompressed point not on curve")
+    return point
+
+
+def _decompress_prime(curve: Curve, x: int, bit: int) -> AffinePoint:
+    f = curve.field
+    if not f.contains(x):
+        raise DecompressionError("x out of range")
+    rhs = f.add(f.add(f.mul(f.sqr(x), x), f.mul(curve.a, x)), curve.b)
+    y = sqrt_mod_p(rhs, f.p)
+    if y is None:
+        raise DecompressionError("x is not on the curve")
+    if y & 1 != bit:
+        y = f.p - y
+    return AffinePoint(x, y)
+
+
+def _decompress_binary(curve: Curve, x: int, bit: int) -> AffinePoint:
+    """Solve y^2 + xy = x^3 + ax^2 + b via z^2 + z = w, y = x*z
+    (the standard substitution z = y/x)."""
+    f = curve.field
+    if not f.contains(x):
+        raise DecompressionError("x out of range")
+    if x == 0:
+        # the unique 2-torsion point (0, sqrt(b))
+        return AffinePoint(0, _binary_sqrt(f, curve.b))
+    # w = x + a + b / x^2
+    w = f.add(f.add(x, curve.a), f.div(curve.b, f.sqr(x)))
+    if f.trace(w) != 0:
+        raise DecompressionError("x is not on the curve")
+    z = f.half_trace(w)
+    if z & 1 != bit:
+        z ^= 1
+    return AffinePoint(x, f.mul(x, z))
+
+
+def _binary_sqrt(f, a: int) -> int:
+    """Square root in GF(2^m): a^(2^(m-1)) (Frobenius inverse)."""
+    root = a
+    for _ in range(f.m - 1):
+        root = f.sqr(root)
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Uncompressed / signature serialization helpers
+# ---------------------------------------------------------------------------
+
+
+def encode_uncompressed(curve: Curve, point: AffinePoint) -> bytes:
+    """SEC 1 uncompressed encoding: 0x04 + x + y."""
+    if not point:
+        return b"\x00"
+    length = (curve.bits + 7) // 8
+    return (b"\x04" + point.x.to_bytes(length, "big")
+            + point.y.to_bytes(length, "big"))
+
+
+def decode_uncompressed(curve: Curve, data: bytes) -> AffinePoint:
+    if data == b"\x00":
+        return INFINITY
+    length = (curve.bits + 7) // 8
+    if len(data) != 1 + 2 * length or data[0] != 0x04:
+        raise DecompressionError("bad uncompressed encoding")
+    x = int.from_bytes(data[1:1 + length], "big")
+    y = int.from_bytes(data[1 + length:], "big")
+    point = AffinePoint(x, y)
+    if not curve.contains(point):
+        raise DecompressionError("point not on curve")
+    return point
+
+
+def signature_to_bytes(curve: Curve, sig) -> bytes:
+    """Fixed-width r || s encoding (what the WSN radio transmits)."""
+    length = (curve.n.bit_length() + 7) // 8
+    return sig.r.to_bytes(length, "big") + sig.s.to_bytes(length, "big")
+
+
+def signature_from_bytes(curve: Curve, data: bytes):
+    from repro.ecdsa import Signature
+
+    length = (curve.n.bit_length() + 7) // 8
+    if len(data) != 2 * length:
+        raise ValueError("bad signature length")
+    return Signature(int.from_bytes(data[:length], "big"),
+                     int.from_bytes(data[length:], "big"))

@@ -1,0 +1,204 @@
+"""NIST curve registry.
+
+All ten curves the paper evaluates: the five prime-field curves P-192 ...
+P-521 and the five binary-field curves B-163 ... B-571 (FIPS 186 / SEC 2
+parameters).  Each :class:`Curve` bundles its field, Weierstrass
+coefficients, base point and group order, plus a second field instance for
+arithmetic modulo the group order (the "protocol arithmetic" the paper
+always runs on Pete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from functools import lru_cache
+from typing import Union
+
+from repro.fields.binary import BinaryField
+from repro.fields.counters import OpCounter
+from repro.fields.nist import NIST_BINARY_POLYS, NIST_PRIMES
+from repro.fields.prime import PrimeField
+from repro.ec.point import AffinePoint
+
+FieldType = Union[PrimeField, BinaryField]
+
+
+@dataclass
+class Curve:
+    """An elliptic curve E over a finite field with an order-n base point.
+
+    For prime fields: y^2 = x^3 + ax + b (Eq. 2.1).
+    For binary fields: y^2 + xy = x^3 + ax^2 + b (Eq. 2.2).
+    """
+
+    name: str
+    field: FieldType
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+    h: int = 1
+    order_counter: OpCounter = dc_field(default_factory=OpCounter)
+
+    @property
+    def is_binary(self) -> bool:
+        return isinstance(self.field, BinaryField)
+
+    @property
+    def bits(self) -> int:
+        """Key size: field size in bits."""
+        return self.field.bits
+
+    @property
+    def generator(self) -> AffinePoint:
+        return AffinePoint(self.gx, self.gy)
+
+    def contains(self, p: AffinePoint) -> bool:
+        """Check that a point satisfies the curve equation."""
+        if not p:
+            return True
+        f = self.field
+        if self.is_binary:
+            lhs = f.add(f.sqr(p.y), f.mul(p.x, p.y))
+            rhs = f.add(f.add(f.mul(f.sqr(p.x), p.x), f.mul(self.a, f.sqr(p.x))), self.b)
+        else:
+            lhs = f.sqr(p.y)
+            rhs = f.add(f.add(f.mul(f.sqr(p.x), p.x), f.mul(self.a, p.x)), self.b)
+        return lhs == rhs
+
+    def reset_counters(self) -> None:
+        self.field.counter.reset()
+        self.order_counter.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Curve({self.name})"
+
+
+# --------------------------------------------------------------------------
+# FIPS 186 / SEC 2 domain parameters (p or f(x), a, b, Gx, Gy, n, h).
+# --------------------------------------------------------------------------
+
+_PRIME_PARAMS: dict[int, tuple[int, int, int, int, int]] = {
+    # bits: (a, b, gx, gy, n)   -- p comes from NIST_PRIMES; h = 1
+    192: (
+        -3,
+        0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+        0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+        0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+        0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+    ),
+    224: (
+        -3,
+        0xB4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4,
+        0xB70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21,
+        0xBD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34,
+        0xFFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D,
+    ),
+    256: (
+        -3,
+        0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+        0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+        0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+        0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    ),
+    384: (
+        -3,
+        0xB3312FA7E23EE7E4988E056BE3F82D19181D9C6EFE8141120314088F5013875AC656398D8A2ED19D2A85C8EDD3EC2AEF,
+        0xAA87CA22BE8B05378EB1C71EF320AD746E1D3B628BA79B9859F741E082542A385502F25DBF55296C3A545E3872760AB7,
+        0x3617DE4A96262C6F5D9E98BF9292DC29F8F41DBD289A147CE9DA3113B5F0B8C00A60B1CE1D7E819D7A431D7C90EA0E5F,
+        0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFC7634D81F4372DDF581A0DB248B0A77AECEC196ACCC52973,
+    ),
+    521: (
+        -3,
+        0x0051953EB9618E1C9A1F929A21A0B68540EEA2DA725B99B315F3B8B489918EF109E156193951EC7E937B1652C0BD3BB1BF073573DF883D2C34F1EF451FD46B503F00,
+        0x00C6858E06B70404E9CD9E3ECB662395B4429C648139053FB521F828AF606B4D3DBAA14B5E77EFE75928FE1DC127A2FFA8DE3348B3C1856A429BF97E7E31C2E5BD66,
+        0x011839296A789A3BC0045C8A5FB42C7D1BD998F54449579B446817AFBD17273E662C97EE72995EF42640C550B9013FAD0761353C7086A272C24088BE94769FD16650,
+        0x01FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFA51868783BF2F966B7FCC0148F709A5D03BB5C9B8899C47AEBB6FB71E91386409,
+    ),
+}
+
+_BINARY_PARAMS: dict[int, tuple[int, int, int, int, int, int]] = {
+    # m: (a, b, gx, gy, n, h)   -- f(x) comes from NIST_BINARY_POLYS
+    163: (
+        1,
+        0x20A601907B8C953CA1481EB10512F78744A3205FD,
+        0x3F0EBA16286A2D57EA0991168D4994637E8343E36,
+        0x0D51FBC6C71A0094FA2CDD545B11C5C0C797324F1,
+        0x40000000000000000000292FE77E70C12A4234C33,
+        2,
+    ),
+    233: (
+        1,
+        0x066647EDE6C332C7F8C0923BB58213B333B20E9CE4281FE115F7D8F90AD,
+        0x0FAC9DFCBAC8313BB2139F1BB755FEF65BC391F8B36F8F8EB7371FD558B,
+        0x1006A08A41903350678E58528BEBF8A0BEFF867A7CA36716F7E01F81052,
+        0x1000000000000000000000000000013E974E72F8A6922031D2603CFE0D7,
+        2,
+    ),
+    283: (
+        1,
+        0x27B680AC8B8596DA5A4AF8A19A0303FCA97FD7645309FA2A581485AF6263E313B79A2F5,
+        0x5F939258DB7DD90E1934F8C70B0DFEC2EED25B8557EAC9C80E2E198F8CDBECD86B12053,
+        0x3676854FE24141CB98FE6D4B20D02B4516FF702350EDDB0826779C813F0DF45BE8112F4,
+        0x3FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEF90399660FC938A90165B042A7CEFADB307,
+        2,
+    ),
+    409: (
+        1,
+        0x021A5C2C8EE9FEB5C4B9A753B7B476B7FD6422EF1F3DD674761FA99D6AC27C8A9A197B272822F6CD57A55AA4F50AE317B13545F,
+        0x15D4860D088DDB3496B0C6064756260441CDE4AF1771D4DB01FFE5B34E59703DC255A868A1180515603AEAB60794E54BB7996A7,
+        0x061B1CFAB6BE5F32BBFA78324ED106A7636B9C5A7BD198D0158AA4F5488D08F38514F1FDF4B4F40D2181B3681C364BA0273C706,
+        0x10000000000000000000000000000000000000000000000000001E2AAD6A612F33307BE5FA47C3C9E052F838164CD37D9A21173,
+        2,
+    ),
+    571: (
+        1,
+        0x2F40E7E2221F295DE297117B7F3D62F5C6A97FFCB8CEFF1CD6BA8CE4A9A18AD84FFABBD8EFA59332BE7AD6756A66E294AFD185A78FF12AA520E4DE739BACA0C7FFEFF7F2955727A,
+        0x303001D34B856296C16C0D40D3CD7750A93D1D2955FA80AA5F40FC8DB7B2ABDBDE53950F4C0D293CDD711A35B67FB1499AE60038614F1394ABFA3B4C850D927E1E7769C8EEC2D19,
+        0x37BF27342DA639B6DCCFFFEB73D69D78C6C27A6009CBBCA1980F8533921E8A684423E43BAB08A576291AF8F461BB2A8B3531D2F0485C19B16E2F1516E23DD3C1A4827AF1B8AC15B,
+        0x3FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFE661CE18FF55987308059B186823851EC7DD9CA1161DE93D5174D66E8382E9BB2FE84E47,
+        2,
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def get_curve(name: str) -> Curve:
+    """Fetch a NIST curve by name: ``"P-192"`` ... ``"P-521"``,
+    ``"B-163"`` ... ``"B-571"``."""
+    kind, _, size_str = name.partition("-")
+    size = int(size_str)
+    if kind == "P" and size in _PRIME_PARAMS:
+        fld = PrimeField.nist(size)
+        a, b, gx, gy, n = _PRIME_PARAMS[size]
+        return Curve(name, fld, a % fld.p, b, gx, gy, n, 1)
+    if kind == "B" and size in _BINARY_PARAMS:
+        fld = BinaryField.nist(size)
+        a, b, gx, gy, n, h = _BINARY_PARAMS[size]
+        return Curve(name, fld, a, b, gx, gy, n, h)
+    raise KeyError(f"unknown curve {name!r}")
+
+
+#: All curves the paper evaluates, in evaluation order.
+CURVES: tuple[str, ...] = (
+    "P-192",
+    "P-224",
+    "P-256",
+    "P-384",
+    "P-521",
+    "B-163",
+    "B-233",
+    "B-283",
+    "B-409",
+    "B-571",
+)
+
+#: Equivalent-security pairs used by Figs. 7.7-7.9.
+SECURITY_PAIRS: tuple[tuple[str, str], ...] = (
+    ("P-192", "B-163"),
+    ("P-224", "B-233"),
+    ("P-256", "B-283"),
+    ("P-384", "B-409"),
+    ("P-521", "B-571"),
+)

@@ -1,0 +1,147 @@
+"""Mixed Lopez-Dahab-affine point arithmetic over GF(2^m).
+
+Lopez-Dahab (LD) coordinates map (X, Y, Z) -> (X/Z, Y/Z^2) with the point
+at infinity represented as (1, 0, 0) (paper Section 2.1.5).  The negative
+of (X, Y, Z) is (X, X*Z + Y, Z) -- in affine terms -(x, y) = (x, x + y).
+The paper selects mixed LD-affine coordinates as the operation-count
+optimum for binary curves.
+
+Operation counts (a in {0, 1} as on all NIST B-curves):
+    double: 4M + 5S (one of the M is by the curve constant b)
+    mixed add: 8M + 5S
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.ec.point import INFINITY, AffinePoint
+
+
+class LDPoint(NamedTuple):
+    x: int
+    y: int
+    z: int
+
+
+LD_INFINITY = LDPoint(1, 0, 0)
+
+
+def to_ld(p: AffinePoint) -> LDPoint:
+    """Project an affine point: set Z = 1."""
+    if not p:
+        return LD_INFINITY
+    return LDPoint(p.x, p.y, 1)
+
+
+def ld_add_full(curve, p: LDPoint, q: LDPoint) -> LDPoint:
+    """Full LD + LD addition (~15M + 6S); needed only by the table
+    precomputation, where both operands are projective.
+
+    Derived from the affine group law with lambda = I / (W E):
+
+        A = X1 Z2, B = X2 Z1, E = A + B, W = Z1 Z2,
+        G = Y1 Z2^2, H = Y2 Z1^2, I = G + H,
+        Z3 = E^2 W^2,
+        X3 = I^2 + I W E + E^3 W + a Z3,
+        Y3 = I W E (A E^2 W + X3) + X3 Z3 + G E^4 W^2.
+    """
+    f = curve.field
+    if p.z == 0:
+        return q
+    if q.z == 0:
+        return p
+    z1sq = f.sqr(p.z)
+    z2sq = f.sqr(q.z)
+    a_t = f.mul(p.x, q.z)
+    b_t = f.mul(q.x, p.z)
+    e_t = f.add(a_t, b_t)
+    g_t = f.mul(p.y, z2sq)
+    h_t = f.mul(q.y, z1sq)
+    i_t = f.add(g_t, h_t)
+    if e_t == 0:
+        # equal x-coordinates: doubling or an inverse pair
+        if i_t == 0:
+            return ld_double(curve, p)
+        return LD_INFINITY
+    w_t = f.mul(p.z, q.z)
+    esq = f.sqr(e_t)
+    wsq = f.sqr(w_t)
+    z3 = f.mul(esq, wsq)
+    we = f.mul(w_t, e_t)
+    iwe = f.mul(i_t, we)
+    x3 = f.add(f.add(f.sqr(i_t), iwe),
+               f.mul(f.mul(esq, e_t), w_t))
+    if curve.a == 1:
+        x3 = f.add(x3, z3)
+    elif curve.a:
+        x3 = f.add(x3, f.mul(curve.a, z3))
+    ae2w = f.mul(a_t, f.mul(esq, w_t))
+    y3 = f.mul(iwe, f.add(ae2w, x3))
+    y3 = f.add(y3, f.mul(x3, z3))
+    y3 = f.add(y3, f.mul(g_t, f.mul(f.sqr(esq), wsq)))
+    return LDPoint(x3, y3, z3)
+
+
+def to_affine(curve, p: LDPoint) -> AffinePoint:
+    """One inversion maps back: (X/Z, Y/Z^2)."""
+    f = curve.field
+    if p.z == 0:
+        return INFINITY
+    zinv = f.inv(p.z)
+    x = f.mul(p.x, zinv)
+    y = f.mul(p.y, f.sqr(zinv))
+    return AffinePoint(x, y)
+
+
+def ld_neg(curve, p: LDPoint) -> LDPoint:
+    """-(X, Y, Z) = (X, X*Z + Y, Z)."""
+    f = curve.field
+    if p.z == 0:
+        return p
+    return LDPoint(p.x, f.add(f.mul(p.x, p.z), p.y), p.z)
+
+
+def ld_double(curve, p: LDPoint) -> LDPoint:
+    """LD doubling (Hankerson et al., Algorithm 3.24)."""
+    f = curve.field
+    if p.z == 0 or p.x == 0:
+        # x = 0 is the curve's single 2-torsion point: 2P = infinity.
+        return LD_INFINITY
+    z1sq = f.sqr(p.z)
+    x1sq = f.sqr(p.x)
+    z3 = f.mul(z1sq, x1sq)
+    b_z1_4 = f.mul(curve.b, f.sqr(z1sq))
+    x3 = f.add(f.sqr(x1sq), b_z1_4)
+    a_z3 = z3 if curve.a == 1 else (
+        0 if curve.a == 0 else f.mul(curve.a, z3))
+    inner = f.add(f.add(a_z3, f.sqr(p.y)), b_z1_4)
+    y3 = f.add(f.mul(b_z1_4, z3), f.mul(x3, inner))
+    return LDPoint(x3, y3, z3)
+
+
+def ld_add_mixed(curve, p: LDPoint, q: AffinePoint) -> LDPoint:
+    """Mixed addition: LD P + affine Q (Hankerson et al., Alg. 3.25)."""
+    f = curve.field
+    if not q:
+        return p
+    if p.z == 0:
+        return to_ld(q)
+    z1sq = f.sqr(p.z)
+    a_t = f.add(f.mul(q.y, z1sq), p.y)
+    b_t = f.add(f.mul(q.x, p.z), p.x)
+    if b_t == 0:
+        if a_t == 0:
+            return ld_double(curve, p)
+        return LD_INFINITY
+    c_t = f.mul(p.z, b_t)
+    a_z1sq = z1sq if curve.a == 1 else (
+        0 if curve.a == 0 else f.mul(curve.a, z1sq))
+    d_t = f.mul(f.sqr(b_t), f.add(c_t, a_z1sq))
+    z3 = f.sqr(c_t)
+    e_t = f.mul(a_t, c_t)
+    x3 = f.add(f.add(f.sqr(a_t), d_t), e_t)
+    f_t = f.add(x3, f.mul(q.x, z3))
+    g_t = f.mul(f.add(q.x, q.y), f.sqr(z3))
+    y3 = f.add(f.mul(f.add(e_t, z3), f_t), g_t)
+    return LDPoint(x3, y3, z3)

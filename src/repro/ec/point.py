@@ -1,0 +1,106 @@
+"""Affine points and the point at infinity.
+
+Affine arithmetic needs a field inversion per point operation, which is why
+practical scalar multiplication uses projective coordinates (paper Section
+2.1.5); the affine implementation here is the *reference* the projective
+modules are validated against, built directly from the curve group law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AffinePoint:
+    """A point (x, y) on an elliptic curve, or the point at infinity."""
+
+    x: int
+    y: int
+    infinity: bool = False
+
+    def __bool__(self) -> bool:
+        return not self.infinity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.infinity:
+            return "Point(infinity)"
+        return f"Point(x=0x{self.x:x}, y=0x{self.y:x})"
+
+
+#: The group identity.
+INFINITY = AffinePoint(0, 0, infinity=True)
+
+
+def affine_neg(curve, p: AffinePoint) -> AffinePoint:
+    """-P: (x, -y) over GF(p); (x, x+y) over GF(2^m)."""
+    if not p:
+        return INFINITY
+    if curve.is_binary:
+        return AffinePoint(p.x, p.x ^ p.y)
+    return AffinePoint(p.x, curve.field.neg(p.y))
+
+
+def affine_add(curve, p: AffinePoint, q: AffinePoint) -> AffinePoint:
+    """Full affine addition P + Q (handles doubling and infinities)."""
+    f = curve.field
+    if not p:
+        return q
+    if not q:
+        return p
+    if curve.is_binary:
+        return _affine_add_binary(curve, p, q)
+    if p.x == q.x:
+        if (p.y + q.y) % f.p == 0:
+            return INFINITY
+        return _affine_double_prime(curve, p)
+    lam = f.mul(f.sub(q.y, p.y), f.inv(f.sub(q.x, p.x)))
+    x3 = f.sub(f.sub(f.sqr(lam), p.x), q.x)
+    y3 = f.sub(f.mul(lam, f.sub(p.x, x3)), p.y)
+    return AffinePoint(x3, y3)
+
+
+def _affine_double_prime(curve, p: AffinePoint) -> AffinePoint:
+    f = curve.field
+    if p.y == 0:
+        return INFINITY
+    num = f.add(f.mul(3, f.sqr(p.x)), curve.a)
+    lam = f.mul(num, f.inv(f.add(p.y, p.y)))
+    x3 = f.sub(f.sqr(lam), f.add(p.x, p.x))
+    y3 = f.sub(f.mul(lam, f.sub(p.x, x3)), p.y)
+    return AffinePoint(x3, y3)
+
+
+def _affine_add_binary(curve, p: AffinePoint, q: AffinePoint) -> AffinePoint:
+    """Group law on y^2 + xy = x^3 + a x^2 + b (Eq. 2.2)."""
+    f = curve.field
+    if p.x == q.x:
+        if p.y ^ q.y == p.x or (p.x == q.x and p.y != q.y):
+            # Q == -P  (note -P = (x, x+y)); also covers x==0 doubling
+            if p.y ^ q.y == p.x:
+                return INFINITY
+        if p.x == 0:
+            return INFINITY
+        # doubling: lambda = x + y/x
+        lam = f.add(p.x, f.mul(p.y, f.inv(p.x)))
+        x3 = f.add(f.add(f.sqr(lam), lam), curve.a)
+        y3 = f.add(f.sqr(p.x), f.mul(f.add(lam, 1), x3))
+        return AffinePoint(x3, y3)
+    lam = f.mul(f.add(p.y, q.y), f.inv(f.add(p.x, q.x)))
+    x3 = f.add(f.add(f.add(f.add(f.sqr(lam), lam), p.x), q.x), curve.a)
+    y3 = f.add(f.add(f.mul(lam, f.add(p.x, x3)), x3), p.y)
+    return AffinePoint(x3, y3)
+
+
+def affine_scalar_mul(curve, x: int, p: AffinePoint) -> AffinePoint:
+    """Reference scalar multiplication: plain double-and-add on affine
+    coordinates.  O(n) inversions -- only for validation."""
+    q = INFINITY
+    addend = p
+    while x:
+        if x & 1:
+            q = affine_add(curve, q, addend)
+        x >>= 1
+        if x:
+            addend = affine_add(curve, addend, addend)
+    return q

@@ -1,0 +1,370 @@
+"""Scalar point multiplication algorithms (paper Sections 2.1.5 and 4.1).
+
+The evaluation uses:
+
+* :func:`sliding_window_mul` for ECDSA *signatures* -- a signed
+  sliding-window algorithm over the (width-)NAF of the scalar with
+  precomputed odd multiples 3P and 5P, exploiting cheap point negation;
+* :func:`twin_mul` for ECDSA *verification* -- simultaneous ("Shamir")
+  evaluation of u1*P + u2*Q with precomputed P+Q and P-Q, cheaper than two
+  single multiplications;
+* :func:`montgomery_ladder` -- the Lopez-Dahab x-only ladder for binary
+  curves, evaluated for Billie and found slower than sliding-window
+  (Fig. 7.14);
+* :func:`rtl_double_and_add` -- Algorithm 1 of the paper, the pedagogical
+  right-to-left binary method, kept as a reference.
+
+All algorithms work over either field family by dispatching through the
+curve's coordinate module, and all return affine results (one inversion at
+the end, as the paper describes).
+"""
+
+from __future__ import annotations
+
+from repro.ec import jacobian as jac
+from repro.ec import lopez_dahab as ld
+from repro.ec.point import INFINITY, AffinePoint, affine_add, affine_neg
+
+
+# ---------------------------------------------------------------------------
+# Scalar recodings
+# ---------------------------------------------------------------------------
+
+
+def naf(x: int) -> list[int]:
+    """Non-adjacent form of x, least-significant digit first."""
+    digits = []
+    while x:
+        if x & 1:
+            d = 2 - (x % 4)
+            x -= d
+        else:
+            d = 0
+        digits.append(d)
+        x //= 2
+    return digits
+
+
+def width_naf(x: int, width: int) -> list[int]:
+    """Width-w NAF: odd digits |d| < 2^(w-1), at most one nonzero digit
+    in any w consecutive positions."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    digits = []
+    modulus = 1 << width
+    while x:
+        if x & 1:
+            d = x % modulus
+            if d >= modulus // 2:
+                d -= modulus
+            x -= d
+        else:
+            d = 0
+        digits.append(d)
+        x //= 2
+    return digits
+
+
+def fractional_naf(x: int, digit_max: int = 5) -> list[int]:
+    """Signed fractional-window recoding with odd digits |d| <= digit_max.
+
+    The paper's signature path precomputes exactly {3P, 5P}; the digit
+    set {+-1, +-3, +-5} is a *fractional* window (between widths 3 and
+    4): at each odd position the recoder takes the width-4 signed
+    residue when it fits the digit set and falls back to the width-3
+    residue otherwise.  Least-significant digit first.
+    """
+    if digit_max < 1 or digit_max % 2 == 0:
+        raise ValueError("digit_max must be odd and positive")
+    max_width = digit_max.bit_length() + 1
+    digits: list[int] = []
+    while x:
+        if x & 1:
+            d = 0
+            for w in range(max_width, 1, -1):
+                m = x % (1 << w)
+                if m >= (1 << (w - 1)):
+                    m -= 1 << w
+                if m % 2 and abs(m) <= digit_max:
+                    d = m
+                    break
+            x -= d
+        else:
+            d = 0
+        digits.append(d)
+        x >>= 1
+    return digits
+
+
+# ---------------------------------------------------------------------------
+# Coordinate-system dispatch
+# ---------------------------------------------------------------------------
+
+
+class _Coords:
+    """Uniform interface over the two projective systems."""
+
+    def __init__(self, curve) -> None:
+        self.curve = curve
+        if curve.is_binary:
+            self.identity = ld.LD_INFINITY
+            self._project = ld.to_ld
+            self._affine = ld.to_affine
+            self._double = ld.ld_double
+            self._add_mixed = ld.ld_add_mixed
+            self._add_full = ld.ld_add_full
+        else:
+            self.identity = jac.JACOBIAN_INFINITY
+            self._project = jac.to_jacobian
+            self._affine = jac.to_affine
+            self._double = jac.jacobian_double
+            self._add_mixed = jac.jacobian_add_mixed
+            self._add_full = jac.jacobian_add
+
+    def project(self, p: AffinePoint):
+        return self._project(p)
+
+    def affine(self, p) -> AffinePoint:
+        return self._affine(self.curve, p)
+
+    def double(self, p):
+        return self._double(self.curve, p)
+
+    def add_mixed(self, p, q: AffinePoint):
+        return self._add_mixed(self.curve, p, q)
+
+    def add_full(self, p, q):
+        return self._add_full(self.curve, p, q)
+
+    def batch_affine(self, points) -> list[AffinePoint]:
+        """Convert projective points to affine with Montgomery's
+        simultaneous-inversion trick: one field inversion total."""
+        from repro.fields.inversion import batch_inverse
+        from repro.ec.point import INFINITY
+
+        f = self.curve.field
+        live = [(i, p) for i, p in enumerate(points) if p.z != 0]
+        invs = batch_inverse(f, [p.z for _, p in live])
+        out: list[AffinePoint] = [INFINITY] * len(points)
+        for (i, p), zinv in zip(live, invs):
+            if self.curve.is_binary:
+                out[i] = AffinePoint(f.mul(p.x, zinv),
+                                     f.mul(p.y, f.sqr(zinv)))
+            else:
+                zinv2 = f.sqr(zinv)
+                out[i] = AffinePoint(f.mul(p.x, zinv2),
+                                     f.mul(p.y, f.mul(zinv2, zinv)))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar multiplication
+# ---------------------------------------------------------------------------
+
+#: Precomputed odd multiples used by the signature path: 3P and 5P
+#: (paper Section 4.1), giving an effective window of width 3 digits
+#: {±1, ±3, ±5} -- "takes advantage of the fact that point subtraction is
+#: only marginally more costly than addition".
+SLIDING_WINDOW_ODD_MULTIPLES = (3, 5)
+
+
+def precompute_odd_multiples(curve, p: AffinePoint,
+                             width: int | None = None
+                             ) -> dict[int, AffinePoint]:
+    """The signature path's table of odd multiples.
+
+    ``width=None`` (the default) builds the paper's table {P, 3P, 5P}
+    for the fractional-window recoding; an explicit width builds the
+    width-w NAF table {P, 3P, ..., (2^(w-1)-1)P} for the ablation sweep.
+
+    The chain runs in projective coordinates (one double, then full
+    adds) and converts the table to affine with a single batched
+    inversion -- the production trick that keeps ECDSA at two field
+    inversions per primitive."""
+    if width is None:
+        multiples = SLIDING_WINDOW_ODD_MULTIPLES
+    else:
+        multiples = tuple(range(3, 1 << (width - 1), 2))
+    coords = _Coords(curve)
+    table = {1: p}
+    if not multiples:
+        return table
+    p_proj = coords.project(p)
+    two_p = coords.double(p_proj)
+    chain = []
+    acc = p_proj
+    for _ in multiples:
+        acc = coords.add_full(acc, two_p)
+        chain.append(acc)
+    affines = coords.batch_affine(chain)
+    for mult, point in zip(multiples, affines):
+        table[mult] = point
+    return table
+
+
+def sliding_window_mul(curve, x: int, p: AffinePoint,
+                       width: int | None = None) -> AffinePoint:
+    """Signed sliding-window scalar multiplication x*P (signature path).
+
+    The default recodes x with the fractional-window digit set
+    {0, +-1, +-3, +-5} matching the paper's precomputed {3P, 5P} table
+    ("takes advantage of the fact that point subtraction is only
+    marginally more costly than addition"); an explicit ``width`` runs
+    the plain width-w NAF variant for the ablation sweep.
+    """
+    if x == 0 or not p:
+        return INFINITY
+    if x < 0:
+        return sliding_window_mul(curve, -x, affine_neg(curve, p), width)
+    coords = _Coords(curve)
+    table = precompute_odd_multiples(curve, p, width)
+    neg_table = {d: affine_neg(curve, q) for d, q in table.items()}
+    if width is None:
+        digits = fractional_naf(x, max(SLIDING_WINDOW_ODD_MULTIPLES))
+    else:
+        digits = width_naf(x, width)
+    acc = coords.identity
+    for d in reversed(digits):
+        acc = coords.double(acc)
+        if d > 0:
+            acc = coords.add_mixed(acc, table[d])
+        elif d < 0:
+            acc = coords.add_mixed(acc, neg_table[-d])
+    return coords.affine(acc)
+
+
+def twin_mul(
+    curve, u1: int, p: AffinePoint, u2: int, q: AffinePoint
+) -> AffinePoint:
+    """Twin (Shamir) scalar multiplication u1*P + u2*Q (verification path).
+
+    Precomputes P+Q and P-Q, recodes both scalars in joint NAF form and
+    scans them simultaneously, so the doubling chain is shared -- "the cost
+    of a twin scalar point multiplication is less than two single scalar
+    point multiplications" (paper Section 4.1).
+    """
+    if u1 < 0 or u2 < 0:
+        raise ValueError("twin multiplication expects non-negative scalars")
+    if not p or u1 == 0:
+        return sliding_window_mul(curve, u2, q)
+    if not q or u2 == 0:
+        return sliding_window_mul(curve, u1, p)
+    coords = _Coords(curve)
+    # precompute P+Q and P-Q projectively, one batched inversion
+    p_proj = coords.project(p)
+    sum_proj = coords.add_mixed(p_proj, q)
+    diff_proj = coords.add_mixed(p_proj, affine_neg(curve, q))
+    p_plus_q, p_minus_q = coords.batch_affine([sum_proj, diff_proj])
+    # table keyed by digit pair
+    table: dict[tuple[int, int], AffinePoint] = {
+        (1, 0): p,
+        (0, 1): q,
+        (1, 1): p_plus_q,
+        (1, -1): p_minus_q,
+        (-1, 0): affine_neg(curve, p),
+        (0, -1): affine_neg(curve, q),
+        (-1, -1): affine_neg(curve, p_plus_q),
+        (-1, 1): affine_neg(curve, p_minus_q),
+    }
+    d1 = naf(u1)
+    d2 = naf(u2)
+    length = max(len(d1), len(d2))
+    d1 += [0] * (length - len(d1))
+    d2 += [0] * (length - len(d2))
+    acc = coords.identity
+    for e1, e2 in zip(reversed(d1), reversed(d2)):
+        acc = coords.double(acc)
+        if (e1, e2) != (0, 0):
+            acc = coords.add_mixed(acc, table[(e1, e2)])
+    return coords.affine(acc)
+
+
+def rtl_double_and_add(curve, x: int, p: AffinePoint) -> AffinePoint:
+    """Algorithm 1 of the paper: right-to-left binary double-and-add.
+
+    Simple and side-channel-leaky; included as the reference algorithm the
+    paper presents "purely for example sake"."""
+    coords = _Coords(curve)
+    q = coords.identity
+    addend = p
+    while x:
+        if x & 1:
+            q = coords.add_mixed(q, addend)
+        x >>= 1
+        if x:
+            addend = affine_add(curve, addend, addend)
+    return coords.affine(q)
+
+
+def montgomery_ladder(curve, x: int, p: AffinePoint) -> AffinePoint:
+    """Lopez-Dahab Montgomery ladder for binary curves (x-only).
+
+    Maintains (X1, Z1), (X2, Z2) with X2/Z2 - X1/Z1 = x(P) invariant;
+    6M + 5S per scalar bit regardless of bit value.  The y-coordinate is
+    recovered at the end.  Evaluated for Billie in Fig. 7.14.
+    """
+    if not curve.is_binary:
+        raise ValueError("the LD ladder applies to binary curves")
+    if x == 0 or not p:
+        return INFINITY
+    f = curve.field
+    xp = p.x
+    if xp == 0:
+        # 2-torsion point: xP alternates between P and infinity
+        return p if x % 2 else INFINITY
+    x1, z1 = xp, 1
+    x2 = f.add(f.sqr(f.sqr(xp)), curve.b)  # x(2P) numerator
+    z2 = f.sqr(xp)
+    bits = bin(x)[3:]  # skip the leading 1
+    for bit in bits:
+        if bit == "1":
+            # (x1,z1) <- x(A+B), (x2,z2) <- x(2B)
+            x2n, z2n, x1n, z1n = _ladder_step(curve, x2, z2, x1, z1, xp)
+            x1, z1, x2, z2 = x1n, z1n, x2n, z2n
+        else:
+            # (x1,z1) <- x(2A), (x2,z2) <- x(A+B)
+            x1, z1, x2, z2 = _ladder_step(curve, x1, z1, x2, z2, xp)
+    # after the loop: (x1, z1) holds x(kP), (x2, z2) holds x((k+1)P)
+    return _ladder_recover_y(curve, p, x1, z1, x2, z2)
+
+
+def _ladder_step(curve, xa, za, xb, zb, xp):
+    """One ladder step: returns (x(2A), z(2A), x(A+B), z(A+B)).
+
+    Uses Lopez-Dahab's projective doubling/differential-addition formulas
+    for y^2 + xy = x^3 + ax^2 + b.
+    """
+    f = curve.field
+    # addition: A + B with difference P
+    t1 = f.mul(xa, zb)
+    t2 = f.mul(xb, za)
+    z_add = f.sqr(f.add(t1, t2))
+    x_add = f.add(f.mul(xp, z_add), f.mul(t1, t2))
+    # doubling of A
+    xa2 = f.sqr(xa)
+    za2 = f.sqr(za)
+    x_dbl = f.add(f.sqr(xa2), f.mul(curve.b, f.sqr(za2)))
+    z_dbl = f.mul(xa2, za2)
+    return x_dbl, z_dbl, x_add, z_add
+
+
+def _ladder_recover_y(curve, p: AffinePoint, x1, z1, x2, z2) -> AffinePoint:
+    """Recover the affine result from the two ladder accumulators
+    (Lopez-Dahab 1999, Appendix)."""
+    f = curve.field
+    if z1 == 0:
+        return INFINITY
+    if z2 == 0:
+        # result = -P
+        return affine_neg(curve, p)
+    xk = f.div(x1, z1)
+    xk1 = f.div(x2, z2)
+    xp, yp = p.x, p.y
+    # y_k = (x_k + x_P) * [(x_k + x_P)(x_{k+1} + x_P) + x_P^2 + y_P] / x_P
+    #       + y_P                       (Lopez & Dahab 1999)
+    s = f.mul(f.add(xk, xp), f.add(xk1, xp))
+    s = f.add(s, f.add(f.sqr(xp), yp))
+    s = f.mul(s, f.add(xk, xp))
+    s = f.div(s, xp)
+    yk = f.add(s, yp)
+    return AffinePoint(xk, yk)

@@ -1,0 +1,28 @@
+"""ECDSA: the paper's benchmark operation (Section 4.1).
+
+A *signature* costs one sliding-window scalar multiplication plus
+arithmetic modulo the group order (including one modular inversion); a
+*verification* costs one twin scalar multiplication plus order arithmetic.
+The combined Sign + Verify "closely models an SSL handshake on the client
+side" and is the workload of every energy figure.
+"""
+
+from repro.ecdsa.core import (
+    Signature,
+    generate_keypair,
+    sign,
+    sign_digest,
+    verify,
+    verify_digest,
+)
+from repro.ecdsa.rfc6979 import deterministic_nonce
+
+__all__ = [
+    "Signature",
+    "generate_keypair",
+    "sign",
+    "sign_digest",
+    "verify",
+    "verify_digest",
+    "deterministic_nonce",
+]

@@ -1,0 +1,152 @@
+"""ECDSA sign and verify (paper Section 4.1, Fig. 4.1).
+
+The computational hierarchy matches the paper exactly:
+
+    ECDSA
+      +- scalar point multiplication (sliding window / twin)
+      |    +- point add / double (mixed Jacobian-affine or LD-affine)
+      |         +- finite-field arithmetic
+      +- arithmetic modulo the group order n (on Pete in every config,
+         inversion via the extended Euclidean algorithm)
+
+Operations modulo the group order go through the curve's ``order_counter``
+so the system model can cost them separately from field operations -- a
+distinction that matters a lot once the field math is accelerated
+("Amdahl's law strikes again", paper Section 8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.fields.inversion import binary_euclid_inverse
+from repro.ec.curves import Curve
+from repro.ec.point import AffinePoint
+from repro.ec.scalar import sliding_window_mul, twin_mul
+from repro.ecdsa.rfc6979 import deterministic_nonce
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature pair (r, s)."""
+
+    r: int
+    s: int
+
+
+class _OrderArith:
+    """Arithmetic modulo the group order, with op counting."""
+
+    def __init__(self, curve: Curve) -> None:
+        self.n = curve.n
+        self.counter = curve.order_counter
+
+    def mul(self, a: int, b: int) -> int:
+        self.counter.count("omul")
+        return (a * b) % self.n
+
+    def add(self, a: int, b: int) -> int:
+        self.counter.count("oadd")
+        return (a + b) % self.n
+
+    def inv(self, a: int) -> int:
+        self.counter.count("oinv")
+        return binary_euclid_inverse(a, self.n)
+
+
+def _digest_to_int(digest: bytes, n: int) -> int:
+    """Leftmost bits of the digest, per ECDSA (FIPS 186)."""
+    e = int.from_bytes(digest, "big")
+    excess = len(digest) * 8 - n.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e
+
+
+def generate_keypair(curve: Curve, seed: bytes = b"repro") -> tuple[int, AffinePoint]:
+    """Deterministic key generation: d in [1, n-1], Q = d*G."""
+    d = 0
+    counter = 0
+    while not 1 <= d < curve.n:
+        material = hashlib.sha512(
+            seed + curve.name.encode() + counter.to_bytes(4, "big")
+        ).digest()
+        d = int.from_bytes(material, "big") % curve.n
+        counter += 1
+    q = sliding_window_mul(curve, d, curve.generator)
+    return d, q
+
+
+def sign_digest(
+    curve: Curve, d: int, digest: bytes, k: int | None = None
+) -> Signature:
+    """Sign a message digest: one scalar multiplication + order arithmetic.
+
+    ``k`` may be supplied for testing; otherwise an RFC 6979 deterministic
+    nonce is derived.
+    """
+    order = _OrderArith(curve)
+    e = _digest_to_int(digest, curve.n)
+    while True:
+        if k is None:
+            k_val = deterministic_nonce(digest, d, curve.n)
+        else:
+            k_val = k
+        point = sliding_window_mul(curve, k_val, curve.generator)
+        if not point:
+            if k is not None:
+                raise ValueError("provided nonce yields the point at infinity")
+            digest = hashlib.sha256(digest).digest()
+            continue
+        if curve.is_binary:
+            # r = x1 interpreted as an integer, reduced mod n
+            r = point.x % curve.n
+        else:
+            r = point.x % curve.n
+        order.counter.count("oadd")  # the reduction above
+        if r == 0:
+            if k is not None:
+                raise ValueError("provided nonce yields r == 0")
+            digest = hashlib.sha256(digest).digest()
+            continue
+        kinv = order.inv(k_val)
+        s = order.mul(kinv, order.add(e, order.mul(r, d)))
+        if s == 0:
+            if k is not None:
+                raise ValueError("provided nonce yields s == 0")
+            digest = hashlib.sha256(digest).digest()
+            continue
+        return Signature(r, s)
+
+
+def verify_digest(
+    curve: Curve, public: AffinePoint, digest: bytes, sig: Signature
+) -> bool:
+    """Verify a signature: one *twin* scalar multiplication + order math."""
+    if not (1 <= sig.r < curve.n and 1 <= sig.s < curve.n):
+        return False
+    if not curve.contains(public) or not public:
+        return False
+    order = _OrderArith(curve)
+    e = _digest_to_int(digest, curve.n)
+    w = order.inv(sig.s)
+    u1 = order.mul(e, w)
+    u2 = order.mul(sig.r, w)
+    point = twin_mul(curve, u1, curve.generator, u2, public)
+    if not point:
+        return False
+    order.counter.count("oadd")  # final reduction of x mod n
+    return point.x % curve.n == sig.r
+
+
+def sign(curve: Curve, d: int, message: bytes, k: int | None = None) -> Signature:
+    """Sign a message (SHA-256 digest)."""
+    return sign_digest(curve, d, hashlib.sha256(message).digest(), k)
+
+
+def verify(
+    curve: Curve, public: AffinePoint, message: bytes, sig: Signature
+) -> bool:
+    """Verify a message signature (SHA-256 digest)."""
+    return verify_digest(curve, public, hashlib.sha256(message).digest(), sig)

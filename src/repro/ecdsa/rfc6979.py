@@ -1,0 +1,60 @@
+"""Deterministic ECDSA nonces (RFC 6979-style).
+
+The paper's embedded targets have no entropy source worth trusting, and a
+reproduction needs bit-identical runs, so nonces are derived from the key
+and message with HMAC-SHA256 following the RFC 6979 construction.  The
+derivation is *not* on the energy-critical path (the paper counts hashing
+as negligible next to the scalar multiplication), so it uses hashlib.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def _bits2int(data: bytes, qlen: int) -> int:
+    """Leftmost qlen bits of a byte string as an integer."""
+    value = int.from_bytes(data, "big")
+    blen = len(data) * 8
+    if blen > qlen:
+        value >>= blen - qlen
+    return value
+
+
+def _int2octets(value: int, rlen_bytes: int) -> bytes:
+    return value.to_bytes(rlen_bytes, "big")
+
+
+def _bits2octets(data: bytes, q: int, qlen: int, rlen_bytes: int) -> bytes:
+    z1 = _bits2int(data, qlen)
+    z2 = z1 - q
+    if z2 < 0:
+        z2 = z1
+    return _int2octets(z2, rlen_bytes)
+
+
+def deterministic_nonce(digest: bytes, d: int, q: int) -> int:
+    """Derive the per-signature secret k in [1, q-1] from (digest, key).
+
+    Follows RFC 6979 section 3.2 with HMAC-SHA256.
+    """
+    qlen = q.bit_length()
+    rlen_bytes = (qlen + 7) // 8
+    v = b"\x01" * 32
+    key = b"\x00" * 32
+    bx = _int2octets(d, rlen_bytes) + _bits2octets(digest, q, qlen, rlen_bytes)
+    key = hmac.new(key, v + b"\x00" + bx, hashlib.sha256).digest()
+    v = hmac.new(key, v, hashlib.sha256).digest()
+    key = hmac.new(key, v + b"\x01" + bx, hashlib.sha256).digest()
+    v = hmac.new(key, v, hashlib.sha256).digest()
+    while True:
+        t = b""
+        while len(t) * 8 < qlen:
+            v = hmac.new(key, v, hashlib.sha256).digest()
+            t += v
+        k = _bits2int(t, qlen)
+        if 1 <= k < q:
+            return k
+        key = hmac.new(key, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(key, v, hashlib.sha256).digest()

@@ -1,0 +1,30 @@
+"""45 nm energy model (paper Chapter 6).
+
+The original work estimates logic power with Synopsys PrimeTime on
+post-synthesis netlists and memory energy with HP Cacti, at a 45 nm node
+with a 3 ns clock (333 MHz) for the full systems and 100 MHz / 0.9 V for
+the standalone FFAU study.  We reproduce the same *functional form*:
+
+    E_total = sum(activity_event * E_event) + sum(P_static) * T
+
+with per-event energies from an analytic memory model
+(:mod:`repro.energy.memory_model`) and per-component logic coefficients
+(:mod:`repro.energy.components`) calibrated once, in
+:mod:`repro.energy.calibration`, against the paper's published absolute
+anchors (FFAU Tables 7.3/7.4, ARM Table 7.5) and ratio bands.
+"""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyReport
+from repro.energy.calibration import CALIBRATION, Calibration
+from repro.energy.memory_model import MemoryEnergyModel
+from repro.energy.technology import TECH_45NM, TechnologyNode
+
+__all__ = [
+    "EnergyReport",
+    "EnergyBreakdown",
+    "Calibration",
+    "CALIBRATION",
+    "MemoryEnergyModel",
+    "TechnologyNode",
+    "TECH_45NM",
+]

@@ -1,0 +1,93 @@
+"""Energy accounting: activity vectors -> component breakdowns.
+
+An :class:`EnergyReport` is what every figure plots: total energy in
+microjoules per operation, broken down by component (Pete / ROM / RAM /
+uncore / Monte / Billie), plus average power split into static and
+dynamic (Fig. 7.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.technology import SYSTEM_CLOCK_NS
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component dynamic energy plus aggregate static energy (nJ)."""
+
+    dynamic_nj: dict[str, float] = field(default_factory=dict)
+    static_nj: dict[str, float] = field(default_factory=dict)
+
+    def add_dynamic(self, component: str, nj: float) -> None:
+        self.dynamic_nj[component] = self.dynamic_nj.get(component, 0.0) + nj
+
+    def add_static(self, component: str, nj: float) -> None:
+        self.static_nj[component] = self.static_nj.get(component, 0.0) + nj
+
+    def component_total_nj(self, component: str) -> float:
+        return (self.dynamic_nj.get(component, 0.0)
+                + self.static_nj.get(component, 0.0))
+
+    @property
+    def components(self) -> list[str]:
+        return sorted(set(self.dynamic_nj) | set(self.static_nj))
+
+
+@dataclass
+class EnergyReport:
+    """Energy/power summary of one simulated operation."""
+
+    label: str
+    cycles: int
+    breakdown: EnergyBreakdown
+    clock_ns: float = SYSTEM_CLOCK_NS
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles * self.clock_ns * 1e-9
+
+    @property
+    def total_nj(self) -> float:
+        return (sum(self.breakdown.dynamic_nj.values())
+                + sum(self.breakdown.static_nj.values()))
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1000.0
+
+    @property
+    def dynamic_power_mw(self) -> float:
+        return sum(self.breakdown.dynamic_nj.values()) * 1e-9 / self.time_s * 1e3
+
+    @property
+    def static_power_mw(self) -> float:
+        return sum(self.breakdown.static_nj.values()) * 1e-9 / self.time_s * 1e3
+
+    @property
+    def power_mw(self) -> float:
+        return self.dynamic_power_mw + self.static_power_mw
+
+    def component_uj(self, component: str) -> float:
+        return self.breakdown.component_total_nj(component) / 1000.0
+
+    def merged(self, other: "EnergyReport", label: str) -> "EnergyReport":
+        """Sum two reports (e.g. Sign + Verify)."""
+        out = EnergyBreakdown()
+        for src in (self.breakdown, other.breakdown):
+            for comp, nj in src.dynamic_nj.items():
+                out.add_dynamic(comp, nj)
+            for comp, nj in src.static_nj.items():
+                out.add_static(comp, nj)
+        return EnergyReport(label, self.cycles + other.cycles, out,
+                            self.clock_ns)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{comp}={self.breakdown.component_total_nj(comp) / 1000:.1f}uJ"
+            for comp in self.breakdown.components
+        )
+        return (f"{self.label}: {self.total_uj:.1f} uJ, "
+                f"{self.cycles / 1e5:.1f}x100K cycles, "
+                f"{self.power_mw:.2f} mW ({parts})")

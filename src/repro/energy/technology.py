@@ -1,0 +1,48 @@
+"""Technology-node constants (paper Chapter 6 and Section 2.3).
+
+Power in CMOS (Eqs. 2.7-2.10): static P = V * I_leak, switching
+P = 1/2 * alpha * C * f * V^2.  At the level this model works, the node
+contributes a per-gate dynamic energy scale and a per-gate leakage scale;
+everything else is component activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A fabrication node's energy scales."""
+
+    name: str
+    feature_nm: int
+    vdd_logic: float          # V
+    vdd_memory: float         # V
+    #: dynamic energy per gate-equivalent toggle, femtojoules
+    fj_per_gate_toggle: float
+    #: leakage power per kilo-gate-equivalent, microwatts
+    uw_leak_per_kgate: float
+
+    def dynamic_energy_pj(self, gate_toggles: float) -> float:
+        return gate_toggles * self.fj_per_gate_toggle / 1000.0
+
+    def leakage_uw(self, kgates: float) -> float:
+        return kgates * self.uw_leak_per_kgate
+
+
+#: The paper's node: 45 nm, 0.9 V logic / 0.7 V memory for the FFAU study.
+TECH_45NM = TechnologyNode(
+    name="45nm-LP",
+    feature_nm=45,
+    vdd_logic=0.9,
+    vdd_memory=0.7,
+    fj_per_gate_toggle=1.1,
+    uw_leak_per_kgate=14.0,
+)
+
+#: Clock rates used by the evaluation.
+SYSTEM_CLOCK_HZ = 333e6       # Pete & friends: 3 ns period (Section 5.1)
+SYSTEM_CLOCK_NS = 3.0
+FFAU_STUDY_CLOCK_HZ = 100e6   # standalone FFAU study (Section 7.9)
+FFAU_STUDY_CLOCK_NS = 10.0

@@ -1,0 +1,51 @@
+"""Operation counters attached to field instances.
+
+The whole-system cycle model (Section 5 of DESIGN.md) needs exact counts of
+field operations performed by a cryptographic operation.  Every field object
+owns an :class:`OpCounter`; field methods bump the relevant category.  The
+counter can be reset, snapshotted and diffed, so callers can attribute
+operation counts to phases (e.g. "scalar multiplication" vs "arithmetic
+modulo the group order").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+
+class OpCounter:
+    """Counts named events (``fmul``, ``fsqr``, ``fadd``, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+        self.enabled = True
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self._counts[name] += n
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a copy of the current counts."""
+        return dict(self._counts)
+
+    def diff(self, earlier: Mapping[str, int]) -> dict[str, int]:
+        """Return counts accumulated since ``earlier`` (a snapshot)."""
+        return {
+            key: self._counts[key] - earlier.get(key, 0)
+            for key in set(self._counts) | set(earlier)
+            if self._counts[key] - earlier.get(key, 0)
+        }
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"OpCounter({inner})"

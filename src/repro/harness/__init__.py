@@ -1,0 +1,12 @@
+"""Regeneration harness for every table and figure of the evaluation.
+
+``python -m repro.harness.runall`` prints all of them; the individual
+renderers live in :mod:`repro.harness.tables` and
+:mod:`repro.harness.figures` and are also what the pytest-benchmark
+suite under ``benchmarks/`` invokes.
+"""
+
+from repro.harness.figures import FIGURES, render_figure
+from repro.harness.tables import TABLES, render_table
+
+__all__ = ["TABLES", "FIGURES", "render_table", "render_figure"]

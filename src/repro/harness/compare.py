@@ -1,0 +1,171 @@
+"""Paper-vs-measured comparison report: ``python -m repro.harness.compare``.
+
+Prints (and optionally writes) the complete record EXPERIMENTS.md is
+built from: every latency-table row against the paper's value, every
+headline factor against its published band, and the kernel/FFAU anchors.
+Exit status is non-zero if any tracked quantity leaves its tolerance, so
+the command doubles as a reproduction gate for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.harness.tables import (
+    PAPER_TABLE_7_1,
+    PAPER_TABLE_7_2,
+    ffau_width_point,
+    PAPER_TABLE_7_4,
+)
+from repro.kernels.runner import shared_runner
+from repro.model.system import SystemModel
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One tracked quantity."""
+
+    name: str
+    measured: float
+    reference: float
+    tolerance: float  # allowed |measured/reference - 1|
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.reference
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+
+@dataclass(frozen=True)
+class BandComparison:
+    """A factor that must land inside (a widened) published band."""
+
+    name: str
+    measured: float
+    low: float
+    high: float
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.low <= self.measured <= self.high
+
+
+#: Rows excluded from the strict gate because the paper's own entries
+#: break their surrounding trends (see EXPERIMENTS.md).
+PAPER_ANOMALIES = {
+    ("P-521", "baseline", "verify"),
+    ("B-283", "binary_isa", "verify"),
+}
+
+
+def latency_comparisons(model: SystemModel) -> list[Comparison]:
+    out = []
+    for (curve, config), (ps, pv) in {**PAPER_TABLE_7_1,
+                                      **PAPER_TABLE_7_2}.items():
+        lat = model.latency(curve, config)
+        for primitive, measured, paper in (
+                ("sign", lat.sign_cycles / 1e5, ps),
+                ("verify", lat.verify_cycles / 1e5, pv)):
+            note = ""
+            tolerance = 0.25
+            if (curve, config, primitive) in PAPER_ANOMALIES:
+                tolerance = 0.60
+                note = "paper's own entry breaks its trend"
+            out.append(Comparison(
+                f"{curve}/{config}/{primitive} (100K cyc)",
+                measured, paper, tolerance, note))
+    return out
+
+
+def factor_comparisons(model: SystemModel) -> list[BandComparison]:
+    def uj(curve, config):
+        return model.report(curve, config).total_uj
+
+    out = []
+    for curve in ("P-192", "P-256"):
+        out.append(BandComparison(
+            f"ISA factor {curve}", uj(curve, "baseline")
+            / uj(curve, "isa_ext"), 1.32, 1.48,
+            "published 1.32-1.45"))
+    for curve in ("P-192", "P-256", "P-521"):
+        out.append(BandComparison(
+            f"Monte factor {curve}", uj(curve, "baseline")
+            / uj(curve, "monte"), 5.0, 7.0, "published 5.17-6.34"))
+    for curve in ("B-163", "B-571"):
+        out.append(BandComparison(
+            f"binary SW/ISA {curve}", uj(curve, "baseline")
+            / uj(curve, "binary_isa"), 6.0, 8.5, "published 6.40-8.46"))
+    out.append(BandComparison(
+        "Billie/Monte 163/192", uj("P-192", "monte")
+        / uj("B-163", "billie"), 1.7, 2.2, "published 1.92"))
+    out.append(BandComparison(
+        "Billie/Monte 571/521 (convergence)", uj("P-521", "monte")
+        / uj("B-571", "billie"), 0.8, 1.45, "published: converged"))
+    return out
+
+
+def anchor_comparisons() -> list[Comparison]:
+    runner = shared_runner()
+    out = [
+        Comparison("kernel ps_mul_ext k=6 (cycles)",
+                   runner.measure("ps_mul_ext", 6).cycles, 374, 0.10),
+        Comparison("kernel ps_mulgf2 k=6 (cycles)",
+                   runner.measure("ps_mulgf2", 6).cycles, 376, 0.10),
+        Comparison("kernel red_b163 (cycles)",
+                   runner.measure("red_b163", 6).cycles, 100, 0.10),
+        Comparison("kernel red_p192 (cycles)",
+                   runner.measure("red_p192", 6).cycles, 97, 0.85,
+                   "different conditional-subtract structure"),
+    ]
+    for (width, bits), (power, time_ns, energy) in PAPER_TABLE_7_4.items():
+        point = ffau_width_point(width, bits)
+        out.append(Comparison(f"FFAU w={width} {bits}-bit energy (nJ)",
+                              point["energy_nj"], energy, 0.12))
+    return out
+
+
+def run_report(verbose: bool = True) -> tuple[int, int]:
+    """Print the full report; returns (passed, failed)."""
+    model = SystemModel()
+    rows: list = (latency_comparisons(model) + anchor_comparisons())
+    bands = factor_comparisons(model)
+    passed = failed = 0
+    for row in rows:
+        status = "ok " if row.ok else "FAIL"
+        if verbose:
+            extra = f"  [{row.note}]" if row.note else ""
+            print(f"[{status}] {row.name:42s} {row.measured:10.2f} vs "
+                  f"{row.reference:10.2f} ({row.ratio:5.2f}x, "
+                  f"tol {row.tolerance:.0%}){extra}")
+        passed, failed = (passed + 1, failed) if row.ok \
+            else (passed, failed + 1)
+    for band in bands:
+        status = "ok " if band.ok else "FAIL"
+        if verbose:
+            extra = f"  [{band.note}]" if band.note else ""
+            print(f"[{status}] {band.name:42s} {band.measured:10.2f} in "
+                  f"[{band.low:.2f}, {band.high:.2f}]{extra}")
+        passed, failed = (passed + 1, failed) if band.ok \
+            else (passed, failed + 1)
+    if verbose:
+        print(f"\n{passed} comparisons ok, {failed} failed")
+    return passed, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    _, failed = run_report(verbose=not args.quiet)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

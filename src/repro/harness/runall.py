@@ -1,0 +1,77 @@
+"""Regenerate every table and figure: ``python -m repro.harness.runall``.
+
+Writes the rendered artifacts to stdout and, with ``--out DIR``, one text
+file per artifact into the given directory (``--csv`` adds machine-
+readable CSV next to each text file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.harness.figures import FIGURES, render_figure
+from repro.harness.tables import TABLES, render_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to write per-artifact text files")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="artifact names (e.g. 7.1 7.14 s7.7)")
+    parser.add_argument("--csv", action="store_true",
+                        help="also write CSV files (requires --out)")
+    args = parser.parse_args(argv)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    artifacts: list[tuple[str, str]] = []
+    for name in TABLES:
+        if args.only and name not in args.only:
+            continue
+        artifacts.append((f"table_{name}", render_table(name)))
+    for name in FIGURES:
+        if args.only and name not in args.only:
+            continue
+        artifacts.append((f"figure_{name}", render_figure(name)))
+
+    for name, text in artifacts:
+        print(text)
+        print()
+        if args.out:
+            stem = name.replace(".", "_")
+            (args.out / f"{stem}.txt").write_text(text + "\n")
+            if args.csv:
+                (args.out / f"{stem}.csv").write_text(_to_csv(name))
+    return 0
+
+
+def _to_csv(artifact: str) -> str:
+    """Flatten an artifact's data into CSV rows."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    kind, _, name = artifact.partition("_")
+    if kind == "table":
+        rows = TABLES[name]()
+        writer.writerow(list(rows[0]))
+        for row in rows:
+            writer.writerow([row[key] for key in rows[0]])
+    else:
+        data = FIGURES[name]()
+        writer.writerow(["series", "key", "value"])
+        for series, values in data.items():
+            if isinstance(values, dict):
+                for key, value in values.items():
+                    writer.writerow([series, key, value])
+            else:
+                writer.writerow([series, "", values])
+    return buffer.getvalue()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Assembly generators for the binary-field kernels.
+
+Same register conventions as :mod:`repro.kernels.prime_kernels`; ``$a3``
+carries a table pointer where a kernel needs precomputed data (the comb
+table or the 8-bit squaring table).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.codegen import Asm
+
+
+def _table_stride_bytes(k: int) -> int:
+    """Comb-table row stride, padded to a power of two so the row address
+    is a single shift (k+1 words per row)."""
+    stride = 1
+    while stride < (k + 1) * 4:
+        stride *= 2
+    return stride
+
+
+def gen_comb_mul(k: int, window: int = 4) -> str:
+    """Left-to-right comb multiplication with width-4 windows
+    (Algorithm 6): dst[2k+2] = a (x) b, tables at $a3.
+
+    Phase 1 builds B_u = u(x) * b(x) for u = 0..15 (even rows are a shift
+    of row u/2, odd rows XOR row 1 into row u-1 -- the memory-for-speed
+    trade of Section 4.2.2).  Phase 2 scans the multiplier 4 bits at a
+    time from the top window down, interleaving the C <<= 4 shifts.
+    """
+    if window != 4:
+        raise ValueError("the paper's software suite uses w = 4")
+    asm = Asm()
+    stride = _table_stride_bytes(k)
+    shift_amount = stride.bit_length() - 1
+    asm.label("comb_mul")
+    asm.comment("build the 16-row window table")
+    for t in range(k + 1):
+        asm.emit(f"sw $zero, {4 * t}($a3)", "row 0 = 0")
+    for t in range(k):
+        asm.emit(f"lw $t0, {4 * t}($a2)")
+        asm.emit(f"sw $t0, {stride + 4 * t}($a3)", "row 1 = b")
+    asm.emit(f"sw $zero, {stride + 4 * k}($a3)")
+    for u in range(2, 16):
+        dst = u * stride
+        if u % 2 == 0:
+            src = (u // 2) * stride
+            asm.emit("li $t8, 0", f"row {u} = row {u // 2} << 1")
+            for t in range(k + 1):
+                asm.emit(f"lw $t0, {src + 4 * t}($a3)")
+                asm.emit("sll $t1, $t0, 1")
+                asm.emit("or $t1, $t1, $t8")
+                asm.emit("srl $t8, $t0, 31")
+                asm.emit(f"sw $t1, {dst + 4 * t}($a3)")
+        else:
+            src = (u - 1) * stride
+            asm.comment(f"row {u} = row {u - 1} ^ row 1")
+            for t in range(k + 1):
+                asm.emit(f"lw $t0, {src + 4 * t}($a3)")
+                asm.emit(f"lw $t1, {stride + 4 * t}($a3)")
+                asm.emit("xor $t0, $t0, $t1")
+                asm.emit(f"sw $t0, {dst + 4 * t}($a3)")
+    asm.comment("zero the accumulator C")
+    for t in range(2 * k + 2):
+        asm.emit(f"sw $zero, {4 * t}($a0)")
+    asm.emit(f"li $s4, {4 * k}", "i-loop bound")
+    for j in range(32 // window - 1, -1, -1):
+        asm.comment(f"window j = {j}")
+        asm.emit("li $s1, 0", "i*4")
+        asm.label(f"comb_scan_{j}")
+        asm.emit("addu $t0, $a1, $s1")
+        asm.emit("lw $t0, 0($t0)", "a[i]")
+        if 4 * j:
+            asm.emit(f"srl $t1, $t0, {window * j}")
+            asm.emit("andi $t1, $t1, 0xF", "u")
+        else:
+            asm.emit("andi $t1, $t0, 0xF", "u")
+        asm.emit(f"sll $t2, $t1, {shift_amount}")
+        asm.emit("addu $t2, $t2, $a3", "&table[u]")
+        asm.emit("addu $t5, $a0, $s1", "&C[i]")
+        for t in range(k + 1):
+            asm.emit(f"lw $t3, {4 * t}($t2)")
+            asm.emit(f"lw $t4, {4 * t}($t5)")
+            asm.emit("xor $t3, $t3, $t4")
+            asm.emit(f"sw $t3, {4 * t}($t5)")
+        asm.emit("addiu $s1, $s1, 4")
+        asm.emit(f"bne $s1, $s4, comb_scan_{j}")
+        asm.ds("nop")
+        if j:
+            asm.comment("C <<= 4 (top word down)")
+            for word in range(2 * k, 0, -1):
+                asm.emit(f"lw $t0, {4 * word}($a0)")
+                asm.emit(f"lw $t1, {4 * (word - 1)}($a0)")
+                asm.emit(f"sll $t0, $t0, {window}")
+                asm.emit(f"srl $t1, $t1, {32 - window}")
+                asm.emit("or $t0, $t0, $t1")
+                asm.emit(f"sw $t0, {4 * word}($a0)")
+            asm.emit("lw $t0, 0($a0)")
+            asm.emit(f"sll $t0, $t0, {window}")
+            asm.emit("sw $t0, 0($a0)")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_ps_mulgf2(k: int) -> str:
+    """Carry-less product scanning with MADDGF2 (Table 5.2):
+    dst[2k] = a (x) b.  Identical column/pointer structure to
+    ``ps_mul_ext`` with the carry-less multiply-accumulate -- which is
+    why the paper measures nearly identical cycle counts for the two
+    (374 vs 376 at k = 6, Section 4.2.2)."""
+    from repro.kernels.prime_kernels import gen_ps_mul_ext
+
+    return gen_ps_mul_ext(k, carryless=True)
+
+
+def gen_bsqr_table(k: int) -> str:
+    """Binary squaring via the 256-entry halfword table at $a3
+    (Section 4.2.3): dst[2k] = a^2 (unreduced)."""
+    asm = Asm()
+    asm.label("bsqr_table")
+    for i in range(k):
+        asm.emit(f"lw $t0, {4 * i}($a1)", f"a[{i}]")
+        # low result word from bytes 0-1
+        asm.emit("andi $t1, $t0, 0xFF")
+        asm.emit("sll $t2, $t1, 1")
+        asm.emit("addu $t2, $t2, $a3")
+        asm.emit("lhu $t3, 0($t2)", "square of byte 0")
+        asm.emit("srl $t1, $t0, 8")
+        asm.emit("andi $t1, $t1, 0xFF")
+        asm.emit("sll $t2, $t1, 1")
+        asm.emit("addu $t2, $t2, $a3")
+        asm.emit("lhu $t4, 0($t2)", "square of byte 1")
+        asm.emit("sll $t4, $t4, 16")
+        asm.emit("or $t3, $t3, $t4")
+        asm.emit(f"sw $t3, {8 * i}($a0)")
+        # high result word from bytes 2-3
+        asm.emit("srl $t1, $t0, 16")
+        asm.emit("andi $t1, $t1, 0xFF")
+        asm.emit("sll $t2, $t1, 1")
+        asm.emit("addu $t2, $t2, $a3")
+        asm.emit("lhu $t3, 0($t2)", "square of byte 2")
+        asm.emit("srl $t1, $t0, 24")
+        asm.emit("sll $t2, $t1, 1")
+        asm.emit("addu $t2, $t2, $a3")
+        asm.emit("lhu $t4, 0($t2)", "square of byte 3")
+        asm.emit("sll $t4, $t4, 16")
+        asm.emit("or $t3, $t3, $t4")
+        asm.emit(f"sw $t3, {8 * i + 4}($a0)")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_bsqr_ext(k: int) -> str:
+    """Binary squaring via MULGF2(a_i, a_i) -- the ISA-extended path with
+    a 32-bit window (Section 4.2.3): dst[2k] = a^2 (unreduced)."""
+    asm = Asm()
+    asm.label("bsqr_ext")
+    for i in range(k):
+        asm.emit(f"lw $t0, {4 * i}($a1)")
+        asm.emit("mulgf2 $t0, $t0")
+        asm.emit("mflo $t1")
+        asm.emit("mfhi $t2")
+        asm.emit(f"sw $t1, {8 * i}($a0)")
+        asm.emit(f"sw $t2, {8 * i + 4}($a0)")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_red_b163() -> str:
+    """NIST fast reduction modulo f(x) = x^163 + x^7 + x^6 + x^3 + 1
+    (Algorithm 7), fully unrolled and register-resident.
+
+    The eleven product words load once into registers, every fold runs
+    register-to-register, and the six residue words store once -- which
+    is how a compiler register-allocates the fixed-size Algorithm 7 and
+    why the paper measures ~100 cycles for it.
+
+    Reads the 11-word product at $a1; writes the 6-word residue to $a0.
+    """
+    asm = Asm()
+    # C[0..10] live in s0-s7, t7-t9; scratch in t0-t2.
+    regs = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t7", "$t8", "$t9"]
+    asm.label("red_b163")
+    for i, reg in enumerate(regs):
+        asm.emit(f"lw {reg}, {4 * i}($a1)", f"C[{i}]")
+    for i in range(10, 5, -1):
+        t = regs[i]
+        lo6, lo5, lo4 = regs[i - 6], regs[i - 5], regs[i - 4]
+        asm.emit(f"sll $t0, {t}, 29")
+        asm.emit(f"xor {lo6}, {lo6}, $t0", f"C[{i - 6}] ^= T<<29")
+        asm.emit(f"srl $t0, {t}, 3")
+        asm.emit(f"xor {lo5}, {lo5}, $t0")
+        asm.emit(f"xor {lo5}, {lo5}, {t}")
+        asm.emit(f"sll $t0, {t}, 3")
+        asm.emit(f"xor {lo5}, {lo5}, $t0")
+        asm.emit(f"sll $t0, {t}, 4")
+        asm.emit(f"xor {lo5}, {lo5}, $t0", f"C[{i - 5}] folds")
+        asm.emit(f"srl $t0, {t}, 28")
+        asm.emit(f"xor {lo4}, {lo4}, $t0")
+        asm.emit(f"srl $t0, {t}, 29")
+        asm.emit(f"xor {lo4}, {lo4}, $t0", f"C[{i - 4}] folds")
+    asm.comment("tail: fold bits 163..191 of C[5]")
+    asm.emit("srl $t1, $s5, 3", "T")
+    asm.emit("sll $t0, $t1, 7")
+    asm.emit("xor $s0, $s0, $t0")
+    asm.emit("sll $t0, $t1, 6")
+    asm.emit("xor $s0, $s0, $t0")
+    asm.emit("sll $t0, $t1, 3")
+    asm.emit("xor $s0, $s0, $t0")
+    asm.emit("xor $s0, $s0, $t1")
+    asm.emit("srl $t0, $t1, 25")
+    asm.emit("xor $s1, $s1, $t0")
+    asm.emit("srl $t0, $t1, 26")
+    asm.emit("xor $s1, $s1, $t0")
+    asm.emit("andi $s5, $s5, 0x7")
+    for i in range(6):
+        asm.emit(f"sw {regs[i]}, {4 * i}($a0)")
+    asm.emit("jr $ra")
+    return asm.source()

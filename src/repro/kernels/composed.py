@@ -1,0 +1,110 @@
+"""Composed assembly programs: whole field operations on Pete.
+
+The cost model composes kernels analytically (kernel cycles + calibrated
+call overhead).  These programs compose them *in assembly* -- a real
+``fmul`` function that calls the multiplication kernel and then the
+reduction kernel through the standard jal/jr convention, with operands
+marshalled through registers the way compiled code does -- so the
+analytic composition can be validated against a measured one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels import binary_kernels, prime_kernels
+from repro.kernels.codegen import Asm
+from repro.kernels.runner import A_OFF, B_OFF, DST_OFF, TABLE_OFF
+from repro.mp.words import from_int, to_int
+from repro.pete.assembler import assemble
+from repro.pete.cpu import Pete
+from repro.pete.memory import RAM_BASE
+
+#: RAM offset of the 2k-word unreduced product.
+PRODUCT_OFF = 0xC00
+
+
+def gen_fmul_p192() -> str:
+    """fmul(dst, a, b) for P-192: operand-scanning multiply into a
+    scratch product, then NIST fast reduction into dst."""
+    asm = Asm()
+    asm.label("fmul_p192")
+    asm.emit("addiu $sp, $sp, -16")
+    asm.emit("sw $ra, 0($sp)")
+    asm.emit("sw $a0, 4($sp)", "save dst")
+    asm.comment("product = a * b")
+    asm.emit(f"li $a0, {RAM_BASE + PRODUCT_OFF}")
+    asm.emit("jal os_mul")
+    asm.ds("nop")
+    asm.comment("dst = product mod p192")
+    asm.emit("lw $a0, 4($sp)")
+    asm.emit(f"li $a1, {RAM_BASE + PRODUCT_OFF}")
+    asm.emit("jal red_p192")
+    asm.ds("nop")
+    asm.emit("lw $ra, 0($sp)")
+    asm.emit("jr $ra")
+    asm.ds("addiu $sp, $sp, 16")
+    src = asm.source()
+    return src + prime_kernels.gen_os_mul(6) + prime_kernels.gen_red_p192()
+
+
+def gen_fmul_b163() -> str:
+    """fmul(dst, a, b) for B-163: comb multiply, then Algorithm 7."""
+    asm = Asm()
+    asm.label("fmul_b163")
+    asm.emit("addiu $sp, $sp, -16")
+    asm.emit("sw $ra, 0($sp)")
+    asm.emit("sw $a0, 4($sp)", "save dst")
+    asm.emit(f"li $a0, {RAM_BASE + PRODUCT_OFF}")
+    asm.emit(f"li $a3, {RAM_BASE + TABLE_OFF}")
+    asm.emit("jal comb_mul")
+    asm.ds("nop")
+    asm.emit("lw $a0, 4($sp)")
+    asm.emit(f"li $a1, {RAM_BASE + PRODUCT_OFF}")
+    asm.emit("jal red_b163")
+    asm.ds("nop")
+    asm.emit("lw $ra, 0($sp)")
+    asm.emit("jr $ra")
+    asm.ds("addiu $sp, $sp, 16")
+    src = asm.source()
+    return (src + binary_kernels.gen_comb_mul(6)
+            + binary_kernels.gen_red_b163())
+
+
+@dataclass(frozen=True)
+class ComposedResult:
+    value: int
+    cycles: int
+    instructions: int
+
+
+def run_fmul_p192(a: int, b: int) -> ComposedResult:
+    """Execute the composed P-192 field multiplication on Pete."""
+    program = assemble(gen_fmul_p192() + "\n__halt:\n    halt\n")
+    cpu = Pete()
+    cpu.load(program)
+    cpu.set_reg("ra", program.address_of("__halt"))
+    cpu.set_reg("a0", RAM_BASE + DST_OFF)
+    cpu.set_reg("a1", RAM_BASE + A_OFF)
+    cpu.set_reg("a2", RAM_BASE + B_OFF)
+    cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, 6))
+    cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, 6))
+    stats = cpu.run(program.address_of("fmul_p192"))
+    value = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+    return ComposedResult(value, stats.cycles, stats.instructions)
+
+
+def run_fmul_b163(a: int, b: int) -> ComposedResult:
+    """Execute the composed B-163 field multiplication on Pete."""
+    program = assemble(gen_fmul_b163() + "\n__halt:\n    halt\n")
+    cpu = Pete()
+    cpu.load(program)
+    cpu.set_reg("ra", program.address_of("__halt"))
+    cpu.set_reg("a0", RAM_BASE + DST_OFF)
+    cpu.set_reg("a1", RAM_BASE + A_OFF)
+    cpu.set_reg("a2", RAM_BASE + B_OFF)
+    cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, 6))
+    cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, 6))
+    stats = cpu.run(program.address_of("fmul_b163"))
+    value = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+    return ComposedResult(value, stats.cycles, stats.instructions)

@@ -1,0 +1,345 @@
+"""Assembly generators for the prime-field (and shared integer) kernels.
+
+Register conventions (leaf functions, no stack frames needed):
+
+* ``$a0`` destination pointer, ``$a1``/``$a2`` operand pointers;
+* ``$v0`` carry/borrow out where applicable;
+* ``$t*`` scratch, ``$s*`` loop state (callers are generated harnesses, so
+  no callee-save discipline is required);
+* every kernel returns with ``jr $ra``.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.codegen import Asm
+
+
+def gen_mp_add(k: int) -> str:
+    """dst[k] = a[k] + b[k]; $v0 = carry out.  Unrolled O(k) word loop
+    (ADDU/SLTU carry chain -- MIPS has no carry flag)."""
+    asm = Asm()
+    asm.label("mp_add")
+    asm.emit("li $v0, 0", "carry")
+    for i in range(k):
+        off = 4 * i
+        asm.emit(f"lw $t0, {off}($a1)")
+        asm.emit(f"lw $t1, {off}($a2)")
+        asm.emit("addu $t2, $t0, $t1")
+        asm.emit("sltu $t3, $t2, $t0", "carry from a+b")
+        asm.emit("addu $t2, $t2, $v0")
+        asm.emit("sltu $t4, $t2, $v0", "carry from +cin")
+        asm.emit(f"sw $t2, {off}($a0)")
+        asm.emit("or $v0, $t3, $t4")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_mp_sub(k: int) -> str:
+    """dst[k] = a[k] - b[k]; $v0 = borrow out."""
+    asm = Asm()
+    asm.label("mp_sub")
+    asm.emit("li $v0, 0", "borrow")
+    for i in range(k):
+        off = 4 * i
+        asm.emit(f"lw $t0, {off}($a1)")
+        asm.emit(f"lw $t1, {off}($a2)")
+        asm.emit("subu $t2, $t0, $t1")
+        asm.emit("sltu $t3, $t0, $t1", "borrow from a-b")
+        asm.emit("sltu $t4, $t2, $v0", "borrow from -bin")
+        asm.emit("subu $t2, $t2, $v0")
+        asm.emit(f"sw $t2, {off}($a0)")
+        asm.emit("or $v0, $t3, $t4")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_os_mul(k: int) -> str:
+    """Operand-scanning multiplication (Algorithm 2): dst[2k] = a * b.
+
+    Outer loop over multiplier words; inner loop unrolled with the MULTU
+    issued early so the 4-cycle Karatsuba multiplier drains behind the
+    partial-product loads and adds (the "statically scheduled multiply" of
+    Section 5.1.1).
+    """
+    asm = Asm()
+    asm.label("os_mul")
+    asm.comment("zero the 2k result words")
+    for i in range(2 * k):
+        asm.emit(f"sw $zero, {4 * i}($a0)")
+    asm.emit("li $s2, 0", "i byte offset into B")
+    asm.emit(f"li $s4, {4 * k}", "loop bound")
+    asm.label("os_outer")
+    asm.emit("addu $t9, $a2, $s2")
+    asm.emit("lw $s0, 0($t9)", "b_i")
+    asm.emit("li $s1, 0", "carry word u")
+    asm.emit("addu $s3, $a0, $s2", "&p[i]")
+    # Software-pipelined inner loop (the Section 5.1.1 static schedule):
+    # the Hi/Lo multiplier computes product j while the adds and store of
+    # product j-1 drain, fully hiding the 4-cycle multiply latency.
+    asm.emit("lw $t0, 0($a1)", "a_0")
+    asm.emit("multu $t0, $s0", "prime the multiplier")
+    for j in range(k):
+        off = 4 * j
+        if j + 1 < k:
+            asm.emit(f"lw $t0, {4 * (j + 1)}($a1)", f"a_{j + 1}")
+        asm.emit(f"lw $t1, {off}($s3)", f"p[i+{j}]")
+        asm.emit("addu $t2, $t1, $s1", "p + u")
+        asm.emit("sltu $s1, $t2, $t1", "carry1")
+        asm.emit("mflo $t3", f"product {j} low")
+        asm.emit("mfhi $t4", f"product {j} high")
+        if j + 1 < k:
+            asm.emit("multu $t0, $s0", "issue the next multiply")
+        asm.emit("addu $t5, $t2, $t3", "+ lo")
+        asm.emit("sltu $t6, $t5, $t3", "carry2")
+        asm.emit(f"sw $t5, {off}($s3)")
+        asm.emit("addu $s1, $s1, $t6")
+        asm.emit("addu $s1, $s1, $t4", "u = hi + carries")
+    asm.emit(f"sw $s1, {4 * k}($s3)", "p[i+k] = u")
+    asm.emit("addiu $s2, $s2, 4")
+    asm.emit("bne $s2, $s4, os_outer")
+    asm.ds("nop")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_ps_mul_ext(k: int, squaring: bool = False,
+                   carryless: bool = False) -> str:
+    """Product-scanning multiplication with the accumulator extensions
+    (Algorithm 3 + Table 5.1): dst[2k] = a * b.
+
+    Column loops over the low phase (i = 0..k-1) and high phase
+    (i = k..2k-2).  The inner loop walks two *pointers* -- one ascending
+    through a, one descending through b -- so each partial product costs
+    two loads, one MADDU and the loop bookkeeping (the delay slot holds
+    the descending-pointer update).  Each column drains one result word
+    with MFLO + SHA.
+
+    With ``squaring`` the M2ADDU instruction halves the inner trip count
+    (off-diagonal terms counted twice); with ``carryless`` the MADDGF2
+    instruction replaces MADDU (the binary Table 5.2 path).
+    """
+    asm = Asm()
+    if carryless:
+        name = "ps_mulgf2"
+        madd = "maddgf2"
+    else:
+        name = "ps_sqr_ext" if squaring else "ps_mul_ext"
+        madd = "maddu"
+    asm.label(name)
+    asm.emit("mtlo $zero")
+    asm.emit("mthi $zero")
+    # clear OvFlo via two accumulator shifts
+    asm.emit("sha")
+    asm.emit("sha")
+    asm.emit(f"addiu $s7, $a2, -4", "b-pointer sentinel")
+    asm.emit("move $s0, $a0", "&p[i]")
+    asm.emit("move $s2, $a2", "&b[i] (column seed)")
+    asm.emit(f"addiu $s5, $a0, {4 * (k - 1)}", "last low column")
+    asm.emit(f"addiu $s6, $a0, {4 * (2 * k - 2)}", "last column")
+    if squaring:
+        return _ps_squaring_body(asm, k, name)
+    asm.comment("phase 1: columns 0..k-1, j = 0..i")
+    asm.label(f"{name}_col_lo")
+    asm.emit("move $s1, $a1", "a-pointer: &a[0]")
+    asm.emit("move $s3, $s2", "b-pointer: &b[i], descending")
+    asm.label(f"{name}_in_lo")
+    asm.emit("lw $t0, 0($s1)", "a[j]")
+    asm.emit("lw $t1, 0($s3)", "b[i-j]")
+    asm.emit(f"{madd} $t0, $t1")
+    asm.emit("addiu $s1, $s1, 4")
+    asm.emit(f"bne $s3, $a2, {name}_in_lo")
+    asm.ds("addiu $s3, $s3, -4")
+    asm.emit("mflo $t5")
+    asm.emit("sw $t5, 0($s0)", "p[i]")
+    asm.emit("sha", "accumulator >>= 32")
+    asm.emit("addiu $s2, $s2, 4", "&b[i+1]")
+    asm.emit(f"bne $s0, $s5, {name}_col_lo")
+    asm.ds("addiu $s0, $s0, 4")
+    asm.comment("phase 2: columns k..2k-2, j = i-k+1..k-1")
+    asm.emit(f"addiu $s2, $a2, {4 * (k - 1)}", "&b[k-1], fixed")
+    asm.emit("addiu $s4, $a1, 4", "&a[i-k+1] seed")
+    asm.emit(f"addiu $s7, $a1, {4 * k}", "a-pointer sentinel")
+    asm.label(f"{name}_col_hi")
+    asm.emit("move $s1, $s4", "a-pointer ascending")
+    asm.emit("move $s3, $s2", "b-pointer descending from b[k-1]")
+    asm.label(f"{name}_in_hi")
+    asm.emit("lw $t0, 0($s1)", "a[j]")
+    asm.emit("lw $t1, 0($s3)", "b[i-j]")
+    asm.emit(f"{madd} $t0, $t1")
+    asm.emit("addiu $s1, $s1, 4")
+    asm.emit(f"bne $s1, $s7, {name}_in_hi")
+    asm.ds("addiu $s3, $s3, -4")
+    asm.emit("mflo $t5")
+    asm.emit("sw $t5, 0($s0)", "p[i]")
+    asm.emit("sha")
+    asm.emit("addiu $s4, $s4, 4")
+    asm.emit(f"bne $s0, $s6, {name}_col_hi")
+    asm.ds("addiu $s0, $s0, 4")
+    asm.emit("mflo $t5")
+    asm.emit(f"sw $t5, {4 * (2 * k - 1)}($a0)", "p[2k-1]")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def _ps_squaring_body(asm: Asm, k: int, name: str) -> str:
+    """Squaring phase bodies: the M2ADDU loop runs j over the half-range
+    with one diagonal MADDU when the column index is even."""
+    asm.comment("phase 1: columns 0..k-1, paired j < i-j plus diagonal")
+    asm.emit("li $s4, 0", "i*4")
+    asm.emit(f"li $s5, {4 * (k - 1)}")
+    asm.emit(f"li $s6, {4 * (2 * k - 2)}")
+    asm.label(f"{name}_col_lo")
+    asm.emit("move $s1, $a1", "&a[j], ascending")
+    asm.emit("addu $s3, $a2, $s4", "&a[i-j], descending")
+    asm.label(f"{name}_in_lo")
+    asm.emit("sltu $t3, $s1, $s3", "j < i-j ?")
+    asm.emit("beq $t3, $zero, %s_diag_lo" % name)
+    asm.ds("nop")
+    asm.emit("lw $t0, 0($s1)")
+    asm.emit("lw $t1, 0($s3)")
+    asm.emit("m2addu $t0, $t1", "2 a[j] a[i-j]")
+    asm.emit("addiu $s1, $s1, 4")
+    asm.emit("b %s_in_lo" % name)
+    asm.ds("addiu $s3, $s3, -4")
+    asm.label(f"{name}_diag_lo")
+    asm.emit("bne $s1, $s3, %s_store_lo" % name)
+    asm.ds("nop")
+    asm.emit("lw $t0, 0($s1)")
+    asm.emit("maddu $t0, $t0", "diagonal a[j]^2")
+    asm.label(f"{name}_store_lo")
+    asm.emit("addu $t4, $a0, $s4")
+    asm.emit("mflo $t5")
+    asm.emit("sw $t5, 0($t4)")
+    asm.emit("sha")
+    asm.emit("bne $s4, $s5, %s_col_lo" % name)
+    asm.ds("addiu $s4, $s4, 4")
+    asm.comment("phase 2: columns k..2k-2")
+    asm.label(f"{name}_col_hi")
+    asm.emit(f"addiu $s1, $s4, {-4 * (k - 1)}")
+    asm.emit("addu $s1, $a1, $s1", "&a[i-k+1] (j start)")
+    asm.emit(f"addiu $s3, $a2, {4 * (k - 1)}", "&a[k-1] (i-j start)")
+    asm.label(f"{name}_in_hi")
+    asm.emit("sltu $t3, $s1, $s3")
+    asm.emit("beq $t3, $zero, %s_diag_hi" % name)
+    asm.ds("nop")
+    asm.emit("lw $t0, 0($s1)")
+    asm.emit("lw $t1, 0($s3)")
+    asm.emit("m2addu $t0, $t1")
+    asm.emit("addiu $s1, $s1, 4")
+    asm.emit("b %s_in_hi" % name)
+    asm.ds("addiu $s3, $s3, -4")
+    asm.label(f"{name}_diag_hi")
+    asm.emit("bne $s1, $s3, %s_store_hi" % name)
+    asm.ds("nop")
+    asm.emit("lw $t0, 0($s1)")
+    asm.emit("maddu $t0, $t0")
+    asm.label(f"{name}_store_hi")
+    asm.emit("addu $t4, $a0, $s4")
+    asm.emit("mflo $t5")
+    asm.emit("sw $t5, 0($t4)")
+    asm.emit("sha")
+    asm.emit("bne $s4, $s6, %s_col_hi" % name)
+    asm.ds("addiu $s4, $s4, 4")
+    asm.emit("mflo $t5")
+    asm.emit(f"sw $t5, {4 * (2 * k - 1)}($a0)", "p[2k-1]")
+    asm.emit("jr $ra")
+    return asm.source()
+
+
+def gen_red_p192() -> str:
+    """NIST fast reduction modulo P-192 (Algorithm 4), fully unrolled
+    and register-resident.
+
+    The twelve product words load once into registers (C[0..11] in
+    s0-s7/t7-t9/a3/v1); the four fold vectors
+
+        s1 = [c0..c5]
+        s2 = [c6, c7, c6, c7,  0,  0]
+        s3 = [ 0,  0, c8, c9, c8, c9]
+        s4 = [c10,c11,c10,c11,c10,c11]
+
+    accumulate into the c0..c5 registers with an SLTU carry chain, the
+    carry word folds back via 2^192 == 2^64 + 1 (mod p), and a single
+    register-resident conditional subtraction corrects the result.
+
+    Reads the 12-word product at $a1; writes the 6-word residue to $a0.
+    """
+    asm = Asm()
+    regs = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t7", "$t8", "$t9", "$a3"]
+    asm.label("red_p192")
+    for i, reg in enumerate(regs):
+        asm.emit(f"lw {reg}, {4 * i}($a1)", f"c{i}")
+    columns = [
+        (0, 6, None, 10),
+        (1, 7, None, 11),
+        (2, 6, 8, 10),
+        (3, 7, 9, 11),
+        (4, None, 8, 10),
+        (5, None, 9, 11),
+    ]
+    asm.emit("li $v0, 0", "running carry")
+    for out_idx, col in enumerate(columns):
+        dst = regs[out_idx]
+        asm.emit(f"addu $t0, {dst}, $v0", "column base + carry-in")
+        asm.emit(f"sltu $v0, $t0, {dst}")
+        for src_idx in col[1:]:
+            if src_idx is None:
+                continue
+            asm.emit(f"addu $t1, $t0, {regs[src_idx]}")
+            asm.emit(f"sltu $t2, $t1, {regs[src_idx]}")
+            asm.emit("addu $v0, $v0, $t2")
+            asm.emit("move $t0, $t1")
+        asm.emit(f"move {dst}, $t0", f"T[{out_idx}]")
+    asm.comment("fold the carry word: 2^192 == 2^64 + 1 (mod p)")
+    asm.label("red_p192_fold")
+    asm.emit("beq $v0, $zero, red_p192_cmp")
+    asm.ds("nop")
+    asm.emit("move $t3, $v0", "fold value (words 0 and 2)")
+    asm.emit("li $v0, 0")
+    carry = "$t4"
+    for i in range(6):
+        dst = regs[i]
+        if i == 0:
+            asm.emit(f"addu $t0, {dst}, $t3")
+            asm.emit(f"sltu {carry}, $t0, {dst}")
+        else:
+            asm.emit(f"addu $t0, {dst}, {carry}")
+            asm.emit(f"sltu {carry}, $t0, {dst}")
+            if i == 2:
+                asm.emit("addu $t1, $t0, $t3", "second fold term")
+                asm.emit("sltu $t2, $t1, $t0")
+                asm.emit("move $t0, $t1")
+                asm.emit(f"or {carry}, {carry}, $t2")
+        asm.emit(f"move {dst}, $t0")
+    asm.emit(f"move $v0, {carry}", "fold may carry out once more")
+    asm.emit("b red_p192_fold")
+    asm.ds("nop")
+    asm.comment("conditional subtraction: T -= p if T >= p, in registers")
+    # p words: [0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE, 0xFFFFFFFF,
+    #           0xFFFFFFFF, 0xFFFFFFFF]; note x - 0xFFFFFFFF = x + 1
+    # (mod 2^32), so the trial subtraction is an increment chain.
+    asm.label("red_p192_cmp")
+    p_words = [0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFE,
+               0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF]
+    asm.emit("li $t4, 0", "borrow")
+    scratch = ["$t7", "$t8", "$t9", "$a3", "$v1", "$t6"]
+    for i, pw in enumerate(p_words):
+        dst = regs[i]
+        hold = scratch[i]
+        asm.emit(f"li $t1, {pw}")
+        asm.emit(f"subu $t0, {dst}, $t1")
+        asm.emit(f"sltu $t2, {dst}, $t1")
+        asm.emit("sltu $t3, $t0, $t4")
+        asm.emit("subu $t0, $t0, $t4")
+        asm.emit("or $t4, $t2, $t3")
+        asm.emit(f"move {hold}, $t0", "trial difference")
+    asm.emit("bne $t4, $zero, red_p192_done", "borrowed: T < p")
+    asm.ds("nop")
+    for i in range(6):
+        asm.emit(f"move {regs[i]}, {scratch[i]}")
+    asm.label("red_p192_done")
+    for i in range(6):
+        asm.emit(f"sw {regs[i]}, {4 * i}($a0)")
+    asm.emit("jr $ra")
+    return asm.source()

@@ -1,0 +1,280 @@
+"""Assemble, validate and time the generated kernels on Pete.
+
+Every measurement doubles as a correctness check: the kernel's output
+words in simulated RAM are compared against the :mod:`repro.mp` reference
+before the cycle count is accepted.  Results are cached per
+(kernel, k, ISA features) since the kernels are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.fields.inversion import _poly_mul, _poly_sqr
+from repro.fields.nist import NIST_PRIMES, reduce_binary
+from repro.mp.binary_sqr import SQUARE_TABLE_8BIT
+from repro.mp.words import from_int, to_int
+from repro.pete.assembler import assemble
+from repro.pete.cpu import Pete
+from repro.pete.memory import RAM_BASE
+from repro.kernels import binary_kernels, prime_kernels, symmetric_kernels
+
+# RAM layout for kernel harnesses (RAM_BASE-relative byte offsets).
+DST_OFF = 0x400   # result area (also reduction scratch at +256)
+A_OFF = 0x800
+B_OFF = 0x900
+TABLE_OFF = 0xA00  # comb table (<= 2 KB) or squaring table (512 B)
+
+_RNG = random.Random(0xECC)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Timing and activity of one kernel invocation."""
+
+    name: str
+    k: int
+    cycles: int
+    instructions: int
+    ram_reads: int
+    ram_writes: int
+
+    @property
+    def rom_reads(self) -> int:
+        """Uncached fetch: one ROM word read per instruction."""
+        return self.instructions
+
+
+class KernelRunner:
+    """Builds and times kernels; validates against :mod:`repro.mp`."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, KernelResult] = {}
+
+    # -- public measurement API ------------------------------------------
+
+    def measure(self, name: str, k: int, trials: int = 3) -> KernelResult:
+        """Median-of-``trials`` cycle measurement for a kernel at size k."""
+        key = (name, k)
+        if key not in self._cache:
+            runs = [self._run_once(name, k) for _ in range(trials)]
+            runs.sort(key=lambda r: r.cycles)
+            self._cache[key] = runs[len(runs) // 2]
+        return self._cache[key]
+
+    # -- harness construction -----------------------------------------------
+
+    def _build_cpu(self, source: str, entry_label: str,
+                   extensions: bool, binary_extensions: bool
+                   ) -> tuple[Pete, int]:
+        full = source + "\n__halt:\n    halt\n"
+        program = assemble(full, base=0)
+        cpu = Pete(extensions=extensions, binary_extensions=binary_extensions)
+        cpu.load(program)
+        cpu.set_reg("ra", program.address_of("__halt"))
+        return cpu, program.address_of(entry_label)
+
+    def _run_once(self, name: str, k: int) -> KernelResult:
+        builder = getattr(self, f"_run_{name}", None)
+        if builder is None:
+            raise KeyError(f"unknown kernel {name!r}")
+        return builder(k)
+
+    @staticmethod
+    def _result(name: str, k: int, cpu: Pete) -> KernelResult:
+        s = cpu.stats
+        return KernelResult(name, k, s.cycles, s.instructions,
+                            s.ram_reads, s.ram_writes)
+
+    # -- individual kernels ---------------------------------------------------
+
+    def _run_mp_add(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        b = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(prime_kernels.gen_mp_add(k), "mp_add",
+                                     False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, k))
+        carry = cpu.get_reg("v0")
+        assert got + (carry << (32 * k)) == a + b, "mp_add mismatch"
+        return self._result("mp_add", k, cpu)
+
+    def _run_mp_sub(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        b = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(prime_kernels.gen_mp_sub(k), "mp_sub",
+                                     False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, k))
+        borrow = cpu.get_reg("v0")
+        assert got == (a - b) % (1 << (32 * k)), "mp_sub mismatch"
+        assert borrow == (1 if a < b else 0), "mp_sub borrow mismatch"
+        return self._result("mp_sub", k, cpu)
+
+    def _run_os_mul(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        b = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(prime_kernels.gen_os_mul(k), "os_mul",
+                                     False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == a * b, "os_mul mismatch"
+        return self._result("os_mul", k, cpu)
+
+    def _run_ps_mul_ext(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        b = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(prime_kernels.gen_ps_mul_ext(k),
+                                     "ps_mul_ext", True, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == a * b, "ps_mul_ext mismatch"
+        return self._result("ps_mul_ext", k, cpu)
+
+    def _run_ps_sqr_ext(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(
+            prime_kernels.gen_ps_mul_ext(k, squaring=True), "ps_sqr_ext",
+            True, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=A_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == a * a, "ps_sqr_ext mismatch"
+        return self._result("ps_sqr_ext", k, cpu)
+
+    def _run_red_p192(self, k: int = 6) -> KernelResult:
+        a = _RNG.getrandbits(192)
+        b = _RNG.getrandbits(192)
+        product = a * b
+        cpu, entry = self._build_cpu(prime_kernels.gen_red_p192(),
+                                     "red_p192", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(product, 12))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+        assert got == product % NIST_PRIMES[192], "red_p192 mismatch"
+        return self._result("red_p192", 6, cpu)
+
+    def _run_comb_mul(self, k: int) -> KernelResult:
+        bits = 32 * k
+        a = _RNG.getrandbits(bits)
+        b = _RNG.getrandbits(bits - 4)  # headroom word holds the spill
+        cpu, entry = self._build_cpu(binary_kernels.gen_comb_mul(k),
+                                     "comb_mul", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF,
+                           table=TABLE_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k + 2))
+        assert got == _poly_mul(a, b), "comb_mul mismatch"
+        return self._result("comb_mul", k, cpu)
+
+    def _run_ps_mulgf2(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        b = _RNG.getrandbits(32 * k)
+        # the paper's binary-extended ISA is cumulative with the prime
+        # extensions (Section 5.2.2), so SHA is available
+        cpu, entry = self._build_cpu(binary_kernels.gen_ps_mulgf2(k),
+                                     "ps_mulgf2", True, True)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == _poly_mul(a, b), "ps_mulgf2 mismatch"
+        return self._result("ps_mulgf2", k, cpu)
+
+    def _run_bsqr_table(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(binary_kernels.gen_bsqr_table(k),
+                                     "bsqr_table", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, table=TABLE_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        table_bytes = b"".join(v.to_bytes(2, "little")
+                               for v in SQUARE_TABLE_8BIT)
+        cpu.mem.write_ram(RAM_BASE + TABLE_OFF, table_bytes)
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == _poly_sqr(a), "bsqr_table mismatch"
+        return self._result("bsqr_table", k, cpu)
+
+    def _run_bsqr_ext(self, k: int) -> KernelResult:
+        a = _RNG.getrandbits(32 * k)
+        cpu, entry = self._build_cpu(binary_kernels.gen_bsqr_ext(k),
+                                     "bsqr_ext", False, True)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
+        assert got == _poly_sqr(a), "bsqr_ext mismatch"
+        return self._result("bsqr_ext", k, cpu)
+
+    def _run_speck64(self, k: int = 1) -> KernelResult:
+        """One Speck64/128 block; k is unused (fixed-size kernel)."""
+        from repro.symmetric.speck import speck64_encrypt, speck64_expand_key
+
+        key = _RNG.getrandbits(128)
+        block = _RNG.getrandbits(64)
+        round_keys = speck64_expand_key(key)
+        cpu, entry = self._build_cpu(
+            symmetric_kernels.gen_speck64_encrypt(), "speck64_enc",
+            False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF,
+                                [block & 0xFFFFFFFF, block >> 32])
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, round_keys)
+        cpu.run(entry)
+        words = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2)
+        got = words[0] | (words[1] << 32)
+        assert got == speck64_encrypt(block, round_keys), "speck mismatch"
+        return self._result("speck64", 1, cpu)
+
+    def _run_red_b163(self, k: int = 6) -> KernelResult:
+        a = _RNG.getrandbits(163)
+        b = _RNG.getrandbits(163)
+        product = _poly_mul(a, b)
+        cpu, entry = self._build_cpu(binary_kernels.gen_red_b163(),
+                                     "red_b163", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(product, 11))
+        cpu.run(entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+        assert got == reduce_binary(product, 163), "red_b163 mismatch"
+        return self._result("red_b163", 6, cpu)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _set_ptr_args(cpu: Pete, dst: int | None = None,
+                      a: int | None = None, b: int | None = None,
+                      table: int | None = None) -> None:
+        if dst is not None:
+            cpu.set_reg("a0", RAM_BASE + dst)
+        if a is not None:
+            cpu.set_reg("a1", RAM_BASE + a)
+        if b is not None:
+            cpu.set_reg("a2", RAM_BASE + b)
+        if table is not None:
+            cpu.set_reg("a3", RAM_BASE + table)
+
+
+@lru_cache(maxsize=1)
+def shared_runner() -> KernelRunner:
+    """Process-wide runner so kernel measurements are made once."""
+    return KernelRunner()

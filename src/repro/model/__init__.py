@@ -1,0 +1,13 @@
+"""Whole-system ECDSA latency/energy models (DESIGN.md Section 5).
+
+``SystemModel`` composes measured kernel cycles (:mod:`repro.kernels`),
+exact ECDSA operation counts (:mod:`repro.model.opcount`), the
+coprocessor timing machines (:mod:`repro.accel`) and the calibrated
+energy coefficients (:mod:`repro.energy`) into per-operation cycle and
+energy reports for each of the paper's microarchitecture configurations.
+"""
+
+from repro.model.configs import ALL_CONFIGS, MicroarchConfig, get_config
+from repro.model.system import SystemModel
+
+__all__ = ["MicroarchConfig", "ALL_CONFIGS", "get_config", "SystemModel"]

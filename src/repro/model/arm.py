@@ -1,0 +1,33 @@
+"""ARM Cortex-M3 reference points (paper Table 7.5).
+
+The paper compares the FFAU against a Cortex-M3 running the same
+Montgomery multiplications at 100 MHz / 0.9 V; the table below embeds the
+published measurements verbatim (they are a comparison baseline, not a
+system under test -- DESIGN.md substitution table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArmReference:
+    key_bits: int
+    exec_time_ns: float
+    average_power_uw: float
+
+    @property
+    def energy_nj(self) -> float:
+        return self.exec_time_ns * self.average_power_uw * 1e-6
+
+
+#: Table 7.5: average power and energy per modular multiplication.
+ARM_CORTEX_M3: dict[int, ArmReference] = {
+    192: ArmReference(192, 13_870, 4_500),
+    256: ArmReference(256, 23_010, 4_500),
+    384: ArmReference(384, 48_530, 4_500),
+}
+
+
+def arm_energy_nj(key_bits: int) -> float:
+    return ARM_CORTEX_M3[key_bits].energy_nj

@@ -1,0 +1,418 @@
+"""Register-level ECDSA scalar multiplication on Billie (Section 5.5).
+
+The driver emits the exact COP2 instruction stream Pete would feed
+Billie: Lopez-Dahab point doubling / mixed addition over the 16-entry
+register file, sliding-window and twin scalar multiplication with the
+precomputed points resident in registers, the Montgomery ladder of
+Fig. 7.14, and Itoh-Tsujii inversions for affine conversions.  Billie's
+timing machine accumulates cycles while its functional registers carry
+the real field values -- results are checked against the pure-software
+scalar multiplication.
+
+Register budget (why the paper sized the file at 16 entries): the curve
+constant b, a zero register, the accumulator X/Y/Z, up to four table
+points (x, y), a negation scratch, plus the two or three temporaries of
+the LD formulas -- the formula inputs X/Y free up mid-sequence, which is
+what makes the twin table fit:
+
+    single:  b, P, 3P, 5P, X/Y/Z, negY, 3 temps   -> 14 peak
+    twin:    b, P, Q, P+Q, P-Q, X/Y/Z, negY, 3 t  -> 16 peak
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.ec.curves import Curve
+from repro.ec.point import INFINITY, AffinePoint, affine_add, affine_neg
+from repro.ec.scalar import fractional_naf, naf
+from repro.fields.inversion import itoh_tsujii_chain
+
+#: Pete-side loop/control instructions between point operations (window
+#: scanning, branch, pointer upkeep) -- they pace the issue stream.
+CONTROL_GAP_CYCLES = 10
+
+
+class _RegFile:
+    """Tiny allocator over Billie's 16 registers."""
+
+    def __init__(self, billie: Billie) -> None:
+        self.billie = billie
+        self.free = list(range(billie.config.n_registers))
+        self.peak = 0
+
+    def alloc(self) -> int:
+        if not self.free:
+            raise RuntimeError("Billie register file exhausted")
+        reg = self.free.pop(0)
+        in_use = self.billie.config.n_registers - len(self.free)
+        self.peak = max(self.peak, in_use)
+        return reg
+
+    def release(self, *regs: int) -> None:
+        for reg in regs:
+            if reg in self.free:
+                raise RuntimeError(f"double release of r{reg}")
+            self.free.append(reg)
+
+
+@dataclass
+class BillieRun:
+    """Result of one driven operation."""
+
+    result: AffinePoint
+    cycles: int
+    instructions: int
+    peak_registers: int = 0
+
+
+class BillieDriver:
+    """Drives point arithmetic on a Billie instance for one curve."""
+
+    def __init__(self, billie: Billie, curve: Curve) -> None:
+        if not curve.is_binary or curve.bits != billie.config.m:
+            raise ValueError("Billie is fabricated for one specific field")
+        if curve.a != 1:
+            raise ValueError("the drivers assume a = 1 (all NIST B-curves)")
+        self.b = billie
+        self.curve = curve
+        self.regs = _RegFile(billie)
+        self.instructions = 0
+        self.r_b = self._alloc_load(curve.b)       # curve constant b
+
+    # -- primitive helpers ------------------------------------------------
+
+    def _alloc_load(self, value: int) -> int:
+        reg = self.regs.alloc()
+        self._load(reg, value)
+        return reg
+
+    def _mul(self, fd: int, fs: int, ft: int) -> None:
+        self.b.issue_mul(fd, fs, ft)
+        self.instructions += 1
+
+    def _sqr(self, fd: int, ft: int) -> None:
+        self.b.issue_sqr(fd, ft)
+        self.instructions += 1
+
+    def _add(self, fd: int, fs: int, ft: int) -> None:
+        self.b.issue_add(fd, fs, ft)
+        self.instructions += 1
+
+    def _load(self, fd: int, value: int) -> None:
+        self.b.issue_load(fd, value)
+        self.instructions += 1
+
+    def _gap(self) -> None:
+        """Pete-side control work between point operations."""
+        self.b.now += CONTROL_GAP_CYCLES
+        self.instructions += CONTROL_GAP_CYCLES
+
+    # -- field inversion (Itoh-Tsujii, Section 4.2.4) ----------------------
+
+    def inverse(self, fd: int, fs: int) -> None:
+        """BR[fd] = BR[fs]^-1 via the addition-chain Fermat inversion.
+
+        Needs two scratch registers; fd must differ from fs.
+        """
+        if fd == fs:
+            raise ValueError("in-place inversion unsupported")
+        m = self.curve.bits
+        beta = self.regs.alloc()
+        tmp = self.regs.alloc()
+        # beta_1 lives in fs itself; the chain's first step is always
+        # (1, 1), so beta_2 = fs^2 * fs seeds the running register
+        first = True
+        for i, j in itoh_tsujii_chain(m):
+            # beta_{i+j} = beta_i^(2^j) * beta_j; the chain only ever
+            # multiplies by beta_i itself (j == i) or by beta_1 (j == 1)
+            self._sqr(tmp, fs if first else beta)
+            for _ in range(j - 1):
+                self._sqr(tmp, tmp)
+            self._mul(beta, tmp, fs if j == 1 or first else beta)
+            first = False
+        self._sqr(fd, beta)
+        self.regs.release(beta, tmp)
+
+    # -- LD point operations (mirror repro.ec.lopez_dahab) ------------------
+
+    def double(self, x: int, y: int, z: int) -> None:
+        """(X, Y, Z) <- 2 * (X, Y, Z) in place; 2 temporaries."""
+        t0 = self.regs.alloc()
+        t1 = self.regs.alloc()
+        self._sqr(t0, z)            # Z1^2
+        self._sqr(t1, x)            # X1^2          (X free)
+        self._mul(z, t0, t1)        # Z3 = X1^2 Z1^2
+        self._sqr(t0, t0)           # Z1^4
+        self._mul(t0, self.r_b, t0)  # b Z1^4
+        self._sqr(y, y)             # Y1^2          (in place)
+        self._sqr(t1, t1)           # X1^4
+        self._add(x, t1, t0)        # X3 = X1^4 + b Z1^4
+        self._add(y, y, t0)         # Y1^2 + b Z1^4
+        self._add(y, y, z)          # + a Z3 (a = 1)
+        self._mul(t0, t0, z)        # b Z1^4 * Z3
+        self._mul(t1, x, y)         # X3 * inner
+        self._add(y, t0, t1)        # Y3
+        self.regs.release(t0, t1)
+
+    def add_mixed(self, x: int, y: int, z: int, qx: int, qy: int
+                  ) -> tuple[int, int, int]:
+        """(X, Y, Z) + affine(qx, qy); 3 temporaries.
+
+        Uses register renaming instead of a final move: the result lands
+        in (t1, y, z) and the old x register is released -- callers must
+        adopt the returned register triple.
+        """
+        t0 = self.regs.alloc()
+        t1 = self.regs.alloc()
+        t2 = self.regs.alloc()
+        self._sqr(t0, z)            # Z1^2
+        self._mul(t1, qy, t0)
+        self._add(t1, t1, y)        # A             (Y free)
+        self._mul(t2, qx, z)
+        self._add(t2, t2, x)        # B             (X free)
+        self._mul(x, z, t2)         # C   (into freed X)
+        self._sqr(y, t2)            # B^2 (into freed Y)
+        self._add(t2, x, t0)        # C + a Z1^2 (a = 1)
+        self._mul(y, y, t2)         # D
+        self._sqr(z, x)             # Z3 = C^2
+        self._mul(x, t1, x)         # E
+        self._sqr(t1, t1)           # A^2
+        self._add(t1, t1, y)
+        self._add(t1, t1, x)        # X3 = A^2 + D + E   (in t1)
+        self._mul(t0, qx, z)
+        self._add(t0, t1, t0)       # F = X3 + x2 Z3
+        self._add(x, x, z)          # E + Z3
+        self._mul(t0, x, t0)        # (E + Z3) F
+        self._add(t2, qx, qy)
+        self._sqr(y, z)             # Z3^2
+        self._mul(t2, t2, y)        # G
+        self._add(y, t0, t2)        # Y3
+        self.regs.release(t0, t2, x)
+        return t1, y, z
+
+    def to_affine(self, x: int, y: int, z: int) -> AffinePoint:
+        """Convert the accumulator to affine: one inversion, 2 mul/sqr."""
+        zi = self.regs.alloc()
+        self.inverse(zi, z)
+        self._mul(x, x, zi)         # X / Z
+        self._sqr(zi, zi)
+        self._mul(y, y, zi)         # Y / Z^2
+        result = AffinePoint(self.b.regs[x], self.b.regs[y])
+        self.regs.release(zi)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Scalar multiplication algorithms on Billie
+# ---------------------------------------------------------------------------
+
+
+def _precompute_point(driver: BillieDriver, base_affine: AffinePoint,
+                      add_x: int, add_y: int,
+                      expect: AffinePoint) -> tuple[int, int]:
+    """Compute base + (add_x, add_y) on Billie, return affine regs."""
+    regs = driver.regs
+    ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
+    driver._load(ax, base_affine.x)
+    driver._load(ay, base_affine.y)
+    driver._load(az, 1)
+    ax, ay, az = driver.add_mixed(ax, ay, az, add_x, add_y)
+    got = driver.to_affine(ax, ay, az)
+    assert got == expect, "Billie precomputation diverged"
+    regs.release(az)
+    return ax, ay
+
+
+def run_sliding_window(curve: Curve, x: int, p: AffinePoint,
+                       billie: Billie | None = None) -> BillieRun:
+    """Sliding-window x*P entirely on Billie (signature path).
+
+    3P and 5P are computed on Billie (LD point ops + Itoh-Tsujii
+    conversions, all timed) and stay resident in the register file.
+    """
+    b = billie or Billie(BillieConfig(m=curve.bits))
+    b.reset_time()
+    driver = BillieDriver(b, curve)
+    regs = driver.regs
+
+    # software truth for the resident table
+    two_p = affine_add(curve, p, p)
+    p3 = affine_add(curve, p, two_p)
+    p5 = affine_add(curve, p3, two_p)
+
+    r_px, r_py = driver._alloc_load(p.x), driver._alloc_load(p.y)
+    # 2P on Billie: double P, convert
+    ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
+    driver._load(ax, p.x)
+    driver._load(ay, p.y)
+    driver._load(az, 1)
+    driver.double(ax, ay, az)
+    got_2p = driver.to_affine(ax, ay, az)
+    assert got_2p == two_p, "Billie 2P diverged"
+    r_2px, r_2py = ax, ay
+    regs.release(az)
+    # 3P = P + 2P, 5P = 3P + 2P
+    r_3px, r_3py = _precompute_point(driver, p, r_2px, r_2py, p3)
+    r_5px, r_5py = _precompute_point(driver, p3, r_2px, r_2py, p5)
+    regs.release(r_2px, r_2py)
+    table = {1: (r_px, r_py), 3: (r_3px, r_3py), 5: (r_5px, r_5py)}
+
+    acc_x, acc_y, acc_z = regs.alloc(), regs.alloc(), regs.alloc()
+    neg_y = regs.alloc()
+    acc_inf = True
+    for d in reversed(fractional_naf(x)):
+        driver._gap()
+        if not acc_inf:
+            driver.double(acc_x, acc_y, acc_z)
+        if d:
+            qx, qy = table[abs(d)]
+            if d < 0:
+                driver._add(neg_y, qx, qy)   # -Q = (x, x + y)
+                use_y = neg_y
+            else:
+                use_y = qy
+            if acc_inf:
+                # seed the accumulator from the table point: the COP2LD
+                # path re-loads the affine words into the accumulator
+                driver._load(acc_x, b.regs[qx])
+                driver._load(acc_y, b.regs[use_y])
+                driver._load(acc_z, 1)
+                acc_inf = False
+            else:
+                acc_x, acc_y, acc_z = driver.add_mixed(
+                    acc_x, acc_y, acc_z, qx, use_y)
+    if acc_inf:
+        return BillieRun(INFINITY, b.sync(), driver.instructions,
+                         regs.peak)
+    result = driver.to_affine(acc_x, acc_y, acc_z)
+    return BillieRun(result, b.sync(), driver.instructions, regs.peak)
+
+
+def run_twin(curve: Curve, u1: int, p: AffinePoint, u2: int,
+             q: AffinePoint, billie: Billie | None = None) -> BillieRun:
+    """Twin multiplication u1*P + u2*Q on Billie (verification path)."""
+    b = billie or Billie(BillieConfig(m=curve.bits))
+    b.reset_time()
+    driver = BillieDriver(b, curve)
+    regs = driver.regs
+
+    p_plus_q = affine_add(curve, p, q)
+    p_minus_q = affine_add(curve, p, affine_neg(curve, q))
+    r_px, r_py = driver._alloc_load(p.x), driver._alloc_load(p.y)
+    r_qx, r_qy = driver._alloc_load(q.x), driver._alloc_load(q.y)
+    neg_y = regs.alloc()
+    r_sx, r_sy = _precompute_point(driver, p, r_qx, r_qy, p_plus_q)
+    driver._add(neg_y, r_qx, r_qy)               # -Q's y
+    r_dx, r_dy = _precompute_point(driver, p, r_qx, neg_y, p_minus_q)
+
+    table = {(1, 0): (r_px, r_py), (0, 1): (r_qx, r_qy),
+             (1, 1): (r_sx, r_sy), (1, -1): (r_dx, r_dy)}
+    d1, d2 = naf(u1), naf(u2)
+    length = max(len(d1), len(d2))
+    d1 += [0] * (length - len(d1))
+    d2 += [0] * (length - len(d2))
+
+    acc_x, acc_y, acc_z = regs.alloc(), regs.alloc(), regs.alloc()
+    acc_inf = True
+    for e1, e2 in zip(reversed(d1), reversed(d2)):
+        driver._gap()
+        if not acc_inf:
+            driver.double(acc_x, acc_y, acc_z)
+        if (e1, e2) == (0, 0):
+            continue
+        negate = e1 < 0 or (e1 == 0 and e2 < 0)
+        key = (-e1, -e2) if negate else (e1, e2)
+        qx, qy = table[key]
+        if negate:
+            driver._add(neg_y, qx, qy)
+            use_y = neg_y
+        else:
+            use_y = qy
+        if acc_inf:
+            driver._load(acc_x, b.regs[qx])
+            driver._load(acc_y, b.regs[use_y])
+            driver._load(acc_z, 1)
+            acc_inf = False
+        else:
+            acc_x, acc_y, acc_z = driver.add_mixed(
+                acc_x, acc_y, acc_z, qx, use_y)
+    if acc_inf:
+        return BillieRun(INFINITY, b.sync(), driver.instructions,
+                         regs.peak)
+    result = driver.to_affine(acc_x, acc_y, acc_z)
+    return BillieRun(result, b.sync(), driver.instructions, regs.peak)
+
+
+def run_montgomery_ladder(curve: Curve, x: int, p: AffinePoint,
+                          billie: Billie | None = None) -> BillieRun:
+    """Lopez-Dahab Montgomery ladder on Billie (the Fig. 7.14
+    comparison): 6M + 5S + 3A per scalar bit, x-only with a timed
+    y-recovery at the end."""
+    b = billie or Billie(BillieConfig(m=curve.bits))
+    b.reset_time()
+    driver = BillieDriver(b, curve)
+    regs = driver.regs
+    if x == 0 or not p or p.x == 0:
+        return BillieRun(INFINITY if x % 2 == 0 or p.x == 0 else p,
+                         0, 0, regs.peak)
+
+    r_xp = driver._alloc_load(p.x)
+    r_yp = driver._alloc_load(p.y)
+    x1 = driver._alloc_load(p.x)
+    z1 = driver._alloc_load(1)
+    x2, z2 = regs.alloc(), regs.alloc()
+    t0, t1 = regs.alloc(), regs.alloc()
+    driver._sqr(z2, r_xp)
+    driver._sqr(x2, z2)
+    driver._add(x2, x2, driver.r_b)           # x(2P) = xP^4 + b
+
+    def step(xa: int, za: int, xb: int, zb: int) -> None:
+        """(xa,za) <- x(2A); (xb,zb) <- x(A+B), difference P."""
+        driver._gap()
+        driver._mul(t0, xa, zb)               # T1
+        driver._mul(t1, xb, za)               # T2
+        driver._add(zb, t0, t1)
+        driver._sqr(zb, zb)                   # Zadd
+        driver._mul(t0, t0, t1)               # T1 T2
+        driver._mul(t1, r_xp, zb)
+        driver._add(xb, t0, t1)               # Xadd
+        driver._sqr(t0, xa)
+        driver._sqr(t1, za)
+        driver._mul(za, t0, t1)               # Zdbl
+        driver._sqr(t0, t0)
+        driver._sqr(t1, t1)
+        driver._mul(t1, driver.r_b, t1)
+        driver._add(xa, t0, t1)               # Xdbl
+
+    for bit in bin(x)[3:]:
+        if bit == "1":
+            step(x2, z2, x1, z1)
+        else:
+            step(x1, z1, x2, z2)
+
+    if b.regs[z1] == 0:
+        return BillieRun(INFINITY, b.sync(), driver.instructions,
+                         regs.peak)
+    if b.regs[z2] == 0:
+        return BillieRun(affine_neg(curve, p), b.sync(),
+                         driver.instructions, regs.peak)
+    # affine + y-recovery (Lopez-Dahab 1999), fully driven:
+    zi = regs.alloc()
+    driver.inverse(zi, z1)
+    driver._mul(x1, x1, zi)                   # xk
+    driver.inverse(zi, z2)
+    driver._mul(x2, x2, zi)                   # xk1
+    driver.inverse(zi, r_xp)                  # 1/xP
+    driver._add(t0, x1, r_xp)                 # xk + xP
+    driver._add(t1, x2, r_xp)                 # xk1 + xP
+    driver._mul(t1, t0, t1)
+    driver._sqr(x2, r_xp)
+    driver._add(t1, t1, x2)
+    driver._add(t1, t1, r_yp)
+    driver._mul(t1, t1, t0)
+    driver._mul(t1, t1, zi)
+    driver._add(t1, t1, r_yp)                 # yk
+    result = AffinePoint(b.regs[x1], b.regs[t1])
+    return BillieRun(result, b.sync(), driver.instructions, regs.peak)

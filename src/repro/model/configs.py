@@ -1,0 +1,165 @@
+"""The evaluated microarchitecture configurations (paper Fig. 1.1).
+
+Six points on the reconfigurability/efficiency spectrum, for each field
+family where applicable:
+
+========================  =========================================
+name                      description
+========================  =========================================
+``baseline``              Pete + ROM + RAM, pure software (Section 5.1)
+``isa_ext``               + MADDU/M2ADDU/ADDAU/SHA (prime, Section 5.2.1)
+``isa_ext_ic``            prime ISA extensions + 4 KB I-cache (Section 5.3)
+``binary_isa``            + MULGF2/MADDGF2 (cumulative, Section 5.2.2)
+``monte``                 Pete + the microcoded GF(p) accelerator (5.4)
+``billie``                Pete + the GF(2^m) accelerator (5.5)
+========================  =========================================
+
+I-cache geometry is parameterizable for the Section 7.5 sweep via
+:func:`with_icache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.pete.icache import ICacheConfig
+
+
+@dataclass(frozen=True)
+class MicroarchConfig:
+    """One hardware/software configuration."""
+
+    name: str
+    description: str
+    prime_isa_ext: bool = False
+    binary_isa_ext: bool = False
+    icache: ICacheConfig | None = None
+    accelerator: str | None = None     # None | "monte" | "billie"
+    supports_prime: bool = True
+    supports_binary: bool = True
+    # --- the paper's Section 8 future-work switches -------------------
+    #: gate accelerator (and core) clocks while idle
+    clock_gating: bool = False
+    #: implement Billie's register file in SRAM instead of flip-flops
+    billie_sram_regfile: bool = False
+    #: run the group-order inversion on Monte via Fermat's little
+    #: theorem instead of the extended Euclidean algorithm on Pete
+    monte_order_inversion: bool = False
+    #: program memory is flash EEPROM rather than mask ROM
+    flash_program_memory: bool = False
+
+    @property
+    def has_icache(self) -> bool:
+        return self.icache is not None
+
+    def label(self) -> str:
+        return self.name
+
+
+BASELINE = MicroarchConfig(
+    name="baseline",
+    description="Pete, 256KB ROM, 16KB RAM, pure software",
+)
+
+ISA_EXT = MicroarchConfig(
+    name="isa_ext",
+    description="Pete with prime-field accumulator ISA extensions",
+    prime_isa_ext=True,
+    supports_binary=False,
+)
+
+ISA_EXT_IC = MicroarchConfig(
+    name="isa_ext_ic",
+    description="prime ISA extensions + 4KB direct-mapped I-cache",
+    prime_isa_ext=True,
+    icache=ICacheConfig(size_bytes=4096),
+    supports_binary=False,
+)
+
+BINARY_ISA = MicroarchConfig(
+    name="binary_isa",
+    description="Pete with carry-less (binary) ISA extensions",
+    prime_isa_ext=True,
+    binary_isa_ext=True,
+    supports_prime=False,
+)
+
+MONTE = MicroarchConfig(
+    name="monte",
+    description="Pete with the microcoded GF(p) accelerator 'Monte'",
+    accelerator="monte",
+    supports_binary=False,
+)
+
+BILLIE = MicroarchConfig(
+    name="billie",
+    description="Pete with the GF(2^m) accelerator 'Billie'",
+    accelerator="billie",
+    supports_prime=False,
+)
+
+ALL_CONFIGS: tuple[MicroarchConfig, ...] = (
+    BASELINE, ISA_EXT, ISA_EXT_IC, BINARY_ISA, MONTE, BILLIE,
+)
+
+# --- Section 8 future-work variants (not part of the paper's grid) -----
+
+MONTE_GATED = replace(
+    MONTE, name="monte_gated", clock_gating=True,
+    description="Monte with clock/power gating of the idle FFAU",
+)
+
+MONTE_OINV = replace(
+    MONTE, name="monte_oinv", monte_order_inversion=True,
+    description="Monte also accelerating the group-order inversion "
+                "(the Section 8 Amdahl's-law fix)",
+)
+
+BILLIE_GATED = replace(
+    BILLIE, name="billie_gated", clock_gating=True,
+    description="Billie gated off during the 62% of ECDSA it idles",
+)
+
+BILLIE_SRAM = replace(
+    BILLIE, name="billie_sram", billie_sram_regfile=True,
+    description="Billie with an SRAM register file instead of flip-flops",
+)
+
+BILLIE_SRAM_GATED = replace(
+    BILLIE, name="billie_sram_gated", billie_sram_regfile=True,
+    clock_gating=True,
+    description="Billie with SRAM register file and clock gating",
+)
+
+BASELINE_FLASH = replace(
+    BASELINE, name="baseline_flash", flash_program_memory=True,
+    description="baseline with flash EEPROM program memory",
+)
+
+ISA_EXT_IC_FLASH = replace(
+    ISA_EXT_IC, name="isa_ext_ic_flash", flash_program_memory=True,
+    description="ISA extensions + 4KB I-cache over flash program memory",
+)
+
+FUTURE_CONFIGS: tuple[MicroarchConfig, ...] = (
+    MONTE_GATED, MONTE_OINV, BILLIE_GATED, BILLIE_SRAM,
+    BILLIE_SRAM_GATED, BASELINE_FLASH, ISA_EXT_IC_FLASH,
+)
+
+_BY_NAME = {cfg.name: cfg for cfg in ALL_CONFIGS + FUTURE_CONFIGS}
+
+
+def get_config(name: str) -> MicroarchConfig:
+    if name not in _BY_NAME:
+        raise KeyError(
+            f"unknown config {name!r}; choose from {sorted(_BY_NAME)}"
+        )
+    return _BY_NAME[name]
+
+
+def with_icache(base: MicroarchConfig, size_bytes: int,
+                prefetch: bool = False) -> MicroarchConfig:
+    """A config variant with a different I-cache geometry (Fig. 7.12)."""
+    icache = ICacheConfig(size_bytes=size_bytes, prefetch=prefetch)
+    suffix = f"ic{size_bytes // 1024}k" + ("p" if prefetch else "")
+    return replace(base, name=f"{base.name}_{suffix}", icache=icache)

@@ -1,0 +1,233 @@
+"""Driving elliptic-curve point arithmetic through Monte (Section 5.4.1).
+
+The Billie driver shows the binary accelerator executing whole scalar
+multiplications; this module does the same for Monte: every field
+operation of the mixed Jacobian-affine formulas becomes the four-beat
+COP2 pattern (load A, load B, execute, store) against the shared RAM,
+with all values kept in the Montgomery domain so COP2MUL's a*b*R^-1 is
+exactly a field multiplication.
+
+Used for end-to-end validation (a scalar multiplication computed purely
+through Monte's instruction stream must match the software EC layer) and
+for measured whole-point-operation cycle counts including the real
+queue/DMA overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.monte import Monte
+from repro.ec.curves import Curve
+from repro.ec.point import INFINITY, AffinePoint, affine_neg
+from repro.ec.scalar import fractional_naf, precompute_odd_multiples
+
+#: Pete-side control work per point operation (window scan, branches).
+CONTROL_GAP_CYCLES = 10
+
+
+@dataclass
+class MonteRun:
+    """Result of one driven operation."""
+
+    result: AffinePoint
+    cycles: int
+    field_ops: int
+
+
+class MonteDriver:
+    """Issues Monte's instruction stream for Jacobian point arithmetic.
+
+    Values live in shared RAM as Montgomery-domain word arrays; the
+    driver tracks them as a small symbolic store keyed by variable name
+    (the addresses a compiler would assign).
+    """
+
+    def __init__(self, monte: Monte, curve: Curve) -> None:
+        if curve.is_binary:
+            raise ValueError("Monte accelerates prime fields")
+        self.m = monte
+        self.curve = curve
+        self.ctx = monte.ctx
+        self._mem: dict[str, list[int]] = {}
+        self._addr: dict[str, int] = {}
+        self._next_addr = 0x100
+        self.field_ops = 0
+
+    # -- the shared-RAM variable store -------------------------------------
+
+    def put(self, name: str, value: int) -> None:
+        """Place a field element (normal domain) into shared RAM."""
+        self._mem[name] = self.ctx.to_mont(value % self.curve.field.p)
+        self._addr.setdefault(name, self._alloc())
+
+    def get(self, name: str) -> int:
+        return self.ctx.from_mont(self._mem[name])
+
+    def _alloc(self) -> int:
+        addr = self._next_addr
+        self._next_addr += 4 * self.ctx.k
+        return addr
+
+    # -- field operations as COP2 streams -------------------------------------
+
+    def _binary_op(self, op: str, dst: str, a: str, b: str) -> None:
+        self.m.load_a(self._mem[a], addr=self._addr[a])
+        self.m.load_b(self._mem[b], addr=self._addr[b])
+        getattr(self.m, op)()
+        self._addr.setdefault(dst, self._alloc())
+        result, _ = self.m.store(addr=self._addr[dst])
+        self._mem[dst] = result
+        self.field_ops += 1
+
+    def mul(self, dst: str, a: str, b: str) -> None:
+        self._binary_op("mul", dst, a, b)
+
+    def add(self, dst: str, a: str, b: str) -> None:
+        self._binary_op("add", dst, a, b)
+
+    def sub(self, dst: str, a: str, b: str) -> None:
+        self._binary_op("sub", dst, a, b)
+
+    def gap(self) -> None:
+        self.m.now += CONTROL_GAP_CYCLES
+
+    def inverse(self, dst: str, src: str) -> None:
+        """Fermat inversion: a^(p-2) by square-and-multiply on Monte."""
+        exponent = self.curve.field.p - 2
+        self.put("_invacc", 1)
+        self.mul("_invacc", "_invacc", src)  # acc = src (from 1 * src)
+        for bit in bin(exponent)[3:]:
+            self.mul("_invacc", "_invacc", "_invacc")
+            if bit == "1":
+                self.mul("_invacc", "_invacc", src)
+        self._mem[dst] = self._mem["_invacc"]
+        self._addr.setdefault(dst, self._alloc())
+
+    # -- Jacobian point operations (mirror repro.ec.jacobian) -----------------
+
+    def point_double(self, x: str, y: str, z: str) -> None:
+        """(X, Y, Z) <- 2(X, Y, Z) in place; a = -3 formulas with the
+        small-constant multiplies as Monte additions."""
+        d = self
+        d.gap()
+        d.mul("t0", y, y)            # Y^2
+        d.mul("t1", x, "t0")         # X Y^2
+        d.add("t1", "t1", "t1")
+        d.add("t1", "t1", "t1")      # S = 4 X Y^2
+        d.mul("t2", z, z)            # Z^2
+        d.sub("t3", x, "t2")
+        d.add("t4", x, "t2")
+        d.mul("t3", "t3", "t4")
+        d.add("t4", "t3", "t3")
+        d.add("t3", "t4", "t3")      # M = 3 (X-Z^2)(X+Z^2)
+        d.mul("t4", "t3", "t3")      # M^2
+        d.sub("t4", "t4", "t1")
+        d.sub("t4", "t4", "t1")      # X3
+        d.mul("t5", "t0", "t0")      # Y^4
+        d.add("t5", "t5", "t5")
+        d.add("t5", "t5", "t5")
+        d.add("t5", "t5", "t5")      # 8 Y^4
+        d.sub("t6", "t1", "t4")
+        d.mul("t6", "t3", "t6")
+        d.sub("t6", "t6", "t5")      # Y3
+        d.mul("t7", y, z)
+        d.add("t7", "t7", "t7")      # Z3
+        self._rename("t4", x)
+        self._rename("t6", y)
+        self._rename("t7", z)
+
+    def point_add_mixed(self, x: str, y: str, z: str,
+                        qx: str, qy: str) -> None:
+        """(X, Y, Z) <- (X, Y, Z) + affine(qx, qy)."""
+        d = self
+        d.gap()
+        d.mul("u0", z, z)            # Z^2
+        d.mul("u1", qx, "u0")        # U2
+        d.mul("u2", "u0", z)
+        d.mul("u2", qy, "u2")        # S2
+        d.sub("u3", "u1", x)         # H
+        d.sub("u4", "u2", y)         # r
+        d.mul("u5", "u3", "u3")      # H^2
+        d.mul("u6", "u5", "u3")      # H^3
+        d.mul("u7", x, "u5")         # V
+        d.mul("u8", "u4", "u4")
+        d.sub("u8", "u8", "u6")
+        d.sub("u8", "u8", "u7")
+        d.sub("u8", "u8", "u7")      # X3
+        d.sub("u9", "u7", "u8")
+        d.mul("u9", "u4", "u9")
+        d.mul("ua", y, "u6")
+        d.sub("u9", "u9", "ua")      # Y3
+        d.mul("ub", z, "u3")         # Z3
+        self._rename("u8", x)
+        self._rename("u9", y)
+        self._rename("ub", z)
+
+    def _rename(self, src: str, dst: str) -> None:
+        self._mem[dst] = self._mem[src]
+        self._addr[dst] = self._addr[src]
+        self._addr[src] = self._alloc()
+
+    def to_affine(self, x: str, y: str, z: str) -> AffinePoint:
+        self.inverse("zi", z)
+        self.mul("zi2", "zi", "zi")
+        self.mul("ax", x, "zi2")
+        self.mul("zi3", "zi2", "zi")
+        self.mul("ay", y, "zi3")
+        return AffinePoint(self.get("ax"), self.get("ay"))
+
+
+def run_sliding_window(curve: Curve, scalar: int, point: AffinePoint,
+                       monte: Monte | None = None) -> MonteRun:
+    """Sliding-window scalar multiplication entirely through Monte's
+    instruction stream (the precomputed table is built in software; its
+    cycle cost is negligible next to the main loop)."""
+    monte = monte or Monte(curve.field.p)
+    monte.reset_time()
+    driver = MonteDriver(monte, curve)
+    table = precompute_odd_multiples(curve, point)
+    neg_table = {d: affine_neg(curve, p) for d, p in table.items()}
+    for digit, pt in table.items():
+        driver.put(f"tab{digit}x", pt.x)
+        driver.put(f"tab{digit}y", pt.y)
+        driver.put(f"ntab{digit}y", neg_table[digit].y)
+
+    digits = fractional_naf(scalar)
+    acc_live = False
+    for d in reversed(digits):
+        if acc_live:
+            driver.point_double("X", "Y", "Z")
+        if d:
+            key = abs(d)
+            qy = f"tab{key}y" if d > 0 else f"ntab{key}y"
+            if not acc_live:
+                driver.put("X", table[key].x if d > 0
+                           else neg_table[key].x)
+                driver.put("Y", table[key].y if d > 0
+                           else neg_table[key].y)
+                driver.put("Z", 1)
+                acc_live = True
+            else:
+                driver.point_add_mixed("X", "Y", "Z", f"tab{key}x", qy)
+    if not acc_live:
+        return MonteRun(INFINITY, monte.sync(), driver.field_ops)
+    result = driver.to_affine("X", "Y", "Z")
+    return MonteRun(result, monte.sync(), driver.field_ops)
+
+
+def run_point_operation_pair(curve: Curve) -> MonteRun:
+    """One double + one mixed add through Monte: the representative
+    sequence the system model's pattern costs are validated against."""
+    monte = Monte(curve.field.p)
+    driver = MonteDriver(monte, curve)
+    g = curve.generator
+    driver.put("X", g.x)
+    driver.put("Y", g.y)
+    driver.put("Z", 1)
+    driver.put("qx", g.x)
+    driver.put("qy", g.y)
+    driver.point_double("X", "Y", "Z")
+    driver.point_add_mixed("X", "Y", "Z", "qx", "qy")
+    result = driver.to_affine("X", "Y", "Z")
+    return MonteRun(result, monte.sync(), driver.field_ops)

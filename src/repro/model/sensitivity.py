@@ -1,0 +1,119 @@
+"""Sensitivity of the paper's conclusions to the energy calibration.
+
+The cycle-level results in this reproduction are measured; the absolute
+energies rest on the calibrated coefficients in
+:mod:`repro.energy.calibration`.  A fair question for any calibrated
+model is: *do the paper's qualitative conclusions survive if the
+calibration is wrong?*  This study perturbs each major coefficient by
+±25 % and recomputes the headline comparisons.
+
+The conclusions under test (all orderings, not magnitudes):
+
+1. every step right on Fig. 1.1's spectrum saves energy
+   (baseline > isa_ext > isa_ext_ic > monte, per key size);
+2. binary ISA beats prime ISA at equal security;
+3. software-only binary ECC is far worse than with the extensions;
+4. Billie beats Monte at 163/192-bit;
+5. the 4 KB instruction cache is no worse than its 1 KB and 8 KB
+   neighbours' *ordering* (1 KB worst of the three).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.energy.calibration import CALIBRATION, Calibration
+from repro.model.configs import ISA_EXT, with_icache
+from repro.model.system import SystemModel
+
+#: The coefficients perturbed, as (label, mutate(calibration, factor)).
+PERTURBATIONS: tuple[tuple[str, callable], ...] = (
+    ("pete_active", lambda c, f: replace(
+        c, pete=replace(c.pete, active_pj=c.pete.active_pj * f))),
+    ("pete_stall", lambda c, f: replace(
+        c, pete=replace(c.pete, stall_pj=c.pete.stall_pj * f))),
+    ("pete_static", lambda c, f: replace(
+        c, pete=replace(c.pete, static_uw=c.pete.static_uw * f))),
+    ("rom_read", lambda c, f: replace(c, rom_energy_scale=f)),
+    ("ram_access", lambda c, f: replace(c, ram_energy_scale=f)),
+    ("uncore", lambda c, f: replace(
+        c, uncore=replace(c.uncore, active_pj=c.uncore.active_pj * f))),
+    ("monte_idle", lambda c, f: replace(
+        c, monte=replace(c.monte, ffau_idle_pj=c.monte.ffau_idle_pj * f))),
+    ("monte_static", lambda c, f: replace(
+        c, monte=replace(c.monte, static_uw=c.monte.static_uw * f))),
+    ("billie_active", lambda c, f: replace(
+        c, billie=replace(c.billie,
+                          active_per_bit_pj=c.billie.active_per_bit_pj * f))),
+)
+
+
+@dataclass(frozen=True)
+class SensitivityOutcome:
+    """Whether every qualitative conclusion held for one perturbation."""
+
+    coefficient: str
+    factor: float
+    spectrum_ordering: bool
+    binary_beats_prime: bool
+    binary_sw_impractical: bool
+    billie_beats_monte_at_163: bool
+    cache_knee: bool
+
+    @property
+    def all_hold(self) -> bool:
+        return (self.spectrum_ordering and self.binary_beats_prime
+                and self.binary_sw_impractical
+                and self.billie_beats_monte_at_163 and self.cache_knee)
+
+
+def _evaluate(calibration: Calibration, coefficient: str,
+              factor: float) -> SensitivityOutcome:
+    model = SystemModel(calibration)
+
+    def uj(curve, config):
+        return model.report(curve, config).total_uj
+
+    spectrum = all(
+        uj(c, "baseline") > uj(c, "isa_ext") > uj(c, "isa_ext_ic")
+        > uj(c, "monte")
+        for c in ("P-192", "P-256")
+    )
+    binary_beats_prime = all(
+        uj(p, "isa_ext") > uj(b, "binary_isa")
+        for p, b in (("P-192", "B-163"), ("P-521", "B-571"))
+    )
+    binary_sw = uj("B-163", "baseline") > 4 * uj("B-163", "binary_isa")
+    billie = uj("P-192", "monte") > 1.3 * uj("B-163", "billie")
+    cache_1k = uj("P-192", with_icache(ISA_EXT, 1024))
+    cache_4k = uj("P-192", with_icache(ISA_EXT, 4096))
+    cache_8k = uj("P-192", with_icache(ISA_EXT, 8192))
+    knee = cache_4k <= cache_8k < cache_1k
+    return SensitivityOutcome(coefficient, factor, spectrum,
+                              binary_beats_prime, binary_sw, billie, knee)
+
+
+@lru_cache(maxsize=1)
+def sensitivity_sweep(delta: float = 0.25) -> list[SensitivityOutcome]:
+    """Perturb every coefficient by ±``delta`` and test the conclusions."""
+    outcomes = []
+    for label, mutate in PERTURBATIONS:
+        for factor in (1.0 - delta, 1.0 + delta):
+            calibration = mutate(CALIBRATION, factor)
+            outcomes.append(_evaluate(calibration, label, factor))
+    return outcomes
+
+
+def robustness_summary(delta: float = 0.25) -> dict[str, bool]:
+    """conclusion -> survived every perturbation?"""
+    outcomes = sensitivity_sweep(delta)
+    return {
+        "spectrum_ordering": all(o.spectrum_ordering for o in outcomes),
+        "binary_beats_prime": all(o.binary_beats_prime for o in outcomes),
+        "binary_sw_impractical": all(o.binary_sw_impractical
+                                     for o in outcomes),
+        "billie_beats_monte_at_163": all(o.billie_beats_monte_at_163
+                                         for o in outcomes),
+        "cache_knee": all(o.cache_knee for o in outcomes),
+    }

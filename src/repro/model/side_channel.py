@@ -1,0 +1,123 @@
+"""Timing side-channel analysis of the scalar-multiplication algorithms.
+
+The paper notes (Section 2.1.5) that the right-to-left double-and-add of
+Algorithm 1 is "relatively inefficient and susceptible to side-channel
+attacks", and that the Montgomery ladder performs the same work per bit
+regardless of its value.  Because this repository's accelerators are
+cycle-accurate timing machines, that claim is *measurable*: this module
+runs scalars of equal bit length but different Hamming weight through
+Billie and reports how strongly the execution time correlates with the
+secret's weight.
+
+Measured outcome (tests pin these):
+
+* naive double-and-add leaks the Hamming weight *monotonically* and
+  enormously (a dense scalar costs ~70 % more than a sparse one);
+* the window methods do data-independent doubling but leak the
+  *recoded digit density*, which varies with bit patterns in a
+  non-monotonic way an attacker cannot simply read the weight from;
+* the ladder performs identical work per bit; the residual ~1 % spread
+  the simulator still shows comes from bit-dependent register
+  assignment interacting with Billie's hazard logic -- exactly the
+  micro-architectural leakage real constant-work ladders exhibit on
+  pipelined hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.ec.curves import Curve
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """Cycle counts for scalars of fixed length, varying weight."""
+
+    algorithm: str
+    cycles_by_weight: dict[int, int]
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / min over the weight sweep: 0 = constant time."""
+        values = list(self.cycles_by_weight.values())
+        return (max(values) - min(values)) / min(values)
+
+    @property
+    def leaks_weight(self) -> bool:
+        """Does time increase monotonically with Hamming weight?"""
+        ordered = [self.cycles_by_weight[w]
+                   for w in sorted(self.cycles_by_weight)]
+        return all(a < b for a, b in zip(ordered, ordered[1:]))
+
+
+def _scalar_of_weight(bits: int, weight: int) -> int:
+    """A scalar with the top bit set plus weight-1 evenly spread bits."""
+    value = 1 << (bits - 1)
+    if weight > 1:
+        step = (bits - 2) // (weight - 1) or 1
+        position = 0
+        placed = 1
+        while placed < weight and position < bits - 1:
+            value |= 1 << position
+            position += step
+            placed += 1
+    return value
+
+
+def _naive_double_and_add_cycles(billie: Billie, curve: Curve,
+                                 scalar: int) -> int:
+    """Algorithm 1 on Billie: double every bit, add only on set bits --
+    the data-dependent schedule that leaks."""
+    from repro.model.billie_driver import BillieDriver
+
+    billie.reset_time()
+    driver = BillieDriver(billie, curve)
+    g = curve.generator
+    regs = driver.regs
+    qx, qy = driver._alloc_load(g.x), driver._alloc_load(g.y)
+    ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
+    driver._load(ax, g.x)
+    driver._load(ay, g.y)
+    driver._load(az, 1)
+    for bit in bin(scalar)[3:]:
+        driver.double(ax, ay, az)
+        if bit == "1":
+            ax, ay, az = driver.add_mixed(ax, ay, az, qx, qy)
+    return billie.sync()
+
+
+def _ladder_cycles(billie: Billie, curve: Curve, scalar: int) -> int:
+    from repro.model.billie_driver import run_montgomery_ladder
+
+    run = run_montgomery_ladder(curve, scalar, curve.generator, billie)
+    return run.cycles
+
+
+def _window_cycles(billie: Billie, curve: Curve, scalar: int) -> int:
+    from repro.model.billie_driver import run_sliding_window
+
+    run = run_sliding_window(curve, scalar, curve.generator, billie)
+    return run.cycles
+
+
+ALGORITHMS = {
+    "double_and_add": _naive_double_and_add_cycles,
+    "sliding_window": _window_cycles,
+    "montgomery_ladder": _ladder_cycles,
+}
+
+
+def leakage_report(algorithm: str, curve: Curve,
+                   weights: tuple[int, ...] = (8, 40, 80, 120, 155),
+                   ) -> LeakageReport:
+    """Sweep scalars of the curve's full bit length across Hamming
+    weights and time each with the requested algorithm on Billie."""
+    runner = ALGORITHMS[algorithm]
+    cycles = {}
+    for weight in weights:
+        scalar = _scalar_of_weight(curve.bits - 1, weight)
+        billie = Billie(BillieConfig(m=curve.bits))
+        cycles[weight] = runner(billie, curve, scalar)
+    return LeakageReport(algorithm, cycles)

@@ -1,0 +1,65 @@
+"""Word-level multi-precision arithmetic (paper Section 4.2).
+
+Large integers / polynomials are stored as little-endian arrays of w-bit
+words ("limbs"), exactly as the paper's C++ software suite stores them in
+RAM on Pete.  Every algorithm evaluated by the paper is implemented at the
+word level:
+
+* operand-scanning multiplication (Algorithm 2) -- the baseline's choice;
+* product-scanning multiplication (Algorithm 3) -- used with the MADDU /
+  SHA ISA extensions;
+* CIOS Montgomery multiplication (Algorithm 5) -- Monte's microcode;
+* FIPS Montgomery multiplication -- evaluated and rejected by the paper;
+* Karatsuba word multiplication (Eq. 5.1) -- Pete's multi-cycle multiplier;
+* left-to-right comb binary multiplication with width-w windows
+  (Algorithm 6) -- the software-only binary path;
+* carry-less product scanning -- the MULGF2/MADDGF2 path;
+* table-based binary squaring (Section 4.2.3);
+* word-level NIST fast reduction for all ten fields.
+
+These are cross-validated against the integer-level :mod:`repro.fields`
+layer, and their structure (loop trip counts, memory traffic) is what the
+generated assembly kernels in :mod:`repro.kernels` implement on the Pete
+simulator.
+"""
+
+from repro.mp.words import from_int, to_int, word_mask
+from repro.mp.prime_mul import (
+    karatsuba_word_mul,
+    operand_scanning_mul,
+    product_scanning_mul,
+)
+from repro.mp.montgomery import (
+    MontgomeryContext,
+    cios_montmul,
+    fips_montmul,
+)
+from repro.mp.binary_mul import (
+    bitserial_clmul,
+    comb_mul,
+    product_scanning_clmul,
+)
+from repro.mp.binary_sqr import binary_square_words, SQUARE_TABLE_8BIT
+from repro.mp.reduce import (
+    reduce_words_binary,
+    reduce_words_prime,
+)
+
+__all__ = [
+    "from_int",
+    "to_int",
+    "word_mask",
+    "operand_scanning_mul",
+    "product_scanning_mul",
+    "karatsuba_word_mul",
+    "MontgomeryContext",
+    "cios_montmul",
+    "fips_montmul",
+    "comb_mul",
+    "bitserial_clmul",
+    "product_scanning_clmul",
+    "binary_square_words",
+    "SQUARE_TABLE_8BIT",
+    "reduce_words_prime",
+    "reduce_words_binary",
+]

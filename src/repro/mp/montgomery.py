@@ -1,0 +1,157 @@
+"""Montgomery multiplication (paper Section 4.2.1, Algorithm 5).
+
+Montgomery reduction is the hardware-preferred reduction because a single
+algorithm covers any odd modulus -- only parameters (word count k and the
+precomputed n'_0 = -n^-1 mod 2^w) change, which is precisely why Monte's
+FFAU microcode implements **CIOS** (Coarsely Integrated Operand Scanning).
+
+Two of the Koc/Acar/Kaliski variants are implemented:
+
+* :func:`cios_montmul` -- operand scanning with the reduction folded into
+  every outer-loop iteration; the FFAU microprogram in
+  :mod:`repro.accel.microcode` follows this word flow exactly.
+* :func:`fips_montmul` -- Finely Integrated Product Scanning, the variant
+  the paper benchmarked against product scanning + NIST reduction on the
+  ISA-extended core (and rejected).
+
+:class:`MontgomeryContext` packages the domain conversions R = 2^(k*w).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fields.inversion import egcd_inverse
+from repro.mp.words import from_int, to_int, word_mask
+
+
+def mont_n0_prime(n: int, w: int = 32) -> int:
+    """n'_0 = -n^{-1} mod 2^w, the per-modulus CIOS constant."""
+    r = 1 << w
+    return (-egcd_inverse(n % r, r)) % r
+
+
+def cios_montmul(
+    a: list[int], b: list[int], n: list[int], n0p: int, w: int = 32
+) -> list[int]:
+    """CIOS Montgomery multiplication (Algorithm 5).
+
+    Computes a*b*R^{-1} mod n, R = 2^(k*w), with the final conditional
+    subtraction.  The word-by-word flow (two inner loops of k iterations,
+    T array of k+2 words) matches Monte's FFAU microcode and its cycle
+    equation cc = 2k^2 + 6k + (k+1)p + 22 (Eq. 5.2).
+    """
+    k = len(a)
+    if len(b) != k or len(n) != k:
+        raise ValueError("operands and modulus must have equal word counts")
+    mask = word_mask(w)
+    t = [0] * (k + 2)
+    for i in range(k):
+        # --- multiplication inner loop: t += a * b[i]
+        carry = 0
+        bi = b[i]
+        for j in range(k):
+            cs = t[j] + a[j] * bi + carry
+            t[j] = cs & mask
+            carry = cs >> w
+        cs = t[k] + carry
+        t[k] = cs & mask
+        t[k + 1] = cs >> w
+        # --- reduction inner loop: t = (t + m * n) / 2^w
+        m = (t[0] * n0p) & mask
+        cs = t[0] + m * n[0]
+        carry = cs >> w
+        for j in range(1, k):
+            cs = t[j] + m * n[j] + carry
+            t[j - 1] = cs & mask
+            carry = cs >> w
+        cs = t[k] + carry
+        t[k - 1] = cs & mask
+        t[k] = t[k + 1] + (cs >> w)
+    result = t[:k]
+    if to_int(result, w) + (t[k] << (k * w)) >= to_int(n, w):
+        value = to_int(result, w) + (t[k] << (k * w)) - to_int(n, w)
+        result = from_int(value, k, w)
+    return result
+
+
+def fips_montmul(
+    a: list[int], b: list[int], n: list[int], n0p: int, w: int = 32
+) -> list[int]:
+    """FIPS (Finely Integrated Product Scanning) Montgomery multiplication.
+
+    Product-scanning structure: for each column, accumulate a_j*b_{i-j} and
+    m_j*n_{i-j} into a triple-word accumulator, generating one m word per
+    low column.  Requires the accumulator ISA extensions to be efficient in
+    software; the paper measured it slower than product scanning with NIST
+    reduction, hence it is used only as a cross-check here.
+    """
+    k = len(a)
+    if len(b) != k or len(n) != k:
+        raise ValueError("operands and modulus must have equal word counts")
+    mask = word_mask(w)
+    m = [0] * k
+    acc = 0
+    for i in range(k):
+        for j in range(i):
+            acc += a[j] * b[i - j] + m[j] * n[i - j]
+        acc += a[i] * b[0]
+        m[i] = (acc * n0p) & mask
+        acc += m[i] * n[0]
+        assert acc & mask == 0
+        acc >>= w
+    out = [0] * (k + 1)
+    for i in range(k, 2 * k):
+        for j in range(i - k + 1, k):
+            acc += a[j] * b[i - j] + m[j] * n[i - j]
+        out[i - k] = acc & mask
+        acc >>= w
+    out[k] = acc & mask
+    value = to_int(out, w)
+    n_val = to_int(n, w)
+    if value >= n_val:
+        value -= n_val
+    return from_int(value, k, w)
+
+
+@dataclass
+class MontgomeryContext:
+    """Montgomery domain for a fixed odd modulus.
+
+    Attributes
+    ----------
+    n_words: modulus limbs.
+    n0p:     -n^{-1} mod 2^w.
+    r2:      R^2 mod n as limbs (for entering the domain).
+    """
+
+    n: int
+    w: int = 32
+    k: int = 0
+    n_words: list[int] = None  # type: ignore[assignment]
+    n0p: int = 0
+    r2: list[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n % 2 == 0:
+            raise ValueError("Montgomery modulus must be odd")
+        self.k = -(-self.n.bit_length() // self.w)
+        self.n_words = from_int(self.n, self.k, self.w)
+        self.n0p = mont_n0_prime(self.n, self.w)
+        r = 1 << (self.k * self.w)
+        self.r2 = from_int((r * r) % self.n, self.k, self.w)
+
+    def to_mont(self, x: int) -> list[int]:
+        """x -> x*R mod n (one CIOS with R^2)."""
+        xw = from_int(x % self.n, self.k, self.w)
+        return cios_montmul(xw, self.r2, self.n_words, self.n0p, self.w)
+
+    def from_mont(self, xw: list[int]) -> int:
+        """x*R -> x (one CIOS with 1)."""
+        one = from_int(1, self.k, self.w)
+        return to_int(
+            cios_montmul(xw, one, self.n_words, self.n0p, self.w), self.w
+        )
+
+    def mul(self, aw: list[int], bw: list[int]) -> list[int]:
+        return cios_montmul(aw, bw, self.n_words, self.n0p, self.w)

@@ -1,0 +1,172 @@
+"""Multi-precision integer multiplication (paper Section 4.2.1, 5.1.2).
+
+Three multiplication structures are implemented:
+
+* :func:`operand_scanning_mul` -- Algorithm 2, the "school-book" nested
+  loop with a (carry, sum) multiply-add in the inner loop.  This is what
+  the baseline software uses (it performed marginally better than product
+  scanning without ISA support).
+* :func:`product_scanning_mul` -- Algorithm 3 (Comba), accumulating each
+  result column in a triple-word (t, u, v) accumulator.  This is only
+  profitable with the MADDU/SHA accumulator ISA extensions (Table 5.1).
+* :func:`karatsuba_word_mul` -- Eq. 5.1, a single *word* multiplication
+  decomposed into three half-word multiplies the way Pete's multi-cycle
+  multiplier implements it in hardware.
+
+All functions also report simple structural statistics (word multiplies,
+memory reads/writes) that the cycle model can sanity-check against the
+assembly kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mp.words import word_mask
+
+
+@dataclass
+class MulTrace:
+    """Structural statistics of one multi-precision multiplication."""
+
+    word_muls: int = 0
+    word_adds: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+
+    def merge(self, other: "MulTrace") -> None:
+        self.word_muls += other.word_muls
+        self.word_adds += other.word_adds
+        self.mem_reads += other.mem_reads
+        self.mem_writes += other.mem_writes
+
+
+def operand_scanning_mul(
+    a: list[int], b: list[int], w: int = 32, trace: MulTrace | None = None
+) -> list[int]:
+    """Operand-scanning multiplication (Algorithm 2).
+
+    P = A * B with the outer loop over the multiplier words b_i and the
+    inner loop performing (u, v) = a_j * b_i + p_{i+j} + u.
+    Returns 2k result words.
+    """
+    k = len(a)
+    if len(b) != k:
+        raise ValueError("operands must have equal word counts")
+    mask = word_mask(w)
+    p = [0] * (2 * k)
+    for i in range(k):
+        u = 0
+        bi = b[i]
+        if trace:
+            trace.mem_reads += 1
+        for j in range(k):
+            uv = a[j] * bi + p[i + j] + u
+            if trace:
+                trace.word_muls += 1
+                trace.word_adds += 2
+                trace.mem_reads += 2
+                trace.mem_writes += 1
+            p[i + j] = uv & mask
+            u = uv >> w
+        p[i + k] = u
+        if trace:
+            trace.mem_writes += 1
+    return p
+
+
+def product_scanning_mul(
+    a: list[int], b: list[int], w: int = 32, trace: MulTrace | None = None
+) -> list[int]:
+    """Product-scanning (Comba) multiplication (Algorithm 3).
+
+    Each output column p_i accumulates all a_j * b_{i-j} partial products
+    into a triple-word accumulator (t, u, v); with the MADDU instruction the
+    accumulator lives in (OvFlo, Hi, Lo) and the inner loop is a single
+    multiply-accumulate.  Returns 2k result words.
+    """
+    k = len(a)
+    if len(b) != k:
+        raise ValueError("operands must have equal word counts")
+    mask = word_mask(w)
+    p = [0] * (2 * k)
+    acc = 0  # models the (t, u, v) = (OvFlo, Hi, Lo) register set
+    for i in range(2 * k - 1):
+        lo = max(0, i - k + 1)
+        hi = min(i, k - 1)
+        for j in range(lo, hi + 1):
+            acc += a[j] * b[i - j]
+            if trace:
+                trace.word_muls += 1
+                trace.word_adds += 1
+                trace.mem_reads += 2
+        p[i] = acc & mask
+        if trace:
+            trace.mem_writes += 1
+        acc >>= w  # the SHA instruction: shift the accumulator right a word
+    p[2 * k - 1] = acc & mask
+    if trace:
+        trace.mem_writes += 1
+    return p
+
+
+def product_scanning_sqr(
+    a: list[int], w: int = 32, trace: MulTrace | None = None
+) -> list[int]:
+    """Product-scanning squaring using the M2ADDU optimization.
+
+    Off-diagonal partial products appear twice in a square; M2ADDU
+    accumulates 2*rs*rt in one instruction, nearly halving the word
+    multiplies (k*(k+1)/2 instead of k^2).
+    """
+    k = len(a)
+    mask = word_mask(w)
+    p = [0] * (2 * k)
+    acc = 0
+    for i in range(2 * k - 1):
+        lo = max(0, i - k + 1)
+        hi = min(i, k - 1)
+        for j in range(lo, hi + 1):
+            other = i - j
+            if j > other:
+                break
+            prod = a[j] * a[other]
+            acc += prod if j == other else 2 * prod
+            if trace:
+                trace.word_muls += 1
+                trace.word_adds += 1
+                trace.mem_reads += 2
+        p[i] = acc & mask
+        if trace:
+            trace.mem_writes += 1
+        acc >>= w
+    p[2 * k - 1] = acc & mask
+    return p
+
+
+def karatsuba_word_mul(a: int, b: int, w: int = 32) -> tuple[int, int]:
+    """One w-bit x w-bit multiply via Karatsuba decomposition (Eq. 5.1).
+
+    Splits both operands into half words and uses three half-word
+    multiplications plus a four-port add -- the exact datapath of Pete's
+    multi-cycle multiplier (Fig. 5.2).  Returns (hi, lo) result words.
+    The middle term (AH - AL)*(BL - BH) can be negative; the hardware
+    handles this with a 17x17 signed multiplier block, and so do we.
+    """
+    half = w // 2
+    mask_half = (1 << half) - 1
+    mask_word = word_mask(w)
+    a_hi, a_lo = a >> half, a & mask_half
+    b_hi, b_lo = b >> half, b & mask_half
+    t_high = a_hi * b_hi
+    t_low = a_lo * b_lo
+    t_mid = (a_hi - a_lo) * (b_lo - b_hi)  # signed 17x17 product
+    product = (t_high << w) + ((t_high + t_low + t_mid) << half) + t_low
+    return (product >> w) & mask_word, product & mask_word
+
+
+def school_book_word_mul(a: int, b: int, w: int = 32) -> tuple[int, int]:
+    """Reference w x w multiply (four half-word products); used by the
+    multiplier-ablation study (paper Section 7.8)."""
+    product = a * b
+    return (product >> w) & word_mask(w), product & word_mask(w)

@@ -1,0 +1,82 @@
+"""Word-level NIST fast reduction (paper Algorithms 4 and 7).
+
+These mirror :mod:`repro.fields.nist` but operate on limb arrays, following
+the word/shift structure that the generated assembly kernels implement.
+Validated against the integer-level reducers in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.fields.nist import (
+    BINARY_TAIL_EXPONENTS,
+    NIST_BINARY_POLYS,
+    NIST_PRIMES,
+    PRIME_REDUCERS,
+    reduce_binary,
+)
+from repro.mp.words import from_int, to_int, words_for
+
+
+def reduce_words_prime(
+    c: list[int], bits: int, w: int = 32
+) -> list[int]:
+    """Reduce a 2k-word product modulo the NIST prime of ``bits`` bits."""
+    if bits not in NIST_PRIMES:
+        raise KeyError(f"no NIST prime of {bits} bits")
+    value = PRIME_REDUCERS[bits](to_int(c, w))
+    return from_int(value, words_for(bits, w), w)
+
+
+def reduce_words_binary(c: list[int], m: int, w: int = 32) -> list[int]:
+    """Reduce a 2k-word polynomial product modulo the NIST field of
+    degree ``m`` (word-level Algorithm 7 for B-163 and friends)."""
+    if m not in NIST_BINARY_POLYS:
+        raise KeyError(f"no NIST binary field of degree {m}")
+    value = reduce_binary(to_int(c, w), m)
+    return from_int(value, words_for(m, w), w)
+
+
+def reduce_b163_words(c: list[int], w: int = 32) -> list[int]:
+    """Explicit word-level Algorithm 7: fast reduction modulo
+    f(x) = x^163 + x^7 + x^6 + x^3 + 1.
+
+    Works on eleven 32-bit input words C[10..0]; folds words 10..6 down,
+    then handles the straddling word C[5].  This is the exact shift/XOR
+    schedule of the paper's Algorithm 7 and of the ``red_b163`` assembly
+    kernel.
+    """
+    if w != 32:
+        raise ValueError("Algorithm 7 is specified for 32-bit words")
+    c = list(c) + [0] * (11 - len(c))
+    mask = 0xFFFFFFFF
+    for i in range(10, 5, -1):
+        t = c[i]
+        c[i - 6] ^= (t << 29) & mask
+        c[i - 5] ^= ((t >> 3) ^ t ^ (t << 3) ^ (t << 4)) & mask
+        c[i - 4] ^= ((t >> 28) ^ (t >> 29)) & mask
+    t = c[5] >> 3
+    c[0] ^= ((t << 7) ^ (t << 6) ^ (t << 3) ^ t) & mask
+    c[1] ^= ((t >> 25) ^ (t >> 26)) & mask
+    c[5] &= 0x7
+    return c[:6]
+
+
+def reduction_fold_ops(bits_or_m: int, prime: bool) -> int:
+    """Approximate number of word operations in one fast reduction.
+
+    Used by the cycle model to extrapolate reduction cost to fields for
+    which no explicit kernel was generated: cost scales with (number of
+    fold terms) x (words per element), plus per-term shift work for binary
+    fields whose terms do not fall on word boundaries.
+    """
+    if prime:
+        from repro.fields.nist import PRIME_FOLD_TERMS
+
+        k = words_for(bits_or_m, 32)
+        terms = PRIME_FOLD_TERMS[bits_or_m]
+        # each fold term is a k-word add; plus the conditional subtract
+        return (terms + 1) * k + 2 * k
+    tail = BINARY_TAIL_EXPONENTS[bits_or_m]
+    k = words_for(bits_or_m, 32)
+    # each tail exponent costs ~2 shifted XOR word ops per folded word
+    return len(tail) * 2 * (k + 1) + k

@@ -1,0 +1,83 @@
+"""Limb (word-array) helpers.
+
+A multi-precision value of n bits on a w-bit datapath occupies
+k = ceil(n/w) little-endian words (paper Section 4.2).  All routines in
+:mod:`repro.mp` operate on plain ``list[int]`` limb arrays so that the
+generated assembly kernels can mirror them access-for-access.
+"""
+
+from __future__ import annotations
+
+
+def word_mask(w: int) -> int:
+    """All-ones mask for a w-bit word."""
+    return (1 << w) - 1
+
+
+def words_for(bits: int, w: int = 32) -> int:
+    """k = ceil(bits / w)."""
+    return -(-bits // w)
+
+
+def from_int(value: int, k: int, w: int = 32) -> list[int]:
+    """Split ``value`` into k little-endian w-bit words."""
+    if value < 0:
+        raise ValueError("limb arrays are unsigned")
+    if value >> (k * w):
+        raise OverflowError(f"{value.bit_length()} bits do not fit in {k}x{w}")
+    mask = word_mask(w)
+    return [(value >> (w * i)) & mask for i in range(k)]
+
+
+def to_int(words: list[int], w: int = 32) -> int:
+    """Recombine little-endian w-bit words into an int."""
+    value = 0
+    for i, word in enumerate(words):
+        value |= word << (w * i)
+    return value
+
+
+def add_words(a: list[int], b: list[int], w: int = 32) -> tuple[list[int], int]:
+    """Multi-precision add; returns (sum words, carry-out bit).
+
+    O(k): one full-word add with carry per limb, exactly the loop the
+    ``mp_add`` assembly kernel implements with ADDU/SLTU pairs.
+    """
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    mask = word_mask(w)
+    out = []
+    carry = 0
+    for x, y in zip(a, b):
+        s = x + y + carry
+        out.append(s & mask)
+        carry = s >> w
+    return out, carry
+
+
+def sub_words(a: list[int], b: list[int], w: int = 32) -> tuple[list[int], int]:
+    """Multi-precision subtract; returns (difference words, borrow bit)."""
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    mask = word_mask(w)
+    out = []
+    borrow = 0
+    for x, y in zip(a, b):
+        d = x - y - borrow
+        out.append(d & mask)
+        borrow = 1 if d < 0 else 0
+    return out, borrow
+
+
+def xor_words(a: list[int], b: list[int]) -> list[int]:
+    """Carry-less (binary field) addition: per-limb XOR."""
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def shift_left_words(a: list[int], bits: int, w: int = 32) -> list[int]:
+    """Logical left shift of a limb array (length grows as needed)."""
+    value = to_int(a, w) << bits
+    k = max(len(a), words_for(value.bit_length() or 1, w))
+    return from_int(value, k, w)

@@ -1,0 +1,331 @@
+"""Two-pass assembler for Pete.
+
+Supports the full MIPS-subset ISA plus extensions, labels, a handful of
+pseudo-instructions, ``.word`` data and explicit branch-delay-slot
+placement:
+
+* every branch/jump is followed by a delay slot; by default the assembler
+  fills it with a ``nop``, but a source line beginning with ``.ds`` places
+  that instruction in the slot instead (how the hand-scheduled kernels
+  keep their inner loops tight);
+* pseudo-instructions: ``li``, ``la``, ``move``, ``nop``, ``b``, ``beqz``,
+  ``bnez``, ``halt`` (assembles to ``break``);
+* ``#`` and ``;`` start comments.
+
+Example::
+
+    loop:
+        lw    $t0, 0($a0)
+        maddu $t0, $t1
+        bne   $a0, $a3, loop
+        .ds addiu $a0, $a0, 4
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.pete.isa import (
+    COP2_FUNCT,
+    FUNCT,
+    FUNCT2,
+    OPCODES_I,
+    OPCODES_J,
+    REGISTERS,
+    PeteISA,
+)
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly source."""
+
+
+@dataclass
+class Assembled:
+    """Output of :func:`assemble`."""
+
+    words: list[int]
+    labels: dict[str, int]
+    base: int = 0
+
+    def address_of(self, label: str) -> int:
+        return self.base + 4 * self.labels[label]
+
+
+_TOKEN_RE = re.compile(r"[\w.$-]+|\(|\)|,")
+
+
+def _reg(token: str, line: str) -> int:
+    name = token.lstrip("$")
+    if name not in REGISTERS:
+        raise AssemblyError(f"bad register {token!r} in: {line}")
+    return REGISTERS[name]
+
+
+def _imm(token: str, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad immediate {token!r} in: {line}") from exc
+
+
+@dataclass
+class _Item:
+    """One instruction slot prior to encoding."""
+
+    mnemonic: str
+    operands: list[str]
+    line: str
+    in_delay_slot: bool = False
+
+
+_BRANCHES = {"beq", "bne", "blez", "bgtz", "bltz", "bgez", "b", "beqz", "bnez"}
+_JUMPS = {"j", "jal", "jr", "jalr"}
+
+
+def _parse(source: str) -> tuple[list[_Item], dict[str, int]]:
+    """First pass: expand pseudo-instructions, place delay slots, and
+    record label positions (in instruction-slot units)."""
+    items: list[_Item] = []
+    labels: dict[str, int] = {}
+    pending_ds: _Item | None = None
+
+    def emit(item: _Item) -> None:
+        items.append(item)
+
+    raw_lines = source.splitlines()
+    index = 0
+    while index < len(raw_lines):
+        line = raw_lines[index]
+        index += 1
+        code = line.split("#")[0].split(";")[0].strip()
+        if not code:
+            continue
+        while ":" in code:
+            label, _, rest = code.partition(":")
+            label = label.strip()
+            if not re.fullmatch(r"[A-Za-z_.][\w.]*", label):
+                raise AssemblyError(f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}")
+            labels[label] = len(items)
+            code = rest.strip()
+        if not code:
+            continue
+        is_ds = False
+        if code.startswith(".ds"):
+            is_ds = True
+            code = code[3:].strip()
+            if not code:
+                raise AssemblyError(".ds needs an instruction")
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_str = parts[1] if len(parts) > 1 else ""
+        operands = [tok for tok in _TOKEN_RE.findall(operand_str)
+                    if tok not in (",", "(", ")")]
+
+        if is_ds:
+            if not items or items[-1].mnemonic not in _BRANCHES | _JUMPS:
+                raise AssemblyError(f".ds must follow a branch/jump: {line}")
+            emit(_Item(mnemonic, operands, line, in_delay_slot=True))
+            continue
+
+        emit(_Item(mnemonic, operands, line))
+        if mnemonic in _BRANCHES | _JUMPS:
+            # peek: does a .ds line follow?
+            peek = index
+            while peek < len(raw_lines):
+                nxt = raw_lines[peek].split("#")[0].split(";")[0].strip()
+                if nxt:
+                    break
+                peek += 1
+            follows_ds = peek < len(raw_lines) and raw_lines[peek].split(
+                "#")[0].split(";")[0].strip().startswith(".ds")
+            if not follows_ds:
+                emit(_Item("nop", [], "nop (auto delay slot)",
+                           in_delay_slot=True))
+    return items, labels
+
+
+def _expand(items: list[_Item], labels: dict[str, int]) -> list[_Item]:
+    """Second sub-pass: expand multi-word pseudo-instructions.
+
+    Expansion happens *before* label resolution would be ambiguous, so all
+    pseudo-instructions must have a size independent of operand values
+    except ``li`` (whose size depends only on the literal, available now).
+    """
+    out: list[_Item] = []
+    remap: dict[int, int] = {}
+    for slot, item in enumerate(items):
+        remap[slot] = len(out)
+        m, ops = item.mnemonic, item.operands
+        if m == "nop":
+            out.append(_Item("sll", ["$zero", "$zero", "0"], item.line,
+                             item.in_delay_slot))
+        elif m == "halt":
+            out.append(_Item("break", [], item.line, item.in_delay_slot))
+        elif m == "move":
+            out.append(_Item("addu", [ops[0], ops[1], "$zero"], item.line,
+                             item.in_delay_slot))
+        elif m == "b":
+            out.append(_Item("beq", ["$zero", "$zero", ops[0]], item.line,
+                             item.in_delay_slot))
+        elif m == "beqz":
+            out.append(_Item("beq", [ops[0], "$zero", ops[1]], item.line,
+                             item.in_delay_slot))
+        elif m == "bnez":
+            out.append(_Item("bne", [ops[0], "$zero", ops[1]], item.line,
+                             item.in_delay_slot))
+        elif m == "li":
+            value = _imm(ops[1], item.line) & 0xFFFFFFFF
+            if value < 0x8000 or value >= 0xFFFF8000:
+                out.append(_Item("addiu", [ops[0], "$zero",
+                                           str(value - (1 << 32) if value >= 0xFFFF8000 else value)],
+                                 item.line, item.in_delay_slot))
+            elif value & 0xFFFF == 0:
+                out.append(_Item("lui", [ops[0], str(value >> 16)],
+                                 item.line, item.in_delay_slot))
+            else:
+                if item.in_delay_slot:
+                    raise AssemblyError(f"2-word li in delay slot: {item.line}")
+                out.append(_Item("lui", [ops[0], str(value >> 16)], item.line))
+                out.append(_Item("ori", [ops[0], ops[0],
+                                         str(value & 0xFFFF)], item.line))
+        elif m == "la":
+            if item.in_delay_slot:
+                raise AssemblyError(f"la in delay slot: {item.line}")
+            out.append(_Item("la.hi", [ops[0], ops[1]], item.line))
+            out.append(_Item("la.lo", [ops[0], ops[0], ops[1]], item.line))
+        else:
+            out.append(item)
+    new_labels = {}
+    for name, slot in labels.items():
+        new_labels[name] = remap.get(slot, len(out))
+    return out, new_labels  # type: ignore[return-value]
+
+
+def assemble(source: str, base: int = 0) -> Assembled:
+    """Assemble source text into machine words at ``base``."""
+    items, labels = _parse(source)
+    items, labels = _expand(items, labels)
+    isa = PeteISA
+    words: list[int] = []
+
+    def label_addr(token: str, line: str) -> int:
+        if token in labels:
+            return base + 4 * labels[token]
+        return _imm(token, line)
+
+    for slot, item in enumerate(items):
+        m, ops, line = item.mnemonic, item.operands, item.line
+        try:
+            if m == ".word":
+                words.append(_imm(ops[0], line) & 0xFFFFFFFF)
+            elif m == "la.hi":
+                addr = label_addr(ops[1], line)
+                words.append(isa.encode_i("lui", _reg(ops[0], line), 0,
+                                          (addr >> 16) & 0xFFFF))
+            elif m == "la.lo":
+                addr = label_addr(ops[2], line)
+                words.append(isa.encode_i("ori", _reg(ops[0], line),
+                                          _reg(ops[1], line), addr & 0xFFFF))
+            elif m in ("sll", "srl", "sra"):
+                words.append(isa.encode_r(m, rd=_reg(ops[0], line),
+                                          rt=_reg(ops[1], line),
+                                          shamt=_imm(ops[2], line)))
+            elif m in ("sllv", "srlv", "srav"):
+                words.append(isa.encode_r(m, rd=_reg(ops[0], line),
+                                          rt=_reg(ops[1], line),
+                                          rs=_reg(ops[2], line)))
+            elif m in ("add", "addu", "sub", "subu", "and", "or", "xor",
+                       "nor", "slt", "sltu"):
+                words.append(isa.encode_r(m, rd=_reg(ops[0], line),
+                                          rs=_reg(ops[1], line),
+                                          rt=_reg(ops[2], line)))
+            elif m in ("mult", "multu", "div", "divu"):
+                words.append(isa.encode_r(m, rs=_reg(ops[0], line),
+                                          rt=_reg(ops[1], line)))
+            elif m in ("mfhi", "mflo"):
+                words.append(isa.encode_r(m, rd=_reg(ops[0], line)))
+            elif m in ("mthi", "mtlo"):
+                words.append(isa.encode_r(m, rs=_reg(ops[0], line)))
+            elif m == "jr":
+                words.append(isa.encode_r(m, rs=_reg(ops[0], line)))
+            elif m == "jalr":
+                rd = 31 if len(ops) == 1 else _reg(ops[0], line)
+                rs = _reg(ops[-1], line)
+                words.append(isa.encode_r(m, rd=rd, rs=rs))
+            elif m in ("break", "syscall"):
+                words.append(isa.encode_r(m))
+            elif m in FUNCT2:
+                if m == "sha":
+                    words.append(isa.encode_r2(m))
+                else:
+                    words.append(isa.encode_r2(m, rs=_reg(ops[0], line),
+                                               rt=_reg(ops[1], line)))
+            elif m in ("beq", "bne"):
+                target = label_addr(ops[2], line)
+                offset = (target - (base + 4 * slot + 4)) // 4
+                words.append(isa.encode_i(m, _reg(ops[1], line),
+                                          _reg(ops[0], line), offset))
+            elif m in ("blez", "bgtz"):
+                target = label_addr(ops[1], line)
+                offset = (target - (base + 4 * slot + 4)) // 4
+                words.append(isa.encode_i(m, 0, _reg(ops[0], line), offset))
+            elif m in ("bltz", "bgez"):
+                target = label_addr(ops[1], line)
+                offset = (target - (base + 4 * slot + 4)) // 4
+                words.append(isa.encode_regimm(m, _reg(ops[0], line), offset))
+            elif m in ("addi", "addiu", "slti", "sltiu", "andi", "ori",
+                       "xori"):
+                words.append(isa.encode_i(m, _reg(ops[0], line),
+                                          _reg(ops[1], line),
+                                          _imm(ops[2], line)))
+            elif m == "lui":
+                words.append(isa.encode_i(m, _reg(ops[0], line), 0,
+                                          _imm(ops[1], line)))
+            elif m in ("lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb"):
+                # format: op $rt, imm($rs)
+                rt = _reg(ops[0], line)
+                offset = _imm(ops[1], line)
+                rs = _reg(ops[2], line) if len(ops) > 2 else 0
+                words.append(isa.encode_i(m, rt, rs, offset))
+            elif m in OPCODES_J:
+                target = label_addr(ops[0], line)
+                words.append(isa.encode_j(m, (target >> 2) & 0x3FFFFFF))
+            elif m == "ctc2":
+                words.append(isa.encode_cop2("ctc2", rt=_reg(ops[0], line),
+                                             rd=_imm(ops[1], line)))
+            elif m in COP2_FUNCT:
+                words.append(_encode_cop2_item(m, ops, line))
+            else:
+                raise AssemblyError(f"unknown mnemonic {m!r}: {line}")
+        except (IndexError, KeyError) as exc:
+            raise AssemblyError(f"malformed instruction: {line}") from exc
+    return Assembled(words, labels, base)
+
+
+def _encode_cop2_item(m: str, ops: list[str], line: str) -> int:
+    """Encode Monte/Billie coprocessor instructions (Tables 5.3 / 5.6)."""
+    isa = PeteISA
+    if m == "cop2sync":
+        return isa.encode_cop2(m)
+    if m in ("cop2lda", "cop2ldb", "cop2ldn"):
+        return isa.encode_cop2(m, rt=_reg(ops[0], line))
+    if m in ("cop2mul", "cop2add", "cop2sub") and len(ops) == 3:
+        # Billie 3-operand form: fd, fs, ft
+        return isa.encode_cop2(m, fd=_imm(ops[0], line),
+                               fs=_imm(ops[1], line), ft=_imm(ops[2], line))
+    if m in ("cop2mul", "cop2add", "cop2sub"):
+        return isa.encode_cop2(m)  # Monte 0-operand form
+    if m == "cop2sqr":
+        return isa.encode_cop2(m, fd=_imm(ops[0], line),
+                               ft=_imm(ops[1], line))
+    if m in ("cop2ld", "cop2st") and len(ops) == 2:
+        # Billie form: rt, fs
+        return isa.encode_cop2(m, rt=_reg(ops[0], line),
+                               fs=_imm(ops[1], line))
+    if m == "cop2st":
+        return isa.encode_cop2(m, rt=_reg(ops[0], line))
+    raise AssemblyError(f"malformed coprocessor instruction: {line}")

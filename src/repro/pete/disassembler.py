@@ -1,0 +1,84 @@
+"""Disassembler: machine words back to assembly text.
+
+Round-trips with the assembler (modulo label names) and renders the
+delay-slot structure; used for debugging generated kernels and by the
+round-trip tests that pin the encodings.
+"""
+
+from __future__ import annotations
+
+from repro.pete.isa import REGISTER_NAMES, Decoded, PeteISA
+
+
+def _r(index: int) -> str:
+    return f"${REGISTER_NAMES[index]}"
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """One instruction word to text (branch targets as absolute hex)."""
+    d = PeteISA.decode(word)
+    return disassemble_decoded(d, pc)
+
+
+def disassemble_decoded(d: Decoded, pc: int = 0) -> str:
+    m = d.mnemonic
+    if m == "sll" and d.rd == 0 and d.rt == 0 and d.shamt == 0:
+        return "nop"
+    if m in ("sll", "srl", "sra"):
+        return f"{m} {_r(d.rd)}, {_r(d.rt)}, {d.shamt}"
+    if m in ("sllv", "srlv", "srav"):
+        return f"{m} {_r(d.rd)}, {_r(d.rt)}, {_r(d.rs)}"
+    if m in ("add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+             "slt", "sltu"):
+        return f"{m} {_r(d.rd)}, {_r(d.rs)}, {_r(d.rt)}"
+    if m in ("mult", "multu", "div", "divu"):
+        return f"{m} {_r(d.rs)}, {_r(d.rt)}"
+    if m in ("mfhi", "mflo"):
+        return f"{m} {_r(d.rd)}"
+    if m in ("mthi", "mtlo"):
+        return f"{m} {_r(d.rs)}"
+    if m == "jr":
+        return f"jr {_r(d.rs)}"
+    if m == "jalr":
+        return f"jalr {_r(d.rd)}, {_r(d.rs)}"
+    if m in ("break", "syscall", "sha", "cop2sync", "cop2mul", "cop2add",
+             "cop2sub"):
+        return m
+    if m in ("maddu", "m2addu", "addau", "mulgf2", "maddgf2"):
+        return f"{m} {_r(d.rs)}, {_r(d.rt)}"
+    if m in ("beq", "bne"):
+        target = pc + 4 + 4 * d.imm
+        return f"{m} {_r(d.rs)}, {_r(d.rt)}, 0x{target:x}"
+    if m in ("blez", "bgtz", "bltz", "bgez"):
+        target = pc + 4 + 4 * d.imm
+        return f"{m} {_r(d.rs)}, 0x{target:x}"
+    if m in ("addi", "addiu", "slti", "sltiu", "andi", "ori", "xori"):
+        return f"{m} {_r(d.rt)}, {_r(d.rs)}, {d.imm}"
+    if m == "lui":
+        return f"lui {_r(d.rt)}, {d.imm}"
+    if m in ("lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb"):
+        return f"{m} {_r(d.rt)}, {d.imm}({_r(d.rs)})"
+    if m in ("j", "jal"):
+        return f"{m} 0x{d.target << 2:x}"
+    if m == "ctc2":
+        return f"ctc2 {_r(d.rt)}, {d.rd}"
+    if m in ("cop2lda", "cop2ldb", "cop2ldn", "cop2st") and d.rs == 0:
+        return f"{m} {_r(d.rt)}"
+    if m in ("cop2ld", "cop2st"):
+        return f"{m} {_r(d.rt)}, {d.rd}"
+    if m == "cop2sqr":
+        return f"cop2sqr {d.rs}, {d.shamt}"
+    return m  # pragma: no cover - exhaustive above
+
+
+def disassemble(words: list[int], base: int = 0) -> list[str]:
+    """A whole program image, one line per word, with addresses."""
+    lines = []
+    for i, word in enumerate(words):
+        pc = base + 4 * i
+        try:
+            text = disassemble_word(word, pc)
+        except ValueError:
+            text = f".word 0x{word:08x}"
+        lines.append(f"{pc:08x}:  {text}")
+    return lines

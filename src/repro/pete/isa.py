@@ -1,0 +1,237 @@
+"""Pete's instruction set: a MIPS-II subset plus the paper's extensions.
+
+Instructions are encoded into real 32-bit machine words (the assembler
+emits them, the CPU decodes them), because the energy model charges one
+program-memory word per fetch and the instruction cache operates on the
+encoded stream.
+
+Encodings follow MIPS conventions:
+
+* R-type: opcode 0 (SPECIAL) with a ``funct`` field;
+* I-type: opcode-selected with a 16-bit immediate;
+* J-type: J / JAL with a 26-bit word target;
+* the paper's accumulator/carry-less extensions live in SPECIAL2
+  (opcode 0x1C), where real MIPS32 also keeps MADDU;
+* coprocessor-2 command instructions (for Monte and Billie, Tables 5.3 and
+  5.6) live under the COP2 opcode (0x12) with the CO bit set.
+
+Unaligned loads/stores, floating point and MMU instructions are excluded,
+exactly as the paper's footnote 1 in Section 5.1 states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Register names
+# --------------------------------------------------------------------------
+
+REGISTER_NAMES = (
+    "zero at v0 v1 a0 a1 a2 a3 "
+    "t0 t1 t2 t3 t4 t5 t6 t7 "
+    "s0 s1 s2 s3 s4 s5 s6 s7 "
+    "t8 t9 k0 k1 gp sp fp ra"
+).split()
+
+REGISTERS: dict[str, int] = {name: i for i, name in enumerate(REGISTER_NAMES)}
+REGISTERS.update({f"r{i}": i for i in range(32)})
+REGISTERS["s8"] = 30
+
+OPCODE_SPECIAL = 0x00
+OPCODE_SPECIAL2 = 0x1C
+OPCODE_COP2 = 0x12
+
+# SPECIAL funct codes (MIPS standard)
+FUNCT = {
+    "sll": 0x00, "srl": 0x02, "sra": 0x03,
+    "sllv": 0x04, "srlv": 0x06, "srav": 0x07,
+    "jr": 0x08, "jalr": 0x09,
+    "syscall": 0x0C, "break": 0x0D,
+    "mfhi": 0x10, "mthi": 0x11, "mflo": 0x12, "mtlo": 0x13,
+    "mult": 0x18, "multu": 0x19, "div": 0x1A, "divu": 0x1B,
+    "add": 0x20, "addu": 0x21, "sub": 0x22, "subu": 0x23,
+    "and": 0x24, "or": 0x25, "xor": 0x26, "nor": 0x27,
+    "slt": 0x2A, "sltu": 0x2B,
+}
+
+# SPECIAL2 funct codes: MADDU is the real MIPS32 encoding; the others are
+# the paper's additions.
+FUNCT2 = {
+    "maddu": 0x01,
+    "m2addu": 0x02,   # accumulate 2*rs*rt (squaring optimization)
+    "addau": 0x03,    # accumulate (rs << 32) + rt
+    "sha": 0x04,      # shift accumulator right one word
+    "mulgf2": 0x10,   # carry-less multiply
+    "maddgf2": 0x11,  # carry-less multiply-accumulate
+}
+
+# I-type opcodes
+OPCODES_I = {
+    "beq": 0x04, "bne": 0x05, "blez": 0x06, "bgtz": 0x07,
+    "addi": 0x08, "addiu": 0x09, "slti": 0x0A, "sltiu": 0x0B,
+    "andi": 0x0C, "ori": 0x0D, "xori": 0x0E, "lui": 0x0F,
+    "lb": 0x20, "lh": 0x21, "lw": 0x23, "lbu": 0x24, "lhu": 0x25,
+    "sb": 0x28, "sh": 0x29, "sw": 0x2B,
+}
+OPCODE_REGIMM = 0x01  # bltz (rt=0), bgez (rt=1)
+OPCODES_J = {"j": 0x02, "jal": 0x03}
+
+# COP2 funct codes (CO bit set).  Shared between Monte (Table 5.3) and
+# Billie (Table 5.6); the coprocessor models interpret them.
+COP2_FUNCT = {
+    "cop2sync": 0x00,
+    "cop2lda": 0x01,
+    "cop2ldb": 0x02,
+    "cop2ldn": 0x03,
+    "cop2mul": 0x04,
+    "cop2add": 0x05,
+    "cop2sub": 0x06,
+    "cop2st": 0x07,
+    "cop2ld": 0x08,
+    "cop2sqr": 0x09,
+}
+CTC2_RS = 0x06  # standard MTC2-family encoding selector
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rs: int = 0
+    rt: int = 0
+    rd: int = 0
+    shamt: int = 0
+    imm: int = 0       # sign-extended where applicable
+    target: int = 0    # jump word target
+    word: int = 0      # raw encoding
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in ("lw", "lh", "lhu", "lb", "lbu")
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in ("sw", "sh", "sb")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in (
+            "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+        )
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic in ("j", "jal", "jr", "jalr")
+
+
+class PeteISA:
+    """Encoder/decoder for Pete's instruction set."""
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def encode_r(mnemonic: str, rd: int = 0, rs: int = 0, rt: int = 0,
+                 shamt: int = 0) -> int:
+        funct = FUNCT[mnemonic]
+        return (OPCODE_SPECIAL << 26) | (rs << 21) | (rt << 16) | (
+            rd << 11) | (shamt << 6) | funct
+
+    @staticmethod
+    def encode_r2(mnemonic: str, rs: int = 0, rt: int = 0) -> int:
+        funct = FUNCT2[mnemonic]
+        return (OPCODE_SPECIAL2 << 26) | (rs << 21) | (rt << 16) | funct
+
+    @staticmethod
+    def encode_i(mnemonic: str, rt: int, rs: int, imm: int) -> int:
+        opcode = OPCODES_I[mnemonic]
+        return (opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+
+    @staticmethod
+    def encode_regimm(mnemonic: str, rs: int, imm: int) -> int:
+        rt = {"bltz": 0, "bgez": 1}[mnemonic]
+        return (OPCODE_REGIMM << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+
+    @staticmethod
+    def encode_j(mnemonic: str, target: int) -> int:
+        return (OPCODES_J[mnemonic] << 26) | (target & 0x3FFFFFF)
+
+    @staticmethod
+    def encode_cop2(mnemonic: str, rt: int = 0, rd: int = 0,
+                    fs: int = 0, ft: int = 0, fd: int = 0) -> int:
+        if mnemonic == "ctc2":
+            return (OPCODE_COP2 << 26) | (CTC2_RS << 21) | (rt << 16) | (
+                rd << 11)
+        funct = COP2_FUNCT[mnemonic]
+        # CO bit (25) set; rt in 20:16; fs/ft/fd packed in 15:11 / 10:6 /
+        # 25:21-excluded -> use shamt-free layout: fs@11, ft@6, fd@16 when
+        # rt is unused (arithmetic ops), else fs@11.
+        word = (OPCODE_COP2 << 26) | (1 << 25) | funct
+        word |= (rt & 0x1F) << 16
+        word |= (fs & 0x1F) << 11
+        word |= (ft & 0x1F) << 6
+        word |= (fd & 0x0F) << 21  # 4 bits: 16 coprocessor registers
+        return word
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    _I_BY_OPCODE = {v: k for k, v in OPCODES_I.items()}
+    _J_BY_OPCODE = {v: k for k, v in OPCODES_J.items()}
+    _FUNCT_BY_CODE = {v: k for k, v in FUNCT.items()}
+    _FUNCT2_BY_CODE = {v: k for k, v in FUNCT2.items()}
+    _COP2_BY_CODE = {v: k for k, v in COP2_FUNCT.items()}
+
+    @classmethod
+    def decode(cls, word: int) -> Decoded:
+        opcode = (word >> 26) & 0x3F
+        rs = (word >> 21) & 0x1F
+        rt = (word >> 16) & 0x1F
+        rd = (word >> 11) & 0x1F
+        shamt = (word >> 6) & 0x1F
+        funct = word & 0x3F
+        imm = word & 0xFFFF
+        simm = imm - 0x10000 if imm & 0x8000 else imm
+
+        if opcode == OPCODE_SPECIAL:
+            mnemonic = cls._FUNCT_BY_CODE.get(funct)
+            if mnemonic is None:
+                raise ValueError(f"bad SPECIAL funct 0x{funct:02x}")
+            return Decoded(mnemonic, rs, rt, rd, shamt, word=word)
+        if opcode == OPCODE_SPECIAL2:
+            mnemonic = cls._FUNCT2_BY_CODE.get(funct)
+            if mnemonic is None:
+                raise ValueError(f"bad SPECIAL2 funct 0x{funct:02x}")
+            return Decoded(mnemonic, rs, rt, rd, shamt, word=word)
+        if opcode == OPCODE_REGIMM:
+            mnemonic = {0: "bltz", 1: "bgez"}.get(rt)
+            if mnemonic is None:
+                raise ValueError(f"bad REGIMM rt {rt}")
+            return Decoded(mnemonic, rs, rt, imm=simm, word=word)
+        if opcode in cls._J_BY_OPCODE:
+            return Decoded(
+                cls._J_BY_OPCODE[opcode], target=word & 0x3FFFFFF, word=word
+            )
+        if opcode == OPCODE_COP2:
+            if word & (1 << 25):
+                mnemonic = cls._COP2_BY_CODE.get(funct)
+                if mnemonic is None:
+                    raise ValueError(f"bad COP2 funct 0x{funct:02x}")
+                fd = (word >> 21) & 0x0F  # CO bit excluded
+                return Decoded(
+                    mnemonic, rs=fd, rt=rt, rd=(word >> 11) & 0x1F,
+                    shamt=(word >> 6) & 0x1F, word=word,
+                )
+            if rs == CTC2_RS:
+                return Decoded("ctc2", rt=rt, rd=rd, word=word)
+            raise ValueError(f"bad COP2 encoding 0x{word:08x}")
+        mnemonic = cls._I_BY_OPCODE.get(opcode)
+        if mnemonic is None:
+            raise ValueError(f"bad opcode 0x{opcode:02x}")
+        if mnemonic in ("andi", "ori", "xori"):
+            return Decoded(mnemonic, rs, rt, imm=imm, word=word)
+        return Decoded(mnemonic, rs, rt, imm=simm, word=word)

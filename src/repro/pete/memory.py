@@ -1,0 +1,118 @@
+"""Program ROM and data RAM models (paper Fig. 5.1 / 5.6).
+
+The baseline memory layout: 256 KB of single-cycle program ROM with a
+dual-port 32-bit interface (instruction + data buses) and 16 KB of
+single-cycle RAM on the data bus.  When the instruction cache is enabled,
+the ROM becomes single-ported with a 128-bit line interface so a whole
+cache line fills in one access (Section 5.3.2).
+
+Both memories count accesses; the counters feed the energy model.
+"""
+
+from __future__ import annotations
+
+from repro.pete.stats import CoreStats
+
+ROM_BASE = 0x0000_0000
+ROM_SIZE = 256 * 1024
+RAM_BASE = 0x1000_0000
+RAM_SIZE = 16 * 1024
+
+
+class MemorySystem:
+    """Byte-addressable memory with a ROM and a RAM region."""
+
+    def __init__(self, stats: CoreStats, rom_size: int = ROM_SIZE,
+                 ram_size: int = RAM_SIZE) -> None:
+        self.stats = stats
+        self.rom_size = rom_size
+        self.ram_size = ram_size
+        self.rom = bytearray(rom_size)
+        self.ram = bytearray(ram_size)
+
+    # -- region helpers -----------------------------------------------------
+
+    def _locate(self, addr: int) -> tuple[bytearray, int, bool]:
+        """Return (backing array, offset, is_ram)."""
+        if ROM_BASE <= addr < ROM_BASE + self.rom_size:
+            return self.rom, addr - ROM_BASE, False
+        if RAM_BASE <= addr < RAM_BASE + self.ram_size:
+            return self.ram, addr - RAM_BASE, True
+        raise MemoryError(f"unmapped address 0x{addr:08x}")
+
+    # -- instruction port ---------------------------------------------------
+
+    def fetch_word(self, addr: int) -> int:
+        """Instruction fetch: one 32-bit ROM read (no-cache path)."""
+        backing, offset, is_ram = self._locate(addr)
+        if is_ram:
+            raise MemoryError("instructions are not stored in RAM")
+        self.stats.rom_word_reads += 1
+        return int.from_bytes(backing[offset:offset + 4], "little")
+
+    def fetch_line(self, addr: int, line_bytes: int = 16) -> list[int]:
+        """Cache-line fetch: one 128-bit ROM read (cached path)."""
+        backing, offset, is_ram = self._locate(addr & ~(line_bytes - 1))
+        if is_ram:
+            raise MemoryError("instructions are not stored in RAM")
+        self.stats.rom_line_reads += 1
+        base = offset & ~(line_bytes - 1)
+        return [
+            int.from_bytes(backing[base + 4 * i:base + 4 * i + 4], "little")
+            for i in range(line_bytes // 4)
+        ]
+
+    def peek_word(self, addr: int) -> int:
+        """Read without counting (for loaders/debuggers)."""
+        backing, offset, _ = self._locate(addr)
+        return int.from_bytes(backing[offset:offset + 4], "little")
+
+    # -- data port ------------------------------------------------------------
+
+    def load(self, addr: int, size: int, signed: bool = False) -> int:
+        if addr % size:
+            raise MemoryError(f"unaligned {size}-byte load at 0x{addr:08x}")
+        backing, offset, is_ram = self._locate(addr)
+        if is_ram:
+            self.stats.ram_reads += 1
+        else:
+            self.stats.rom_word_reads += 1
+        value = int.from_bytes(backing[offset:offset + size], "little")
+        if signed and value >> (8 * size - 1):
+            value -= 1 << (8 * size)
+        return value
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        if addr % size:
+            raise MemoryError(f"unaligned {size}-byte store at 0x{addr:08x}")
+        backing, offset, is_ram = self._locate(addr)
+        if not is_ram:
+            raise MemoryError(f"store to ROM at 0x{addr:08x}")
+        self.stats.ram_writes += 1
+        backing[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    # -- loaders (uncounted) ---------------------------------------------------
+
+    def write_rom(self, addr: int, data: bytes) -> None:
+        offset = addr - ROM_BASE
+        self.rom[offset:offset + len(data)] = data
+
+    def write_ram(self, addr: int, data: bytes) -> None:
+        offset = addr - RAM_BASE
+        self.ram[offset:offset + len(data)] = data
+
+    def read_ram(self, addr: int, length: int) -> bytes:
+        offset = addr - RAM_BASE
+        return bytes(self.ram[offset:offset + length])
+
+    def write_ram_words(self, addr: int, words: list[int]) -> None:
+        for i, word in enumerate(words):
+            self.write_ram(addr + 4 * i, (word & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_ram_words(self, addr: int, count: int) -> list[int]:
+        data = self.read_ram(addr, 4 * count)
+        return [
+            int.from_bytes(data[4 * i:4 * i + 4], "little") for i in range(count)
+        ]

@@ -1,0 +1,142 @@
+"""The multi-cycle multiply/divide unit behind Hi/Lo (paper Section 5.1.1).
+
+Pete's multiplier sits outside the integer pipeline (MIPS Hi/Lo style), so
+multiplies overlap with independent instructions; MFLO/MFHI interlock
+until the unit drains.  The datapath is Karatsuba-based (one 17x17 signed
+multiplier block, Fig. 5.2), giving a 4-cycle latency; the divider is a
+simple binary restoring design (one quotient bit per cycle).
+
+The ISA extensions (Section 5.2) widen the unit into a multiply-accumulate
+datapath with a 96-bit (OvFlo, Hi, Lo) accumulator, a x2 path for M2ADDU,
+an operand bypass for ADDAU, and a multiplexed 16x16 carry-less multiplier
+block for MULGF2/MADDGF2 (Figs. 5.3/5.4).
+
+This module is purely functional + latency bookkeeping; the CPU core asks
+``busy_until`` before issuing dependent instructions.
+"""
+
+from __future__ import annotations
+
+from repro.fields.inversion import _poly_mul
+
+MASK32 = 0xFFFFFFFF
+MASK96 = (1 << 96) - 1
+
+#: Latencies in cycles.
+MULT_LATENCY = 4          # Karatsuba multi-cycle multiply (Section 5.1.1)
+ACC_ADD_LATENCY = 1       # ADDAU / SHA touch only the adder stage
+DIV_LATENCY = 34          # binary restoring: 32 quotient bits + setup
+
+
+def _signed32(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class MulDivUnit:
+    """Functional state of the Hi/Lo/OvFlo register set."""
+
+    def __init__(self, extensions: bool = False,
+                 binary_extensions: bool = False) -> None:
+        self.extensions = extensions
+        self.binary_extensions = binary_extensions
+        self.acc = 0          # 96-bit (OvFlo, Hi, Lo)
+        self.busy_until = 0   # absolute cycle when the unit drains
+        self.issues = 0
+
+    # -- accumulator views ---------------------------------------------------
+
+    @property
+    def lo(self) -> int:
+        return self.acc & MASK32
+
+    @property
+    def hi(self) -> int:
+        return (self.acc >> 32) & MASK32
+
+    @property
+    def ovflo(self) -> int:
+        return (self.acc >> 64) & MASK32
+
+    def set_lo(self, value: int) -> None:
+        self.acc = (self.acc & ~MASK32) | (value & MASK32)
+
+    def set_hi(self, value: int) -> None:
+        self.acc = (self.acc & ~(MASK32 << 32)) | ((value & MASK32) << 32)
+
+    # -- issue helpers ---------------------------------------------------------
+
+    def _issue(self, now: int, latency: int) -> int:
+        """Wait for the unit, then occupy it; returns the issue cycle."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + latency
+        self.issues += 1
+        return start
+
+    # -- operations -------------------------------------------------------------
+
+    def mult(self, now: int, a: int, b: int, signed: bool) -> None:
+        if signed:
+            product = _signed32(a) * _signed32(b)
+        else:
+            product = (a & MASK32) * (b & MASK32)
+        self.acc = product & ((1 << 64) - 1)  # Hi/Lo only; OvFlo cleared
+        self._issue(now, MULT_LATENCY)
+
+    def div(self, now: int, a: int, b: int, signed: bool) -> None:
+        if signed:
+            a, b = _signed32(a), _signed32(b)
+        else:
+            a, b = a & MASK32, b & MASK32
+        if b == 0:
+            quotient, remainder = 0, a  # MIPS leaves this undefined
+        else:
+            quotient = int(a / b) if signed else a // b
+            remainder = a - quotient * b
+        self.acc = ((remainder & MASK32) << 32) | (quotient & MASK32)
+        self._issue(now, DIV_LATENCY)
+
+    def maddu(self, now: int, a: int, b: int) -> None:
+        self._require_ext()
+        self.acc = (self.acc + (a & MASK32) * (b & MASK32)) & MASK96
+        self._issue(now, MULT_LATENCY)
+
+    def m2addu(self, now: int, a: int, b: int) -> None:
+        self._require_ext()
+        self.acc = (self.acc + 2 * (a & MASK32) * (b & MASK32)) & MASK96
+        self._issue(now, MULT_LATENCY)
+
+    def addau(self, now: int, a: int, b: int) -> None:
+        self._require_ext()
+        self.acc = (self.acc + ((a & MASK32) << 32) + (b & MASK32)) & MASK96
+        self._issue(now, ACC_ADD_LATENCY)
+
+    def sha(self, now: int) -> None:
+        self._require_ext()
+        self.acc >>= 32
+        self._issue(now, ACC_ADD_LATENCY)
+
+    def mulgf2(self, now: int, a: int, b: int) -> None:
+        self._require_binary_ext()
+        self.acc = _poly_mul(a & MASK32, b & MASK32)
+        self._issue(now, MULT_LATENCY)
+
+    def maddgf2(self, now: int, a: int, b: int) -> None:
+        self._require_binary_ext()
+        self.acc ^= _poly_mul(a & MASK32, b & MASK32)
+        self.acc &= MASK96
+        self._issue(now, MULT_LATENCY)
+
+    # -- guards --------------------------------------------------------------
+
+    def _require_ext(self) -> None:
+        if not self.extensions:
+            raise RuntimeError(
+                "prime-field ISA extensions are not enabled on this core"
+            )
+
+    def _require_binary_ext(self) -> None:
+        if not self.binary_extensions:
+            raise RuntimeError(
+                "binary-field ISA extensions are not enabled on this core"
+            )

@@ -1,0 +1,56 @@
+"""Activity counters emitted by the Pete simulator.
+
+These are the per-event quantities the energy model multiplies by
+per-event energies (DESIGN.md Section 6): every instruction fetched, every
+ROM/RAM access, every cache fill, every stall cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CoreStats:
+    """Counters accumulated over one simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    # pipeline behaviour
+    stall_cycles: int = 0
+    load_use_stalls: int = 0
+    mult_stall_cycles: int = 0
+    branch_mispredicts: int = 0
+    branches: int = 0
+    mult_issues: int = 0
+    div_issues: int = 0
+    # program memory
+    rom_word_reads: int = 0
+    rom_line_reads: int = 0
+    # data memory
+    ram_reads: int = 0
+    ram_writes: int = 0
+    # instruction cache
+    icache_accesses: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
+    icache_fills: int = 0
+    prefetch_hits: int = 0
+    prefetch_fetches: int = 0
+
+    def add(self, other: "CoreStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def scaled(self, factor: float) -> dict[str, float]:
+        """Counters multiplied by a scalar (for op-count scaling)."""
+        return {
+            f.name: getattr(self, f.name) * factor for f in fields(self)
+        }
+
+    @property
+    def active_cycles(self) -> int:
+        return self.cycles - self.stall_cycles
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,32 @@
+"""Secure-session protocols built on the asymmetric primitives.
+
+The paper's energy unit -- Sign + Verify -- "closely models an SSL
+handshake on the client side" (Section 7.6), and its motivation chapters
+describe the full picture: asymmetric cryptography establishes an
+authenticated session key, then symmetric cryptography carries the bulk
+traffic ("it is more energy efficient to amortize a key-exchange across
+a lengthy communication session", Section 2.1.1).  This subpackage
+implements that picture: ECDH key agreement, an authenticated
+station-to-station style handshake, and the session-amortization energy
+model the examples use.
+"""
+
+from repro.protocols.ecdh import (
+    derive_session_key,
+    ecdh_shared_secret,
+    generate_ephemeral,
+)
+from repro.protocols.handshake import (
+    Handshake,
+    HandshakeTranscript,
+    handshake_energy,
+)
+
+__all__ = [
+    "ecdh_shared_secret",
+    "generate_ephemeral",
+    "derive_session_key",
+    "Handshake",
+    "HandshakeTranscript",
+    "handshake_energy",
+]

@@ -1,0 +1,50 @@
+"""Elliptic-curve Diffie-Hellman key agreement (paper Section 2.1).
+
+The one-way function is the same scalar point multiplication ECDSA uses,
+so the energy model prices an ECDH operation exactly like a signature's
+scalar multiplication.  Cofactor multiplication is applied on the binary
+curves (h = 2) so small-subgroup points cannot leak key bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ec.curves import Curve
+from repro.ec.point import AffinePoint
+from repro.ec.scalar import sliding_window_mul
+
+
+def generate_ephemeral(curve: Curve, seed: bytes) -> tuple[int, AffinePoint]:
+    """A deterministic ephemeral keypair for one handshake."""
+    counter = 0
+    k = 0
+    while not 1 <= k < curve.n:
+        material = hashlib.sha512(
+            b"ecdh|" + seed + counter.to_bytes(4, "big")).digest()
+        k = int.from_bytes(material, "big") % curve.n
+        counter += 1
+    return k, sliding_window_mul(curve, k, curve.generator)
+
+
+def ecdh_shared_secret(curve: Curve, private: int,
+                       peer_public: AffinePoint) -> int:
+    """The shared x-coordinate: x(h * d * Q_peer).
+
+    Raises if the peer's point is invalid (off-curve or small-order) --
+    the classic invalid-curve defence.
+    """
+    if not peer_public or not curve.contains(peer_public):
+        raise ValueError("invalid peer public key")
+    point = sliding_window_mul(curve, private * curve.h, peer_public)
+    if not point:
+        raise ValueError("peer public key in the small subgroup")
+    return point.x
+
+
+def derive_session_key(shared_x: int, curve: Curve,
+                       context: bytes = b"") -> bytes:
+    """KDF: hash the shared secret into a 128-bit symmetric key."""
+    length = (curve.bits + 7) // 8
+    material = shared_x.to_bytes(length, "big")
+    return hashlib.sha256(b"kdf|" + material + b"|" + context).digest()[:16]

@@ -1,0 +1,26 @@
+"""Modular-exponentiation cryptography (paper Section 2.1.3).
+
+The paper motivates ECC by the cost of the alternative: RSA-style
+cryptosystems whose one-way function is modular exponentiation, needing
+1024-15360-bit integers for security ECC achieves at 160-521 bits.  This
+subpackage implements that alternative -- square-and-multiply and
+windowed modular exponentiation over the CIOS Montgomery layer, plus a
+minimal RSA with CRT -- so the energy comparison behind the paper's
+"ECC is the only asymmetric cryptosystem evaluated" decision (and the
+related-work claims of Wander et al.) can be reproduced rather than
+asserted.
+"""
+
+from repro.rsa.modexp import ModExpCounts, modexp, modexp_counts
+from repro.rsa.rsa import RsaKeyPair, generate_rsa_keypair, rsa_sign_raw, \
+    rsa_verify_raw
+
+__all__ = [
+    "modexp",
+    "modexp_counts",
+    "ModExpCounts",
+    "RsaKeyPair",
+    "generate_rsa_keypair",
+    "rsa_sign_raw",
+    "rsa_verify_raw",
+]

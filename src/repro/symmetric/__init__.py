@@ -1,0 +1,25 @@
+"""Symmetric encryption for the session-traffic side of the story.
+
+The paper frames asymmetric cryptography as the key-establishment step
+whose cost amortizes over symmetric bulk traffic (Section 2.1.1), and
+cites CryptoManiac-style symmetric acceleration as "complementary to
+ours".  To ground the amortization examples in a measurement instead of
+an assumption, this subpackage implements Speck64/128 -- an ARX cipher
+designed exactly for Pete-class microcontrollers -- both as a reference
+Python implementation and as a generated Pete assembly kernel whose
+measured cycles/byte feed the protocol energy model.
+"""
+
+from repro.symmetric.speck import (
+    speck64_decrypt,
+    speck64_encrypt,
+    speck64_expand_key,
+    speck_ctr_keystream,
+)
+
+__all__ = [
+    "speck64_expand_key",
+    "speck64_encrypt",
+    "speck64_decrypt",
+    "speck_ctr_keystream",
+]

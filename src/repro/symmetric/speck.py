@@ -1,0 +1,76 @@
+"""Speck64/128: a lightweight ARX block cipher (reference model).
+
+Speck64/128 (Beaulieu et al., NSA 2013): 64-bit blocks, 128-bit keys,
+27 rounds of add-rotate-xor on 32-bit words -- a natural fit for Pete's
+ISA, which is why it anchors the symmetric energy-per-byte number the
+protocol examples use.
+
+Round function (x = high word, y = low word, k = round key)::
+
+    x = (ROR(x, 8) + y) ^ k
+    y = ROL(y, 3) ^ x
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+ROUNDS = 27
+ALPHA = 8
+BETA = 3
+
+
+def _ror(value: int, amount: int) -> int:
+    return ((value >> amount) | (value << (32 - amount))) & MASK32
+
+
+def _rol(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & MASK32
+
+
+def speck64_expand_key(key: int) -> list[int]:
+    """Expand a 128-bit key into the 27 round keys."""
+    if not 0 <= key < (1 << 128):
+        raise ValueError("Speck64/128 takes a 128-bit key")
+    parts = [(key >> (32 * i)) & MASK32 for i in range(4)]
+    k = [parts[0]]
+    l = parts[1:]
+    # the schedule reuses the round function on (l_i, k_i) with the
+    # round index as the "key"
+    for i in range(ROUNDS - 1):
+        x = ((_ror(l[i], ALPHA) + k[i]) & MASK32) ^ i
+        y = _rol(k[i], BETA) ^ x
+        l.append(x)
+        k.append(y)
+    return k[:ROUNDS]
+
+
+def speck64_encrypt(block: int, round_keys: list[int]) -> int:
+    """Encrypt one 64-bit block."""
+    if not 0 <= block < (1 << 64):
+        raise ValueError("Speck64 blocks are 64 bits")
+    x = (block >> 32) & MASK32
+    y = block & MASK32
+    for k in round_keys:
+        x = ((_ror(x, ALPHA) + y) & MASK32) ^ k
+        y = _rol(y, BETA) ^ x
+    return (x << 32) | y
+
+
+def speck64_decrypt(block: int, round_keys: list[int]) -> int:
+    """Decrypt one 64-bit block."""
+    x = (block >> 32) & MASK32
+    y = block & MASK32
+    for k in reversed(round_keys):
+        y = _ror(y ^ x, BETA)
+        x = _rol(((x ^ k) - y) & MASK32, ALPHA)
+    return (x << 32) | y
+
+
+def speck_ctr_keystream(key: int, nonce: int, blocks: int) -> bytes:
+    """CTR-mode keystream: Speck64 over an incrementing counter."""
+    round_keys = speck64_expand_key(key)
+    out = bytearray()
+    for counter in range(blocks):
+        block = ((nonce & MASK32) << 32) | (counter & MASK32)
+        out += speck64_encrypt(block, round_keys).to_bytes(8, "little")
+    return bytes(out)

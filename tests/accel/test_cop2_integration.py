@@ -1,0 +1,166 @@
+"""End-to-end: assembled COP2 programs drive the accelerators via Pete."""
+
+import pytest
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.accel.cop2_adapter import BillieCop2Adapter, MonteCop2Adapter
+from repro.accel.monte import Monte
+from repro.fields.binary import BinaryField
+from repro.fields.nist import NIST_PRIMES
+from repro.mp.words import from_int, to_int
+from repro.pete import Pete, assemble
+from repro.pete.memory import RAM_BASE
+
+A_ADDR = RAM_BASE + 0x400
+B_ADDR = RAM_BASE + 0x500
+DST_ADDR = RAM_BASE + 0x600
+
+
+def _monte_cpu():
+    monte = Monte(NIST_PRIMES[192])
+    cpu = Pete(coprocessor=MonteCop2Adapter(monte))
+    return cpu, monte
+
+
+def test_monte_multiply_via_assembly(rng):
+    """The Section 5.4.1 instruction sequence, executed for real."""
+    cpu, monte = _monte_cpu()
+    p = NIST_PRIMES[192]
+    a, b = rng.randrange(p), rng.randrange(p)
+    cpu.mem.write_ram_words(A_ADDR, monte.ctx.to_mont(a))
+    cpu.mem.write_ram_words(B_ADDR, monte.ctx.to_mont(b))
+    program = assemble(f"""
+    main:
+        li $t0, 6           # k words
+        ctc2 $t0, 0
+        li $a1, {A_ADDR}
+        li $a2, {B_ADDR}
+        li $a0, {DST_ADDR}
+        cop2lda $a1
+        cop2ldb $a2
+        cop2mul
+        cop2st $a0
+        cop2sync
+        halt
+    """)
+    cpu.load(program)
+    stats = cpu.run(0)
+    result = cpu.mem.read_ram_words(DST_ADDR, 6)
+    assert monte.ctx.from_mont(result) == (a * b) % p
+    # Pete stalled on the SYNC while the FFAU finished
+    assert stats.stall_cycles >= monte.ffau.montmul_cycles(6) - 12
+
+
+def test_monte_add_sub_via_assembly(rng):
+    cpu, monte = _monte_cpu()
+    p = NIST_PRIMES[192]
+    a, b = rng.randrange(p), rng.randrange(p)
+    cpu.mem.write_ram_words(A_ADDR, from_int(a, 6))
+    cpu.mem.write_ram_words(B_ADDR, from_int(b, 6))
+    program = assemble(f"""
+    main:
+        li $a1, {A_ADDR}
+        li $a2, {B_ADDR}
+        li $a0, {DST_ADDR}
+        cop2lda $a1
+        cop2ldb $a2
+        cop2add
+        cop2st $a0
+        cop2sync
+        halt
+    """)
+    cpu.load(program)
+    cpu.run(0)
+    assert to_int(cpu.mem.read_ram_words(DST_ADDR, 6)) == (a + b) % p
+
+
+def test_monte_pipelined_sequence(rng):
+    """Back-to-back operations through the queue, like the paper's
+    walk-through: loads for op 2 run ahead of op 1's store."""
+    cpu, monte = _monte_cpu()
+    p = NIST_PRIMES[192]
+    a, b = rng.randrange(p), rng.randrange(p)
+    cpu.mem.write_ram_words(A_ADDR, monte.ctx.to_mont(a))
+    cpu.mem.write_ram_words(B_ADDR, monte.ctx.to_mont(b))
+    program = assemble(f"""
+    main:
+        li $a1, {A_ADDR}
+        li $a2, {B_ADDR}
+        li $a0, {DST_ADDR}
+        li $a3, {DST_ADDR + 0x40}
+        cop2lda $a1
+        cop2ldb $a2
+        cop2mul
+        cop2st $a0
+        cop2lda $a1
+        cop2ldb $a2
+        cop2mul
+        cop2st $a3
+        cop2sync
+        halt
+    """)
+    cpu.load(program)
+    cpu.run(0)
+    expected = (a * b) % p
+    assert monte.ctx.from_mont(cpu.mem.read_ram_words(DST_ADDR, 6)) \
+        == expected
+    assert monte.ctx.from_mont(
+        cpu.mem.read_ram_words(DST_ADDR + 0x40, 6)) == expected
+    assert monte.stats.ffau_ops == 2
+
+
+def test_billie_field_ops_via_assembly(rng):
+    billie = Billie(BillieConfig(m=163))
+    cpu = Pete(coprocessor=BillieCop2Adapter(billie))
+    field = BinaryField.nist(163)
+    a, b = rng.getrandbits(163), rng.getrandbits(163)
+    cpu.mem.write_ram_words(A_ADDR, from_int(a, 6))
+    cpu.mem.write_ram_words(B_ADDR, from_int(b, 6))
+    program = assemble(f"""
+    main:
+        li $a1, {A_ADDR}
+        li $a2, {B_ADDR}
+        li $a0, {DST_ADDR}
+        li $a3, {DST_ADDR + 0x40}
+        cop2ld $a1, 1       # BR1 <- a
+        cop2ld $a2, 2       # BR2 <- b
+        cop2mul 3, 1, 2     # BR3 = a * b
+        cop2sqr 4, 1        # BR4 = a^2
+        cop2add 5, 3, 4     # BR5 = BR3 + BR4
+        cop2st $a0, 3
+        cop2st $a3, 5
+        cop2sync
+        halt
+    """)
+    cpu.load(program)
+    cpu.run(0)
+    product = to_int(cpu.mem.read_ram_words(DST_ADDR, 6))
+    mixed = to_int(cpu.mem.read_ram_words(DST_ADDR + 0x40, 6))
+    assert product == field.mul(a, b)
+    assert mixed == field.add(field.mul(a, b), field.sqr(a))
+
+
+def test_sync_stall_accounted(rng):
+    """COP2SYNC must charge Pete the wait for the digit-serial multiply."""
+    billie = Billie(BillieConfig(m=163))
+    cpu = Pete(coprocessor=BillieCop2Adapter(billie))
+    cpu.mem.write_ram_words(A_ADDR, from_int(rng.getrandbits(163), 6))
+    program = assemble(f"""
+    main:
+        li $a1, {A_ADDR}
+        cop2ld $a1, 1
+        cop2mul 2, 1, 1
+        cop2sync
+        halt
+    """)
+    cpu.load(program)
+    stats = cpu.run(0)
+    assert stats.stall_cycles >= billie.config.mul_cycles - 5
+
+
+def test_unknown_cop2_raises():
+    cpu = Pete()  # no coprocessor attached
+    program = assemble("main:\n cop2sync\n halt")
+    cpu.load(program)
+    with pytest.raises(RuntimeError):
+        cpu.run(0)

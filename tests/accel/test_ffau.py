@@ -1,0 +1,107 @@
+"""The FFAU: microcoded CIOS correctness and Eq. 5.2 cycle tracking."""
+
+import pytest
+
+from repro.accel.ffau import FFAU, FFAUConfig
+from repro.accel.microcode import (
+    MICROCODE_TABLE_SIZE,
+    build_addsub_program,
+    build_cios_program,
+)
+from repro.fields.nist import NIST_PRIMES
+from repro.mp.montgomery import MontgomeryContext
+from repro.mp.words import from_int, to_int
+
+
+def test_microprograms_fit_the_control_store():
+    """Monte's reconfigurability claim: 64-entry microcode table."""
+    total = (len(build_cios_program().ops)
+             + len(build_addsub_program(False).ops)
+             + len(build_addsub_program(True).ops))
+    assert total <= MICROCODE_TABLE_SIZE
+
+
+def test_microprogram_overflow_guard():
+    from repro.accel.microcode import MicroOp, MicroProgram
+
+    prog = MicroProgram()
+    with pytest.raises(OverflowError):
+        for _ in range(MICROCODE_TABLE_SIZE + 1):
+            prog.add(MicroOp())
+
+
+@pytest.mark.parametrize("bits", [192, 256, 384, 521])
+def test_montmul_functional(bits, rng):
+    p = NIST_PRIMES[bits]
+    ctx = MontgomeryContext(p)
+    ffau = FFAU()
+    for _ in range(5):
+        a, b = rng.randrange(p), rng.randrange(p)
+        am, bm = ctx.to_mont(a), ctx.to_mont(b)
+        result, cycles = ffau.montmul(am, bm, ctx.n_words, ctx.n0p)
+        assert ctx.from_mont(result) == (a * b) % p
+        assert cycles > 0
+
+
+@pytest.mark.parametrize("k", [3, 6, 8, 12, 17, 24])
+def test_cycles_track_eq52(k):
+    """Measured microprogram cycles stay on the paper's Eq. 5.2 curve."""
+    ffau = FFAU()
+    measured = ffau.montmul_cycles(k)
+    model = ffau.eq52_cycles(k)
+    assert abs(measured - model) / model < 0.12, (measured, model)
+
+
+def test_eq52_exact_at_reference_width():
+    """At w = 32, k = 6 the microprogram lands exactly on Eq. 5.2."""
+    ffau = FFAU()
+    assert ffau.montmul_cycles(6) == ffau.eq52_cycles(6) == 151
+
+
+def test_addsub_is_linear():
+    ffau = FFAU()
+    costs = [ffau.addsub_cycles(k) for k in (6, 12, 18)]
+    deltas = [b - a for a, b in zip(costs, costs[1:])]
+    assert deltas[0] == deltas[1], "O(k) with a constant slope"
+
+
+def test_mod_add_sub_functional(rng):
+    p = NIST_PRIMES[192]
+    ctx = MontgomeryContext(p)
+    ffau = FFAU()
+    a, b = rng.randrange(p), rng.randrange(p)
+    aw, bw = from_int(a, ctx.k), from_int(b, ctx.k)
+    total, _ = ffau.mod_add(aw, bw, ctx.n_words)
+    assert to_int(total) == (a + b) % p
+    diff, _ = ffau.mod_sub(aw, bw, ctx.n_words)
+    assert to_int(diff) == (a - b) % p
+
+
+@pytest.mark.parametrize("width", [8, 16, 32, 64])
+def test_width_sweep(width, rng):
+    """The Section 7.9 design-space axis: any datapath width works."""
+    p = NIST_PRIMES[192]
+    ctx = MontgomeryContext(p, width)
+    ffau = FFAU(FFAUConfig(width=width))
+    a, b = rng.randrange(p), rng.randrange(p)
+    result, cycles = ffau.montmul(ctx.to_mont(a), ctx.to_mont(b),
+                                  ctx.n_words, ctx.n0p)
+    assert ctx.from_mont(result) == (a * b) % p
+    assert cycles == ffau.montmul_cycles(ctx.k)
+
+
+def test_narrower_datapath_needs_more_cycles():
+    times = {}
+    for width in (8, 16, 32, 64):
+        ffau = FFAU(FFAUConfig(width=width))
+        times[width] = ffau.montmul_cycles(-(-192 // width))
+    assert times[8] > times[16] > times[32] > times[64]
+    # roughly 4x cycles per halving (k doubles, cost ~2k^2)
+    assert 2.5 < times[8] / times[16] < 4.5
+
+
+def test_stats_accumulate():
+    ffau = FFAU()
+    ffau.run_microprogram(ffau._cios, 6)
+    assert ffau.stats.busy_cycles > 0
+    assert ffau.stats.core_ops > 2 * 36, "two k^2 inner loops"

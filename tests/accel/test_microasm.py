@@ -1,0 +1,78 @@
+"""The textual microassembler vs the constructed microprograms."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.accel.ffau import FFAU
+from repro.accel.microasm import (
+    CIOS_SOURCE,
+    MicroAssemblyError,
+    assemble_microcode,
+)
+from repro.accel.microcode import CoreOp, build_cios_program
+
+
+def _strip_labels(ops):
+    return [replace(op, label="") for op in ops]
+
+
+def test_cios_source_matches_constructed_program():
+    """The shipped source assembles to the exact constructed program."""
+    assembled = assemble_microcode(CIOS_SOURCE)
+    constructed = build_cios_program()
+    assert len(assembled.ops) == len(constructed.ops)
+    for i, (got, want) in enumerate(zip(_strip_labels(assembled.ops),
+                                        _strip_labels(constructed.ops))):
+        assert got == want, f"microinstruction {i} differs"
+
+
+def test_assembled_cios_runs_at_the_same_cycle_count():
+    ffau = FFAU()
+    assembled = assemble_microcode(CIOS_SOURCE)
+    for k in (6, 12, 17):
+        assert ffau.run_microprogram(assembled, k) == \
+            FFAU().run_microprogram(build_cios_program(), k)
+
+
+def test_labels_resolve_loops():
+    prog = assemble_microcode("""
+    top: MUL_ADD_C a=ab b=ab c=t dst=t loop j -> top
+         NOP halt
+    """)
+    assert prog.ops[0].loop == "j"
+    assert prog.ops[0].loop_target == 0
+    assert prog.ops[1].halt
+
+
+def test_errors():
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("FROB a=ab")
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("MUL a=banana")
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("MUL const=banana")
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("NOP loop j top")  # missing arrow
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("NOP loop j -> nowhere\n")
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("a: NOP\na: NOP")
+    with pytest.raises(MicroAssemblyError):
+        assemble_microcode("NOP frobnicate")
+
+
+def test_comments_and_blanks():
+    prog = assemble_microcode("""
+    # a comment
+
+    NOP halt   # trailing
+    """)
+    assert len(prog.ops) == 1
+    assert prog.ops[0].op is CoreOp.NOP
+
+
+def test_table_overflow_guard():
+    source = "\n".join(["NOP"] * 65)
+    with pytest.raises(OverflowError):
+        assemble_microcode(source)

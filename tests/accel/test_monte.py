@@ -1,0 +1,138 @@
+"""Monte: queue/DMA timing, double buffering, forwarding, correctness."""
+
+import pytest
+
+from repro.accel.monte import Monte, MonteConfig
+from repro.fields.nist import NIST_PRIMES
+
+
+@pytest.fixture
+def monte():
+    return Monte(NIST_PRIMES[192])
+
+
+def test_functional_mul(monte, rng):
+    p = monte.ctx.n
+    for _ in range(5):
+        a, b = rng.randrange(p), rng.randrange(p)
+        monte.load_a(monte.ctx.to_mont(a))
+        monte.load_b(monte.ctx.to_mont(b))
+        monte.mul()
+        result, _ = monte.store()
+        assert monte.ctx.from_mont(result) == (a * b) % p
+
+
+def test_functional_add_sub(monte, rng):
+    p = monte.ctx.n
+    a, b = rng.randrange(p), rng.randrange(p)
+    from repro.mp.words import from_int, to_int
+
+    monte.load_a(from_int(a, monte.k))
+    monte.load_b(from_int(b, monte.k))
+    monte.add()
+    total, _ = monte.store()
+    assert to_int(total) == (a + b) % p
+    monte.op_a, monte.op_b = from_int(a, monte.k), from_int(b, monte.k)
+    monte.sub()
+    diff, _ = monte.store()
+    assert to_int(diff) == (a - b) % p
+
+
+def test_execute_requires_operands():
+    fresh = Monte(NIST_PRIMES[192])
+    with pytest.raises(RuntimeError):
+        fresh.mul()
+    with pytest.raises(RuntimeError):
+        fresh.store()
+
+
+def test_double_buffering_hides_dma(monte):
+    """Back-to-back multiplies retire at FFAU latency: the DMA is fully
+    hidden behind computation (the Section 5.4.1 walk-through)."""
+    dummy = [0] * monte.k
+    completions = []
+    for _ in range(6):
+        monte.load_a(dummy)
+        monte.load_b(dummy)
+        monte.op_a = [1] + [0] * (monte.k - 1)
+        monte.op_b = [1] + [0] * (monte.k - 1)
+        completions.append(monte.mul())
+        monte.store(addr=0x40)
+    deltas = [b - a for a, b in zip(completions, completions[1:])]
+    ffau_cycles = monte.ffau.montmul_cycles(monte.k)
+    assert all(d == ffau_cycles for d in deltas[1:])
+
+
+def test_ablation_serializes_dma():
+    """Without double buffering, each op pays its DMA time (Section 7.7)."""
+    on = Monte(NIST_PRIMES[192])
+    off = Monte(NIST_PRIMES[192], MonteConfig(double_buffering=False))
+    t_on = on.field_op_pattern_cycles("mul")
+    t_off = off.field_op_pattern_cycles("mul")
+    assert t_off > t_on
+    # the gap is the serialized load/store traffic, ~3 transfers
+    assert t_off - t_on >= 2 * (on.k + on.config.dma_setup_cycles) * 0.8
+
+
+def test_forwarding_saves_transfers():
+    monte = Monte(NIST_PRIMES[192])
+    with_fw = monte.field_op_pattern_cycles("mul", reuse_fraction=0.5)
+    probe = Monte(NIST_PRIMES[192])
+    without_fw = probe.field_op_pattern_cycles("mul", reuse_fraction=0.0)
+    assert with_fw <= without_fw
+
+
+def test_forwarded_load_counts(monte):
+    dummy = [0] * monte.k
+    monte.load_a(dummy)
+    monte.load_b(dummy)
+    monte.mul()
+    monte.store(addr=0x80)
+    monte.load_a(dummy, addr=0x80)  # matches the pending store
+    assert monte.stats.forwarded_loads == 1
+
+
+def test_queue_backpressure():
+    monte = Monte(NIST_PRIMES[192], MonteConfig(queue_depth=2))
+    dummy = [0] * monte.k
+    for _ in range(8):
+        monte.load_a(dummy)
+        monte.load_b(dummy)
+        monte.op_a = [1] + [0] * (monte.k - 1)
+        monte.op_b = [1] + [0] * (monte.k - 1)
+        monte.mul()
+        monte.store()
+    assert monte.stats.queue_stall_cycles > 0, \
+        "a 2-deep queue cannot absorb the run-ahead"
+
+
+def test_sync_drains_everything(monte):
+    dummy = [0] * monte.k
+    monte.load_a(dummy)
+    monte.load_b(dummy)
+    monte.op_a = [1] + [0] * (monte.k - 1)
+    monte.op_b = [1] + [0] * (monte.k - 1)
+    done = monte.mul()
+    monte.store()
+    sync_time = monte.sync()
+    assert sync_time >= done
+    assert monte.pending_store is None
+
+
+def test_add_cheaper_than_mul(monte):
+    assert monte.field_op_pattern_cycles("add") < \
+        monte.field_op_pattern_cycles("mul")
+
+
+def test_stats_populated(monte):
+    dummy = [0] * monte.k
+    monte.load_a(dummy)
+    monte.load_b(dummy)
+    monte.op_a = [1] + [0] * (monte.k - 1)
+    monte.op_b = [1] + [0] * (monte.k - 1)
+    monte.mul()
+    monte.store()
+    monte.sync()
+    assert monte.stats.dma_words >= 3 * monte.k
+    assert monte.stats.ffau_ops == 1
+    assert monte.stats.ffau_busy_cycles > 100

@@ -1,0 +1,129 @@
+"""Timing-model invariants for the coprocessors, under hypothesis.
+
+The event-timing machines must behave like hardware: time never runs
+backwards, adding work never makes a schedule finish earlier, disabling
+an optimization never helps, and functional results are independent of
+the timing configuration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.accel.monte import Monte, MonteConfig
+from repro.fields.binary import BinaryField
+from repro.fields.nist import NIST_PRIMES
+
+_OPS = st.lists(st.sampled_from(["mul", "add", "sub"]),
+                min_size=1, max_size=12)
+
+
+def _drive_monte(monte: Monte, ops: list[str]) -> int:
+    dummy = [0] * monte.k
+    one = [1] + [0] * (monte.k - 1)
+    for op in ops:
+        monte.load_a(dummy)
+        monte.load_b(dummy)
+        monte.op_a = list(one)
+        monte.op_b = list(one)
+        getattr(monte, op)()
+        monte.store(addr=0x40)
+    return monte.sync()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_monte_time_monotone_in_work(ops):
+    """Appending an op can only move completion later."""
+    base = _drive_monte(Monte(NIST_PRIMES[192]), ops)
+    extended = _drive_monte(Monte(NIST_PRIMES[192]), ops + ["mul"])
+    assert extended > base
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_monte_double_buffering_never_hurts(ops):
+    on = _drive_monte(Monte(NIST_PRIMES[192]), ops)
+    off = _drive_monte(
+        Monte(NIST_PRIMES[192], MonteConfig(double_buffering=False)), ops)
+    assert off >= on
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_monte_deeper_queue_never_hurts(ops):
+    deep = _drive_monte(
+        Monte(NIST_PRIMES[192], MonteConfig(queue_depth=8)), ops)
+    shallow = _drive_monte(
+        Monte(NIST_PRIMES[192], MonteConfig(queue_depth=1)), ops)
+    assert shallow >= deep
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_monte_ffau_never_idle_negative(ops):
+    monte = Monte(NIST_PRIMES[192])
+    total = _drive_monte(monte, ops)
+    assert 0 < monte.stats.ffau_busy_cycles <= total
+
+
+_BILLIE_OPS = st.lists(
+    st.tuples(st.sampled_from(["mul", "sqr", "add"]),
+              st.integers(min_value=1, max_value=7),
+              st.integers(min_value=1, max_value=7),
+              st.integers(min_value=8, max_value=15)),
+    min_size=1, max_size=15)
+
+
+def _drive_billie(billie: Billie, ops) -> int:
+    for i in range(1, 8):
+        billie.issue_load(i, i * 0x1234567 + 1)
+    for op, src1, src2, dst in ops:
+        if op == "mul":
+            billie.issue_mul(dst, src1, src2)
+        elif op == "sqr":
+            billie.issue_sqr(dst, src1)
+        else:
+            billie.issue_add(dst, src1, src2)
+    return billie.sync()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_BILLIE_OPS)
+def test_billie_time_monotone(ops):
+    base = _drive_billie(Billie(), ops)
+    extended = _drive_billie(Billie(), ops + [("mul", 1, 2, 8)])
+    assert extended > base
+
+
+@settings(max_examples=40, deadline=None)
+@given(_BILLIE_OPS)
+def test_billie_results_independent_of_digit_size(ops):
+    """The digit width changes timing, never values."""
+    f = BinaryField.nist(163)
+    fast = Billie(BillieConfig(m=163, digit=8))
+    slow = Billie(BillieConfig(m=163, digit=1))
+    t_fast = _drive_billie(fast, ops)
+    t_slow = _drive_billie(slow, ops)
+    assert fast.regs == slow.regs
+    if any(op == "mul" for op, *_ in ops):
+        assert t_slow > t_fast
+
+
+@settings(max_examples=40, deadline=None)
+@given(_BILLIE_OPS)
+def test_billie_results_match_field_semantics(ops):
+    """Replay the op list against the plain field: same registers."""
+    f = BinaryField.nist(163)
+    billie = Billie()
+    _drive_billie(billie, ops)
+    regs = [0] * 16
+    for i in range(1, 8):
+        regs[i] = i * 0x1234567 + 1
+    for op, src1, src2, dst in ops:
+        if op == "mul":
+            regs[dst] = f.mul(regs[src1], regs[src2])
+        elif op == "sqr":
+            regs[dst] = f.sqr(regs[src1])
+        else:
+            regs[dst] = regs[src1] ^ regs[src2]
+    assert billie.regs == regs

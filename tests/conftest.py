@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.ec.curves import get_curve
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=["P-192", "P-256", "P-521"])
+def prime_curve(request):
+    return get_curve(request.param)
+
+
+@pytest.fixture(params=["B-163", "B-283", "B-571"])
+def binary_curve(request):
+    return get_curve(request.param)
+
+
+@pytest.fixture(params=["P-192", "B-163"])
+def any_curve(request):
+    return get_curve(request.param)

@@ -1,0 +1,128 @@
+"""Point compression/serialization round trips on every curve."""
+
+import pytest
+
+from repro.ec.compression import (
+    DecompressionError,
+    compress,
+    decode_uncompressed,
+    decompress,
+    encode_uncompressed,
+    signature_from_bytes,
+    signature_to_bytes,
+    sqrt_mod_p,
+)
+from repro.ec.curves import CURVES, get_curve
+from repro.ec.point import INFINITY, affine_scalar_mul
+from repro.ecdsa import generate_keypair, sign
+from repro.fields.nist import NIST_PRIMES
+
+
+@pytest.mark.parametrize("bits", sorted(NIST_PRIMES))
+def test_sqrt_mod_p(bits, rng):
+    p = NIST_PRIMES[bits]
+    for _ in range(10):
+        a = rng.randrange(p)
+        square = a * a % p
+        root = sqrt_mod_p(square, p)
+        assert root is not None
+        assert root * root % p == square
+    assert sqrt_mod_p(0, p) == 0
+
+
+def test_sqrt_rejects_non_residues(rng):
+    p = NIST_PRIMES[192]
+    rejected = 0
+    for _ in range(20):
+        a = rng.randrange(2, p)
+        if sqrt_mod_p(a, p) is None:
+            rejected += 1
+    assert rejected > 0, "about half of all residues are non-squares"
+
+
+@pytest.mark.parametrize("name", CURVES)
+def test_compress_round_trip(name, rng):
+    curve = get_curve(name)
+    for n in (1, 2, 7, rng.randrange(3, 5000)):
+        point = affine_scalar_mul(curve, n, curve.generator)
+        encoded = compress(curve, point)
+        assert len(encoded) == 1 + (curve.bits + 7) // 8
+        assert decompress(curve, encoded) == point
+
+
+@pytest.mark.parametrize("name", ["P-224"])
+def test_tonelli_shanks_path(name, rng):
+    """P-224 has p = 1 (mod 4): exercises the general square root."""
+    curve = get_curve(name)
+    point = affine_scalar_mul(curve, 12345, curve.generator)
+    assert decompress(curve, compress(curve, point)) == point
+
+
+def test_infinity_encoding():
+    curve = get_curve("P-192")
+    assert compress(curve, INFINITY) == b"\x00"
+    assert decompress(curve, b"\x00") == INFINITY
+    assert encode_uncompressed(curve, INFINITY) == b"\x00"
+
+
+def test_bad_encodings_rejected():
+    curve = get_curve("P-192")
+    with pytest.raises(DecompressionError):
+        decompress(curve, b"\x05" + b"\x00" * 24)
+    with pytest.raises(DecompressionError):
+        decompress(curve, b"\x02" + b"\x00" * 10)
+    # an x with no curve point
+    for x in range(2, 50):
+        data = bytes([0x02]) + x.to_bytes(24, "big")
+        try:
+            point = decompress(curve, data)
+            assert curve.contains(point)
+        except DecompressionError:
+            break
+    else:
+        pytest.fail("expected at least one off-curve x")
+
+
+def test_binary_off_curve_rejected():
+    curve = get_curve("B-163")
+    rejections = 0
+    for x in range(2, 60):
+        data = bytes([0x02]) + x.to_bytes(21, "big")
+        try:
+            decompress(curve, data)
+        except DecompressionError:
+            rejections += 1
+    assert rejections > 0
+
+
+@pytest.mark.parametrize("name", ["P-256", "B-233"])
+def test_uncompressed_round_trip(name):
+    curve = get_curve(name)
+    point = affine_scalar_mul(curve, 999, curve.generator)
+    data = encode_uncompressed(curve, point)
+    assert data[0] == 0x04
+    assert decode_uncompressed(curve, data) == point
+    tampered = bytearray(data)
+    tampered[-1] ^= 1
+    with pytest.raises(DecompressionError):
+        decode_uncompressed(curve, bytes(tampered))
+
+
+@pytest.mark.parametrize("name", ["P-192", "B-163"])
+def test_signature_serialization(name):
+    curve = get_curve(name)
+    d, _ = generate_keypair(curve)
+    sig = sign(curve, d, b"wire format")
+    data = signature_to_bytes(curve, sig)
+    assert len(data) == 2 * ((curve.n.bit_length() + 7) // 8)
+    assert signature_from_bytes(curve, data) == sig
+    with pytest.raises(ValueError):
+        signature_from_bytes(curve, data[:-1])
+
+
+def test_compressed_halves_the_radio_bytes():
+    """The Pabbuleti-style trade: compressed keys cost ~half the bytes."""
+    curve = get_curve("B-163")
+    _, public = generate_keypair(curve)
+    assert len(compress(curve, public)) < \
+        len(encode_uncompressed(curve, public)) * 0.6

@@ -1,0 +1,55 @@
+"""Property-based point-compression tests (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.compression import (
+    DecompressionError,
+    compress,
+    decompress,
+    sqrt_mod_p,
+)
+from repro.ec.curves import get_curve
+from repro.ec.point import affine_scalar_mul
+from repro.fields.nist import NIST_PRIMES
+
+_P192 = get_curve("P-192")
+_B163 = get_curve("B-163")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=100_000))
+def test_prime_compression_round_trip(n):
+    point = affine_scalar_mul(_P192, n, _P192.generator)
+    assert decompress(_P192, compress(_P192, point)) == point
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=100_000))
+def test_binary_compression_round_trip(n):
+    point = affine_scalar_mul(_B163, n, _B163.generator)
+    assert decompress(_B163, compress(_B163, point)) == point
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=NIST_PRIMES[224] - 1))
+def test_sqrt_mod_p224_property(a):
+    """The Tonelli-Shanks path: a root squares back, or None only for
+    true non-residues."""
+    p = NIST_PRIMES[224]
+    root = sqrt_mod_p(a, p)
+    if root is None:
+        assert pow(a, (p - 1) // 2, p) == p - 1
+    else:
+        assert root * root % p == a % p
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=25, max_size=25))
+def test_decompress_never_returns_offcurve_garbage(data):
+    """Arbitrary bytes either decode to an on-curve point or raise."""
+    encoded = bytes([0x02 | (data[0] & 1)]) + data[1:]
+    try:
+        point = decompress(_P192, encoded)
+    except DecompressionError:
+        return
+    assert _P192.contains(point)

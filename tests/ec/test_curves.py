@@ -1,0 +1,84 @@
+"""Curve registry: parameter validity for all ten NIST curves."""
+
+import pytest
+
+from repro.ec.curves import CURVES, SECURITY_PAIRS, get_curve
+from repro.ec.point import AffinePoint
+from repro.ec.scalar import sliding_window_mul
+from repro.ec.point import INFINITY
+
+
+@pytest.mark.parametrize("name", CURVES)
+def test_generator_on_curve(name):
+    curve = get_curve(name)
+    assert curve.contains(curve.generator)
+    assert curve.contains(INFINITY)
+
+
+@pytest.mark.parametrize("name", CURVES)
+def test_order_satisfies_hasse_bound(name):
+    curve = get_curve(name)
+    # |#E - (q + 1)| <= 2 sqrt(q), with #E = n * h
+    field_order = 2 ** curve.bits if curve.is_binary else curve.field.p
+    group = curve.n * curve.h
+    assert abs(group - (field_order + 1)) <= 2 * (1 << (curve.bits // 2 + 1))
+    assert curve.n % 2 == 1
+
+
+@pytest.mark.parametrize("name", ["P-192", "P-521", "B-163", "B-571"])
+def test_generator_has_order_n(name):
+    curve = get_curve(name)
+    assert sliding_window_mul(curve, curve.n, curve.generator) == INFINITY
+    assert sliding_window_mul(curve, 1, curve.generator) == curve.generator
+
+
+def test_random_point_rejected():
+    curve = get_curve("P-192")
+    assert not curve.contains(AffinePoint(12345, 67890))
+
+
+def test_prime_curves_use_a_minus_3():
+    for name in CURVES:
+        curve = get_curve(name)
+        if not curve.is_binary:
+            assert curve.a == curve.field.p - 3
+        else:
+            assert curve.a == 1
+
+
+def test_curve_metadata():
+    p192 = get_curve("P-192")
+    assert p192.bits == 192
+    assert not p192.is_binary
+    assert p192.h == 1
+    b163 = get_curve("B-163")
+    assert b163.bits == 163
+    assert b163.is_binary
+    assert b163.h == 2
+
+
+def test_unknown_curve():
+    with pytest.raises(KeyError):
+        get_curve("P-128")
+    with pytest.raises(KeyError):
+        get_curve("X-163")
+
+
+def test_security_pairs_cover_all_curves():
+    primes = {p for p, _ in SECURITY_PAIRS}
+    binaries = {b for _, b in SECURITY_PAIRS}
+    assert primes == {c for c in CURVES if c.startswith("P")}
+    assert binaries == {c for c in CURVES if c.startswith("B")}
+
+
+def test_curves_are_cached():
+    assert get_curve("P-256") is get_curve("P-256")
+
+
+def test_counters_reset():
+    curve = get_curve("P-192")
+    curve.field.counter.count("fmul")
+    curve.order_counter.count("omul")
+    curve.reset_counters()
+    assert curve.field.counter.total() == 0
+    assert curve.order_counter.total() == 0

@@ -1,0 +1,106 @@
+"""Mixed Jacobian-affine arithmetic vs the affine reference."""
+
+import pytest
+
+from repro.ec.curves import get_curve
+from repro.ec.jacobian import (
+    JACOBIAN_INFINITY,
+    JacobianPoint,
+    jacobian_add,
+    jacobian_add_mixed,
+    jacobian_double,
+    jacobian_neg,
+    to_affine,
+    to_jacobian,
+)
+from repro.ec.point import INFINITY, affine_add, affine_neg, affine_scalar_mul
+
+
+@pytest.fixture(params=["P-192", "P-384"])
+def curve(request):
+    return get_curve(request.param)
+
+
+def _random_jacobian(curve, rng, n):
+    """n*G with a randomized Z (same point, different representation)."""
+    f = curve.field
+    p = affine_scalar_mul(curve, n, curve.generator)
+    z = rng.randrange(2, f.p)
+    zsq = f.sqr(z)
+    return JacobianPoint(f.mul(p.x, zsq), f.mul(p.y, f.mul(zsq, z)), z), p
+
+
+def test_projection_round_trip(curve):
+    g = curve.generator
+    assert to_affine(curve, to_jacobian(g)) == g
+    assert to_affine(curve, JACOBIAN_INFINITY) == INFINITY
+    assert to_jacobian(INFINITY) == JACOBIAN_INFINITY
+
+
+def test_double_matches_affine(curve, rng):
+    for _ in range(10):
+        jp, ap = _random_jacobian(curve, rng, rng.randrange(2, 200))
+        assert to_affine(curve, jacobian_double(curve, jp)) == \
+            affine_add(curve, ap, ap)
+
+
+def test_mixed_add_matches_affine(curve, rng):
+    for _ in range(10):
+        jp, ap = _random_jacobian(curve, rng, rng.randrange(2, 200))
+        q = affine_scalar_mul(curve, rng.randrange(2, 200), curve.generator)
+        assert to_affine(curve, jacobian_add_mixed(curve, jp, q)) == \
+            affine_add(curve, ap, q)
+
+
+def test_full_add_matches_affine(curve, rng):
+    for _ in range(10):
+        jp, ap = _random_jacobian(curve, rng, rng.randrange(2, 200))
+        jq, aq = _random_jacobian(curve, rng, rng.randrange(2, 200))
+        assert to_affine(curve, jacobian_add(curve, jp, jq)) == \
+            affine_add(curve, ap, aq)
+
+
+def test_special_cases(curve):
+    g = curve.generator
+    jg = to_jacobian(g)
+    # P + P via mixed add falls back to doubling
+    assert to_affine(curve, jacobian_add_mixed(curve, jg, g)) == \
+        affine_add(curve, g, g)
+    # P + (-P) = infinity
+    assert to_affine(curve,
+                     jacobian_add_mixed(curve, jg, affine_neg(curve, g))) \
+        == INFINITY
+    # identity handling
+    assert jacobian_add_mixed(curve, JACOBIAN_INFINITY, g) == to_jacobian(g)
+    assert jacobian_add(curve, jg, JACOBIAN_INFINITY) == jg
+    assert jacobian_double(curve, JACOBIAN_INFINITY) == JACOBIAN_INFINITY
+
+
+def test_neg(curve):
+    jg = to_jacobian(curve.generator)
+    assert to_affine(curve, jacobian_neg(curve, jg)) == \
+        affine_neg(curve, curve.generator)
+
+
+def test_double_operation_count():
+    """The a = -3 doubling costs 4M + 4S (constants via addition chains)."""
+    curve = get_curve("P-192")
+    jp = to_jacobian(curve.generator)
+    curve.reset_counters()
+    jacobian_double(curve, jp)
+    counts = curve.field.counter.snapshot()
+    assert counts["fmul"] == 4
+    assert counts["fsqr"] == 4
+    curve.reset_counters()
+
+
+def test_mixed_add_operation_count():
+    curve = get_curve("P-192")
+    jp = jacobian_double(curve, to_jacobian(curve.generator))
+    q = affine_scalar_mul(curve, 3, curve.generator)
+    curve.reset_counters()
+    jacobian_add_mixed(curve, jp, q)
+    counts = curve.field.counter.snapshot()
+    assert counts["fmul"] == 8
+    assert counts["fsqr"] == 3
+    curve.reset_counters()

@@ -1,0 +1,107 @@
+"""Mixed Lopez-Dahab-affine arithmetic vs the affine reference."""
+
+import pytest
+
+from repro.ec.curves import get_curve
+from repro.ec.lopez_dahab import (
+    LD_INFINITY,
+    LDPoint,
+    ld_add_full,
+    ld_add_mixed,
+    ld_double,
+    ld_neg,
+    to_affine,
+    to_ld,
+)
+from repro.ec.point import INFINITY, affine_add, affine_neg, affine_scalar_mul
+
+
+@pytest.fixture(params=["B-163", "B-409"])
+def curve(request):
+    return get_curve(request.param)
+
+
+def _random_ld(curve, rng, n):
+    """n*G with a randomized Z: (X/Z, Y/Z^2) representation."""
+    f = curve.field
+    p = affine_scalar_mul(curve, n, curve.generator)
+    z = rng.getrandbits(curve.bits - 2) | 1
+    return LDPoint(f.mul(p.x, z), f.mul(p.y, f.sqr(z)), z), p
+
+
+def test_projection_round_trip(curve):
+    g = curve.generator
+    assert to_affine(curve, to_ld(g)) == g
+    assert to_affine(curve, LD_INFINITY) == INFINITY
+
+
+def test_double_matches_affine(curve, rng):
+    for _ in range(10):
+        lp, ap = _random_ld(curve, rng, rng.randrange(2, 200))
+        assert to_affine(curve, ld_double(curve, lp)) == \
+            affine_add(curve, ap, ap)
+
+
+def test_mixed_add_matches_affine(curve, rng):
+    for _ in range(10):
+        lp, ap = _random_ld(curve, rng, rng.randrange(2, 200))
+        q = affine_scalar_mul(curve, rng.randrange(2, 200), curve.generator)
+        assert to_affine(curve, ld_add_mixed(curve, lp, q)) == \
+            affine_add(curve, ap, q)
+
+
+def test_full_add_matches_affine(curve, rng):
+    for _ in range(10):
+        lp, ap = _random_ld(curve, rng, rng.randrange(2, 200))
+        lq, aq = _random_ld(curve, rng, rng.randrange(2, 200))
+        assert to_affine(curve, ld_add_full(curve, lp, lq)) == \
+            affine_add(curve, ap, aq)
+
+
+def test_special_cases(curve):
+    g = curve.generator
+    lg = to_ld(g)
+    assert to_affine(curve, ld_add_mixed(curve, lg, g)) == \
+        affine_add(curve, g, g)
+    assert to_affine(curve, ld_add_mixed(curve, lg, affine_neg(curve, g))) \
+        == INFINITY
+    assert to_affine(curve, ld_add_full(curve, lg, lg)) == \
+        affine_add(curve, g, g)
+    assert ld_add_full(curve, LD_INFINITY, lg) == lg
+    assert ld_double(curve, LD_INFINITY) == LD_INFINITY
+
+
+def test_neg(curve):
+    """-(X, Y, Z) = (X, XZ + Y, Z), the LD-specific negation."""
+    g = curve.generator
+    lg = to_ld(g)
+    assert to_affine(curve, ld_neg(curve, lg)) == affine_neg(curve, g)
+    # and with a non-trivial Z
+    f = curve.field
+    z = 0b1011
+    lp = LDPoint(f.mul(g.x, z), f.mul(g.y, f.sqr(z)), z)
+    assert to_affine(curve, ld_neg(curve, lp)) == affine_neg(curve, g)
+
+
+def test_double_operation_count():
+    """LD doubling costs 4M + 5S on the a = 1 NIST curves."""
+    curve = get_curve("B-163")
+    lp = to_ld(curve.generator)
+    curve.reset_counters()
+    ld_double(curve, lp)
+    counts = curve.field.counter.snapshot()
+    assert counts.get("fmul", 0) == 4
+    assert counts.get("fsqr", 0) == 5
+    curve.reset_counters()
+
+
+def test_mixed_add_operation_count():
+    curve = get_curve("B-163")
+    lp = ld_double(curve, to_ld(curve.generator))
+    q = affine_scalar_mul(curve, 3, curve.generator)
+    curve.reset_counters()
+    ld_add_mixed(curve, lp, q)
+    counts = curve.field.counter.snapshot()
+    assert counts.get("fmul", 0) == 8
+    assert counts.get("fsqr", 0) == 5
+    curve.reset_counters()

@@ -1,0 +1,83 @@
+"""Affine reference arithmetic: group laws on both field families."""
+
+import pytest
+
+from repro.ec.curves import get_curve
+from repro.ec.point import (
+    INFINITY,
+    AffinePoint,
+    affine_add,
+    affine_neg,
+    affine_scalar_mul,
+)
+
+
+@pytest.fixture(params=["P-192", "B-163"])
+def curve(request):
+    return get_curve(request.param)
+
+
+def test_identity_laws(curve):
+    g = curve.generator
+    assert affine_add(curve, g, INFINITY) == g
+    assert affine_add(curve, INFINITY, g) == g
+    assert affine_add(curve, INFINITY, INFINITY) == INFINITY
+
+
+def test_inverse_law(curve):
+    g = curve.generator
+    neg = affine_neg(curve, g)
+    assert curve.contains(neg)
+    assert affine_add(curve, g, neg) == INFINITY
+    assert affine_neg(curve, INFINITY) == INFINITY
+    assert affine_neg(curve, neg) == g
+
+
+def test_commutativity(curve, rng):
+    g = curve.generator
+    p = affine_scalar_mul(curve, rng.randrange(2, 100), g)
+    q = affine_scalar_mul(curve, rng.randrange(2, 100), g)
+    assert affine_add(curve, p, q) == affine_add(curve, q, p)
+
+
+def test_associativity(curve, rng):
+    g = curve.generator
+    pts = [affine_scalar_mul(curve, rng.randrange(2, 100), g)
+           for _ in range(3)]
+    p, q, r = pts
+    lhs = affine_add(curve, affine_add(curve, p, q), r)
+    rhs = affine_add(curve, p, affine_add(curve, q, r))
+    assert lhs == rhs
+
+
+def test_doubling_consistency(curve):
+    g = curve.generator
+    two_g = affine_add(curve, g, g)
+    assert curve.contains(two_g)
+    three_g = affine_add(curve, two_g, g)
+    assert three_g == affine_scalar_mul(curve, 3, g)
+
+
+def test_scalar_mul_linearity(curve):
+    g = curve.generator
+    a, b = 17, 31
+    lhs = affine_scalar_mul(curve, a + b, g)
+    rhs = affine_add(curve, affine_scalar_mul(curve, a, g),
+                     affine_scalar_mul(curve, b, g))
+    assert lhs == rhs
+
+
+def test_scalar_zero_and_order(curve):
+    assert affine_scalar_mul(curve, 0, curve.generator) == INFINITY
+
+
+def test_point_truthiness():
+    assert not INFINITY
+    assert AffinePoint(1, 2)
+
+
+def test_all_points_stay_on_curve(curve, rng):
+    g = curve.generator
+    for _ in range(10):
+        k = rng.randrange(1, 500)
+        assert curve.contains(affine_scalar_mul(curve, k, g))

@@ -1,0 +1,201 @@
+"""Scalar multiplication algorithms and scalar recodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.curves import CURVES, get_curve
+from repro.ec.point import INFINITY, affine_add, affine_neg, affine_scalar_mul
+from repro.ec.scalar import (
+    montgomery_ladder,
+    naf,
+    precompute_odd_multiples,
+    rtl_double_and_add,
+    sliding_window_mul,
+    twin_mul,
+    width_naf,
+)
+
+
+def test_naf_properties(rng):
+    for _ in range(50):
+        x = rng.getrandbits(64)
+        digits = naf(x)
+        assert sum(d << i for i, d in enumerate(digits)) == x
+        assert all(d in (-1, 0, 1) for d in digits)
+        # non-adjacency
+        for a, b in zip(digits, digits[1:]):
+            assert not (a and b)
+
+
+def test_width_naf_properties(rng):
+    for width in (2, 3, 4, 5):
+        for _ in range(25):
+            x = rng.getrandbits(96)
+            digits = width_naf(x, width)
+            assert sum(d << i for i, d in enumerate(digits)) == x
+            for d in digits:
+                if d:
+                    assert d % 2 == 1, "nonzero digits are odd"
+                    assert abs(d) < (1 << (width - 1))
+            # at most one nonzero digit per window
+            for i, d in enumerate(digits):
+                if d:
+                    assert all(not e for e in digits[i + 1:i + width])
+
+
+def test_width_naf_validation():
+    with pytest.raises(ValueError):
+        width_naf(5, 1)
+
+
+@pytest.mark.parametrize("name", CURVES)
+def test_sliding_window_matches_reference(name, rng):
+    curve = get_curve(name)
+    g = curve.generator
+    for _ in range(3):
+        k = rng.randrange(2, 2000)
+        assert sliding_window_mul(curve, k, g) == \
+            affine_scalar_mul(curve, k, g)
+
+
+@pytest.mark.parametrize("name", ["P-256", "B-233"])
+def test_full_size_scalars(name, rng):
+    curve = get_curve(name)
+    k = rng.randrange(1, curve.n)
+    result = sliding_window_mul(curve, k, curve.generator)
+    assert curve.contains(result)
+    assert rtl_double_and_add(curve, k, curve.generator) == result
+
+
+def test_sliding_window_edge_cases():
+    curve = get_curve("P-192")
+    g = curve.generator
+    assert sliding_window_mul(curve, 0, g) == INFINITY
+    assert sliding_window_mul(curve, 1, g) == g
+    assert sliding_window_mul(curve, 5, INFINITY) == INFINITY
+    # negative scalar = positive scalar of the negated point
+    assert sliding_window_mul(curve, -7, g) == \
+        sliding_window_mul(curve, 7, affine_neg(curve, g))
+
+
+def test_precompute_table(any_curve):
+    curve = any_curve
+    g = curve.generator
+    curve.reset_counters()
+    table = precompute_odd_multiples(curve, g)
+    # single batched inversion (Montgomery's trick)
+    assert curve.field.counter["finv"] == 1
+    assert table[1] == g
+    assert table[3] == affine_scalar_mul(curve, 3, g)
+    assert table[5] == affine_scalar_mul(curve, 5, g)
+    curve.reset_counters()
+
+
+@pytest.mark.parametrize("name", ["P-192", "B-163", "P-521", "B-571"])
+def test_twin_mul(name, rng):
+    curve = get_curve(name)
+    g = curve.generator
+    q = affine_scalar_mul(curve, 7, g)
+    for _ in range(3):
+        u1 = rng.randrange(1, 3000)
+        u2 = rng.randrange(1, 3000)
+        expected = affine_add(curve, affine_scalar_mul(curve, u1, g),
+                              affine_scalar_mul(curve, u2, q))
+        assert twin_mul(curve, u1, g, u2, q) == expected
+
+
+def test_twin_mul_degenerate_cases(rng):
+    curve = get_curve("P-192")
+    g = curve.generator
+    q = affine_scalar_mul(curve, 3, g)
+    assert twin_mul(curve, 0, g, 5, q) == affine_scalar_mul(curve, 5, q)
+    assert twin_mul(curve, 5, g, 0, q) == affine_scalar_mul(curve, 5, g)
+    with pytest.raises(ValueError):
+        twin_mul(curve, -1, g, 1, q)
+
+
+def test_twin_mul_uses_one_precompute_inversion():
+    curve = get_curve("P-192")
+    g = curve.generator
+    q = affine_scalar_mul(curve, 9, g)
+    curve.reset_counters()
+    twin_mul(curve, 12345, g, 6789, q)
+    # one inversion for the P+/-Q batch, one for the final conversion
+    assert curve.field.counter["finv"] == 2
+    curve.reset_counters()
+
+
+@pytest.mark.parametrize("name", ["B-163", "B-283"])
+def test_montgomery_ladder(name, rng):
+    curve = get_curve(name)
+    g = curve.generator
+    for _ in range(5):
+        k = rng.randrange(2, 5000)
+        assert montgomery_ladder(curve, k, g) == \
+            affine_scalar_mul(curve, k, g)
+    assert montgomery_ladder(curve, 0, g) == INFINITY
+    assert montgomery_ladder(curve, 1, g) == g
+
+
+def test_ladder_rejects_prime_curves():
+    with pytest.raises(ValueError):
+        montgomery_ladder(get_curve("P-192"), 5, get_curve("P-192").generator)
+
+
+def test_ladder_full_size(rng):
+    curve = get_curve("B-163")
+    k = rng.randrange(1, curve.n)
+    assert montgomery_ladder(curve, k, curve.generator) == \
+        sliding_window_mul(curve, k, curve.generator)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+def test_width_naf_reconstruction_property(x):
+    digits = width_naf(x, 3)
+    assert sum(d << i for i, d in enumerate(digits)) == x
+
+
+def test_fractional_naf_reconstruction(rng):
+    from repro.ec.scalar import fractional_naf
+
+    for _ in range(100):
+        x = rng.getrandbits(rng.randrange(1, 200))
+        digits = fractional_naf(x)
+        assert sum(d << i for i, d in enumerate(digits)) == x
+
+
+def test_fractional_naf_digit_set(rng):
+    """The paper's table: digits live in {0, +-1, +-3, +-5}."""
+    from repro.ec.scalar import fractional_naf
+
+    for _ in range(50):
+        x = rng.getrandbits(128)
+        for d in fractional_naf(x):
+            assert d == 0 or (d % 2 == 1 or d % 2 == -1)
+            assert abs(d) <= 5
+
+
+def test_fractional_naf_denser_windows_than_naf(rng):
+    """The {1,3,5} digit set needs no more adds than plain NAF and
+    usually fewer -- the point of precomputing 3P and 5P."""
+    from repro.ec.scalar import fractional_naf, naf
+
+    total_frac = total_naf = 0
+    for _ in range(30):
+        x = rng.getrandbits(192)
+        total_frac += sum(1 for d in fractional_naf(x) if d)
+        total_naf += sum(1 for d in naf(x) if d)
+    assert total_frac < total_naf
+
+
+def test_fractional_naf_validation():
+    from repro.ec.scalar import fractional_naf
+
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        fractional_naf(5, digit_max=4)
+    with _pytest.raises(ValueError):
+        fractional_naf(5, digit_max=-1)
+    assert fractional_naf(0) == []

@@ -1,0 +1,123 @@
+"""ECDSA: round trips, tamper rejection, determinism, edge cases."""
+
+import hashlib
+
+import pytest
+
+from repro.ec.curves import CURVES, get_curve
+from repro.ec.point import AffinePoint, INFINITY
+from repro.ecdsa import (
+    Signature,
+    deterministic_nonce,
+    generate_keypair,
+    sign,
+    sign_digest,
+    verify,
+    verify_digest,
+)
+
+MESSAGE = b"the design space of ultra-low energy asymmetric cryptography"
+
+
+@pytest.mark.parametrize("name", CURVES)
+def test_sign_verify_round_trip(name):
+    curve = get_curve(name)
+    d, public = generate_keypair(curve)
+    sig = sign(curve, d, MESSAGE)
+    assert verify(curve, public, MESSAGE, sig)
+
+
+@pytest.mark.parametrize("name", ["P-192", "B-163"])
+def test_tampering_detected(name):
+    curve = get_curve(name)
+    d, public = generate_keypair(curve)
+    sig = sign(curve, d, MESSAGE)
+    assert not verify(curve, public, MESSAGE + b"!", sig)
+    assert not verify(curve, public, MESSAGE, Signature(sig.r, sig.s ^ 1))
+    assert not verify(curve, public, MESSAGE, Signature(sig.r ^ 1, sig.s))
+
+
+def test_wrong_key_rejected():
+    curve = get_curve("P-192")
+    d1, _ = generate_keypair(curve, seed=b"alice")
+    _, pub2 = generate_keypair(curve, seed=b"bob")
+    sig = sign(curve, d1, MESSAGE)
+    assert not verify(curve, pub2, MESSAGE, sig)
+
+
+def test_signature_bounds_checked():
+    curve = get_curve("P-192")
+    _, public = generate_keypair(curve)
+    assert not verify(curve, public, MESSAGE, Signature(0, 1))
+    assert not verify(curve, public, MESSAGE, Signature(1, 0))
+    assert not verify(curve, public, MESSAGE, Signature(curve.n, 1))
+    assert not verify(curve, public, MESSAGE, Signature(1, curve.n))
+
+
+def test_bogus_public_key_rejected():
+    curve = get_curve("P-192")
+    d, _ = generate_keypair(curve)
+    sig = sign(curve, d, MESSAGE)
+    assert not verify(curve, AffinePoint(123, 456), MESSAGE, sig)
+    assert not verify(curve, INFINITY, MESSAGE, sig)
+
+
+def test_deterministic_signatures():
+    curve = get_curve("P-256")
+    d, _ = generate_keypair(curve)
+    assert sign(curve, d, MESSAGE) == sign(curve, d, MESSAGE)
+    assert sign(curve, d, MESSAGE) != sign(curve, d, MESSAGE + b"x")
+
+
+def test_rfc6979_p256_known_vector():
+    """RFC 6979 A.2.5, P-256 + SHA-256, message 'sample'."""
+    q = get_curve("P-256").n
+    x = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+    digest = hashlib.sha256(b"sample").digest()
+    k = deterministic_nonce(digest, x, q)
+    assert k == 0xA6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60
+
+
+def test_explicit_nonce():
+    curve = get_curve("P-192")
+    d, public = generate_keypair(curve)
+    digest = hashlib.sha256(MESSAGE).digest()
+    sig1 = sign_digest(curve, d, digest, k=12345)
+    sig2 = sign_digest(curve, d, digest, k=12345)
+    assert sig1 == sig2
+    assert verify_digest(curve, public, digest, sig1)
+    sig3 = sign_digest(curve, d, digest, k=54321)
+    assert sig3 != sig1
+
+
+def test_keypair_determinism_and_range():
+    curve = get_curve("P-192")
+    d1, q1 = generate_keypair(curve, seed=b"seed-a")
+    d2, q2 = generate_keypair(curve, seed=b"seed-a")
+    d3, _ = generate_keypair(curve, seed=b"seed-b")
+    assert (d1, q1) == (d2, q2)
+    assert d1 != d3
+    assert 1 <= d1 < curve.n
+    assert curve.contains(q1)
+
+
+def test_digest_wider_than_order_truncated():
+    """B-163's order is shorter than a SHA-512 digest; leftmost bits."""
+    curve = get_curve("B-163")
+    d, public = generate_keypair(curve)
+    digest = hashlib.sha512(MESSAGE).digest()
+    sig = sign_digest(curve, d, digest)
+    assert verify_digest(curve, public, digest, sig)
+
+
+def test_operation_counters_populated():
+    curve = get_curve("P-192")
+    d, public = generate_keypair(curve)
+    curve.reset_counters()
+    sig = sign(curve, d, MESSAGE)
+    assert curve.order_counter["oinv"] == 1, "one k^-1 per signature"
+    assert curve.field.counter["fmul"] > 500
+    curve.reset_counters()
+    assert verify(curve, public, MESSAGE, sig)
+    assert curve.order_counter["oinv"] == 1, "one s^-1 per verification"
+    curve.reset_counters()

@@ -1,0 +1,72 @@
+"""Property-based ECDSA tests (hypothesis)."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.curves import get_curve
+from repro.ecdsa import (
+    Signature,
+    generate_keypair,
+    sign_digest,
+    verify_digest,
+)
+
+_CURVE = get_curve("P-192")
+_KEY, _PUBLIC = generate_keypair(_CURVE, seed=b"property")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=0, max_size=64))
+def test_any_message_round_trips(message):
+    digest = hashlib.sha256(message).digest()
+    sig = sign_digest(_CURVE, _KEY, digest)
+    assert verify_digest(_CURVE, _PUBLIC, digest, sig)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=32), st.integers(0, 255),
+       st.integers(0, 23))
+def test_any_single_byte_corruption_rejected(message, new_byte, position):
+    """Corruption within the *used* digest bits must be rejected.
+
+    P-192 takes only the leftmost 192 bits (24 bytes) of the SHA-256
+    digest (FIPS 186 truncation), so positions 24-31 are architecturally
+    invisible -- the property holds exactly on bytes 0-23.
+    """
+    digest = hashlib.sha256(message).digest()
+    sig = sign_digest(_CURVE, _KEY, digest)
+    corrupted = bytearray(digest)
+    if corrupted[position] == new_byte:
+        new_byte ^= 0xFF
+    corrupted[position] = new_byte
+    assert not verify_digest(_CURVE, _PUBLIC, bytes(corrupted), sig)
+
+
+def test_digest_tail_beyond_order_is_ignored():
+    """The flip side of the property above, pinned explicitly."""
+    digest = hashlib.sha256(b"truncation").digest()
+    sig = sign_digest(_CURVE, _KEY, digest)
+    tail_corrupted = digest[:24] + bytes(8)
+    assert verify_digest(_CURVE, _PUBLIC, tail_corrupted, sig)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=_CURVE.n - 1))
+def test_any_nonce_yields_valid_signature(nonce):
+    digest = hashlib.sha256(b"nonce property").digest()
+    sig = sign_digest(_CURVE, _KEY, digest, k=nonce)
+    assert 1 <= sig.r < _CURVE.n
+    assert 1 <= sig.s < _CURVE.n
+    assert verify_digest(_CURVE, _PUBLIC, digest, sig)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=(1 << 192) - 1))
+def test_random_signature_pairs_rejected(value):
+    """Forged (r, s) pairs have negligible acceptance probability."""
+    digest = hashlib.sha256(b"forgery target").digest()
+    fake = Signature(value % _CURVE.n or 1, (value * 7) % _CURVE.n or 1)
+    real = sign_digest(_CURVE, _KEY, digest)
+    if fake != real:
+        assert not verify_digest(_CURVE, _PUBLIC, digest, fake)

@@ -1,0 +1,88 @@
+"""Component power models and the accounting layer."""
+
+import pytest
+
+from repro.energy.accounting import EnergyBreakdown, EnergyReport
+from repro.energy.calibration import CALIBRATION
+from repro.energy.components import (
+    FFAU_SYNTHESIS_TABLE,
+    FFAUPower,
+    billie_area_cells,
+    karatsuba_multiplier_power_factors,
+)
+from repro.energy.technology import TECH_45NM
+
+
+def test_ffau_synthesis_anchors():
+    """Table 7.3's 192-bit column reproduces exactly."""
+    for width, (area, static, dynamic) in FFAU_SYNTHESIS_TABLE.items():
+        power = FFAUPower(width)
+        assert power.area_cells == area
+        assert power.static_uw(192) == pytest.approx(static)
+        assert power.dynamic_pj_per_cycle(192) * 100 == pytest.approx(
+            dynamic)
+
+
+def test_ffau_static_grows_with_key_size():
+    power = FFAUPower(32)
+    assert power.static_uw(384) > power.static_uw(192)
+
+
+def test_ffau_average_power():
+    power = FFAUPower(32)
+    avg = power.average_power_uw(192)
+    assert avg == pytest.approx(159.1 + 659.9, rel=0.01)
+    assert power.average_power_uw(192, busy_fraction=0.5) < avg
+
+
+def test_billie_area_model():
+    """Section 7.3's anchors: 1.45x Pete at 163 bits, ~5x at 571."""
+    pete = 31_000
+    assert billie_area_cells(163, pete) == pytest.approx(1.45 * pete)
+    assert billie_area_cells(571, pete) == pytest.approx(5.0 * pete)
+
+
+def test_multiplier_ablation_factors():
+    factors = karatsuba_multiplier_power_factors()
+    assert factors["karatsuba"] == (1.0, 1.0)
+    # Section 7.8: Karatsuba saves 4.69 % dynamic vs operand scanning
+    dyn, _ = factors["operand_scan_multicycle"]
+    assert dyn == pytest.approx(1.0492)
+    dyn, static = factors["parallel_pipelined"]
+    assert dyn > 1.1 and static > 1.35
+
+
+def test_technology_node_helpers():
+    assert TECH_45NM.dynamic_energy_pj(1000) == pytest.approx(1.1)
+    assert TECH_45NM.leakage_uw(10) == pytest.approx(140.0)
+
+
+def test_billie_sram_and_gating_coefficients():
+    cal = CALIBRATION.billie
+    assert cal.active_pj(163, sram_regfile=True) < cal.active_pj(163)
+    assert cal.idle_pj(163, gated=True) < cal.idle_pj(163) / 3
+    assert cal.static_uw(163, sram_regfile=True) < cal.static_uw(163)
+
+
+def test_energy_breakdown_accumulates():
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 10.0)
+    bd.add_dynamic("Pete", 5.0)
+    bd.add_static("Pete", 2.0)
+    bd.add_dynamic("ROM", 3.0)
+    assert bd.component_total_nj("Pete") == 17.0
+    assert bd.components == ["Pete", "ROM"]
+
+
+def test_energy_report_math():
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 900.0)   # nJ
+    bd.add_static("Pete", 100.0)
+    report = EnergyReport("test", cycles=1_000_000, breakdown=bd)
+    assert report.total_uj == pytest.approx(1.0)
+    assert report.time_s == pytest.approx(3e-3)
+    assert report.power_mw == pytest.approx(1e-6 / 3e-3 * 1e3)
+    assert report.static_power_mw / report.power_mw == pytest.approx(0.1)
+    merged = report.merged(report, "double")
+    assert merged.total_nj == pytest.approx(2000.0)
+    assert merged.cycles == 2_000_000

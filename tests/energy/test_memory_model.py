@@ -1,0 +1,71 @@
+"""The Cacti-like memory energy model."""
+
+import pytest
+
+from repro.energy.memory_model import (
+    MemoryEnergyModel,
+    data_ram,
+    flash_program_memory,
+    icache_macros,
+    program_rom,
+)
+
+
+def test_access_energy_grows_with_capacity():
+    energies = [MemoryEnergyModel(capacity_bytes=size).read_energy_pj()
+                for size in (1024, 4096, 16384, 262144)]
+    assert energies == sorted(energies)
+    # sqrt-ish scaling: 256x capacity is well under 256x energy
+    assert energies[-1] < 20 * energies[0]
+
+
+def test_wide_ports_amortize_decode():
+    rom = program_rom(line_port=True)
+    single = rom.read_energy_pj(32)
+    line = rom.read_energy_pj(128)
+    assert single < line < 4 * single, \
+        "a 128-bit line read costs less than four 32-bit reads"
+
+
+def test_writes_cost_more_than_reads():
+    ram = data_ram()
+    assert ram.write_energy_pj() > ram.read_energy_pj()
+
+
+def test_rom_has_no_leakage():
+    """The paper's explicit assumption: ROM static power is zero."""
+    assert program_rom().leakage_uw() == 0.0
+    assert flash_program_memory().leakage_uw() == 0.0
+    assert data_ram().leakage_uw() > 0.0
+
+
+def test_dual_port_penalty():
+    single = MemoryEnergyModel(capacity_bytes=16384)
+    dual = MemoryEnergyModel(capacity_bytes=16384, dual_port=True)
+    assert dual.read_energy_pj() > single.read_energy_pj()
+    assert dual.leakage_uw() > single.leakage_uw()
+
+
+def test_leakage_linear_in_capacity():
+    small = MemoryEnergyModel(capacity_bytes=4096).leakage_uw()
+    large = MemoryEnergyModel(capacity_bytes=16384).leakage_uw()
+    assert large == pytest.approx(4 * small)
+
+
+def test_flash_costs_more_than_rom():
+    assert flash_program_memory().read_energy_pj() > \
+        2.0 * program_rom().read_energy_pj()
+
+
+def test_icache_macros_sized_with_tag_overhead():
+    cache = icache_macros(4096)
+    assert cache.capacity_bytes > 4096
+    assert cache.read_energy_pj() < program_rom().read_energy_pj(), \
+        "the whole point: cache reads are far cheaper than ROM reads"
+
+
+def test_paper_memory_hierarchy_ordering():
+    """Fig. 7.2's energy story in one assertion chain: I$ < RAM < ROM."""
+    assert icache_macros(4096).read_energy_pj() \
+        < data_ram().read_energy_pj() \
+        < program_rom().read_energy_pj()

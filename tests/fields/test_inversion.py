@@ -1,0 +1,94 @@
+"""Inversion algorithms: Euclid variants, Fermat, Itoh-Tsujii, batching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BinaryField, PrimeField
+from repro.fields.inversion import (
+    batch_inverse,
+    binary_euclid_inverse,
+    egcd_inverse,
+    fermat_inverse,
+    fermat_prime_opcounts,
+    itoh_tsujii_chain,
+    itoh_tsujii_opcounts,
+    poly_euclid_inverse,
+)
+from repro.fields.nist import NIST_BINARY_POLYS, NIST_PRIMES
+
+
+def test_all_integer_inverses_agree(rng):
+    p = NIST_PRIMES[192]
+    for _ in range(25):
+        a = rng.randrange(1, p)
+        expected = pow(a, -1, p)
+        assert egcd_inverse(a, p) == expected
+        assert binary_euclid_inverse(a, p) == expected
+        assert fermat_inverse(a, p) == expected
+
+
+def test_zero_raises_everywhere():
+    p = NIST_PRIMES[192]
+    for fn in (egcd_inverse, binary_euclid_inverse, fermat_inverse):
+        with pytest.raises(ZeroDivisionError):
+            fn(0, p)
+    with pytest.raises(ZeroDivisionError):
+        poly_euclid_inverse(0, NIST_BINARY_POLYS[163])
+
+
+def test_non_invertible_raises():
+    with pytest.raises(ValueError):
+        egcd_inverse(6, 9)
+
+
+def test_fermat_opcounts():
+    sqr, mul = fermat_prime_opcounts(NIST_PRIMES[192])
+    # exponent p-2 has bit length 192
+    assert sqr == 191
+    assert mul == bin(NIST_PRIMES[192] - 2).count("1") - 1
+    assert mul > 0
+
+
+@pytest.mark.parametrize("m", [163, 233, 283, 409, 571])
+def test_itoh_tsujii_chain_reaches_m_minus_1(m):
+    chain = itoh_tsujii_chain(m)
+    have = 1
+    for i, j in chain:
+        assert i == have, "chain always extends the running beta"
+        assert j in (1, have)
+        have = i + j
+    assert have == m - 1
+    sqr, mul = itoh_tsujii_opcounts(m)
+    assert mul == len(chain)
+    assert sqr == sum(j for _, j in chain) + 1
+
+
+def test_batch_inverse_prime(rng):
+    f = PrimeField.nist(192)
+    values = [rng.randrange(1, f.p) for _ in range(7)]
+    f.counter.reset()
+    inverses = batch_inverse(f, values)
+    assert f.counter["finv"] == 1, "one true inversion for the batch"
+    assert f.counter["fmul"] == 3 * (len(values) - 1)
+    assert all(f.mul(v, i) == 1 for v, i in zip(values, inverses))
+
+
+def test_batch_inverse_binary(rng):
+    f = BinaryField.nist(163)
+    values = [rng.getrandbits(163) or 1 for _ in range(5)]
+    inverses = batch_inverse(f, values)
+    assert all(f.mul(v, i) == 1 for v, i in zip(values, inverses))
+
+
+def test_batch_inverse_edge_cases():
+    f = PrimeField.nist(192)
+    assert batch_inverse(f, []) == []
+    assert f.mul(5, batch_inverse(f, [5])[0]) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=(1 << 163) - 1))
+def test_poly_euclid_property(a):
+    poly = NIST_BINARY_POLYS[163]
+    f = BinaryField.nist(163)
+    assert f.mul(a, poly_euclid_inverse(a, poly)) == 1

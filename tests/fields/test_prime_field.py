@@ -1,0 +1,122 @@
+"""Prime fields: arithmetic laws, NIST fast reduction, inversion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import PrimeField
+from repro.fields.nist import NIST_PRIMES, PRIME_REDUCERS
+
+ALL_BITS = sorted(NIST_PRIMES)
+
+
+@pytest.mark.parametrize("bits", ALL_BITS)
+def test_nist_primes_are_odd_and_sized(bits):
+    p = NIST_PRIMES[bits]
+    assert p % 2 == 1
+    assert p.bit_length() == bits
+
+
+@pytest.mark.parametrize("bits", ALL_BITS)
+def test_fast_reduction_matches_modulo(bits, rng):
+    p = NIST_PRIMES[bits]
+    reduce_fn = PRIME_REDUCERS[bits]
+    for _ in range(200):
+        a = rng.randrange(p)
+        b = rng.randrange(p)
+        assert reduce_fn(a * b) == (a * b) % p
+    # boundary products
+    assert reduce_fn((p - 1) * (p - 1)) == ((p - 1) * (p - 1)) % p
+    assert reduce_fn(0) == 0
+    assert reduce_fn(p) == 0
+    assert reduce_fn(p - 1) == p - 1
+
+
+@pytest.mark.parametrize("bits", ALL_BITS)
+def test_field_operations(bits, rng):
+    f = PrimeField.nist(bits)
+    p = f.p
+    for _ in range(50):
+        a, b, c = (rng.randrange(p) for _ in range(3))
+        assert f.add(a, b) == (a + b) % p
+        assert f.sub(a, b) == (a - b) % p
+        assert f.mul(a, b) == (a * b) % p
+        assert f.sqr(a) == (a * a) % p
+        assert f.neg(a) == (-a) % p
+        # distributivity
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+def test_inversion_both_methods(rng):
+    f = PrimeField.nist(192)
+    for _ in range(25):
+        a = rng.randrange(1, f.p)
+        assert f.mul(a, f.inv(a, "euclid")) == 1
+        assert f.mul(a, f.inv(a, "fermat")) == 1
+        assert f.inv(a, "euclid") == f.inv(a, "fermat")
+
+
+def test_inversion_of_zero_raises():
+    f = PrimeField.nist(192)
+    with pytest.raises(ZeroDivisionError):
+        f.inv(0)
+    with pytest.raises(ValueError):
+        f.inv(0, "unknown-method")
+
+
+def test_division(rng):
+    f = PrimeField.nist(256)
+    a, b = rng.randrange(1, f.p), rng.randrange(1, f.p)
+    assert f.mul(f.div(a, b), b) == a
+
+
+def test_half(rng):
+    f = PrimeField.nist(224)
+    for _ in range(20):
+        a = rng.randrange(f.p)
+        assert f.add(f.half(a), f.half(a)) == a
+
+
+def test_words_and_element():
+    f = PrimeField.nist(521)
+    assert f.words() == 17
+    assert f.words(64) == 9
+    assert f.element(f.p + 5) == 5
+    assert f.contains(f.p - 1)
+    assert not f.contains(f.p)
+
+
+def test_counter_tracks_operations():
+    f = PrimeField.nist(192)
+    f.counter.reset()
+    f.mul(2, 3)
+    f.add(1, 1)
+    f.sqr(5)
+    assert f.counter["fmul"] == 1
+    assert f.counter["fadd"] == 1
+    assert f.counter["fsqr"] == 1
+
+
+def test_shared_nist_instances():
+    assert PrimeField.nist(192) is PrimeField.nist(192)
+    assert PrimeField.nist(192) == PrimeField(NIST_PRIMES[192])
+
+
+def test_rejects_bad_modulus():
+    with pytest.raises(ValueError):
+        PrimeField(10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=NIST_PRIMES[256] - 1),
+       st.integers(min_value=0, max_value=NIST_PRIMES[256] - 1))
+def test_p256_reduction_property(a, b):
+    assert PRIME_REDUCERS[256](a * b) == (a * b) % NIST_PRIMES[256]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=NIST_PRIMES[192] - 1))
+def test_inverse_property(a):
+    f = PrimeField.nist(192)
+    assert f.mul(a, f.inv(a)) == 1

@@ -1,0 +1,61 @@
+"""The paper-vs-measured comparison gate."""
+
+import pytest
+
+from repro.harness.compare import (
+    BandComparison,
+    Comparison,
+    anchor_comparisons,
+    factor_comparisons,
+    latency_comparisons,
+    main,
+    run_report,
+)
+from repro.model.system import SystemModel
+
+
+def test_comparison_math():
+    good = Comparison("x", 105.0, 100.0, 0.10)
+    assert good.ok and good.ratio == pytest.approx(1.05)
+    bad = Comparison("x", 130.0, 100.0, 0.10)
+    assert not bad.ok
+    band = BandComparison("y", 1.5, 1.0, 2.0)
+    assert band.ok
+    assert not BandComparison("y", 2.5, 1.0, 2.0).ok
+
+
+def test_full_gate_passes():
+    """The reproduction gate: every tracked quantity inside tolerance."""
+    passed, failed = run_report(verbose=False)
+    assert failed == 0
+    assert passed >= 80, "rows + anchors + bands"
+
+
+def test_latency_rows_cover_both_tables():
+    model = SystemModel()
+    rows = latency_comparisons(model)
+    assert len(rows) == 2 * 30, "sign+verify for all 30 table rows"
+    names = {r.name for r in rows}
+    assert any("P-521/monte" in n for n in names)
+    assert any("B-571/billie" in n for n in names)
+
+
+def test_anomalies_get_wider_tolerance():
+    model = SystemModel()
+    rows = latency_comparisons(model)
+    anomaly = next(r for r in rows
+                   if r.name.startswith("P-521/baseline/verify"))
+    normal = next(r for r in rows
+                  if r.name.startswith("P-521/baseline/sign"))
+    assert anomaly.tolerance > normal.tolerance
+    assert anomaly.note
+
+
+def test_anchor_list():
+    anchors = anchor_comparisons()
+    assert any("ps_mul_ext" in a.name for a in anchors)
+    assert sum(1 for a in anchors if a.name.startswith("FFAU")) == 12
+
+
+def test_cli():
+    assert main(["--quiet"]) == 0

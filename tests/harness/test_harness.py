@@ -1,0 +1,84 @@
+"""The table/figure regeneration harness."""
+
+import pytest
+
+from repro.harness import FIGURES, TABLES, render_figure, render_table
+
+
+@pytest.mark.parametrize("name", sorted(TABLES))
+def test_tables_render(name):
+    text = render_table(name)
+    assert text.startswith(f"Table {name}")
+    assert len(text.splitlines()) > 3
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figures_render(name):
+    text = render_figure(name)
+    assert text.startswith(f"Figure {name}")
+    assert len(text.splitlines()) >= 2
+
+
+def test_table_7_1_rows():
+    from repro.harness.tables import table7_1
+
+    rows = table7_1()
+    assert len(rows) == 15, "3 microarchitectures x 5 key sizes"
+    for row in rows:
+        assert row["sign"] < row["verify"]
+        assert row["sign+verify"] == pytest.approx(
+            row["sign"] + row["verify"])
+
+
+def test_table_7_4_columns_consistent():
+    from repro.harness.tables import table7_4
+
+    for row in table7_4():
+        assert row["energy_nj"] == pytest.approx(
+            row["power_uw"] * 1e-6 * row["time_ns"], rel=1e-6)
+
+
+def test_fig7_1_ordering():
+    from repro.harness.figures import fig7_1
+
+    series = fig7_1()
+    for curve in ("P-192", "P-521"):
+        assert series["monte"][curve] < series["isa_ext_ic"][curve] \
+            < series["isa_ext"][curve] < series["baseline"][curve]
+
+
+def test_fig7_12_minimum_at_4kb():
+    from repro.harness.figures import fig7_12
+
+    data = fig7_12()
+    best = min(data, key=data.get)
+    assert best.startswith("4KB")
+    assert data["no cache"] > data["4KB"]
+
+
+def test_fig7_14_billie_beats_prior_work():
+    from repro.harness.figures import fig7_14
+
+    data = fig7_14()
+    for digit, guo_cycles in data["guo_et_al"].items():
+        assert data["billie_sliding"][digit] < guo_cycles
+
+
+def test_fig7_7_shows_crossover_narrative():
+    from repro.harness.figures import fig7_7
+
+    series = fig7_7()
+    # Billie wins over Monte at the smallest pair, converges at the top
+    assert series["Billie"]["192/163"] < series["Monte"]["192/163"] / 1.5
+    top = "521/571"
+    assert series["Billie"][top] == pytest.approx(series["Monte"][top],
+                                                  rel=0.45)
+
+
+def test_runall_cli(tmp_path, capsys):
+    from repro.harness.runall import main
+
+    assert main(["--only", "7.5", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table 7.5" in out
+    assert (tmp_path / "table_7_5.txt").exists()

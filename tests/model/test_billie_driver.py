@@ -1,0 +1,117 @@
+"""The register-level Billie drivers vs the software EC layer."""
+
+import pytest
+
+from repro.accel.billie import Billie, BillieConfig
+from repro.ec.curves import get_curve
+from repro.ec.point import affine_add
+from repro.ec.scalar import montgomery_ladder, sliding_window_mul
+from repro.model.billie_driver import (
+    BillieDriver,
+    run_montgomery_ladder,
+    run_sliding_window,
+    run_twin,
+)
+
+
+@pytest.fixture(params=["B-163", "B-283"])
+def curve(request):
+    return get_curve(request.param)
+
+
+def test_sliding_window_matches_software(curve, rng):
+    x = rng.randrange(1, curve.n)
+    run = run_sliding_window(curve, x, curve.generator)
+    assert run.result == sliding_window_mul(curve, x, curve.generator)
+    assert run.cycles > 0
+    assert run.peak_registers <= 16, "fits the 16-entry register file"
+
+
+def test_twin_matches_software(curve, rng):
+    g = curve.generator
+    q = sliding_window_mul(curve, 12345, g)
+    u1 = rng.randrange(1, curve.n)
+    u2 = rng.randrange(1, curve.n)
+    run = run_twin(curve, u1, g, u2, q)
+    expected = affine_add(curve, sliding_window_mul(curve, u1, g),
+                          sliding_window_mul(curve, u2, q))
+    assert run.result == expected
+    assert run.peak_registers <= 16
+
+
+def test_ladder_matches_software(curve, rng):
+    x = rng.randrange(1, curve.n)
+    run = run_montgomery_ladder(curve, x, curve.generator)
+    assert run.result == montgomery_ladder(curve, x, curve.generator)
+
+
+def test_register_file_is_the_binding_constraint():
+    """The twin table (4 points) peaks at exactly 16 registers -- the
+    paper's sizing argument for Billie's register file."""
+    curve = get_curve("B-163")
+    g = curve.generator
+    q = sliding_window_mul(curve, 999, g)
+    run = run_twin(curve, 0x5555555, g, 0x3333333, q)
+    assert run.peak_registers == 16
+
+
+def test_driver_inverse(rng):
+    curve = get_curve("B-163")
+    billie = Billie(BillieConfig(m=163))
+    driver = BillieDriver(billie, curve)
+    a = rng.getrandbits(163) | 1
+    r_in = driver._alloc_load(a)
+    r_out = driver.regs.alloc()
+    driver.inverse(r_out, r_in)
+    assert billie.regs[r_out] == curve.field.inv(a)
+    with pytest.raises(ValueError):
+        driver.inverse(r_in, r_in)
+
+
+def test_driver_point_ops(rng):
+    from repro.ec.lopez_dahab import to_affine, to_ld
+
+    curve = get_curve("B-163")
+    billie = Billie(BillieConfig(m=163))
+    driver = BillieDriver(billie, curve)
+    g = curve.generator
+    x = driver._alloc_load(g.x)
+    y = driver._alloc_load(g.y)
+    z = driver._alloc_load(1)
+    driver.double(x, y, z)
+    from repro.ec.lopez_dahab import LDPoint
+
+    got = to_affine(curve, LDPoint(billie.regs[x], billie.regs[y],
+                                   billie.regs[z]))
+    assert got == affine_add(curve, g, g)
+
+
+def test_driver_rejects_wrong_field():
+    billie = Billie(BillieConfig(m=163))
+    with pytest.raises(ValueError):
+        BillieDriver(billie, get_curve("B-233"))
+    with pytest.raises(ValueError):
+        BillieDriver(billie, get_curve("P-192"))
+
+
+def test_larger_digit_is_faster(rng):
+    """Fig. 7.14's x-axis: bigger multiplier digits, fewer cycles."""
+    curve = get_curve("B-163")
+    x = rng.randrange(1, curve.n)
+    cycles = {}
+    for digit in (1, 3, 8):
+        billie = Billie(BillieConfig(m=163, digit=digit))
+        cycles[digit] = run_sliding_window(curve, x, curve.generator,
+                                           billie).cycles
+    assert cycles[1] > cycles[3] > cycles[8]
+
+
+def test_beats_prior_work(rng):
+    """Billie at D=3 outperforms Guo et al.'s published 163-bit scalar
+    multiplication latencies (Fig. 7.14's headline)."""
+    from repro.model.prior_work import GUO_SCHAUMONT_163
+
+    curve = get_curve("B-163")
+    x = rng.randrange(1, curve.n)
+    ours = run_sliding_window(curve, x, curve.generator).cycles
+    assert all(ours < p.cycles for p in GUO_SCHAUMONT_163)

@@ -1,0 +1,76 @@
+"""Per-operation cost tables."""
+
+import pytest
+
+from repro.model.costs import (
+    OpCost,
+    itoh_tsujii_billie_ops,
+    software_costs,
+)
+
+
+def test_opcost_arithmetic():
+    a = OpCost(10, 8, 2, 1)
+    b = a.scaled(3)
+    assert (b.cycles, b.instructions) == (30, 24)
+    c = a.plus(b)
+    assert c.cycles == 40
+    assert c.ram_reads == 8
+
+
+@pytest.mark.parametrize("curve,config", [
+    ("P-192", "baseline"), ("P-192", "isa_ext"),
+    ("B-163", "baseline"), ("B-163", "binary_isa"),
+])
+def test_cost_tables_complete(curve, config):
+    costs = software_costs(curve, config)
+    for op in ("fmul", "fsqr", "fadd", "fsub", "finv",
+               "omul", "oadd", "oinv"):
+        assert op in costs
+        assert costs[op].cycles > 0
+        assert costs[op].instructions <= costs[op].cycles
+
+
+def test_isa_extensions_cut_multiplication_cost():
+    base = software_costs("P-192", "baseline")
+    ext = software_costs("P-192", "isa_ext")
+    assert ext["fmul"].cycles < base["fmul"].cycles
+    assert ext["fsqr"].cycles < base["fsqr"].cycles
+    # squaring gains extra from M2ADDU
+    assert ext["fsqr"].cycles <= ext["fmul"].cycles
+
+
+def test_binary_isa_extensions_transformative():
+    base = software_costs("B-163", "baseline")
+    ext = software_costs("B-163", "binary_isa")
+    assert base["fmul"].cycles / ext["fmul"].cycles > 5.0
+    # binary squaring with MULGF2 is far cheaper than multiplication
+    assert ext["fsqr"].cycles < ext["fmul"].cycles / 1.8
+
+
+def test_binary_add_cheaper_than_prime_add():
+    prime = software_costs("P-192", "baseline")
+    binary = software_costs("B-163", "baseline")
+    assert binary["fadd"].cycles < prime["fadd"].cycles, \
+        "no reduction step after a carry-less add (Section 4.2.4)"
+
+
+def test_inversion_dominates_single_ops():
+    costs = software_costs("P-192", "baseline")
+    assert costs["finv"].cycles > 10 * costs["fmul"].cycles, \
+        "inversion is 1-2 orders costlier than multiplication"
+
+
+def test_costs_cached_by_isa_flags():
+    """I-cache variants share cost tables with their base config."""
+    from repro.model.configs import ISA_EXT, with_icache
+
+    plain = software_costs("P-192", ISA_EXT)
+    cached = software_costs("P-192", with_icache(ISA_EXT, 4096))
+    assert plain is cached
+
+
+def test_itoh_tsujii_billie_ops():
+    ops = itoh_tsujii_billie_ops(163)
+    assert ops["sqr"] == 162
+    assert ops["mul"] == 9

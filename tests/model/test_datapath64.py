@@ -1,0 +1,52 @@
+"""The Section 8 64-bit-datapath estimation study."""
+
+import pytest
+
+from repro.model.datapath64 import (
+    CORE_ENERGY_FACTOR_64,
+    estimate,
+    study,
+)
+
+
+def test_estimates_populated():
+    e = estimate("P-192")
+    assert e.cycles_64 < e.cycles_32
+    assert e.energy_64_uj < e.energy_32_uj
+
+
+def test_speedup_in_the_ffau_validated_range():
+    """The FFAU's measured 32->64-bit speedups (2.1-2.9x, Table 7.4)
+    bracket what the same structural scaling predicts for software."""
+    for e in study().values():
+        assert 2.0 <= e.speedup <= 3.2, e
+
+
+def test_benefit_grows_with_key_size():
+    """The Section 7.9 lesson transfers: O(k^2)-dominated work favours
+    wider datapaths more at larger keys."""
+    results = study()
+    speedups = [results[c].speedup
+                for c in ("P-192", "P-256", "P-384", "P-521")]
+    assert speedups == sorted(speedups)
+    energies = [results[c].energy_factor
+                for c in ("P-192", "P-256", "P-384", "P-521")]
+    assert energies == sorted(energies)
+
+
+def test_energy_saving_despite_wider_core():
+    """Even charging the core 1.8x dynamic energy per cycle, the ~2.7x
+    speedup wins -- the paper's conjecture, quantified."""
+    assert CORE_ENERGY_FACTOR_64 > 1.5
+    for e in study().values():
+        assert e.energy_factor > 1.7
+
+
+def test_isa_config_also_benefits():
+    for e in study("isa_ext").values():
+        assert e.speedup > 2.0
+        assert e.energy_factor > 1.5
+
+
+def test_estimates_cached():
+    assert estimate("P-192") is estimate("P-192")

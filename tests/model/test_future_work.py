@@ -1,0 +1,100 @@
+"""The Section 8 future-work variants behave as the paper anticipates."""
+
+import pytest
+
+from repro.model.configs import FUTURE_CONFIGS, get_config
+from repro.model.future_work import (
+    billie_register_file_study,
+    flash_memory_study,
+    monte_gating_study,
+    order_inversion_study,
+    summary,
+)
+from repro.model.system import SystemModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel()
+
+
+def test_variants_registered():
+    names = {cfg.name for cfg in FUTURE_CONFIGS}
+    assert names == {"monte_gated", "monte_oinv", "billie_gated",
+                     "billie_sram", "billie_sram_gated", "baseline_flash",
+                     "isa_ext_ic_flash"}
+    assert get_config("billie_sram").billie_sram_regfile
+
+
+def test_sram_regfile_saves_energy(model):
+    """Future work #1: the register file is >half of Billie's energy, so
+    an SRAM file must cut the Billie component substantially."""
+    for result in billie_register_file_study():
+        assert result.saving_percent > 0, result
+    sram_571 = next(r for r in billie_register_file_study()
+                    if r.curve == "B-571"
+                    and r.variant_config == "billie_sram")
+    assert sram_571.saving_percent > 15.0
+
+
+def test_gating_fixes_billies_scaling(model):
+    """Future work #2: gating recovers the energy Billie wastes idling
+    62 % of the ECDSA; the fix matters more at larger fields (where the
+    paper found Billie 'does not scale well')."""
+    results = {(r.curve, r.variant_config): r
+               for r in billie_register_file_study()}
+    gated_163 = results[("B-163", "billie_gated")].saving_percent
+    gated_571 = results[("B-571", "billie_gated")].saving_percent
+    assert gated_571 > gated_163 > 3.0
+    # combined variant dominates each single fix
+    combined = results[("B-571", "billie_sram_gated")].saving_percent
+    assert combined > results[("B-571", "billie_sram")].saving_percent
+    assert combined > gated_571
+    assert combined > 25.0
+
+
+def test_gating_restores_billie_advantage_at_571(model):
+    """With gating + SRAM, Billie clearly beats Monte again even at the
+    571/521-bit pair where the ungated designs converged."""
+    monte = model.report("P-521", "monte").total_uj
+    billie = model.report("B-571", "billie_sram_gated").total_uj
+    assert monte / billie > 1.5
+
+
+def test_monte_gating_modest(model):
+    """The FFAU is small; gating it saves a little, not a lot."""
+    for result in monte_gating_study():
+        assert 0.0 < result.saving_percent < 15.0
+
+
+def test_order_inversion_amdahl_fix(model):
+    """Future work #3: moving the group-order inversion onto Monte
+    shortens the operation (it removes serial Pete work, not just
+    power)."""
+    for result in order_inversion_study():
+        assert result.saving_percent > 5.0, result
+        base = model.latency(result.curve, "monte").total_cycles
+        variant = model.latency(result.curve, "monte_oinv").total_cycles
+        assert variant < base
+
+
+def test_flash_memory_doubles_fetch_cost(model):
+    flash = flash_memory_study()[0]
+    assert flash.saving_percent < -50.0, \
+        "flash costs >50 % more energy than mask ROM"
+
+
+def test_icache_value_grows_under_flash(model):
+    """With flash, the cache avoids much more expensive fetches."""
+    rom_save = 1 - (model.report("P-192", "isa_ext_ic").total_uj
+                    / model.report("P-192", "baseline").total_uj)
+    flash_save = 1 - (model.report("P-192", "isa_ext_ic_flash").total_uj
+                      / model.report("P-192", "baseline_flash").total_uj)
+    assert flash_save > rom_save
+
+
+def test_summary_covers_all_studies():
+    studies = summary()
+    assert set(studies) == {"billie_register_file", "monte_gating",
+                            "order_inversion", "flash_memory"}
+    assert all(studies.values())

@@ -1,0 +1,81 @@
+"""End-to-end point arithmetic through Monte's instruction stream."""
+
+import pytest
+
+from repro.accel.monte import Monte
+from repro.ec.curves import get_curve
+from repro.ec.point import affine_add, affine_scalar_mul
+from repro.ec.scalar import sliding_window_mul
+from repro.model.monte_driver import (
+    MonteDriver,
+    run_point_operation_pair,
+    run_sliding_window,
+)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return get_curve("P-192")
+
+
+def test_field_ops_through_monte(curve, rng):
+    driver = MonteDriver(Monte(curve.field.p), curve)
+    f = curve.field
+    a, b = rng.randrange(f.p), rng.randrange(f.p)
+    driver.put("a", a)
+    driver.put("b", b)
+    driver.mul("m", "a", "b")
+    driver.add("s", "a", "b")
+    driver.sub("d", "a", "b")
+    assert driver.get("m") == f.mul(a, b)
+    assert driver.get("s") == f.add(a, b)
+    assert driver.get("d") == f.sub(a, b)
+
+
+def test_inverse_through_monte(curve, rng):
+    driver = MonteDriver(Monte(curve.field.p), curve)
+    a = rng.randrange(1, curve.field.p)
+    driver.put("a", a)
+    driver.inverse("ai", "a")
+    assert driver.get("ai") == curve.field.inv(a)
+
+
+def test_point_pair(curve):
+    run = run_point_operation_pair(curve)
+    g = curve.generator
+    expected = affine_add(curve, affine_add(curve, g, g), g)  # 3G
+    assert run.result == expected
+    assert run.cycles > 0
+    # a double (4M+4S+adds) plus a mixed add (8M+3S+subs) plus the
+    # Fermat conversion: the op count is dominated by the inversion
+    assert run.field_ops > 300
+
+
+def test_sliding_window_small(curve, rng):
+    scalar = rng.randrange(2, 1 << 24)
+    run = run_sliding_window(curve, scalar, curve.generator)
+    assert run.result == affine_scalar_mul(curve, scalar, curve.generator)
+
+
+@pytest.mark.slow
+def test_sliding_window_full_size(curve, rng):
+    scalar = rng.randrange(1, curve.n)
+    run = run_sliding_window(curve, scalar, curve.generator)
+    assert run.result == sliding_window_mul(curve, scalar, curve.generator)
+    assert run.cycles > 100_000
+
+
+def test_driver_rejects_binary_curves():
+    with pytest.raises(ValueError):
+        MonteDriver(Monte(get_curve("P-192").field.p), get_curve("B-163"))
+
+
+def test_driven_cycles_track_pattern_model(curve):
+    """The analytic pattern cost the system model uses should sit near
+    the cycles the driven instruction stream actually takes."""
+    monte = Monte(curve.field.p)
+    run = run_point_operation_pair(curve)
+    # inversion dominates: ~(255 sqr+mul ops + 12M+7S point work)
+    per_op = run.cycles / run.field_ops
+    pattern = monte.field_op_pattern_cycles("mul", 0.5)
+    assert 0.6 * pattern < per_op < 1.4 * pattern

@@ -1,0 +1,61 @@
+"""ECDSA operation counting: exactness and structural sanity."""
+
+import pytest
+
+from repro.model.opcount import ecdsa_opcounts, scalar_mult_point_ops
+
+
+@pytest.mark.parametrize("name", ["P-192", "P-521", "B-163", "B-571"])
+def test_counts_deterministic_and_cached(name):
+    a = ecdsa_opcounts(name)
+    b = ecdsa_opcounts(name)
+    assert a is b
+    assert a.sign.field_ops == b.sign.field_ops
+
+
+@pytest.mark.parametrize("name", ["P-192", "B-163"])
+def test_two_inversions_per_primitive(name):
+    """Batched precompute + final conversion = 2 field inversions."""
+    counts = ecdsa_opcounts(name)
+    assert counts.sign.field("finv") == 2
+    assert counts.verify.field("finv") == 2
+    assert counts.sign.order("oinv") == 1
+    assert counts.verify.order("oinv") == 1
+
+
+def test_mul_counts_scale_with_key_size():
+    small = ecdsa_opcounts("P-192").sign.total_field_muls
+    large = ecdsa_opcounts("P-521").sign.total_field_muls
+    assert 2.2 < large / small < 3.2, "M+S grows ~linearly with bits"
+
+
+def test_verify_heavier_than_sign():
+    """Twin multiplication costs more than a single multiplication but
+    less than two (paper Section 4.1)."""
+    for name in ("P-192", "B-163"):
+        counts = ecdsa_opcounts(name)
+        sign = counts.sign.total_field_muls
+        verify = counts.verify.total_field_muls
+        assert sign < verify < 2 * sign
+
+
+def test_prime_sign_op_mix():
+    """A 192-bit sliding-window sign: ~191 doubles at 4M+4S plus ~40
+    mixed adds at 8M+3S plus precompute/conversion."""
+    counts = ecdsa_opcounts("P-192").sign
+    assert 800 <= counts.field("fmul") <= 1600
+    assert 700 <= counts.field("fsqr") <= 1300
+    assert counts.field("fadd") + counts.field("fsub") > 2000
+
+
+def test_binary_sign_op_mix():
+    """LD doubling has 5S per 4M: squarings outnumber multiplies."""
+    counts = ecdsa_opcounts("B-163").sign
+    assert counts.field("fsqr") > counts.field("fmul") * 0.9
+
+
+def test_point_op_counts():
+    ops = scalar_mult_point_ops("P-192")
+    assert 180 <= ops["doubles"] <= 192
+    assert 30 <= ops["adds"] <= 60, "width-3 NAF density ~1/4"
+    assert ops["precompute_adds"] == 3

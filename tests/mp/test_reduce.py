@@ -1,0 +1,71 @@
+"""Word-level NIST reductions and the fold-cost model."""
+
+import pytest
+
+from repro.fields.inversion import _poly_mul
+from repro.fields.nist import NIST_BINARY_POLYS, NIST_PRIMES, reduce_binary
+from repro.mp.reduce import (
+    reduce_b163_words,
+    reduce_words_binary,
+    reduce_words_prime,
+    reduction_fold_ops,
+)
+from repro.mp.words import from_int, to_int
+
+
+@pytest.mark.parametrize("bits", sorted(NIST_PRIMES))
+def test_reduce_words_prime(bits, rng):
+    p = NIST_PRIMES[bits]
+    k = -(-bits // 32)
+    for _ in range(20):
+        a, b = rng.randrange(p), rng.randrange(p)
+        product = from_int(a * b, 2 * k)
+        assert to_int(reduce_words_prime(product, bits)) == (a * b) % p
+
+
+@pytest.mark.parametrize("m", sorted(NIST_BINARY_POLYS))
+def test_reduce_words_binary(m, rng):
+    k = -(-m // 32)
+    for _ in range(20):
+        a, b = rng.getrandbits(m), rng.getrandbits(m)
+        product = _poly_mul(a, b)
+        words = from_int(product, 2 * k)
+        assert to_int(reduce_words_binary(words, m)) == \
+            reduce_binary(product, m)
+
+
+def test_reduce_b163_explicit_words(rng):
+    """The explicit Algorithm 7 word schedule."""
+    for _ in range(50):
+        a, b = rng.getrandbits(163), rng.getrandbits(163)
+        product = _poly_mul(a, b)
+        words = from_int(product, 11)
+        assert to_int(reduce_b163_words(words)) == reduce_binary(product, 163)
+
+
+def test_reduce_b163_rejects_other_widths():
+    with pytest.raises(ValueError):
+        reduce_b163_words([0] * 11, w=64)
+
+
+def test_unknown_fields_rejected():
+    with pytest.raises(KeyError):
+        reduce_words_prime([0] * 12, 200)
+    with pytest.raises(KeyError):
+        reduce_words_binary([0] * 12, 200)
+
+
+def test_fold_ops_model():
+    """Reduction cost grows with field size and fold-term count."""
+    primes = [reduction_fold_ops(b, prime=True) for b in (192, 224, 256, 384)]
+    assert primes[0] < primes[2] < primes[3], "more words, more work"
+    # P-521 is a pure Mersenne fold: cheaper per word than P-384
+    per_word_521 = reduction_fold_ops(521, True) / 17
+    per_word_384 = reduction_fold_ops(384, True) / 12
+    assert per_word_521 < per_word_384
+    # within a polynomial shape, cost grows with field size
+    assert reduction_fold_ops(233, False) < reduction_fold_ops(409, False)
+    assert reduction_fold_ops(163, False) < reduction_fold_ops(283, False) \
+        < reduction_fold_ops(571, False)
+    # trinomials (233/409) fold fewer taps than same-size pentanomials
+    assert reduction_fold_ops(233, False) < reduction_fold_ops(283, False)

@@ -1,0 +1,89 @@
+"""Limb-array helpers: round trips, carries, shifts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mp.words import (
+    add_words,
+    from_int,
+    shift_left_words,
+    sub_words,
+    to_int,
+    word_mask,
+    words_for,
+    xor_words,
+)
+
+
+def test_word_mask():
+    assert word_mask(8) == 0xFF
+    assert word_mask(32) == 0xFFFFFFFF
+    assert word_mask(64) == (1 << 64) - 1
+
+
+def test_words_for():
+    assert words_for(192) == 6
+    assert words_for(163) == 6
+    assert words_for(521) == 17
+    assert words_for(571, 64) == 9
+    assert words_for(1) == 1
+
+
+@pytest.mark.parametrize("w", [8, 16, 32, 64])
+def test_round_trip(w, rng):
+    for _ in range(20):
+        k = rng.randrange(1, 20)
+        value = rng.getrandbits(k * w)
+        words = from_int(value, k, w)
+        assert len(words) == k
+        assert all(0 <= word <= word_mask(w) for word in words)
+        assert to_int(words, w) == value
+
+
+def test_from_int_overflow():
+    with pytest.raises(OverflowError):
+        from_int(1 << 64, 2, 32)
+    with pytest.raises(ValueError):
+        from_int(-1, 2, 32)
+
+
+def test_add_sub_words(rng):
+    for _ in range(50):
+        a = rng.getrandbits(192)
+        b = rng.getrandbits(192)
+        aw, bw = from_int(a, 6), from_int(b, 6)
+        total, carry = add_words(aw, bw)
+        assert to_int(total) + (carry << 192) == a + b
+        diff, borrow = sub_words(aw, bw)
+        assert to_int(diff) == (a - b) % (1 << 192)
+        assert borrow == (1 if a < b else 0)
+
+
+def test_add_words_length_mismatch():
+    with pytest.raises(ValueError):
+        add_words([1], [1, 2])
+    with pytest.raises(ValueError):
+        sub_words([1], [1, 2])
+    with pytest.raises(ValueError):
+        xor_words([1], [1, 2])
+
+
+def test_xor_words(rng):
+    a = rng.getrandbits(96)
+    b = rng.getrandbits(96)
+    assert to_int(xor_words(from_int(a, 3), from_int(b, 3))) == a ^ b
+
+
+def test_shift_left_words(rng):
+    a = rng.getrandbits(64)
+    shifted = shift_left_words(from_int(a, 2), 13)
+    assert to_int(shifted) == a << 13
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1),
+       st.integers(min_value=0, max_value=(1 << 256) - 1))
+def test_carry_chain_property(a, b):
+    aw, bw = from_int(a, 8), from_int(b, 8)
+    total, carry = add_words(aw, bw)
+    assert to_int(total) + (carry << 256) == a + b

@@ -1,0 +1,161 @@
+"""Two-pass assembler: labels, pseudo-ops, delay slots, errors."""
+
+import pytest
+
+from repro.pete.assembler import AssemblyError, assemble
+from repro.pete.isa import PeteISA
+
+
+def _decode_all(assembled):
+    return [PeteISA.decode(w) for w in assembled.words]
+
+
+def test_simple_program():
+    out = assemble("""
+    main:
+        addiu $t0, $zero, 5
+        addu  $t1, $t0, $t0
+        halt
+    """)
+    d = _decode_all(out)
+    assert [x.mnemonic for x in d] == ["addiu", "addu", "break"]
+    assert out.address_of("main") == 0
+
+
+def test_labels_and_branches():
+    out = assemble("""
+    start:
+        addiu $t0, $zero, 3
+    loop:
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        nop
+        halt
+    """)
+    d = _decode_all(out)
+    bne = d[2]
+    assert bne.mnemonic == "bne"
+    # branch offset is relative to the delay-slot PC
+    assert bne.imm == -2
+
+
+def test_auto_nop_in_delay_slot():
+    out = assemble("""
+        beq $t0, $t1, 8
+        addu $t2, $t2, $t2
+    """)
+    d = _decode_all(out)
+    # an auto-nop (sll $0,$0,0) is inserted after the branch
+    assert [x.mnemonic for x in d] == ["beq", "sll", "addu"]
+    assert d[1].word == 0
+
+
+def test_explicit_delay_slot():
+    out = assemble("""
+        bne $t0, $t1, 0
+        .ds addiu $t0, $t0, 4
+        halt
+    """)
+    d = _decode_all(out)
+    assert [x.mnemonic for x in d] == ["bne", "addiu", "break"]
+
+
+def test_ds_without_branch_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("""
+            addu $t0, $t0, $t0
+            .ds addiu $t0, $t0, 4
+        """)
+
+
+def test_li_expansions():
+    small = assemble("li $t0, 42")
+    assert [x.mnemonic for x in _decode_all(small)] == ["addiu"]
+    negative = assemble("li $t0, -5")
+    assert [x.mnemonic for x in _decode_all(negative)] == ["addiu"]
+    high = assemble("li $t0, 0x10000")
+    assert [x.mnemonic for x in _decode_all(high)] == ["lui"]
+    full = assemble("li $t0, 0x12345678")
+    assert [x.mnemonic for x in _decode_all(full)] == ["lui", "ori"]
+
+
+def test_la_is_two_words():
+    out = assemble("""
+        la $t0, target
+        halt
+    target:
+        .word 0xDEADBEEF
+    """)
+    mnems = [PeteISA.decode(w).mnemonic for w in out.words[:3]]
+    assert mnems == ["lui", "ori", "break"]
+    assert out.words[3] == 0xDEADBEEF
+    assert out.address_of("target") == 12
+
+
+def test_memory_operands():
+    out = assemble("lw $t0, 8($sp)")
+    d = _decode_all(out)[0]
+    assert d.mnemonic == "lw"
+    assert d.rt == 8   # $t0
+    assert d.rs == 29  # $sp
+    assert d.imm == 8
+
+
+def test_pseudo_instructions():
+    out = assemble("""
+        move $t0, $t1
+        b end
+        beqz $t2, end
+        bnez $t3, end
+    end:
+        halt
+    """)
+    mnems = [x.mnemonic for x in _decode_all(out)]
+    # each branch gets an auto-nop delay slot
+    assert mnems == ["addu", "beq", "sll", "beq", "sll", "bne", "sll",
+                     "break"]
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a:\n nop\na:\n nop")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate $t0, $t1")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("addu $t0, $t9x, $t1")
+
+
+def test_comments_and_blank_lines():
+    out = assemble("""
+    # a comment
+        nop        ; trailing comment
+
+        halt  # done
+    """)
+    assert len(out.words) == 2
+
+
+def test_base_address_offsets_labels():
+    out = assemble("main:\n nop\n halt", base=0x400)
+    assert out.address_of("main") == 0x400
+
+
+def test_jal_and_jr():
+    out = assemble("""
+    main:
+        jal func
+        nop
+        halt
+    func:
+        jr $ra
+        nop
+    """)
+    d = _decode_all(out)
+    assert d[0].mnemonic == "jal"
+    assert d[0].target == out.address_of("func") >> 2

@@ -1,0 +1,81 @@
+"""Direct-mapped instruction cache + stream-buffer prefetch."""
+
+import pytest
+
+from repro.pete.icache import ICache, ICacheConfig
+from repro.pete.stats import CoreStats
+
+
+def make(size=1024, prefetch=False):
+    stats = CoreStats()
+    return ICache(ICacheConfig(size_bytes=size, prefetch=prefetch),
+                  stats), stats
+
+
+def test_config_geometry():
+    cfg = ICacheConfig(size_bytes=4096)
+    assert cfg.n_lines == 256
+    assert cfg.label() == "4KB"
+    assert ICacheConfig(size_bytes=1024, prefetch=True).label() == "1KB-p"
+
+
+def test_non_power_of_two_rejected():
+    stats = CoreStats()
+    with pytest.raises(ValueError):
+        ICache(ICacheConfig(size_bytes=1000), stats)
+
+
+def test_cold_miss_then_hits():
+    cache, stats = make()
+    assert cache.access(0x100) == 3, "cold miss pays the penalty"
+    assert stats.icache_misses == 1
+    assert stats.rom_line_reads == 1
+    for offset in (0, 4, 8, 12):
+        assert cache.access(0x100 + offset) == 0, "same 16B line"
+    assert stats.icache_hits == 4
+
+
+def test_conflict_eviction():
+    cache, stats = make(size=1024)
+    cache.access(0x0)
+    cache.access(0x400)  # 1KB apart: same index, different tag
+    assert stats.icache_misses == 2
+    cache.access(0x0)
+    assert stats.icache_misses == 3, "first line was evicted"
+
+
+def test_invalidate():
+    cache, stats = make()
+    cache.access(0x40)
+    cache.invalidate()
+    assert cache.access(0x40) == 3
+
+
+def test_prefetch_covers_sequential_stream():
+    cache, stats = make(size=1024, prefetch=True)
+    penalty = sum(cache.access(addr) for addr in range(0, 2048, 4))
+    # one true cold miss; every subsequent line comes from the buffer
+    assert stats.icache_misses == 128
+    assert stats.prefetch_hits == 127
+    assert penalty == 3, "only the first miss stalls"
+
+
+def test_prefetch_issues_rom_reads():
+    cache, stats = make(size=1024, prefetch=True)
+    for addr in range(0, 512, 4):
+        cache.access(addr)
+    # every miss/promotion also fetched the next line speculatively
+    assert stats.rom_line_reads >= stats.icache_misses
+
+
+def test_no_prefetch_sequential_stalls_every_line():
+    cache, stats = make(size=1024, prefetch=False)
+    penalty = sum(cache.access(addr) for addr in range(0, 2048, 4))
+    assert penalty == 3 * 128
+
+
+def test_fills_tracked():
+    cache, stats = make()
+    for addr in (0x0, 0x10, 0x20):
+        cache.access(addr)
+    assert stats.icache_fills == 3

@@ -1,0 +1,107 @@
+"""Instruction encode/decode round trips."""
+
+import pytest
+
+from repro.pete.isa import (
+    COP2_FUNCT,
+    FUNCT,
+    FUNCT2,
+    OPCODES_I,
+    OPCODES_J,
+    REGISTERS,
+    Decoded,
+    PeteISA,
+)
+
+
+def test_register_names():
+    assert REGISTERS["zero"] == 0
+    assert REGISTERS["at"] == 1
+    assert REGISTERS["sp"] == 29
+    assert REGISTERS["ra"] == 31
+    assert REGISTERS["t0"] == 8
+    assert REGISTERS["s0"] == 16
+    assert REGISTERS["r17"] == 17
+
+
+@pytest.mark.parametrize("mnemonic", sorted(FUNCT))
+def test_r_type_round_trip(mnemonic):
+    word = PeteISA.encode_r(mnemonic, rd=3, rs=4, rt=5, shamt=7)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert (d.rd, d.rs, d.rt, d.shamt) == (3, 4, 5, 7)
+
+
+@pytest.mark.parametrize("mnemonic", sorted(FUNCT2))
+def test_special2_round_trip(mnemonic):
+    word = PeteISA.encode_r2(mnemonic, rs=9, rt=10)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert (d.rs, d.rt) == (9, 10)
+
+
+@pytest.mark.parametrize("mnemonic", sorted(OPCODES_I))
+def test_i_type_round_trip(mnemonic):
+    word = PeteISA.encode_i(mnemonic, rt=2, rs=3, imm=-100)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert (d.rt, d.rs) == (2, 3)
+    if mnemonic in ("andi", "ori", "xori"):
+        assert d.imm == (-100) & 0xFFFF, "logical immediates zero-extend"
+    else:
+        assert d.imm == -100, "arithmetic immediates sign-extend"
+
+
+@pytest.mark.parametrize("mnemonic", ["bltz", "bgez"])
+def test_regimm_round_trip(mnemonic):
+    word = PeteISA.encode_regimm(mnemonic, rs=6, imm=-3)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert d.rs == 6
+    assert d.imm == -3
+
+
+@pytest.mark.parametrize("mnemonic", sorted(OPCODES_J))
+def test_j_type_round_trip(mnemonic):
+    word = PeteISA.encode_j(mnemonic, 0x123456)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert d.target == 0x123456
+
+
+def test_ctc2_round_trip():
+    word = PeteISA.encode_cop2("ctc2", rt=5, rd=2)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == "ctc2"
+    assert (d.rt, d.rd) == (5, 2)
+
+
+@pytest.mark.parametrize("mnemonic", sorted(COP2_FUNCT))
+def test_cop2_round_trip(mnemonic):
+    word = PeteISA.encode_cop2(mnemonic, rt=4, fs=11, ft=9, fd=13)
+    d = PeteISA.decode(word)
+    assert d.mnemonic == mnemonic
+    assert d.rt == 4
+    assert d.rd == 11   # fs lands in the rd field
+    assert d.shamt == 9  # ft lands in the shamt field
+    assert d.rs == 13    # fd lands in the rs field
+
+
+def test_bad_encodings_rejected():
+    with pytest.raises(ValueError):
+        PeteISA.decode((0x3F << 26))
+    with pytest.raises(ValueError):
+        PeteISA.decode(0x0000003F)  # SPECIAL with bad funct
+
+
+def test_decoded_classification():
+    lw = PeteISA.decode(PeteISA.encode_i("lw", 2, 3, 4))
+    assert lw.is_load and not lw.is_store
+    sw = PeteISA.decode(PeteISA.encode_i("sw", 2, 3, 4))
+    assert sw.is_store and not sw.is_load
+    beq = PeteISA.decode(PeteISA.encode_i("beq", 2, 3, 4))
+    assert beq.is_branch and not beq.is_jump
+    j = PeteISA.decode(PeteISA.encode_j("j", 8))
+    assert j.is_jump
+    jr = PeteISA.decode(PeteISA.encode_r("jr", rs=31))
+    assert jr.is_jump

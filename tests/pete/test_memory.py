@@ -1,0 +1,86 @@
+"""The memory system: map, ports, counters, loaders."""
+
+import pytest
+
+from repro.pete.memory import RAM_BASE, ROM_BASE, MemorySystem
+from repro.pete.stats import CoreStats
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(CoreStats())
+
+
+def test_memory_map_boundaries(mem):
+    mem.write_rom(ROM_BASE, b"\x11\x22\x33\x44")
+    assert mem.fetch_word(ROM_BASE) == 0x44332211
+    # last valid ROM word
+    mem.write_rom(ROM_BASE + mem.rom_size - 4, b"\xAA\xBB\xCC\xDD")
+    assert mem.peek_word(ROM_BASE + mem.rom_size - 4) == 0xDDCCBBAA
+    with pytest.raises(MemoryError):
+        mem.fetch_word(ROM_BASE + mem.rom_size)
+    with pytest.raises(MemoryError):
+        mem.load(RAM_BASE + mem.ram_size, 4)
+    with pytest.raises(MemoryError):
+        mem.load(0x5000_0000, 4)
+
+
+def test_rom_is_not_writable_through_the_data_port(mem):
+    with pytest.raises(MemoryError):
+        mem.store(ROM_BASE, 1, 4)
+
+
+def test_instructions_do_not_fetch_from_ram(mem):
+    with pytest.raises(MemoryError):
+        mem.fetch_word(RAM_BASE)
+    with pytest.raises(MemoryError):
+        mem.fetch_line(RAM_BASE)
+
+
+def test_alignment_enforced(mem):
+    with pytest.raises(MemoryError):
+        mem.load(RAM_BASE + 2, 4)
+    with pytest.raises(MemoryError):
+        mem.store(RAM_BASE + 1, 0, 2)
+    # byte access is always aligned
+    mem.store(RAM_BASE + 3, 0x7F, 1)
+    assert mem.load(RAM_BASE + 3, 1) == 0x7F
+
+
+def test_signed_subword_loads(mem):
+    mem.store(RAM_BASE, 0x80, 1)
+    assert mem.load(RAM_BASE, 1, signed=True) == -128
+    assert mem.load(RAM_BASE, 1, signed=False) == 0x80
+    mem.store(RAM_BASE + 4, 0x8000, 2)
+    assert mem.load(RAM_BASE + 4, 2, signed=True) == -32768
+
+
+def test_access_counters(mem):
+    stats = mem.stats
+    mem.write_rom(ROM_BASE, b"\x00" * 64)
+    mem.fetch_word(ROM_BASE)
+    mem.fetch_line(ROM_BASE + 16)
+    mem.store(RAM_BASE, 5, 4)
+    mem.load(RAM_BASE, 4)
+    mem.load(ROM_BASE + 8, 4)  # data-port read of ROM
+    assert stats.rom_word_reads == 2, "one fetch + one data read"
+    assert stats.rom_line_reads == 1
+    assert stats.ram_writes == 1
+    assert stats.ram_reads == 1
+
+
+def test_line_fetch_returns_whole_line(mem):
+    words = [0x01020304, 0x05060708, 0x090A0B0C, 0x0D0E0F10]
+    data = b"".join(w.to_bytes(4, "little") for w in words)
+    mem.write_rom(ROM_BASE + 32, data)
+    # any address within the line returns the aligned line
+    assert mem.fetch_line(ROM_BASE + 40) == words
+
+
+def test_loaders_do_not_count(mem):
+    mem.write_ram_words(RAM_BASE, [1, 2, 3])
+    assert mem.read_ram_words(RAM_BASE, 3) == [1, 2, 3]
+    assert mem.stats.ram_reads == 0
+    assert mem.stats.ram_writes == 0
+    assert mem.peek_word(ROM_BASE) == 0
+    assert mem.stats.rom_word_reads == 0

@@ -1,0 +1,100 @@
+"""The Hi/Lo Karatsuba multiply unit and its extension datapath."""
+
+import pytest
+
+from repro.fields.inversion import _poly_mul
+from repro.pete.muldiv import (
+    ACC_ADD_LATENCY,
+    DIV_LATENCY,
+    MULT_LATENCY,
+    MulDivUnit,
+)
+
+
+def test_unsigned_multiply():
+    unit = MulDivUnit()
+    unit.mult(0, 0xFFFFFFFF, 0xFFFFFFFF, signed=False)
+    product = 0xFFFFFFFF ** 2
+    assert unit.lo == product & 0xFFFFFFFF
+    assert unit.hi == product >> 32
+    assert unit.busy_until == MULT_LATENCY
+
+
+def test_signed_multiply():
+    unit = MulDivUnit()
+    unit.mult(0, (-5) & 0xFFFFFFFF, 7, signed=True)
+    assert unit.lo == (-35) & 0xFFFFFFFF
+    assert unit.hi == 0xFFFFFFFF, "sign extension into Hi"
+
+
+def test_division_semantics():
+    unit = MulDivUnit()
+    unit.div(0, 100, 7, signed=False)
+    assert unit.lo == 14 and unit.hi == 2
+    unit.div(0, (-100) & 0xFFFFFFFF, 7, signed=True)
+    assert unit.lo == (-14) & 0xFFFFFFFF
+    assert unit.hi == (-2) & 0xFFFFFFFF
+    unit.div(0, 5, 0, signed=False)  # divide by zero: defined as no-op-ish
+    assert unit.lo == 0
+
+
+def test_back_to_back_occupancy():
+    unit = MulDivUnit()
+    unit.mult(0, 2, 3, signed=False)
+    unit.mult(0, 4, 5, signed=False)  # must wait for the first
+    assert unit.busy_until == 2 * MULT_LATENCY
+    assert unit.lo == 20
+
+
+def test_divider_latency():
+    unit = MulDivUnit()
+    unit.div(10, 100, 3, signed=False)
+    assert unit.busy_until == 10 + DIV_LATENCY
+
+
+def test_accumulator_extension_gating():
+    unit = MulDivUnit()
+    with pytest.raises(RuntimeError):
+        unit.maddu(0, 1, 2)
+    with pytest.raises(RuntimeError):
+        unit.mulgf2(0, 1, 2)
+
+
+def test_maddu_accumulates_96_bits():
+    unit = MulDivUnit(extensions=True)
+    for _ in range(5):
+        unit.maddu(0, 0xFFFFFFFF, 0xFFFFFFFF)
+    expected = 5 * 0xFFFFFFFF ** 2
+    assert unit.acc == expected
+    assert unit.ovflo == expected >> 64
+
+
+def test_m2addu_doubles():
+    unit = MulDivUnit(extensions=True)
+    unit.m2addu(0, 3, 7)
+    assert unit.acc == 42
+
+
+def test_addau_and_sha():
+    unit = MulDivUnit(extensions=True)
+    unit.addau(0, 5, 9)
+    assert unit.acc == (5 << 32) | 9
+    unit.sha(0)
+    assert unit.acc == 5
+    assert unit.busy_until == 2 * ACC_ADD_LATENCY
+
+
+def test_carryless_ops():
+    unit = MulDivUnit(extensions=True, binary_extensions=True)
+    unit.mulgf2(0, 0xB, 0xD)
+    assert unit.acc == _poly_mul(0xB, 0xD)
+    unit.maddgf2(0, 0xB, 0xD)
+    assert unit.acc == 0, "carry-less accumulate is XOR"
+
+
+def test_set_hi_lo():
+    unit = MulDivUnit()
+    unit.set_lo(0x1111)
+    unit.set_hi(0x2222)
+    assert unit.lo == 0x1111
+    assert unit.hi == 0x2222

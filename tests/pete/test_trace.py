@@ -1,0 +1,49 @@
+"""The execution-trace facility."""
+
+from repro.pete import Pete, assemble
+
+
+def test_trace_disabled_by_default():
+    program = assemble("main:\n nop\n halt")
+    cpu = Pete()
+    cpu.load(program)
+    cpu.run(0)
+    assert cpu.trace_log == []
+
+
+def test_trace_records_every_instruction():
+    program = assemble("""
+    main:
+        li $t0, 2
+    loop:
+        addiu $t0, $t0, -1
+        bne $t0, $zero, loop
+        .ds nop
+        halt
+    """)
+    cpu = Pete(trace=True)
+    cpu.load(program)
+    stats = cpu.run(0)
+    assert len(cpu.trace_log) == stats.instructions
+    cycles = [entry[0] for entry in cpu.trace_log]
+    assert cycles == sorted(cycles), "trace is in time order"
+    texts = [entry[2] for entry in cpu.trace_log]
+    assert texts.count("nop") == 2, "the delay slot ran twice"
+    assert any(t.startswith("bne") for t in texts)
+
+
+def test_trace_shows_loop_revisits():
+    program = assemble("""
+    main:
+        li $t0, 3
+    loop:
+        addiu $t0, $t0, -1
+        bne $t0, $zero, loop
+        nop
+        halt
+    """)
+    cpu = Pete(trace=True)
+    cpu.load(program)
+    cpu.run(0)
+    loop_pc_hits = [pc for _, pc, _ in cpu.trace_log if pc == 0x4]
+    assert len(loop_pc_hits) == 3

@@ -1,0 +1,101 @@
+"""ECDH and the authenticated handshake: functional + energy model."""
+
+import pytest
+
+from repro.ec.curves import get_curve
+from repro.ec.point import AffinePoint
+from repro.ecdsa import generate_keypair
+from repro.protocols import (
+    derive_session_key,
+    ecdh_shared_secret,
+    generate_ephemeral,
+    handshake_energy,
+)
+from repro.protocols.handshake import RADIO_UJ_PER_BYTE, run_handshake
+
+
+@pytest.fixture(params=["P-256", "B-163"])
+def curve(request):
+    return get_curve(request.param)
+
+
+def test_ecdh_agreement(curve):
+    da, qa = generate_ephemeral(curve, b"alice")
+    db, qb = generate_ephemeral(curve, b"bob")
+    assert ecdh_shared_secret(curve, da, qb) == \
+        ecdh_shared_secret(curve, db, qa)
+
+
+def test_ecdh_different_peers_differ(curve):
+    da, qa = generate_ephemeral(curve, b"alice")
+    db, qb = generate_ephemeral(curve, b"bob")
+    dc, qc = generate_ephemeral(curve, b"carol")
+    assert ecdh_shared_secret(curve, da, qb) != \
+        ecdh_shared_secret(curve, da, qc)
+
+
+def test_invalid_peer_rejected(curve):
+    da, _ = generate_ephemeral(curve, b"alice")
+    with pytest.raises(ValueError):
+        ecdh_shared_secret(curve, da, AffinePoint(123, 456))
+
+
+def test_small_subgroup_rejected():
+    """On the h = 2 binary curves the 2-torsion point (0, sqrt(b)) must
+    be refused (cofactor multiplication sends it to infinity)."""
+    curve = get_curve("B-163")
+    from repro.ec.compression import _binary_sqrt
+
+    torsion = AffinePoint(0, _binary_sqrt(curve.field, curve.b))
+    assert curve.contains(torsion)
+    da, _ = generate_ephemeral(curve, b"alice")
+    with pytest.raises(ValueError):
+        ecdh_shared_secret(curve, da, torsion)
+
+
+def test_session_key_derivation(curve):
+    key = derive_session_key(12345, curve, b"ctx")
+    assert len(key) == 16
+    assert key != derive_session_key(12345, curve, b"other")
+    assert key == derive_session_key(12345, curve, b"ctx")
+
+
+def test_full_handshake(curve):
+    da, qa = generate_keypair(curve, seed=b"device-a")
+    db, qb = generate_keypair(curve, seed=b"device-b")
+    hs = run_handshake(curve, da, qa, db, qb)
+    assert hs.succeeded
+    assert hs.transcript.radio_bytes > 0
+    # fresh nonces give a fresh key
+    hs2 = run_handshake(curve, da, qa, db, qb, nonce_seed=b"hs2")
+    assert hs2.session_key_a != hs.session_key_a
+
+
+def test_handshake_energy_model():
+    he = handshake_energy("P-192", "baseline")
+    assert he.compute_uj > 0 and he.radio_uj > 0
+    # Wander et al.: at low security, asymmetric compute dominates the
+    # handshake energy even against radio costs
+    assert he.compute_share > 0.7
+    # acceleration flips the balance toward the radio
+    accel = handshake_energy("P-192", "monte")
+    assert accel.compute_share < he.compute_share
+    assert accel.total_uj < he.total_uj
+
+
+def test_radio_bytes_scale_with_curve():
+    small = handshake_energy("P-192", "baseline").radio_uj
+    large = handshake_energy("P-521", "baseline").radio_uj
+    assert large > small
+    assert small == pytest.approx(
+        RADIO_UJ_PER_BYTE * (1 + 24 + 48), rel=1e-6)
+
+
+def test_pabbuleti_tradeoff():
+    """Pabbuleti et al.: computation rapidly exceeds transmission cost at
+    128-bit security for software ECC -- but not for the accelerators."""
+    sw = handshake_energy("P-256", "baseline")
+    assert sw.compute_uj > 5 * sw.radio_uj
+    hw = handshake_energy("B-283", "billie")
+    assert hw.compute_uj < hw.radio_uj, \
+        "with Billie the radio, not the math, dominates the handshake"
