@@ -1,12 +1,22 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench artifacts compare examples all
+.PHONY: install test lint bench artifacts compare examples all
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/ 2>&1 | tee test_output.txt
+
+# Static checks: ruff (when available) over the Python sources, then
+# the repo's own verifier over every shipped kernel and microprogram.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping Python style checks"; \
+	fi
+	PYTHONPATH=src python -m repro.analysis --all
 
 bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

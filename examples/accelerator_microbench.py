@@ -49,7 +49,7 @@ def monte_demo() -> None:
         monte.store(addr=0x100)
     deltas = [t2 - t1 for t1, t2 in zip(times, times[1:])]
     print(f"  steady-state spacing between multiplies: {deltas} cycles")
-    print(f"  -> double buffering hides all DMA traffic\n")
+    print("  -> double buffering hides all DMA traffic\n")
 
 
 def billie_demo() -> None:

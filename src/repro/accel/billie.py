@@ -17,7 +17,7 @@ Billie is checked against :func:`repro.ec.scalar.sliding_window_mul`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.accel.digit_serial import (
     digit_serial_cycles,

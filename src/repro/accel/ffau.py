@@ -18,7 +18,7 @@ measured cycles against the paper's Eq. 5.2::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.mp.montgomery import cios_montmul

@@ -1,0 +1,61 @@
+"""Static verification of the repository's machine-code artifacts.
+
+The paper's evaluation rests on hand-scheduled Pete assembly (delay-slot
+placement, accumulator extensions) and a 64-entry FFAU microcode store.
+Until now those artifacts were only checked *dynamically*, by executing
+them; this package proves structural properties about the code itself,
+without running a cycle:
+
+* :mod:`repro.analysis.cfg` -- control-flow graphs over decoded Pete
+  programs, delay-slot aware;
+* :mod:`repro.analysis.dataflow` -- liveness / initialization / reaching
+  definitions on those CFGs;
+* :mod:`repro.analysis.lints` -- the Pete check catalog: delay-slot
+  hazards, uninitialized reads, dead stores, calling-convention
+  violations, plus the structural checks;
+* :mod:`repro.analysis.taint` -- the secret-taint pass that statically
+  classifies kernels as constant-time (or not), mirroring the *measured*
+  findings of :mod:`repro.model.side_channel`;
+* :mod:`repro.analysis.microcheck` -- the FFAU microcode verifier
+  (capacity, loop discipline, constant-bus conflicts, drain-before-halt);
+* :mod:`repro.analysis.registry` -- the shipped-artifact catalog with
+  per-program waivers, driven by ``python -m repro.analysis``.
+
+Run the whole suite from the command line::
+
+    PYTHONPATH=src python -m repro.analysis --all
+"""
+
+from repro.analysis.cfg import CFG, AsmProgram, BasicBlock, build_cfg
+from repro.analysis.dataflow import liveness, maybe_uninitialized, reaching_defs
+from repro.analysis.lints import (
+    KERNEL_ABI,
+    STANDARD_ABI,
+    AbiModel,
+    Finding,
+    Waiver,
+    analyze_program,
+    apply_waivers,
+)
+from repro.analysis.microcheck import check_microprogram
+from repro.analysis.taint import TaintSpec, taint_findings
+
+__all__ = [
+    "AsmProgram",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "liveness",
+    "maybe_uninitialized",
+    "reaching_defs",
+    "AbiModel",
+    "KERNEL_ABI",
+    "STANDARD_ABI",
+    "Finding",
+    "Waiver",
+    "analyze_program",
+    "apply_waivers",
+    "TaintSpec",
+    "taint_findings",
+    "check_microprogram",
+]

@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Analyzes the registered kernels and microprograms (``--all``, the
+default) or a named subset, prints human-readable or JSON reports, and
+exits nonzero when any *unwaived* finding remains -- which is how
+``make lint`` and CI gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import registry
+
+
+def _human(report: registry.ProgramReport, show_waived: bool) -> str:
+    lines = []
+    status = "ok" if report.clean else f"{len(report.findings)} finding(s)"
+    waived = f", {len(report.waived)} waived" if report.waived else ""
+    lines.append(f"{report.kind:<10} {report.name:<14} {status}{waived}")
+    for f in report.findings:
+        lines.append(f"    [{f.check}] @{f.index}: {f.message}")
+    if show_waived:
+        for f, w in report.waived:
+            lines.append(f"    [waived {f.check}] @{f.index}: {f.message}")
+            lines.append(f"        reason: {w.reason}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verifier for the shipped Pete kernels and "
+                    "FFAU microprograms.")
+    parser.add_argument("--all", action="store_true",
+                        help="analyze every registered program (default "
+                             "when no --program is given)")
+    parser.add_argument("--program", "-p", action="append", default=[],
+                        metavar="NAME",
+                        help="analyze one registered program (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered programs and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="include waived findings and their reasons")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in registry.KERNELS:
+            taint = "taint" if spec.taint is not None else "no-taint"
+            print(f"kernel     {spec.name:<14} abi={spec.abi.name:<7} "
+                  f"{taint:<8} waivers={len(spec.waivers)}")
+        for mspec in registry.MICROPROGRAMS:
+            print(f"microcode  {mspec.name}")
+        return 0
+
+    if args.program:
+        known = {s.name: s for s in registry.KERNELS}
+        mknown = {s.name: s for s in registry.MICROPROGRAMS}
+        reports = []
+        for name in args.program:
+            if name in known:
+                reports.append(registry.report_kernel(known[name]))
+            elif name in mknown:
+                reports.append(registry.report_micro(mknown[name]))
+            else:
+                parser.error(f"unknown program {name!r} "
+                             f"(see --list)")
+    else:
+        reports = registry.all_reports()
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(_human(report, args.show_waived))
+        total = sum(len(r.findings) for r in reports)
+        waived = sum(len(r.waived) for r in reports)
+        print(f"{len(reports)} program(s): {total} finding(s), "
+              f"{waived} waived")
+
+    return 1 if any(not r.clean for r in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

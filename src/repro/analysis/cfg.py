@@ -1,0 +1,230 @@
+"""Delay-slot-aware control-flow graphs over Pete programs.
+
+The unit of analysis is the *instruction*, not the branch bundle: a
+control transfer at index ``i`` always executes its delay slot at
+``i + 1`` first (MIPS architectural semantics, which
+:class:`repro.pete.cpu.Pete` implements), so the CFG places the
+branch's outgoing edges on the *slot* instruction:
+
+* non-control instruction -> ``i + 1``;
+* control instruction at ``i`` -> its slot ``i + 1``;
+* slot of a conditional branch -> branch target and fall-through
+  ``i + 2``;
+* slot of an unconditional transfer (``b``, ``j``) -> target only;
+* slot of ``jal`` -> callee entry *and* the call's return point (the
+  callee is analyzed in-graph; its effects are not summarized back to
+  the return point, which keeps the may-analyses sound);
+* slot of ``jr``/``jalr`` -> function exit (the kernels are leaf
+  functions returning to a harness).
+
+Basic blocks are maximal single-entry straight-line runs over that
+instruction graph; the dataflow passes run on the instruction graph
+directly (the programs are a few thousand instructions at most) and the
+blocks exist for reporting and for clients that want a coarser view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import insn
+from repro.pete.assembler import Assembled, assemble
+from repro.pete.isa import Decoded, PeteISA
+
+EXIT = -1  # symbolic successor for leaving the program
+
+
+@dataclass
+class AsmProgram:
+    """A decoded program plus the assembler metadata the analyses use."""
+
+    name: str
+    words: list[int]
+    base: int = 0
+    labels: dict[str, int] = field(default_factory=dict)
+    source_lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.decoded: list[Decoded | None] = []
+        for word in self.words:
+            try:
+                self.decoded.append(PeteISA.decode(word))
+            except ValueError:
+                self.decoded.append(None)  # data word (.word)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_assembled(cls, assembled: Assembled, name: str = "") -> "AsmProgram":
+        return cls(name=name, words=list(assembled.words),
+                   base=assembled.base, labels=dict(assembled.labels),
+                   source_lines=list(assembled.source_lines))
+
+    @classmethod
+    def from_source(cls, source: str, name: str = "",
+                    base: int = 0) -> "AsmProgram":
+        return cls.from_assembled(assemble(source, base), name)
+
+    @classmethod
+    def from_words(cls, words: list[int], name: str = "",
+                   base: int = 0) -> "AsmProgram":
+        return cls(name=name, words=list(words), base=base)
+
+    # -- conveniences ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def line(self, index: int) -> str:
+        """Best description of instruction ``index`` for a message:
+        the original source line when the assembler recorded one, else
+        the disassembly."""
+        if 0 <= index < len(self.source_lines):
+            text = self.source_lines[index].strip()
+            if text:
+                return text
+        d = self.decoded[index]
+        if d is None:
+            return f".word 0x{self.words[index]:08x}"
+        from repro.pete.disassembler import disassemble_decoded
+
+        return disassemble_decoded(d, self.base + 4 * index)
+
+    def address(self, index: int) -> int:
+        return self.base + 4 * index
+
+    def label_at(self, index: int) -> str | None:
+        for name, slot in self.labels.items():
+            if slot == index:
+                return name
+        return None
+
+
+def delay_slots(program: AsmProgram) -> set[int]:
+    """Indices occupied by branch/jump delay slots."""
+    slots: set[int] = set()
+    for i, d in enumerate(program.decoded):
+        if d is not None and insn.is_control(d) and i + 1 < len(program):
+            # a control in a slot is itself a lint finding; its "slot"
+            # is not treated as one so the CFG stays well-formed
+            if i not in slots:
+                slots.add(i + 1)
+    return slots
+
+
+def branch_target_index(program: AsmProgram, index: int) -> int | None:
+    """Static target of the control instruction at ``index`` as an
+    instruction index, or ``None`` for register-indirect transfers."""
+    d = program.decoded[index]
+    if d is None:
+        return None
+    if d.is_branch:
+        return index + 1 + d.imm
+    if d.mnemonic in ("j", "jal"):
+        return ((d.target << 2) - program.base) // 4
+    return None  # jr / jalr
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions [start, end)."""
+
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)  # successor block starts
+
+
+@dataclass
+class CFG:
+    """Instruction-level successor/predecessor maps plus basic blocks."""
+
+    program: AsmProgram
+    succ: list[tuple[int, ...]]
+    pred: list[tuple[int, ...]]
+    slots: set[int]
+    blocks: list[BasicBlock]
+
+    def reachable(self, roots: tuple[int, ...] = (0,)) -> set[int]:
+        seen: set[int] = set()
+        stack = [r for r in roots if 0 <= r < len(self.succ)]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            for s in self.succ[i]:
+                if s != EXIT and s not in seen:
+                    stack.append(s)
+        return seen
+
+
+def build_cfg(program: AsmProgram) -> CFG:
+    """Construct the delay-slot-aware CFG.
+
+    Malformed control flow (out-of-range targets, a control transfer in
+    a delay slot, a control transfer as the last word) degrades
+    gracefully: the offending edge is dropped and the corresponding lint
+    reports the defect.
+    """
+    n = len(program)
+    slots = delay_slots(program)
+    succ: list[tuple[int, ...]] = []
+    for i in range(n):
+        d = program.decoded[i]
+        if d is None:  # data word: no flow
+            succ.append((EXIT,))
+            continue
+        if i in slots:
+            owner = program.decoded[i - 1]
+            edges: list[int] = []
+            target = branch_target_index(program, i - 1)
+            if target is not None and 0 <= target < n:
+                edges.append(target)
+            if owner is not None and not insn.is_unconditional(owner):
+                edges.append(i + 1 if i + 1 < n else EXIT)
+            if owner is not None and owner.mnemonic == "jal":
+                # call: flow also resumes at the return point (the
+                # callee's effects are not summarized -- may-analyses
+                # stay sound, taint across returns is documented as
+                # under-approximate)
+                edges.append(i + 1 if i + 1 < n else EXIT)
+            if owner is not None and owner.mnemonic in ("jr", "jalr"):
+                edges.append(EXIT)
+            succ.append(tuple(dict.fromkeys(edges)) or (EXIT,))
+        elif insn.is_control(d) and i + 1 < n:
+            succ.append((i + 1,))
+        elif d.mnemonic == "break":
+            succ.append((EXIT,))
+        else:
+            succ.append((i + 1,) if i + 1 < n else (EXIT,))
+    pred: list[list[int]] = [[] for _ in range(n)]
+    for i, edges in enumerate(succ):
+        for s in edges:
+            if s != EXIT:
+                pred[s].append(i)
+    blocks = _build_blocks(program, succ, pred)
+    return CFG(program, succ, tuple(map(tuple, pred)), slots, blocks)
+
+
+def _build_blocks(program: AsmProgram, succ, pred) -> list[BasicBlock]:
+    n = len(program)
+    if n == 0:
+        return []
+    leaders = {0}
+    for i in range(n):
+        if len(succ[i]) > 1 or any(s != i + 1 for s in succ[i]):
+            for s in succ[i]:
+                if s != EXIT:
+                    leaders.add(s)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        if len(pred[i]) > 1:
+            leaders.add(i)
+    ordered = sorted(leaders)
+    blocks = []
+    for idx, start in enumerate(ordered):
+        end = ordered[idx + 1] if idx + 1 < len(ordered) else n
+        last = end - 1
+        succs = sorted({s for s in succ[last] if s != EXIT})
+        blocks.append(BasicBlock(start, end, succs))
+    return blocks

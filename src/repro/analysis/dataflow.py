@@ -1,0 +1,125 @@
+"""Dataflow analyses over the instruction-level CFG.
+
+All three passes are classic worklist fixpoints with location sets
+represented as integer bitmasks (see :mod:`repro.analysis.insn`); the
+largest shipped kernel is a few thousand instructions, so none of this
+needs to be clever.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import insn
+from repro.analysis.cfg import CFG, EXIT
+
+
+def liveness(cfg: CFG, live_out_exit: int = 0
+             ) -> tuple[list[int], list[int]]:
+    """Backward liveness.
+
+    Returns ``(live_in, live_out)`` bitmask lists indexed by
+    instruction.  ``live_out_exit`` is the set live when the program
+    exits (the ABI's result registers).
+    """
+    n = len(cfg.program)
+    live_in = [0] * n
+    live_out = [0] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            d = cfg.program.decoded[i]
+            out = 0
+            for s in cfg.succ[i]:
+                out |= live_out_exit if s == EXIT else live_in[s]
+            use = insn.uses(d) if d is not None else 0
+            define = insn.defs(d) if d is not None else 0
+            new_in = use | (out & ~define)
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i] = out
+                live_in[i] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def maybe_uninitialized(cfg: CFG, entry_defined: int,
+                        roots: tuple[int, ...] = (0,)) -> list[int]:
+    """Forward may-uninitialized analysis.
+
+    Returns, per instruction, the bitmask of locations that are *not*
+    guaranteed written on every path from the entry (i.e. reading them
+    there may observe an undefined value).  Join is union -- a location
+    is suspect if any path leaves it unwritten.
+    """
+    n = len(cfg.program)
+    all_locs = (1 << insn.NUM_LOCS) - 1
+    unin_in = [0] * n
+    seen = [False] * n
+    entry_state = all_locs & ~entry_defined & ~1  # $zero is always defined
+    work = []
+    for r in roots:
+        if 0 <= r < n:
+            unin_in[r] = entry_state
+            seen[r] = True
+            work.append(r)
+    while work:
+        i = work.pop()
+        d = cfg.program.decoded[i]
+        state = unin_in[i]
+        if d is not None:
+            state &= ~insn.defs(d)
+        for s in cfg.succ[i]:
+            if s == EXIT:
+                continue
+            merged = unin_in[s] | state
+            if not seen[s] or merged != unin_in[s]:
+                unin_in[s] = merged
+                seen[s] = True
+                work.append(s)
+    return unin_in
+
+
+def reaching_defs(cfg: CFG, roots: tuple[int, ...] = (0,)
+                  ) -> list[dict[int, frozenset[int]]]:
+    """Forward reaching definitions.
+
+    Returns, per instruction, a map ``location -> set of defining
+    instruction indices`` that may reach it (entry definitions appear as
+    index ``-1``).  This is the def-use backbone: the use of location
+    ``r`` at instruction ``i`` is reached exactly by
+    ``reaching_defs(cfg)[i][r]``.
+    """
+    n = len(cfg.program)
+    bottom: dict[int, frozenset[int]] = {
+        loc: frozenset() for loc in range(insn.NUM_LOCS)}
+    entry: dict[int, frozenset[int]] = {
+        loc: frozenset({-1}) for loc in range(insn.NUM_LOCS)}
+    reach_in: list[dict[int, frozenset[int]]] = [dict(bottom)
+                                                 for _ in range(n)]
+    work = [r for r in roots if 0 <= r < n]
+    for r in work:
+        reach_in[r] = dict(entry)
+    in_work = set(work)
+    while work:
+        i = work.pop()
+        in_work.discard(i)
+        d = cfg.program.decoded[i]
+        state = dict(reach_in[i])
+        if d is not None:
+            define = insn.defs(d)
+            for loc in range(insn.NUM_LOCS):
+                if define & (1 << loc):
+                    state[loc] = frozenset({i})
+        for s in cfg.succ[i]:
+            if s == EXIT:
+                continue
+            target = reach_in[s]
+            changed = False
+            for loc, sites in state.items():
+                merged = target[loc] | sites
+                if merged != target[loc]:
+                    target[loc] = merged
+                    changed = True
+            if changed and s not in in_work:
+                work.append(s)
+                in_work.add(s)
+    return reach_in

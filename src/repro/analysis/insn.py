@@ -1,0 +1,158 @@
+"""Per-instruction def/use semantics for the static analyses.
+
+Locations are small integers: 0-31 are the MIPS general-purpose
+registers, plus three pseudo-locations for the multiply/accumulate unit
+state (HI, LO and the accumulator-extension overflow word OvFlo, which
+SHA shifts down and MADDU/M2ADDU/ADDAU carry into -- Section 5.2.1).
+Sets of locations are represented as bitmasks so the dataflow fixpoints
+stay cheap even on the fully unrolled kernels.
+
+The tables mirror :mod:`repro.pete.cpu` exactly; ``tests/analysis``
+cross-checks them against the simulator's own ``_sources`` helper.
+"""
+
+from __future__ import annotations
+
+from repro.pete.isa import REGISTERS, Decoded
+
+HI = 32
+LO = 33
+OV = 34
+NUM_LOCS = 35
+
+ACC = (1 << HI) | (1 << LO) | (1 << OV)
+
+#: Callee-saved registers under the standard MIPS o32 convention.
+CALLEE_SAVED = tuple(range(16, 24)) + (30,)  # $s0-$s7, $fp/$s8
+
+
+def reg_mask(*names: str) -> int:
+    """Bitmask from register names (``"a1"``) or location indices."""
+    mask = 0
+    for name in names:
+        if isinstance(name, int):
+            mask |= 1 << name
+        else:
+            mask |= 1 << REGISTERS[name.lstrip("$")]
+    return mask
+
+
+def mask_names(mask: int) -> list[str]:
+    """Human-readable names for a location bitmask (for messages)."""
+    from repro.pete.isa import REGISTER_NAMES
+
+    names = []
+    for i in range(NUM_LOCS):
+        if mask & (1 << i):
+            names.append(f"${REGISTER_NAMES[i]}" if i < 32
+                         else {HI: "HI", LO: "LO", OV: "OvFlo"}[i])
+    return names
+
+
+_SHIFT_IMM = ("sll", "srl", "sra")
+_SHIFT_REG = ("sllv", "srlv", "srav")
+_ARITH_R = ("add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+            "slt", "sltu")
+_ARITH_I = ("addi", "addiu", "slti", "sltiu", "andi", "ori", "xori")
+_MULDIV = ("mult", "multu", "div", "divu")
+_ACC_OPS = ("maddu", "m2addu", "addau", "maddgf2")
+_LOADS = ("lw", "lh", "lhu", "lb", "lbu")
+_STORES = ("sw", "sh", "sb")
+_BRANCH_RS_RT = ("beq", "bne")
+_BRANCH_RS = ("blez", "bgtz", "bltz", "bgez")
+_COP2_RT = ("ctc2", "cop2lda", "cop2ldb", "cop2ldn", "cop2ld", "cop2st")
+
+
+def defs(d: Decoded) -> int:
+    """Locations written by the instruction, as a bitmask.
+
+    Writes to ``$zero`` are architectural no-ops and never reported.
+    """
+    m = d.mnemonic
+    if m in _SHIFT_IMM or m in _SHIFT_REG or m in _ARITH_R:
+        return (1 << d.rd) & ~1
+    if m in _ARITH_I or m == "lui" or m in _LOADS:
+        return (1 << d.rt) & ~1
+    if m in ("mfhi", "mflo"):
+        return (1 << d.rd) & ~1
+    if m == "mthi":
+        return 1 << HI
+    if m == "mtlo":
+        return 1 << LO
+    if m in _MULDIV or m == "mulgf2":
+        return ACC
+    if m in _ACC_OPS or m == "sha":
+        return ACC
+    if m == "jal":
+        return reg_mask("ra")
+    if m == "jalr":
+        return (1 << d.rd) & ~1
+    return 0
+
+
+def uses(d: Decoded) -> int:
+    """Locations read by the instruction, as a bitmask."""
+    m = d.mnemonic
+    if m in _SHIFT_IMM:
+        return 1 << d.rt
+    if m in _SHIFT_REG or m in _ARITH_R or m in _MULDIV or m == "mulgf2":
+        return (1 << d.rs) | (1 << d.rt)
+    if m in _ARITH_I or m in _LOADS:
+        return 1 << d.rs
+    if m in _STORES:
+        return (1 << d.rs) | (1 << d.rt)
+    if m in _BRANCH_RS_RT:
+        return (1 << d.rs) | (1 << d.rt)
+    if m in _BRANCH_RS:
+        return 1 << d.rs
+    if m in ("jr", "jalr", "mthi", "mtlo"):
+        return 1 << d.rs
+    if m == "mfhi":
+        return 1 << HI
+    if m == "mflo":
+        return 1 << LO
+    if m in _ACC_OPS:
+        return (1 << d.rs) | (1 << d.rt) | ACC
+    if m == "sha":
+        return ACC
+    if m in _COP2_RT:
+        return 1 << d.rt
+    return 0
+
+
+def is_branch(d: Decoded) -> bool:
+    return d.is_branch
+
+
+def is_control(d: Decoded) -> bool:
+    """Branch or jump: the following instruction is its delay slot."""
+    return d.is_branch or d.is_jump
+
+
+def is_unconditional(d: Decoded) -> bool:
+    """Control transfers that never fall through past the slot."""
+    if d.is_jump:
+        return True
+    return d.mnemonic == "beq" and d.rs == d.rt
+
+
+def branch_condition_uses(d: Decoded) -> int:
+    """Registers the branch *condition* reads (excludes ``$zero``)."""
+    if not d.is_branch:
+        return 0
+    return uses(d) & ~1
+
+
+def is_load(d: Decoded) -> bool:
+    return d.is_load
+
+
+def is_store(d: Decoded) -> bool:
+    return d.is_store
+
+
+def mem_base(d: Decoded) -> int | None:
+    """The address base register of a load/store, if any."""
+    if d.is_load or d.is_store:
+        return d.rs
+    return None

@@ -1,0 +1,300 @@
+"""The Pete lint catalog and the per-program analysis driver.
+
+Checks (ids are stable; waivers and the CLI reference them):
+
+``missing-delay-slot``
+    A branch/jump is the last word of the program: its architectural
+    delay slot would execute whatever bytes follow.
+``control-in-delay-slot``
+    A branch/jump sits in another transfer's delay slot -- undefined on
+    MIPS and unschedulable on Pete.
+``branch-out-of-range``
+    A static branch/jump target falls outside the program image.
+``delay-slot-clobber``
+    The delay-slot instruction writes a register the branch condition
+    reads.  Architecturally defined (the branch compares the *pre-slot*
+    values), and the hand-scheduled kernels use exactly this idiom to
+    fold pointer updates into the slot -- but it is the classic way to
+    mis-schedule a loop, so it must be explicitly waived per kernel.
+``uninitialized-read``
+    Some path from the entry reaches a read of a register that was
+    never written (ABI-defined entry registers excepted).
+``dead-store``
+    A register write that no path reads before the register is
+    rewritten or the program exits.
+``callee-saved-clobber``
+    Under the standard o32 convention, ``$s0-$s7``/``$fp`` written
+    without a stack save/restore pair.  The generated kernels run under
+    the documented kernel ABI (harness callers, ``$s*`` scratch), which
+    disables this check instead of waiving each register.
+``unreachable-code``
+    Instructions no path from the entry executes.
+``secret-dependent-branch`` / ``secret-dependent-address``
+    The taint sinks; see :mod:`repro.analysis.taint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis import insn
+from repro.analysis.cfg import CFG, AsmProgram, build_cfg
+from repro.analysis.dataflow import liveness, maybe_uninitialized
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect (or property violation) at one instruction."""
+
+    check: str
+    index: int                 # instruction index; -1 = whole program
+    message: str
+    program: str = ""
+    severity: str = "error"
+
+    def to_dict(self) -> dict:
+        return {"check": self.check, "index": self.index,
+                "message": self.message, "program": self.program,
+                "severity": self.severity}
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """Accepts all findings of one check in one program, with a reason.
+
+    Waivers are the annotation mechanism for *intentional* findings:
+    the descending-pointer delay-slot schedule, the paper's
+    non-constant-time algorithm choices.  Every waiver must say why.
+    """
+
+    check: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class AbiModel:
+    """Register conventions the dataflow checks assume."""
+
+    name: str
+    #: registers carrying defined values at entry
+    entry_defined: int = 0
+    #: registers a caller may read after return (writes to them are
+    #: never dead)
+    live_out: int = 0
+    #: $s* registers are ordinary scratch (the generated-kernel ABI
+    #: documented in repro.kernels.prime_kernels); disables
+    #: callee-saved-clobber
+    callee_saved_scratch: bool = False
+
+
+def _abi(name: str, entry: tuple[str, ...], out: tuple[str, ...],
+         scratch_saved: bool) -> AbiModel:
+    return AbiModel(name, insn.reg_mask(*entry), insn.reg_mask(*out),
+                    scratch_saved)
+
+
+#: Standard MIPS o32 leaf-function view.
+STANDARD_ABI = _abi(
+    "o32",
+    entry=("zero", "a0", "a1", "a2", "a3", "sp", "gp", "ra",
+           "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "fp",
+           insn.HI, insn.LO, insn.OV),
+    out=("v0", "v1", "sp", "ra", "gp",
+         "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "fp"),
+    scratch_saved=False,
+)
+
+#: The generated kernels' documented convention: harness callers, no
+#: callee-save discipline, results in memory plus $v0/$v1.
+KERNEL_ABI = _abi(
+    "kernel",
+    entry=("zero", "a0", "a1", "a2", "a3", "sp", "gp", "ra",
+           insn.HI, insn.LO, insn.OV),
+    out=("v0", "v1", "sp", "ra"),
+    scratch_saved=True,
+)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one program's analysis produced."""
+
+    program: AsmProgram
+    cfg: CFG
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[tuple[Finding, Waiver]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_check(self, check: str) -> list[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+
+def analyze_program(program: AsmProgram, abi: AbiModel = KERNEL_ABI,
+                    taint=None, waivers: tuple[Waiver, ...] = (),
+                    roots: tuple[int, ...] = (0,)) -> AnalysisResult:
+    """Run the full check suite over one program."""
+    cfg = build_cfg(program)
+    findings: list[Finding] = []
+    findings += _structural_checks(cfg)
+    findings += _dataflow_checks(cfg, abi, roots)
+    if not abi.callee_saved_scratch:
+        findings += _callee_saved_checks(program)
+    if taint is not None:
+        from repro.analysis.taint import taint_findings
+
+        findings += taint_findings(cfg, taint, roots)
+    findings = [replace(f, program=program.name) for f in findings]
+    findings.sort(key=lambda f: (f.index, f.check))
+    active, waived = apply_waivers(findings, waivers)
+    return AnalysisResult(program, cfg, active, waived)
+
+
+def apply_waivers(findings: list[Finding], waivers: tuple[Waiver, ...]
+                  ) -> tuple[list[Finding], list[tuple[Finding, Waiver]]]:
+    """Split findings into (active, waived-with-reason)."""
+    by_check = {w.check: w for w in waivers}
+    active: list[Finding] = []
+    waived: list[tuple[Finding, Waiver]] = []
+    for f in findings:
+        waiver = by_check.get(f.check)
+        if waiver is not None:
+            waived.append((f, waiver))
+        else:
+            active.append(f)
+    return active, waived
+
+
+# ---------------------------------------------------------------------------
+# Structural checks: delay slots and control-flow sanity
+# ---------------------------------------------------------------------------
+
+
+def _structural_checks(cfg: CFG) -> list[Finding]:
+    program = cfg.program
+    n = len(program)
+    out: list[Finding] = []
+    for i, d in enumerate(program.decoded):
+        if d is None or not insn.is_control(d):
+            continue
+        if i + 1 >= n:
+            out.append(Finding(
+                "missing-delay-slot", i,
+                f"control transfer is the last word of the program "
+                f"(its delay slot would execute arbitrary bytes): "
+                f"{program.line(i)}"))
+            continue
+        slot = program.decoded[i + 1]
+        if slot is not None and insn.is_control(slot):
+            out.append(Finding(
+                "control-in-delay-slot", i + 1,
+                f"control transfer in the delay slot of "
+                f"'{program.line(i)}': {program.line(i + 1)}"))
+        target = None
+        if d.is_branch or d.mnemonic in ("j", "jal"):
+            from repro.analysis.cfg import branch_target_index
+
+            target = branch_target_index(program, i)
+            if target is not None and not 0 <= target < n:
+                out.append(Finding(
+                    "branch-out-of-range", i,
+                    f"target 0x{program.address(0) + 4 * target:x} is "
+                    f"outside the program image: {program.line(i)}"))
+        if slot is not None and d.is_branch:
+            clobbered = insn.defs(slot) & insn.branch_condition_uses(d)
+            if clobbered:
+                regs = ", ".join(insn.mask_names(clobbered))
+                out.append(Finding(
+                    "delay-slot-clobber", i + 1,
+                    f"delay slot writes {regs}, which the branch "
+                    f"'{program.line(i)}' reads (branch compares the "
+                    f"pre-slot value): {program.line(i + 1)}"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Dataflow checks: uninitialized reads, dead stores, unreachable code
+# ---------------------------------------------------------------------------
+
+
+def _dataflow_checks(cfg: CFG, abi: AbiModel,
+                     roots: tuple[int, ...]) -> list[Finding]:
+    program = cfg.program
+    out: list[Finding] = []
+    reachable = cfg.reachable(roots)
+    unin = maybe_uninitialized(cfg, abi.entry_defined, roots)
+    for i in sorted(reachable):
+        d = program.decoded[i]
+        if d is None:
+            continue
+        suspect = insn.uses(d) & unin[i]
+        if suspect:
+            regs = ", ".join(insn.mask_names(suspect))
+            out.append(Finding(
+                "uninitialized-read", i,
+                f"reads {regs} which may never have been written: "
+                f"{program.line(i)}"))
+    _, live_out = liveness(cfg, abi.live_out)
+    for i in sorted(reachable):
+        d = program.decoded[i]
+        if d is None:
+            continue
+        define = insn.defs(d)
+        if not define:
+            continue
+        dead = define & ~live_out[i]
+        # accumulator state is hardware-managed; only flag GPR stores
+        dead &= (1 << 32) - 1
+        if dead and dead == define & ((1 << 32) - 1):
+            regs = ", ".join(insn.mask_names(dead))
+            out.append(Finding(
+                "dead-store", i,
+                f"writes {regs} but no path reads it again: "
+                f"{program.line(i)}"))
+    for i in range(len(program)):
+        if i not in reachable and program.decoded[i] is not None:
+            out.append(Finding(
+                "unreachable-code", i,
+                f"no path from the entry reaches: {program.line(i)}",
+                severity="warning"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Calling convention (standard ABI only)
+# ---------------------------------------------------------------------------
+
+
+def _callee_saved_checks(program: AsmProgram) -> list[Finding]:
+    """Flag $s*/$fp writes without a surrounding stack save/restore."""
+    out: list[Finding] = []
+    saved_stores: dict[int, int] = {}   # reg -> first sw index
+    saved_loads: dict[int, int] = {}    # reg -> last lw index
+    sp = insn.reg_mask("sp").bit_length() - 1
+    for i, d in enumerate(program.decoded):
+        if d is None:
+            continue
+        if d.mnemonic == "sw" and d.rs == sp and d.rt in insn.CALLEE_SAVED:
+            saved_stores.setdefault(d.rt, i)
+        if d.mnemonic == "lw" and d.rs == sp and d.rt in insn.CALLEE_SAVED:
+            saved_loads[d.rt] = i
+    for i, d in enumerate(program.decoded):
+        if d is None:
+            continue
+        define = insn.defs(d)
+        for reg in insn.CALLEE_SAVED:
+            if not define & (1 << reg):
+                continue
+            if d.mnemonic == "lw" and d.rs == sp:
+                continue  # the restore itself
+            saved = (reg in saved_stores and saved_stores[reg] < i
+                     and saved_loads.get(reg, -1) > i)
+            if not saved:
+                regs = ", ".join(insn.mask_names(define & (1 << reg)))
+                out.append(Finding(
+                    "callee-saved-clobber", i,
+                    f"writes callee-saved {regs} without a stack "
+                    f"save/restore: {program.line(i)}"))
+    return out

@@ -1,0 +1,172 @@
+"""Static checks over FFAU microprograms (paper Section 5.4.2).
+
+The microcode control store is tiny (64 entries) and branch-free except
+for the two hardware loop counters, so the checks are mostly structural;
+the one dataflow pass proves every ``loop`` decrement-and-test is
+preceded by a ``loop_set`` of the same counter on *every* path from an
+entry point (the counters power up undefined).
+
+Check ids:
+
+``micro-capacity``        program exceeds the 64-entry control store
+``micro-entry``           a named entry point is out of range
+``micro-loop-target``     a loop branch targets an address outside the
+                          program
+``micro-loop-var``        ``loop``/``loop_set`` names a counter other
+                          than the two the hardware has (``i``, ``j``)
+``micro-loop-init``       a counter is decremented/tested on some path
+                          before any ``loop_set`` loaded it
+``micro-const-range``     ``const_sel``/``loop_set_const`` outside the
+                          8-entry constant RAM
+``micro-const-bus``       more than one consumer of the single constant
+                          bus in one cycle (index LOADs and ``BSrc.CONST``
+                          share it; the loop-counter bound port is
+                          separate -- Fig. 5.10)
+``micro-fall-off-end``    execution can run past the last entry without
+                          a ``halt``
+``micro-drain-halt``      a ``halt`` with results still in the core
+                          pipeline (``halt`` without ``wait_drain``)
+"""
+
+from __future__ import annotations
+
+from repro.accel.microcode import (
+    MICROCODE_TABLE_SIZE,
+    BSrc,
+    IdxCtl,
+    MicroOp,
+    MicroProgram,
+)
+from repro.analysis.lints import Finding
+
+_COUNTERS = ("i", "j")
+_CONST_RAM_SIZE = 8
+
+
+def _desc(op: MicroOp, index: int) -> str:
+    tag = f" ({op.label})" if op.label else ""
+    return f"op {index}{tag} [{op.op.value}]"
+
+
+def check_microprogram(prog: MicroProgram, name: str = "") -> list[Finding]:
+    """Run every microcode check; returns findings sorted by address."""
+    findings: list[Finding] = []
+
+    def add(check: str, index: int, message: str) -> None:
+        findings.append(Finding(check=check, index=index,
+                                message=message, program=name))
+
+    ops = prog.ops
+    n = len(ops)
+    if n > MICROCODE_TABLE_SIZE:
+        add("micro-capacity", -1,
+            f"{n} micro-ops exceed the {MICROCODE_TABLE_SIZE}-entry "
+            f"control store")
+    roots = sorted(set(prog.entries.values())) if prog.entries else [0]
+    for entry_name, addr in sorted(prog.entries.items()):
+        if not 0 <= addr < n:
+            add("micro-entry", addr,
+                f"entry point {entry_name!r} at address {addr} is outside "
+                f"the {n}-op program")
+    roots = [r for r in roots if 0 <= r < n]
+
+    for i, op in enumerate(ops):
+        if op.loop is not None and op.loop not in _COUNTERS:
+            add("micro-loop-var", i,
+                f"{_desc(op, i)} loops on unknown counter {op.loop!r} "
+                f"(hardware has {_COUNTERS})")
+        if op.loop_set is not None and op.loop_set not in _COUNTERS:
+            add("micro-loop-var", i,
+                f"{_desc(op, i)} sets unknown counter {op.loop_set!r} "
+                f"(hardware has {_COUNTERS})")
+        if op.loop is not None and not 0 <= op.loop_target < n:
+            add("micro-loop-target", i,
+                f"{_desc(op, i)} loop target {op.loop_target} is outside "
+                f"the {n}-op program")
+        if not 0 <= op.const_sel < _CONST_RAM_SIZE:
+            add("micro-const-range", i,
+                f"{_desc(op, i)} const_sel {op.const_sel} is outside the "
+                f"{_CONST_RAM_SIZE}-entry constant RAM")
+        if not 0 <= op.loop_set_const < _CONST_RAM_SIZE:
+            add("micro-const-range", i,
+                f"{_desc(op, i)} loop_set_const {op.loop_set_const} is "
+                f"outside the {_CONST_RAM_SIZE}-entry constant RAM")
+        consumers = sum(ctl is IdxCtl.LOAD
+                        for ctl in (op.idx_a, op.idx_b, op.idx_t, op.idx_w))
+        consumers += op.b_src is BSrc.CONST
+        if consumers > 1:
+            add("micro-const-bus", i,
+                f"{_desc(op, i)} drives the single constant bus "
+                f"{consumers} times in one cycle (index LOADs and a CONST "
+                f"B operand share it)")
+        if op.halt and not op.wait_drain:
+            add("micro-drain-halt", i,
+                f"{_desc(op, i)} halts without draining the core pipeline "
+                f"(in-flight results would be lost)")
+
+    findings.extend(_loop_init_check(prog, roots, name))
+    findings.sort(key=lambda f: (f.index, f.check))
+    return findings
+
+
+def _loop_init_check(prog: MicroProgram, roots: list[int],
+                     name: str) -> list[Finding]:
+    """Must-initialized analysis for the two hardware loop counters.
+
+    Forward fixpoint with intersection join: a counter is safe at an op
+    only if *every* path from an entry has executed a ``loop_set`` for
+    it.  ``loop_set`` on the same op counts (the load happens before the
+    end-of-cycle decrement-and-test).
+    """
+    ops = prog.ops
+    n = len(ops)
+    all_counters = frozenset(_COUNTERS)
+    init_in: dict[int, frozenset[str]] = {}
+    work: list[int] = []
+    for r in roots:
+        init_in[r] = frozenset()
+        work.append(r)
+    findings: list[Finding] = []
+    flagged: set[tuple[int, str]] = set()
+    fell_off: set[int] = set()
+    while work:
+        i = work.pop()
+        op = ops[i]
+        state = init_in[i]
+        if op.loop_set in _COUNTERS:
+            state = state | {op.loop_set}
+        if op.loop in _COUNTERS and op.loop not in state:
+            if (i, op.loop) not in flagged:
+                flagged.add((i, op.loop))
+                findings.append(Finding(
+                    check="micro-loop-init", index=i, program=name,
+                    message=f"{_desc(op, i)} decrements counter "
+                            f"{op.loop!r} which a path from the entry "
+                            f"never loaded"))
+        if op.halt:
+            continue
+        succs = [i + 1]
+        if op.loop in _COUNTERS and 0 <= op.loop_target < n:
+            succs.append(op.loop_target)
+        for s in succs:
+            if s >= n:
+                if i not in fell_off:
+                    fell_off.add(i)
+                    findings.append(Finding(
+                        check="micro-fall-off-end", index=i, program=name,
+                        message=f"{_desc(op, i)} can fall through past "
+                                f"the end of the program without a halt"))
+                continue
+            merged = init_in[s] & state if s in init_in else state
+            if s not in init_in or merged != init_in[s]:
+                init_in[s] = merged
+                work.append(s)
+    return findings
+
+
+def check_all(programs: dict[str, MicroProgram]) -> list[Finding]:
+    """Check several named microprograms; concatenated findings."""
+    out: list[Finding] = []
+    for name, prog in programs.items():
+        out.extend(check_microprogram(prog, name))
+    return out

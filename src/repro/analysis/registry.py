@@ -1,0 +1,196 @@
+"""The shipped programs the analysis CLI and CI verify.
+
+Each entry names a generated Pete kernel (or FFAU microprogram), the
+ABI model it is written against, what is secret when it runs, and the
+waivers for findings that are *intentional* -- every waiver carries the
+reason it is acceptable, which is the repository's machine-checked
+side-channel and scheduling documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.accel.microcode import (
+    MicroProgram,
+    build_addsub_program,
+    build_cios_program,
+)
+from repro.analysis.cfg import AsmProgram
+from repro.analysis.lints import (
+    KERNEL_ABI,
+    AbiModel,
+    AnalysisResult,
+    Finding,
+    Waiver,
+    analyze_program,
+)
+from repro.analysis.microcheck import check_microprogram
+from repro.analysis.taint import TaintSpec
+from repro.kernels import (
+    binary_kernels,
+    composed,
+    prime_kernels,
+    scalar_kernels,
+    symmetric_kernels,
+)
+
+#: Word count used for registry analysis: k = 6 covers P-192 and B-163,
+#: the paper's two curves.
+K = 6
+
+_DS_SCHEDULE = Waiver(
+    "delay-slot-clobber",
+    "intentional schedule: the loop pointer increment lives in the "
+    "delay slot and the branch compares the pre-slot value "
+    "(architecturally defined MIPS behaviour)")
+
+#: Operand words (field elements) are secret; pointers are public.
+_OPERANDS_SECRET = TaintSpec(secret_memory=True)
+
+#: The scalar arrives in $a1.
+_SCALAR_SECRET = TaintSpec(secret_regs=("a1",))
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One shipped Pete kernel under analysis."""
+
+    name: str
+    build: Callable[[], str]
+    abi: AbiModel = KERNEL_ABI
+    taint: TaintSpec | None = None
+    waivers: tuple[Waiver, ...] = ()
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class MicroSpec:
+    """One shipped FFAU microprogram under analysis."""
+
+    name: str
+    build: Callable[[], MicroProgram]
+
+
+KERNELS: tuple[KernelSpec, ...] = (
+    KernelSpec("mp_add", lambda: prime_kernels.gen_mp_add(K),
+               taint=_OPERANDS_SECRET),
+    KernelSpec("mp_sub", lambda: prime_kernels.gen_mp_sub(K),
+               taint=_OPERANDS_SECRET),
+    KernelSpec("os_mul", lambda: prime_kernels.gen_os_mul(K),
+               taint=_OPERANDS_SECRET),
+    KernelSpec("ps_mul_ext", lambda: prime_kernels.gen_ps_mul_ext(K),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+    KernelSpec("ps_sqr_ext",
+               lambda: prime_kernels.gen_ps_mul_ext(K, squaring=True),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+    KernelSpec("red_p192", prime_kernels.gen_red_p192,
+               taint=_OPERANDS_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-branch",
+                   "NIST fast reduction branches on the carry word and "
+                   "the trial-subtraction borrow; the paper's baseline "
+                   "is not constant-time (Section 2.1.5 discusses the "
+                   "resulting leakage)"),)),
+    KernelSpec("comb_mul", lambda: binary_kernels.gen_comb_mul(K),
+               taint=_OPERANDS_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-address",
+                   "the comb method indexes its precomputed row table "
+                   "by secret operand nibbles -- the classic "
+                   "cache-timing trade-off of table-based binary-field "
+                   "multiplication"),)),
+    KernelSpec("ps_mulgf2", lambda: binary_kernels.gen_ps_mulgf2(K),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+    KernelSpec("bsqr_table", lambda: binary_kernels.gen_bsqr_table(K),
+               taint=_OPERANDS_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-address",
+                   "byte-wise squaring looks the squared byte up in a "
+                   "256-entry table indexed by secret data"),)),
+    KernelSpec("bsqr_ext", lambda: binary_kernels.gen_bsqr_ext(K),
+               taint=_OPERANDS_SECRET),
+    KernelSpec("red_b163", binary_kernels.gen_red_b163,
+               taint=_OPERANDS_SECRET),
+    KernelSpec("speck64", symmetric_kernels.gen_speck64_encrypt,
+               taint=_OPERANDS_SECRET),
+    KernelSpec("scalar_daa", lambda: scalar_kernels.gen_scalar_daa(),
+               taint=_SCALAR_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-branch",
+                   "double-and-add exists to demonstrate the leak the "
+                   "Montgomery ladder removes; side_channel.py measures "
+                   "the same asymmetry dynamically"),)),
+    KernelSpec("scalar_ladder", lambda: scalar_kernels.gen_scalar_ladder(),
+               taint=_SCALAR_SECRET,
+               note="certified constant-time: no waivers, no findings"),
+    # The composed images bundle kernel-ABI callees ($s* scratch), so
+    # the kernel model applies to the whole program.  Taint is not run
+    # across calls: the single-bit memory model cannot distinguish a
+    # reloaded public pointer from secret data once both were stored
+    # (see taint.py).
+    KernelSpec("fmul_p192", composed.gen_fmul_p192),
+    KernelSpec("fmul_b163", composed.gen_fmul_b163),
+)
+
+
+MICROPROGRAMS: tuple[MicroSpec, ...] = (
+    MicroSpec("cios", build_cios_program),
+    MicroSpec("mod_add", lambda: build_addsub_program(subtract=False)),
+    MicroSpec("mod_sub", lambda: build_addsub_program(subtract=True)),
+)
+
+
+@dataclass
+class ProgramReport:
+    """Outcome of analyzing one registry entry."""
+
+    name: str
+    kind: str                          # "kernel" | "microcode"
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[tuple[Finding, Waiver]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "clean": self.clean,
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [{**f.to_dict(), "reason": w.reason}
+                       for f, w in self.waived],
+        }
+
+
+def kernel_spec(name: str) -> KernelSpec:
+    for spec in KERNELS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown kernel {name!r}")
+
+
+def analyze_kernel(spec: KernelSpec) -> AnalysisResult:
+    program = AsmProgram.from_source(spec.build(), name=spec.name)
+    return analyze_program(program, abi=spec.abi, taint=spec.taint,
+                           waivers=spec.waivers)
+
+
+def report_kernel(spec: KernelSpec) -> ProgramReport:
+    result = analyze_kernel(spec)
+    return ProgramReport(spec.name, "kernel", result.findings, result.waived)
+
+
+def report_micro(spec: MicroSpec) -> ProgramReport:
+    findings = check_microprogram(spec.build(), name=spec.name)
+    return ProgramReport(spec.name, "microcode", findings, [])
+
+
+def all_reports() -> list[ProgramReport]:
+    """Analyze every registered program."""
+    reports = [report_kernel(spec) for spec in KERNELS]
+    reports += [report_micro(spec) for spec in MICROPROGRAMS]
+    return reports

@@ -1,0 +1,131 @@
+"""Secret-taint analysis: static constant-time classification.
+
+Section 2.1.5 observes that naive double-and-add leaks the scalar's
+Hamming weight while the Montgomery ladder does data-independent work;
+:mod:`repro.model.side_channel` *measures* that on Billie.  This pass
+proves the same property about the code: it propagates a SECRET taint
+forward through registers and memory and reports the two classic
+timing-channel sinks,
+
+* ``secret-dependent-branch`` -- a conditional branch (or indirect
+  jump) whose condition reads a tainted register, and
+* ``secret-dependent-address`` -- a load/store whose address base is
+  tainted (data-dependent memory indexing; the cache-timing channel of
+  table-based methods).
+
+A program with *no* findings performs a data-independent instruction
+and memory-access sequence -- constant time in the program-counter /
+address-trace model (the model constant-time disciplines use; see
+"Efficient and Secure ECDSA Algorithm and its Applications", PAPERS.md).
+Implicit flows past a flagged branch are not tracked further: the branch
+itself is already reported, which is the property we verify.
+
+Memory is one taint bit: kernels stream their operands through a small
+arena, so any store of a secret value makes subsequent loads suspect.
+That is deliberately coarse but sound for the leak classes above, and
+it is exact on every shipped kernel (see ``tests/analysis``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import insn
+from repro.analysis.cfg import CFG, EXIT
+from repro.analysis.lints import Finding
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What is secret when the kernel is entered.
+
+    ``secret_regs`` taints register *values* at entry (e.g. ``("a1",)``
+    when ``$a1`` holds the scalar); ``secret_memory`` taints RAM
+    contents (operands passed by pointer -- field elements, keys).
+    """
+
+    secret_regs: tuple[str, ...] = ()
+    secret_memory: bool = False
+
+    def entry_mask(self) -> int:
+        return insn.reg_mask(*self.secret_regs) if self.secret_regs else 0
+
+
+def taint_findings(cfg: CFG, spec: TaintSpec,
+                   roots: tuple[int, ...] = (0,)) -> list[Finding]:
+    """Run the forward taint fixpoint and return the sink findings."""
+    program = cfg.program
+    n = len(program)
+    # state per instruction: (tainted-reg bitmask, memory-tainted bit)
+    taint_in = [0] * n
+    mem_in = [False] * n
+    seen = [False] * n
+    work = []
+    for r in roots:
+        if 0 <= r < n:
+            taint_in[r] = spec.entry_mask()
+            mem_in[r] = spec.secret_memory
+            seen[r] = True
+            work.append(r)
+    findings: dict[tuple[str, int], Finding] = {}
+
+    def sink(check: str, index: int, message: str) -> None:
+        findings.setdefault((check, index), Finding(
+            check=check, index=index, message=message,
+            program=program.name))
+
+    while work:
+        i = work.pop()
+        d = program.decoded[i]
+        state, mem = taint_in[i], mem_in[i]
+        if d is not None:
+            state, mem = _transfer(d, i, state, mem, program, sink)
+        for s in cfg.succ[i]:
+            if s == EXIT:
+                continue
+            merged = taint_in[s] | state
+            merged_mem = mem_in[s] or mem
+            if not seen[s] or merged != taint_in[s] or merged_mem != mem_in[s]:
+                taint_in[s] = merged
+                mem_in[s] = merged_mem
+                seen[s] = True
+                work.append(s)
+    return sorted(findings.values(), key=lambda f: (f.index, f.check))
+
+
+def _transfer(d, i, state, mem, program, sink):
+    m = d.mnemonic
+    used = insn.uses(d)
+    if d.is_branch:
+        if insn.branch_condition_uses(d) & state:
+            regs = insn.mask_names(insn.branch_condition_uses(d) & state)
+            sink("secret-dependent-branch", i,
+                 f"branch condition depends on secret data "
+                 f"(via {', '.join(regs)}): {program.line(i)}")
+        return state, mem
+    if m in ("jr", "jalr") and (used & state):
+        sink("secret-dependent-branch", i,
+             f"indirect jump target depends on secret data: "
+             f"{program.line(i)}")
+        return state, mem
+    if d.is_load:
+        base = 1 << d.rs
+        if base & state:
+            sink("secret-dependent-address", i,
+                 f"load address depends on secret data: {program.line(i)}")
+        tainted = mem or bool(base & state)
+        define = insn.defs(d)
+        state = (state | define) if tainted else (state & ~define)
+        return state, mem
+    if d.is_store:
+        if (1 << d.rs) & state:
+            sink("secret-dependent-address", i,
+                 f"store address depends on secret data: {program.line(i)}")
+        if (1 << d.rt) & state:
+            mem = True
+        return state, mem
+    # ordinary computation: outputs tainted iff any input is
+    define = insn.defs(d)
+    if define:
+        state = (state | define) if (used & state) else (state & ~define)
+    return state, mem

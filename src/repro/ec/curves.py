@@ -16,7 +16,6 @@ from typing import Union
 
 from repro.fields.binary import BinaryField
 from repro.fields.counters import OpCounter
-from repro.fields.nist import NIST_BINARY_POLYS, NIST_PRIMES
 from repro.fields.prime import PrimeField
 from repro.ec.point import AffinePoint
 

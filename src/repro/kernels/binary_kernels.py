@@ -50,7 +50,8 @@ def gen_comb_mul(k: int, window: int = 4) -> str:
                 asm.emit(f"lw $t0, {src + 4 * t}($a3)")
                 asm.emit("sll $t1, $t0, 1")
                 asm.emit("or $t1, $t1, $t8")
-                asm.emit("srl $t8, $t0, 31")
+                if t < k:
+                    asm.emit("srl $t8, $t0, 31")
                 asm.emit(f"sw $t1, {dst + 4 * t}($a3)")
         else:
             src = (u - 1) * stride

@@ -131,13 +131,13 @@ def gen_ps_mul_ext(k: int, squaring: bool = False,
     # clear OvFlo via two accumulator shifts
     asm.emit("sha")
     asm.emit("sha")
-    asm.emit(f"addiu $s7, $a2, -4", "b-pointer sentinel")
+    if squaring:
+        # the squaring body manages its own pointers ($s4-$s6)
+        return _ps_squaring_body(asm, k, name)
     asm.emit("move $s0, $a0", "&p[i]")
     asm.emit("move $s2, $a2", "&b[i] (column seed)")
     asm.emit(f"addiu $s5, $a0, {4 * (k - 1)}", "last low column")
     asm.emit(f"addiu $s6, $a0, {4 * (2 * k - 2)}", "last column")
-    if squaring:
-        return _ps_squaring_body(asm, k, name)
     asm.comment("phase 1: columns 0..k-1, j = 0..i")
     asm.label(f"{name}_col_lo")
     asm.emit("move $s1, $a1", "a-pointer: &a[0]")
@@ -296,7 +296,6 @@ def gen_red_p192() -> str:
     asm.emit("beq $v0, $zero, red_p192_cmp")
     asm.ds("nop")
     asm.emit("move $t3, $v0", "fold value (words 0 and 2)")
-    asm.emit("li $v0, 0")
     carry = "$t4"
     for i in range(6):
         dst = regs[i]

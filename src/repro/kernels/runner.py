@@ -19,7 +19,12 @@ from repro.mp.words import from_int, to_int
 from repro.pete.assembler import assemble
 from repro.pete.cpu import Pete
 from repro.pete.memory import RAM_BASE
-from repro.kernels import binary_kernels, prime_kernels, symmetric_kernels
+from repro.kernels import (
+    binary_kernels,
+    prime_kernels,
+    scalar_kernels,
+    symmetric_kernels,
+)
 
 # RAM layout for kernel harnesses (RAM_BASE-relative byte offsets).
 DST_OFF = 0x400   # result area (also reduction scratch at +256)
@@ -257,6 +262,34 @@ class KernelRunner:
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
         assert got == reduce_binary(product, 163), "red_b163 mismatch"
         return self._result("red_b163", 6, cpu)
+
+    def _run_scalar_daa(self, k: int = 8) -> KernelResult:
+        """Double-and-add scalar loop; k is the scalar bit-width."""
+        scalar = _RNG.getrandbits(k)
+        value = _RNG.getrandbits(32)
+        cpu, entry = self._build_cpu(scalar_kernels.gen_scalar_daa(k),
+                                     "scalar_daa", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF)
+        cpu.set_reg("a1", scalar)
+        cpu.set_reg("a2", value)
+        cpu.run(entry)
+        got = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 1)[0]
+        assert got == (scalar * value) & 0xFFFFFFFF, "scalar_daa mismatch"
+        return self._result("scalar_daa", k, cpu)
+
+    def _run_scalar_ladder(self, k: int = 8) -> KernelResult:
+        """Montgomery-ladder scalar loop; k is the scalar bit-width."""
+        scalar = _RNG.getrandbits(k)
+        value = _RNG.getrandbits(32)
+        cpu, entry = self._build_cpu(scalar_kernels.gen_scalar_ladder(k),
+                                     "scalar_ladder", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF)
+        cpu.set_reg("a1", scalar)
+        cpu.set_reg("a2", value)
+        cpu.run(entry)
+        got = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 1)[0]
+        assert got == (scalar * value) & 0xFFFFFFFF, "scalar_ladder mismatch"
+        return self._result("scalar_ladder", k, cpu)
 
     # -- helpers ---------------------------------------------------------------
 

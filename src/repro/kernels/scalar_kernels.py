@@ -1,0 +1,81 @@
+"""Scalar-multiplication loop skeletons in Pete assembly.
+
+Section 2.1.5's side-channel argument is about the *shape* of the
+scalar loop: double-and-add branches on each secret scalar bit, the
+Montgomery ladder does identical work per bit.  The model layer measures
+that on Billie (:mod:`repro.model.side_channel`); these kernels express
+the same two shapes as runnable Pete programs over the 32-bit integer
+group (point add -> ``addu``, point double -> ``addu x, x, x``), so the
+static taint analysis (:mod:`repro.analysis.taint`) can classify them:
+
+* ``scalar_daa``    branches on each scalar bit -- the analysis flags a
+  ``secret-dependent-branch``;
+* ``scalar_ladder`` replaces the branch with a masked conditional swap
+  -- the analysis proves the instruction and memory trace independent
+  of the scalar.
+
+Both compute ``dst[0] = (scalar * value) mod 2**32``:
+``$a0`` = dst pointer, ``$a1`` = scalar (secret), ``$a2`` = value.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.codegen import Asm
+
+
+def gen_scalar_daa(nbits: int = 8) -> str:
+    """MSB-first double-and-add over the low ``nbits`` of the scalar."""
+    asm = Asm()
+    asm.label("scalar_daa")
+    asm.emit("li $t0, 0", "accumulator")
+    asm.emit(f"li $t2, {nbits}", "bit counter")
+    asm.label("daa_loop")
+    asm.emit("addiu $t2, $t2, -1")
+    asm.emit("addu $t0, $t0, $t0", "double")
+    asm.emit("srlv $t3, $a1, $t2")
+    asm.emit("andi $t3, $t3, 1", "current scalar bit")
+    asm.emit("beq $t3, $zero, daa_skip", "the leak: branch on the bit")
+    asm.ds("nop")
+    asm.emit("addu $t0, $t0, $a2", "add")
+    asm.label("daa_skip")
+    asm.emit("bne $t2, $zero, daa_loop")
+    asm.ds("nop")
+    asm.emit("sw $t0, 0($a0)")
+    asm.emit("jr $ra")
+    asm.ds("nop")
+    return asm.source()
+
+
+def gen_scalar_ladder(nbits: int = 8) -> str:
+    """Montgomery ladder over the low ``nbits`` of the scalar.
+
+    The per-bit swap is a branch-free masked exchange, so every
+    iteration executes the same instruction sequence regardless of the
+    scalar -- the property the taint analysis certifies.
+    """
+    asm = Asm()
+    asm.label("scalar_ladder")
+    asm.emit("li $t0, 0", "R0 = 0")
+    asm.emit("move $t1, $a2", "R1 = value (R1 - R0 invariant)")
+    asm.emit(f"li $t2, {nbits}", "bit counter")
+    asm.label("lad_loop")
+    asm.emit("addiu $t2, $t2, -1")
+    asm.emit("srlv $t3, $a1, $t2")
+    asm.emit("andi $t3, $t3, 1", "current scalar bit")
+    asm.emit("subu $t4, $zero, $t3", "mask: 0 or all-ones")
+    asm.emit("xor $t5, $t0, $t1", "cswap(R0, R1, bit)")
+    asm.emit("and $t5, $t5, $t4")
+    asm.emit("xor $t0, $t0, $t5")
+    asm.emit("xor $t1, $t1, $t5")
+    asm.emit("addu $t1, $t0, $t1", "R1 = R0 + R1")
+    asm.emit("addu $t0, $t0, $t0", "R0 = 2 R0")
+    asm.emit("xor $t5, $t0, $t1", "cswap back")
+    asm.emit("and $t5, $t5, $t4")
+    asm.emit("xor $t0, $t0, $t5")
+    asm.emit("xor $t1, $t1, $t5")
+    asm.emit("bne $t2, $zero, lad_loop", "public loop bound only")
+    asm.ds("nop")
+    asm.emit("sw $t0, 0($a0)")
+    asm.emit("jr $ra")
+    asm.ds("nop")
+    return asm.source()

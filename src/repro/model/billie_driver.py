@@ -79,13 +79,18 @@ class BillieDriver:
         self.curve = curve
         self.regs = _RegFile(billie)
         self.instructions = 0
-        self.r_b = self._alloc_load(curve.b)       # curve constant b
+        self.r_b = self.alloc_load(curve.b)       # curve constant b
 
     # -- primitive helpers ------------------------------------------------
 
-    def _alloc_load(self, value: int) -> int:
+    def alloc_load(self, value: int) -> int:
+        """Allocate a Billie register and load ``value`` into it.
+
+        Public entry point for harnesses (e.g. the side-channel model)
+        that stage field elements before driving point operations.
+        """
         reg = self.regs.alloc()
-        self._load(reg, value)
+        self.load(reg, value)
         return reg
 
     def _mul(self, fd: int, fs: int, ft: int) -> None:
@@ -100,7 +105,8 @@ class BillieDriver:
         self.b.issue_add(fd, fs, ft)
         self.instructions += 1
 
-    def _load(self, fd: int, value: int) -> None:
+    def load(self, fd: int, value: int) -> None:
+        """Load ``value`` into Billie register ``fd`` (one COP2 issue)."""
         self.b.issue_load(fd, value)
         self.instructions += 1
 
@@ -215,9 +221,9 @@ def _precompute_point(driver: BillieDriver, base_affine: AffinePoint,
     """Compute base + (add_x, add_y) on Billie, return affine regs."""
     regs = driver.regs
     ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
-    driver._load(ax, base_affine.x)
-    driver._load(ay, base_affine.y)
-    driver._load(az, 1)
+    driver.load(ax, base_affine.x)
+    driver.load(ay, base_affine.y)
+    driver.load(az, 1)
     ax, ay, az = driver.add_mixed(ax, ay, az, add_x, add_y)
     got = driver.to_affine(ax, ay, az)
     assert got == expect, "Billie precomputation diverged"
@@ -242,12 +248,12 @@ def run_sliding_window(curve: Curve, x: int, p: AffinePoint,
     p3 = affine_add(curve, p, two_p)
     p5 = affine_add(curve, p3, two_p)
 
-    r_px, r_py = driver._alloc_load(p.x), driver._alloc_load(p.y)
+    r_px, r_py = driver.alloc_load(p.x), driver.alloc_load(p.y)
     # 2P on Billie: double P, convert
     ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
-    driver._load(ax, p.x)
-    driver._load(ay, p.y)
-    driver._load(az, 1)
+    driver.load(ax, p.x)
+    driver.load(ay, p.y)
+    driver.load(az, 1)
     driver.double(ax, ay, az)
     got_2p = driver.to_affine(ax, ay, az)
     assert got_2p == two_p, "Billie 2P diverged"
@@ -276,9 +282,9 @@ def run_sliding_window(curve: Curve, x: int, p: AffinePoint,
             if acc_inf:
                 # seed the accumulator from the table point: the COP2LD
                 # path re-loads the affine words into the accumulator
-                driver._load(acc_x, b.regs[qx])
-                driver._load(acc_y, b.regs[use_y])
-                driver._load(acc_z, 1)
+                driver.load(acc_x, b.regs[qx])
+                driver.load(acc_y, b.regs[use_y])
+                driver.load(acc_z, 1)
                 acc_inf = False
             else:
                 acc_x, acc_y, acc_z = driver.add_mixed(
@@ -300,8 +306,8 @@ def run_twin(curve: Curve, u1: int, p: AffinePoint, u2: int,
 
     p_plus_q = affine_add(curve, p, q)
     p_minus_q = affine_add(curve, p, affine_neg(curve, q))
-    r_px, r_py = driver._alloc_load(p.x), driver._alloc_load(p.y)
-    r_qx, r_qy = driver._alloc_load(q.x), driver._alloc_load(q.y)
+    r_px, r_py = driver.alloc_load(p.x), driver.alloc_load(p.y)
+    r_qx, r_qy = driver.alloc_load(q.x), driver.alloc_load(q.y)
     neg_y = regs.alloc()
     r_sx, r_sy = _precompute_point(driver, p, r_qx, r_qy, p_plus_q)
     driver._add(neg_y, r_qx, r_qy)               # -Q's y
@@ -331,9 +337,9 @@ def run_twin(curve: Curve, u1: int, p: AffinePoint, u2: int,
         else:
             use_y = qy
         if acc_inf:
-            driver._load(acc_x, b.regs[qx])
-            driver._load(acc_y, b.regs[use_y])
-            driver._load(acc_z, 1)
+            driver.load(acc_x, b.regs[qx])
+            driver.load(acc_y, b.regs[use_y])
+            driver.load(acc_z, 1)
             acc_inf = False
         else:
             acc_x, acc_y, acc_z = driver.add_mixed(
@@ -358,10 +364,10 @@ def run_montgomery_ladder(curve: Curve, x: int, p: AffinePoint,
         return BillieRun(INFINITY if x % 2 == 0 or p.x == 0 else p,
                          0, 0, regs.peak)
 
-    r_xp = driver._alloc_load(p.x)
-    r_yp = driver._alloc_load(p.y)
-    x1 = driver._alloc_load(p.x)
-    z1 = driver._alloc_load(1)
+    r_xp = driver.alloc_load(p.x)
+    r_yp = driver.alloc_load(p.y)
+    x1 = driver.alloc_load(p.x)
+    z1 = driver.alloc_load(1)
     x2, z2 = regs.alloc(), regs.alloc()
     t0, t1 = regs.alloc(), regs.alloc()
     driver._sqr(z2, r_xp)

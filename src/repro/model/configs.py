@@ -20,7 +20,7 @@ I-cache geometry is parameterizable for the Section 7.5 sweep via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.pete.icache import ICacheConfig
 

@@ -10,7 +10,7 @@ multiplication plus order arithmetic.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.ec.curves import get_curve

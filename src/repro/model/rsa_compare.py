@@ -20,7 +20,6 @@ from repro.model.costs import (
     SW_OVERHEAD_ALPHA,
     SW_OVERHEAD_BETA,
     _kernel_cost,
-    _overhead,
 )
 from repro.model.system import ECDSA_FIXED_CYCLES, SystemModel
 from repro.rsa.modexp import modexp_counts

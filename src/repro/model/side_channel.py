@@ -76,11 +76,11 @@ def _naive_double_and_add_cycles(billie: Billie, curve: Curve,
     driver = BillieDriver(billie, curve)
     g = curve.generator
     regs = driver.regs
-    qx, qy = driver._alloc_load(g.x), driver._alloc_load(g.y)
+    qx, qy = driver.alloc_load(g.x), driver.alloc_load(g.y)
     ax, ay, az = regs.alloc(), regs.alloc(), regs.alloc()
-    driver._load(ax, g.x)
-    driver._load(ay, g.y)
-    driver._load(az, 1)
+    driver.load(ax, g.x)
+    driver.load(ay, g.y)
+    driver.load(az, 1)
     for bit in bin(scalar)[3:]:
         driver.double(ax, ay, az)
         if bit == "1":

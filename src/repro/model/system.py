@@ -10,7 +10,7 @@ coprocessor timing machines directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.accel.billie import Billie, BillieConfig

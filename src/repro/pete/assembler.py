@@ -24,13 +24,11 @@ Example::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.pete.isa import (
     COP2_FUNCT,
-    FUNCT,
     FUNCT2,
-    OPCODES_I,
     OPCODES_J,
     REGISTERS,
     PeteISA,
@@ -43,11 +41,18 @@ class AssemblyError(Exception):
 
 @dataclass
 class Assembled:
-    """Output of :func:`assemble`."""
+    """Output of :func:`assemble`.
+
+    ``source_lines[i]`` is the source line that produced ``words[i]``
+    and ``delay_slots`` lists the word indices sitting in branch/jump
+    delay slots -- the metadata :mod:`repro.analysis` reports against.
+    """
 
     words: list[int]
     labels: dict[str, int]
     base: int = 0
+    source_lines: list[str] = field(default_factory=list)
+    delay_slots: tuple[int, ...] = ()
 
     def address_of(self, label: str) -> int:
         return self.base + 4 * self.labels[label]
@@ -106,9 +111,9 @@ def _parse(source: str) -> tuple[list[_Item], dict[str, int]]:
             label, _, rest = code.partition(":")
             label = label.strip()
             if not re.fullmatch(r"[A-Za-z_.][\w.]*", label):
-                raise AssemblyError(f"bad label {label!r}")
+                raise AssemblyError(f"bad label {label!r} in: {line}")
             if label in labels:
-                raise AssemblyError(f"duplicate label {label!r}")
+                raise AssemblyError(f"duplicate label {label!r} in: {line}")
             labels[label] = len(items)
             code = rest.strip()
         if not code:
@@ -118,7 +123,7 @@ def _parse(source: str) -> tuple[list[_Item], dict[str, int]]:
             is_ds = True
             code = code[3:].strip()
             if not code:
-                raise AssemblyError(".ds needs an instruction")
+                raise AssemblyError(f".ds needs an instruction in: {line}")
         parts = code.split(None, 1)
         mnemonic = parts[0].lower()
         operand_str = parts[1] if len(parts) > 1 else ""
@@ -215,7 +220,11 @@ def assemble(source: str, base: int = 0) -> Assembled:
     def label_addr(token: str, line: str) -> int:
         if token in labels:
             return base + 4 * labels[token]
-        return _imm(token, line)
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(
+                f"undefined label {token!r} in: {line}") from None
 
     for slot, item in enumerate(items):
         m, ops, line = item.mnemonic, item.operands, item.line
@@ -303,7 +312,9 @@ def assemble(source: str, base: int = 0) -> Assembled:
                 raise AssemblyError(f"unknown mnemonic {m!r}: {line}")
         except (IndexError, KeyError) as exc:
             raise AssemblyError(f"malformed instruction: {line}") from exc
-    return Assembled(words, labels, base)
+    source_lines = [item.line for item in items]
+    slots = tuple(i for i, item in enumerate(items) if item.in_delay_slot)
+    return Assembled(words, labels, base, source_lines, slots)
 
 
 def _encode_cop2_item(m: str, ops: list[str], line: str) -> int:

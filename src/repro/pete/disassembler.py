@@ -82,3 +82,35 @@ def disassemble(words: list[int], base: int = 0) -> list[str]:
             text = f".word 0x{word:08x}"
         lines.append(f"{pc:08x}:  {text}")
     return lines
+
+
+_CONTROL = {"beq", "bne", "blez", "bgtz", "bltz", "bgez",
+            "j", "jal", "jr", "jalr"}
+
+
+def disassemble_to_source(words: list[int], base: int = 0) -> str:
+    """A program image as *re-assemblable* source.
+
+    Unlike :func:`disassemble` this emits no addresses, marks every
+    delay-slot instruction with ``.ds`` (so the assembler does not
+    insert its own nop), and leaves branch targets as absolute numeric
+    addresses (which the assembler accepts wherever a label is
+    expected).  ``assemble(disassemble_to_source(words, base), base)``
+    reproduces ``words`` exactly; the round-trip test in
+    ``tests/pete/test_roundtrip.py`` holds this for every shipped
+    kernel.
+    """
+    lines = []
+    in_slot = False
+    for i, word in enumerate(words):
+        pc = base + 4 * i
+        try:
+            d = PeteISA.decode(word)
+            text = disassemble_decoded(d, pc)
+            mnemonic = d.mnemonic
+        except ValueError:
+            text = f".word 0x{word:08x}"
+            mnemonic = ".word"
+        lines.append(f"    .ds {text}" if in_slot else f"    {text}")
+        in_slot = mnemonic in _CONTROL
+    return "\n".join(lines) + "\n"

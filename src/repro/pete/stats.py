@@ -7,7 +7,7 @@ ROM/RAM access, every cache fill, every stall cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass

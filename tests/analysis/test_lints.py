@@ -1,0 +1,199 @@
+"""Each lint fires on a crafted defect and stays quiet on clean code."""
+
+from repro.analysis.cfg import AsmProgram
+from repro.analysis.lints import (
+    KERNEL_ABI,
+    STANDARD_ABI,
+    Waiver,
+    analyze_program,
+    apply_waivers,
+)
+
+
+def _analyze(src, abi=KERNEL_ABI, **kw):
+    return analyze_program(AsmProgram.from_source(src, name="t"), abi=abi,
+                           **kw)
+
+
+def _checks(result):
+    return {f.check for f in result.findings}
+
+
+def test_clean_leaf_function_has_no_findings():
+    result = _analyze("""
+        lw $t0, 0($a0)
+        lw $t1, 0($a1)
+        addu $v0, $t0, $t1
+        jr $ra
+        .ds nop
+    """)
+    assert result.clean
+
+
+def test_delay_slot_clobber_detected():
+    result = _analyze("""
+    loop:
+        lw $t1, 0($t0)
+        bne $t0, $a1, loop
+        .ds addiu $t0, $t0, 4
+        jr $ra
+        nop
+    """, waivers=())
+    # the classic idiom: flagged, message names branch and register
+    [f] = [f for f in result.findings if f.check == "delay-slot-clobber"]
+    assert "$t0" in f.message
+    assert "bne" in f.message
+
+
+def test_delay_slot_clobber_waivable():
+    waiver = Waiver("delay-slot-clobber", "intentional schedule")
+    result = _analyze("""
+    loop:
+        lw $t1, 0($t0)
+        bne $t0, $a1, loop
+        .ds addiu $t0, $t0, 4
+        jr $ra
+        nop
+    """, waivers=(waiver,))
+    assert "delay-slot-clobber" not in _checks(result)
+    assert any(w is waiver for _, w in result.waived)
+
+
+def test_slot_not_flagged_when_branch_regs_untouched():
+    result = _analyze("""
+    loop:
+        bne $t0, $a1, loop
+        .ds addiu $t2, $t2, 4
+        jr $ra
+        nop
+    """)
+    assert "delay-slot-clobber" not in _checks(result)
+
+
+def test_control_in_delay_slot_detected():
+    result = _analyze("""
+        beq $a0, $zero, out
+        .ds jr $ra
+    out:
+        jr $ra
+        nop
+    """)
+    assert "control-in-delay-slot" in _checks(result)
+
+
+def test_missing_delay_slot_detected():
+    # the assembler always places a slot, so build from raw words
+    from repro.pete.isa import PeteISA
+
+    jr_ra = PeteISA.encode_r("jr", rs=31)
+    prog = AsmProgram.from_words([jr_ra], name="t")
+    result = analyze_program(prog)
+    assert "missing-delay-slot" in _checks(result)
+
+
+def test_branch_out_of_range_detected():
+    result = _analyze("""
+        beq $a0, $zero, 0x4000
+        nop
+        jr $ra
+        nop
+    """)
+    assert "branch-out-of-range" in _checks(result)
+
+
+def test_uninitialized_read_detected():
+    result = _analyze("""
+        addu $v0, $t0, $t1
+        jr $ra
+        nop
+    """)
+    found = [f for f in result.findings if f.check == "uninitialized-read"]
+    assert found and "$t0" in found[0].message
+
+
+def test_argument_registers_are_entry_defined():
+    result = _analyze("""
+        addu $v0, $a0, $a1
+        jr $ra
+        nop
+    """)
+    assert "uninitialized-read" not in _checks(result)
+
+
+def test_dead_store_detected():
+    result = _analyze("""
+        li $t0, 7
+        li $t0, 8
+        sw $t0, 0($a0)
+        jr $ra
+        nop
+    """)
+    found = [f for f in result.findings if f.check == "dead-store"]
+    assert len(found) == 1 and found[0].index == 0
+
+
+def test_result_registers_never_dead():
+    result = _analyze("""
+        li $v0, 1
+        li $v1, 2
+        jr $ra
+        nop
+    """)
+    assert "dead-store" not in _checks(result)
+
+
+def test_unreachable_code_detected():
+    result = _analyze("""
+        jr $ra
+        nop
+        addu $t0, $t1, $t2
+    """)
+    found = [f for f in result.findings if f.check == "unreachable-code"]
+    assert found and found[0].severity == "warning"
+
+
+def test_callee_saved_clobber_under_standard_abi():
+    src = """
+        move $s0, $a0
+        jr $ra
+        nop
+    """
+    assert "callee-saved-clobber" in _checks(_analyze(src, abi=STANDARD_ABI))
+    # the kernel ABI documents $s* as scratch
+    assert "callee-saved-clobber" not in _checks(_analyze(src))
+
+
+def test_callee_saved_ok_with_save_restore():
+    result = _analyze("""
+        addiu $sp, $sp, -8
+        sw $s0, 0($sp)
+        move $s0, $a0
+        addu $v0, $s0, $a1
+        lw $s0, 0($sp)
+        jr $ra
+        .ds addiu $sp, $sp, 8
+    """, abi=STANDARD_ABI)
+    assert "callee-saved-clobber" not in _checks(result)
+
+
+def test_accumulator_state_entry_defined():
+    # mtlo/mthi/sha/sha accumulator clearing must not trip the
+    # uninitialized-read check (HI/LO/OvFlo are hardware state)
+    result = _analyze("""
+        mtlo $zero
+        mthi $zero
+        sha
+        sha
+        jr $ra
+        nop
+    """)
+    assert "uninitialized-read" not in _checks(result)
+
+
+def test_apply_waivers_splits_by_check():
+    from repro.analysis.lints import Finding
+
+    findings = [Finding("dead-store", 1, "a"), Finding("other", 2, "b")]
+    active, waived = apply_waivers(findings, (Waiver("dead-store", "ok"),))
+    assert [f.check for f in active] == ["other"]
+    assert [f.check for f, _ in waived] == ["dead-store"]

@@ -1,0 +1,147 @@
+"""Microcode checker: shipped programs verify; crafted defects fire."""
+
+import pytest
+
+from repro.accel.microcode import (
+    MICROCODE_TABLE_SIZE,
+    BSrc,
+    CoreOp,
+    IdxCtl,
+    MicroOp,
+    MicroProgram,
+    build_addsub_program,
+    build_cios_program,
+)
+from repro.analysis.microcheck import check_all, check_microprogram
+
+
+def _checks(findings):
+    return {f.check for f in findings}
+
+
+def _halting(**kw):
+    """A single halting op, defaults overridable."""
+    return MicroOp(op=CoreOp.NOP, wait_drain=True, halt=True, **kw)
+
+
+@pytest.mark.parametrize("build", [
+    build_cios_program,
+    lambda: build_addsub_program(subtract=False),
+    lambda: build_addsub_program(subtract=True),
+])
+def test_shipped_microprograms_verify_clean(build):
+    assert check_microprogram(build(), name="shipped") == []
+
+
+def test_capacity_check():
+    prog = MicroProgram()
+    prog.ops = [MicroOp() for _ in range(MICROCODE_TABLE_SIZE + 1)]
+    prog.ops[-1] = _halting()
+    findings = check_microprogram(prog, name="big")
+    assert "micro-capacity" in _checks(findings)
+
+
+def test_entry_out_of_range():
+    prog = MicroProgram()
+    prog.add(_halting())
+    prog.entries["bogus"] = 9
+    assert "micro-entry" in _checks(check_microprogram(prog))
+
+
+def test_loop_target_out_of_range():
+    prog = MicroProgram()
+    prog.add(MicroOp(loop_set="j", loop_set_const=0))
+    prog.add(MicroOp(loop="j", loop_target=40))
+    prog.add(_halting())
+    assert "micro-loop-target" in _checks(check_microprogram(prog))
+
+
+def test_unknown_loop_counter():
+    prog = MicroProgram()
+    prog.add(MicroOp(loop_set="q", loop_set_const=0))
+    prog.add(_halting())
+    assert "micro-loop-var" in _checks(check_microprogram(prog))
+
+
+def test_loop_without_init_detected():
+    prog = MicroProgram()
+    prog.add(MicroOp(op=CoreOp.NOP))
+    prog.add(MicroOp(loop="j", loop_target=0))   # j never loop_set
+    prog.add(_halting())
+    findings = check_microprogram(prog, name="bad")
+    assert "micro-loop-init" in _checks(findings)
+
+
+def test_loop_init_on_every_path_required():
+    # one entry initializes j, a second entry skips the init
+    prog = MicroProgram()
+    prog.entry("good")
+    prog.add(MicroOp(loop_set="j", loop_set_const=0))
+    prog.entry("bad")
+    body = prog.add(MicroOp(op=CoreOp.ADD, loop="j"))
+    prog.ops[body] = MicroOp(op=CoreOp.ADD, loop="j", loop_target=body)
+    prog.add(_halting())
+    assert "micro-loop-init" in _checks(check_microprogram(prog))
+
+
+def test_loop_set_on_same_op_counts_as_init():
+    prog = MicroProgram()
+    op = prog.add(MicroOp(loop_set="i", loop_set_const=0, loop="i"))
+    prog.ops[op] = MicroOp(loop_set="i", loop_set_const=0, loop="i",
+                           loop_target=op)
+    prog.add(_halting())
+    assert "micro-loop-init" not in _checks(check_microprogram(prog))
+
+
+def test_const_sel_out_of_range():
+    prog = MicroProgram()
+    prog.add(MicroOp(idx_a=IdxCtl.LOAD, const_sel=8))
+    prog.add(_halting())
+    assert "micro-const-range" in _checks(check_microprogram(prog))
+
+
+def test_const_bus_single_consumer_rule():
+    prog = MicroProgram()
+    prog.add(MicroOp(idx_a=IdxCtl.LOAD, idx_b=IdxCtl.LOAD, const_sel=3))
+    prog.add(_halting())
+    assert "micro-const-bus" in _checks(check_microprogram(prog))
+
+
+def test_const_operand_and_idx_load_conflict():
+    prog = MicroProgram()
+    prog.add(MicroOp(op=CoreOp.MUL, b_src=BSrc.CONST, const_sel=1,
+                     idx_a=IdxCtl.LOAD))
+    prog.add(_halting())
+    assert "micro-const-bus" in _checks(check_microprogram(prog))
+
+
+def test_fall_off_end_detected():
+    prog = MicroProgram()
+    prog.add(MicroOp(op=CoreOp.NOP))   # no halt anywhere
+    assert "micro-fall-off-end" in _checks(check_microprogram(prog))
+
+
+def test_halt_without_drain_detected():
+    prog = MicroProgram()
+    prog.add(MicroOp(op=CoreOp.NOP, halt=True))
+    assert "micro-drain-halt" in _checks(check_microprogram(prog))
+
+
+def test_check_all_names_programs():
+    findings = check_all({
+        "ok": _single_halting_program(),
+        "bad": _no_halt_program(),
+    })
+    assert {f.program for f in findings} == {"bad"}
+
+
+def _single_halting_program():
+    prog = MicroProgram()
+    prog.add(_halting())
+    return prog
+
+
+def _no_halt_program():
+    prog = MicroProgram()
+    prog.add(MicroOp(op=CoreOp.NOP))
+    return prog

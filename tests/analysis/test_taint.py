@@ -1,0 +1,106 @@
+"""Secret-taint analysis: the static constant-time classification.
+
+The acceptance property of the whole subsystem: the Montgomery ladder
+kernel is *proved* constant-time while double-and-add is flagged on its
+per-bit branch -- the static mirror of the dynamic asymmetry
+``repro.model.side_channel`` measures on Billie.
+"""
+
+from repro.analysis.cfg import AsmProgram, build_cfg
+from repro.analysis.taint import TaintSpec, taint_findings
+from repro.kernels import scalar_kernels
+
+SCALAR_SECRET = TaintSpec(secret_regs=("a1",))
+
+
+def _findings(src, spec, name="t"):
+    cfg = build_cfg(AsmProgram.from_source(src, name=name))
+    return taint_findings(cfg, spec)
+
+
+def test_double_and_add_branch_flagged():
+    found = _findings(scalar_kernels.gen_scalar_daa(), SCALAR_SECRET,
+                      name="scalar_daa")
+    checks = {f.check for f in found}
+    assert checks == {"secret-dependent-branch"}
+    [f] = found
+    assert "beq" in f.message and "$t3" in f.message
+
+
+def test_montgomery_ladder_is_constant_time():
+    found = _findings(scalar_kernels.gen_scalar_ladder(), SCALAR_SECRET,
+                      name="scalar_ladder")
+    assert found == []
+
+
+def test_public_loop_counter_not_flagged():
+    found = _findings("""
+        li $t0, 4
+    loop:
+        addiu $t0, $t0, -1
+        bne $t0, $zero, loop
+        nop
+        jr $ra
+        nop
+    """, SCALAR_SECRET)
+    assert found == []
+
+
+def test_secret_dependent_load_address_flagged():
+    found = _findings("""
+        andi $t0, $a1, 0xff
+        sll $t0, $t0, 2
+        addu $t0, $a3, $t0
+        lw $v0, 0($t0)
+        jr $ra
+        nop
+    """, SCALAR_SECRET)
+    assert [f.check for f in found] == ["secret-dependent-address"]
+    assert "lw" in found[0].message
+
+
+def test_secret_dependent_store_address_flagged():
+    found = _findings("""
+        addu $t0, $a0, $a1
+        sw $zero, 0($t0)
+        jr $ra
+        nop
+    """, SCALAR_SECRET)
+    assert [f.check for f in found] == ["secret-dependent-address"]
+
+
+def test_memory_taint_propagates_through_store_load():
+    # spill the secret, reload it into a different register, branch
+    found = _findings("""
+        sw $a1, 0($a0)
+        lw $t0, 0($a0)
+        beq $t0, $zero, 0x14
+        nop
+        jr $ra
+        nop
+    """, SCALAR_SECRET)
+    assert "secret-dependent-branch" in {f.check for f in found}
+
+
+def test_untainted_computation_clears_register():
+    # overwriting a tainted register with public data launders it
+    found = _findings("""
+        move $t0, $a1
+        li $t0, 5
+        beq $t0, $zero, 0x14
+        nop
+        jr $ra
+        nop
+    """, SCALAR_SECRET)
+    assert found == []
+
+
+def test_secret_memory_spec_taints_loaded_operands():
+    found = _findings("""
+        lw $t0, 0($a1)
+        beq $t0, $zero, 0x14
+        nop
+        jr $ra
+        nop
+    """, TaintSpec(secret_memory=True))
+    assert [f.check for f in found] == ["secret-dependent-branch"]

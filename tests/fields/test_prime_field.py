@@ -1,6 +1,5 @@
 """Prime fields: arithmetic laws, NIST fast reduction, inversion."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -6,7 +6,6 @@ from repro.harness.compare import (
     BandComparison,
     Comparison,
     anchor_comparisons,
-    factor_comparisons,
     latency_comparisons,
     main,
     run_report,

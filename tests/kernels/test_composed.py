@@ -1,6 +1,5 @@
 """Composed whole-field-operation programs on Pete."""
 
-import pytest
 
 from repro.fields import BinaryField, PrimeField
 from repro.kernels.composed import run_fmul_b163, run_fmul_p192

@@ -60,7 +60,7 @@ def test_driver_inverse(rng):
     billie = Billie(BillieConfig(m=163))
     driver = BillieDriver(billie, curve)
     a = rng.getrandbits(163) | 1
-    r_in = driver._alloc_load(a)
+    r_in = driver.alloc_load(a)
     r_out = driver.regs.alloc()
     driver.inverse(r_out, r_in)
     assert billie.regs[r_out] == curve.field.inv(a)
@@ -75,9 +75,9 @@ def test_driver_point_ops(rng):
     billie = Billie(BillieConfig(m=163))
     driver = BillieDriver(billie, curve)
     g = curve.generator
-    x = driver._alloc_load(g.x)
-    y = driver._alloc_load(g.y)
-    z = driver._alloc_load(1)
+    x = driver.alloc_load(g.x)
+    y = driver.alloc_load(g.y)
+    z = driver.alloc_load(1)
     driver.double(x, y, z)
     from repro.ec.lopez_dahab import LDPoint
 

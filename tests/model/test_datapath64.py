@@ -1,6 +1,5 @@
 """The Section 8 64-bit-datapath estimation study."""
 
-import pytest
 
 from repro.model.datapath64 import (
     CORE_ENERGY_FACTOR_64,

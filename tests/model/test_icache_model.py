@@ -1,6 +1,5 @@
 """The synthetic ECDSA trace and the cache working-set knee."""
 
-import pytest
 
 from repro.model.icache_model import (
     HOT_LAYOUT,

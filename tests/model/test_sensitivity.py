@@ -1,7 +1,6 @@
 """Calibration-sensitivity: the conclusions must not hinge on the
 calibrated coefficients."""
 
-import pytest
 
 from repro.model.sensitivity import (
     PERTURBATIONS,

@@ -159,3 +159,91 @@ def test_jal_and_jr():
     d = _decode_all(out)
     assert d[0].mnemonic == "jal"
     assert d[0].target == out.address_of("func") >> 2
+
+
+# -- error messages carry the offending line --------------------------------
+
+
+def test_bad_register_message_names_line():
+    with pytest.raises(AssemblyError, match=r"bad register '\$t9x'.*addu"):
+        assemble("addu $t0, $t9x, $t1")
+
+
+def test_bad_immediate_message_names_line():
+    with pytest.raises(AssemblyError, match=r"bad immediate '4q'.*addiu"):
+        assemble("addiu $t0, $t0, 4q")
+
+
+def test_undefined_label_message_names_line():
+    with pytest.raises(AssemblyError, match=r"undefined label 'nowhere'.*bne"):
+        assemble("""
+            bne $t0, $zero, nowhere
+            nop
+        """)
+
+
+def test_undefined_label_in_jump_rejected():
+    with pytest.raises(AssemblyError, match="undefined label 'missing'"):
+        assemble("jal missing\n nop")
+
+
+def test_numeric_branch_target_still_accepted():
+    out = assemble("""
+        beq $zero, $zero, 0x0
+        nop
+    """)
+    d = _decode_all(out)
+    assert d[0].imm == -1  # back to word 0, relative to the slot PC
+
+
+def test_duplicate_label_message_names_line():
+    with pytest.raises(AssemblyError, match="duplicate label 'a'.*a:"):
+        assemble("a:\n nop\na:\n nop")
+
+
+def test_ds_without_branch_message_names_line():
+    with pytest.raises(AssemblyError, match=r"\.ds must follow.*addiu"):
+        assemble("""
+            addu $t0, $t0, $t0
+            .ds addiu $t0, $t0, 4
+        """)
+
+
+def test_empty_ds_message_names_line():
+    with pytest.raises(AssemblyError, match=r"\.ds needs an instruction"):
+        assemble("b end\n .ds\nend:\n nop")
+
+
+# -- per-word metadata -------------------------------------------------------
+
+
+def test_source_lines_track_words():
+    out = assemble("""
+    main:
+        addiu $t0, $zero, 5
+        bne $t0, $zero, main
+        .ds addiu $t0, $t0, -1
+        halt
+    """)
+    assert len(out.source_lines) == len(out.words)
+    assert "addiu $t0, $zero, 5" in out.source_lines[0]
+    assert ".ds addiu $t0, $t0, -1" in out.source_lines[2]
+
+
+def test_delay_slot_indices_recorded():
+    out = assemble("""
+        bne $t0, $zero, done
+        .ds addiu $t0, $t0, -1
+        b done
+        nop
+    done:
+        halt
+    """)
+    # explicit .ds slot and the auto-nop slot are both marked
+    assert out.delay_slots == (1, 3)
+
+
+def test_two_word_li_keeps_line_for_both_words():
+    out = assemble("    li $t0, 0x12345678")
+    assert len(out.words) == 2
+    assert out.source_lines[0] == out.source_lines[1]

@@ -9,7 +9,6 @@ from repro.pete.isa import (
     OPCODES_I,
     OPCODES_J,
     REGISTERS,
-    Decoded,
     PeteISA,
 )
 

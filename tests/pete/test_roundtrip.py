@@ -1,0 +1,63 @@
+"""Disassembler round-trip: every shipped kernel survives
+``assemble(disassemble_to_source(assemble(src).words))`` bit-exactly."""
+
+import pytest
+
+from repro.kernels import (
+    binary_kernels,
+    composed,
+    prime_kernels,
+    scalar_kernels,
+    symmetric_kernels,
+)
+from repro.pete.assembler import assemble
+from repro.pete.disassembler import disassemble_to_source
+
+KERNEL_SOURCES = {
+    "mp_add": lambda: prime_kernels.gen_mp_add(6),
+    "mp_sub": lambda: prime_kernels.gen_mp_sub(6),
+    "os_mul": lambda: prime_kernels.gen_os_mul(6),
+    "ps_mul_ext": lambda: prime_kernels.gen_ps_mul_ext(6),
+    "ps_sqr_ext": lambda: prime_kernels.gen_ps_mul_ext(6, squaring=True),
+    "red_p192": prime_kernels.gen_red_p192,
+    "comb_mul": lambda: binary_kernels.gen_comb_mul(6),
+    "ps_mulgf2": lambda: binary_kernels.gen_ps_mulgf2(6),
+    "bsqr_table": lambda: binary_kernels.gen_bsqr_table(6),
+    "bsqr_ext": lambda: binary_kernels.gen_bsqr_ext(6),
+    "red_b163": binary_kernels.gen_red_b163,
+    "speck64": symmetric_kernels.gen_speck64_encrypt,
+    "scalar_daa": scalar_kernels.gen_scalar_daa,
+    "scalar_ladder": scalar_kernels.gen_scalar_ladder,
+    "fmul_p192": composed.gen_fmul_p192,
+    "fmul_b163": composed.gen_fmul_b163,
+}
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+def test_kernel_roundtrip(name):
+    first = assemble(KERNEL_SOURCES[name](), base=0)
+    text = disassemble_to_source(first.words, base=0)
+    second = assemble(text, base=0)
+    assert second.words == first.words
+
+
+def test_roundtrip_at_nonzero_base():
+    src = prime_kernels.gen_mp_add(4)
+    first = assemble(src, base=0x1000)
+    text = disassemble_to_source(first.words, base=0x1000)
+    second = assemble(text, base=0x1000)
+    assert second.words == first.words
+
+
+def test_roundtrip_marks_delay_slots():
+    first = assemble(scalar_kernels.gen_scalar_daa(), base=0)
+    text = disassemble_to_source(first.words, base=0)
+    # the delay slots reappear as explicit .ds lines
+    assert text.count(".ds") == len(first.delay_slots)
+
+
+def test_roundtrip_preserves_data_words():
+    src = "    b over\n    nop\n    .word 0xdeadbeef\nover:\n    halt"
+    first = assemble(src, base=0)
+    second = assemble(disassemble_to_source(first.words, base=0), base=0)
+    assert second.words == first.words
