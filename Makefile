@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench artifacts compare examples all
+.PHONY: install test lint bench profile artifacts compare examples all
 
 install:
 	pip install -e .
@@ -20,6 +20,12 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Observability smoke: profiled Table 7.1 subset, per-symbol kernel
+# profile, Chrome trace and the BENCH_smoke.json record.
+profile:
+	PYTHONPATH=src python benchmarks/smoke_profile.py results/smoke
+	PYTHONPATH=src python -m repro.harness.runall --profile
 
 artifacts:
 	python -m repro.harness.runall --out results --csv

@@ -5,15 +5,61 @@ chapter: the benchmarked callable *is* the artifact's full computation
 (simulation + model), and the rendered rows are printed so a
 ``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's
 artifacts verbatim.  Heavy artifacts run a single round.
+
+Every ``run_once`` additionally writes one structured JSON record
+(artifact, config, cycles, energy, wall-clock, git sha) via
+:mod:`repro.trace.record` -- to ``$BENCH_RECORD_DIR`` or
+``results/bench/`` -- so runs are comparable across commits.
 """
 
 from __future__ import annotations
 
 
-def run_once(benchmark, func):
+def run_once(benchmark, func, config: str = ""):
     """Benchmark ``func`` with a single round (the simulations inside are
     deterministic, so repetition only re-measures Python overhead)."""
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+    result = benchmark.pedantic(func, rounds=1, iterations=1)
+    try:
+        _write_record(benchmark, result, config)
+    except Exception as exc:  # records must never fail the benchmark
+        print(f"(bench record not written: {exc})")
+    return result
+
+
+def _artifact_name(benchmark) -> str:
+    name = getattr(benchmark, "name", "") or "unknown"
+    for prefix in ("test_bench_", "test_"):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return name
+
+
+def _write_record(benchmark, result, config: str) -> None:
+    from repro.trace.record import bench_record, write_record
+
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    wall_s = float(getattr(stats, "min", 0.0) or 0.0)
+    cycles = 0.0
+    energy_uj = 0.0
+    data: dict = {}
+    rows = result if isinstance(result, list) else []
+    if rows and isinstance(rows[0], dict):
+        data["rows"] = len(rows)
+        data["columns"] = [str(k) for k in rows[0]]
+        for row in rows:
+            for key, value in row.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                key_l = str(key).lower()
+                if "cycle" in key_l:
+                    cycles += value
+                elif key_l.endswith("uj") or "energy" in key_l:
+                    energy_uj += value
+    record = bench_record(_artifact_name(benchmark), config=config,
+                          cycles=cycles, energy_uj=energy_uj,
+                          wall_s=wall_s, data=data)
+    path = write_record(record)
+    print(f"(bench record: {path})")
 
 
 def show(render_fn, name):

@@ -1,0 +1,86 @@
+"""CI observability smoke: a profiled subset of the Table 7.1 benchmark.
+
+Runs in about a minute where the full benchmark suite takes tens:
+
+* one Table 7.1 row (P-192 baseline latency) as the artifact subset;
+* the model-level per-operation profile of a P-256 baseline sign,
+  asserting it reconciles with its :class:`EnergyReport`;
+* one traced kernel run, writing the Chrome ``trace_event`` JSON, the
+  collapsed stacks and the hot-spot table;
+* one structured ``BENCH_smoke.json`` record tying it all to the commit.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_profile.py [OUT_DIR]``
+(default ``results/smoke``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+
+def main(argv: list[str]) -> int:
+    out_dir = pathlib.Path(argv[1] if len(argv) > 1 else "results/smoke")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+
+    # -- Table 7.1 subset: one latency row through the full model stack
+    from repro.model.system import SystemModel
+
+    model = SystemModel()
+    latency = model.latency("P-192", "baseline")
+    report = model.report("P-192", "baseline")
+    print(f"P-192 baseline: sign {latency.sign_cycles:.0f} cycles, "
+          f"verify {latency.verify_cycles:.0f} cycles, "
+          f"{report.total_uj:.1f} uJ sign+verify")
+
+    # -- model-level profile, reconciled
+    from repro.trace.opprofile import profile_primitive
+
+    profile = profile_primitive("P-256", "baseline", "sign")
+    assert profile.reconcile() <= 1e-3, "profile does not reconcile"
+    (out_dir / "profile_p256_sign.txt").write_text(profile.table() + "\n")
+    print(profile.table())
+
+    # -- traced kernel run: chrome trace + per-symbol profile
+    from repro.kernels.runner import KernelRunner
+    from repro.trace.bus import CollectingSink
+    from repro.trace.chrome import write_chrome_trace
+    from repro.trace.metrics import PowerSampler
+
+    events = CollectingSink()
+    power = PowerSampler(interval_cycles=64)
+    runner = KernelRunner()
+    profiler, cpu = runner.profile("os_mul", 8,
+                                   extra_sinks=(events, power))
+    assert profiler.reconcile(cpu.stats) <= 1e-3, \
+        "kernel profile does not reconcile"
+    write_chrome_trace(out_dir / "trace_os_mul.json", events.events,
+                       symbols=profiler.symbols,
+                       power_series=power.power_series(),
+                       metadata={"kernel": "os_mul:8",
+                                 "cycles": cpu.stats.cycles})
+    (out_dir / "profile_os_mul.txt").write_text(
+        profiler.table(top=20) + "\n\n" + profiler.collapsed_stacks()
+        + "\n")
+
+    # -- the structured record
+    from repro.trace.record import bench_record, write_record
+
+    record = bench_record(
+        "smoke", config="P-192:baseline + P-256:baseline:sign + os_mul:8",
+        cycles=cpu.stats.cycles,
+        energy_uj=profile.report.total_uj,
+        wall_s=time.perf_counter() - t0,
+        data={"p192_sign_cycles": latency.sign_cycles,
+              "p192_verify_cycles": latency.verify_cycles,
+              "p256_sign_uj": profile.report.total_uj,
+              "trace_events": len(events.events)})
+    path = write_record(record, str(out_dir))
+    print(f"smoke record: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

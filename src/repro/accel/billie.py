@@ -25,6 +25,7 @@ from repro.accel.digit_serial import (
     hardwired_square,
 )
 from repro.fields.nist import NIST_BINARY_POLYS
+from repro.trace.events import BILLIE_BUSY, BILLIE_RAM, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ class Billie:
         self.unit_free = {"mul": 0, "sqr": 0, "add": 0, "ldst": 0}
         self.queue_free_at: list[int] = [0] * self.config.queue_depth
         self.now = 0  # time of the last issued instruction
+        self.tracer = None  # TraceBus (attach_tracer / manual)
 
     def reset_time(self) -> None:
         self.stats = BillieStats()
@@ -113,6 +115,9 @@ class Billie:
         idx = self.queue_free_at.index(min(self.queue_free_at))
         self.queue_free_at[idx] = start
         self.stats.busy_cycles += latency
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                BILLIE_BUSY, start, latency, -1, f"billie.{unit}"))
         return start, done
 
     def issue_load(self, rd: int, value: int, at: int | None = None) -> int:
@@ -123,7 +128,12 @@ class Billie:
         self.regs[rd] = value
         self.reg_ready[rd] = done
         self.stats.loads += 1
-        self.stats.ram_words += -(-self.config.m // 32)
+        words = -(-self.config.m // 32)
+        self.stats.ram_words += words
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                BILLIE_RAM, start, self.config.load_cycles, -1,
+                "billie.ldst", "load", words))
         self.now = accept + 1
         return done
 
@@ -134,7 +144,12 @@ class Billie:
         start, done = self._dispatch(accept, "ldst", [rs],
                                      self.config.load_cycles)
         self.stats.stores += 1
-        self.stats.ram_words += -(-self.config.m // 32)
+        words = -(-self.config.m // 32)
+        self.stats.ram_words += words
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                BILLIE_RAM, start, self.config.load_cycles, -1,
+                "billie.ldst", "store", words))
         self.now = accept + 1
         return self.regs[rs], done
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.accel.ffau import FFAU, FFAUConfig
 from repro.mp.montgomery import MontgomeryContext
 from repro.mp.words import from_int
+from repro.trace.events import DMA_BURST, FFAU_BUSY, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,7 @@ class MonteStats:
     """Activity counters for the energy model."""
 
     dma_words: int = 0
+    dma_load_words: int = 0   # subset of dma_words moving RAM -> Monte
     dma_transfers: int = 0
     forwarded_loads: int = 0
     ffau_busy_cycles: int = 0
@@ -73,6 +75,7 @@ class Monte:
         self.pending_store_addr: int | None = None
         self.queue_free_at: list[int] = [0] * self.config.queue_depth
         self.now = 0
+        self.tracer = None   # TraceBus (attach_tracer / manual)
 
     def reset_time(self) -> None:
         self.stats = MonteStats()
@@ -120,6 +123,10 @@ class Monte:
         self.dma_free = start + self._dma_cycles
         self.stats.dma_words += self.k
         self.stats.dma_transfers += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                DMA_BURST, start, self._dma_cycles, -1, "monte.dma",
+                "store", self.k))
         self.pending_store = None
 
     def _dma_load(self, at: int, addr: int | None) -> int:
@@ -139,7 +146,12 @@ class Monte:
             start = max(at, self.dma_free)
         self.dma_free = start + self._dma_cycles
         self.stats.dma_words += self.k
+        self.stats.dma_load_words += self.k
         self.stats.dma_transfers += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                DMA_BURST, start, self._dma_cycles, -1, "monte.dma",
+                "load", self.k))
         return self.dma_free
 
     # ------------------------------------------------------------------
@@ -195,6 +207,9 @@ class Monte:
         self.result_ready = done
         self.stats.ffau_busy_cycles += cycles
         self.stats.ffau_ops += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                FFAU_BUSY, start, cycles, -1, "monte.ffau", op))
         self._dispatched(start)
         return done
 

@@ -59,10 +59,14 @@ class EnergyReport:
 
     @property
     def dynamic_power_mw(self) -> float:
+        if self.cycles == 0:
+            return 0.0
         return sum(self.breakdown.dynamic_nj.values()) * 1e-9 / self.time_s * 1e3
 
     @property
     def static_power_mw(self) -> float:
+        if self.cycles == 0:
+            return 0.0
         return sum(self.breakdown.static_nj.values()) * 1e-9 / self.time_s * 1e3
 
     @property

@@ -1,0 +1,181 @@
+"""Energy of one *simulated* run: CoreStats/MonteStats/BillieStats -> joules.
+
+:mod:`repro.model.system` synthesizes activity vectors from operation
+counts; this module is its cycle-accurate sibling: it prices the event
+counters an actual Pete simulation produced, with the same calibrated
+coefficients.  The profiler (:mod:`repro.trace.profiler`) charges the
+identical per-event energies as it attributes them to program counters,
+so a profile's per-symbol energies must sum to the report built here --
+the reconciliation tests in ``tests/trace`` enforce that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.accounting import EnergyBreakdown, EnergyReport
+from repro.energy.calibration import CALIBRATION, Calibration
+from repro.energy.components import FFAUPower
+from repro.energy.technology import SYSTEM_CLOCK_NS
+
+
+@dataclass
+class RunEnergyParams:
+    """What a simulated run was configured as, priced into pJ-per-event.
+
+    Construct once per run; the derived ``*_pj`` attributes are the
+    single source of per-event dynamic energies shared by
+    :func:`report_from_corestats`, the profiler and the power sampler.
+    """
+
+    cal: Calibration = None  # type: ignore[assignment]
+    prime_isa_ext: bool = False
+    binary_isa_ext: bool = False
+    icache_size: int | None = None
+    icache_prefetch: bool = False
+    has_monte: bool = False
+    monte_key_bits: int = 192
+    has_billie: bool = False
+    billie_m: int = 163
+    billie_sram_regfile: bool = False
+    clock_ns: float = SYSTEM_CLOCK_NS
+
+    def __post_init__(self) -> None:
+        cal = self.cal or CALIBRATION
+        self.cal = cal
+        factor = 1.0
+        if self.prime_isa_ext:
+            factor *= cal.pete.isa_ext_factor
+        if self.binary_isa_ext:
+            factor *= cal.pete.binary_ext_factor
+        self.pete_active_pj = cal.pete.active_pj * factor
+        self.pete_stall_pj = cal.pete.stall_pj
+        rom32 = cal.rom(line_port=False)
+        rom128 = cal.rom(line_port=True)
+        self.rom_word_pj = rom32.read_energy_pj()
+        self.rom_line_pj = rom128.read_energy_pj(128)
+        accelerated = self.has_monte or self.has_billie
+        ram = cal.ram(dual_port=accelerated)
+        self.ram_read_pj = ram.read_energy_pj()
+        self.ram_write_pj = ram.write_energy_pj()
+        self.ram_leak_uw = ram.leakage_uw()
+        if self.icache_size is not None:
+            icache = cal.icache(self.icache_size)
+            self.icache_access_pj = icache.read_energy_pj()
+            if self.icache_prefetch:
+                self.icache_access_pj *= 1.12  # stream-buffer tag compare
+            self.icache_fill_pj = icache.write_energy_pj(128)
+            self.icache_leak_uw = icache.leakage_uw()
+            self.uncore_active_pj = cal.uncore.active_pj
+            self.uncore_static_uw = cal.uncore.static_uw
+        else:
+            self.icache_access_pj = 0.0
+            self.icache_fill_pj = 0.0
+            self.icache_leak_uw = 0.0
+            self.uncore_active_pj = 0.0
+            self.uncore_static_uw = 0.0
+        if self.has_monte:
+            self.ffau_busy_pj = FFAUPower(32).dynamic_pj_per_cycle(
+                self.monte_key_bits)
+            self.ffau_idle_pj = cal.monte.ffau_idle_pj
+            self.dma_word_pj = cal.monte.dma_word_pj
+            self.cop2_issue_pj = cal.monte.issue_pj
+            self.monte_static_uw = cal.monte.static_uw
+        else:
+            self.ffau_busy_pj = self.ffau_idle_pj = 0.0
+            self.dma_word_pj = self.cop2_issue_pj = 0.0
+            self.monte_static_uw = 0.0
+        if self.has_billie:
+            self.billie_active_pj = cal.billie.active_pj(
+                self.billie_m, self.billie_sram_regfile)
+            self.billie_idle_pj = cal.billie.idle_pj(
+                self.billie_m, self.billie_sram_regfile)
+            self.billie_static_uw = cal.billie.static_uw(
+                self.billie_m, self.billie_sram_regfile)
+        else:
+            self.billie_active_pj = self.billie_idle_pj = 0.0
+            self.billie_static_uw = 0.0
+
+    # ------------------------------------------------------------------
+
+    def static_nj(self, component: str, cycles: float) -> float:
+        """Static energy of one component over ``cycles`` cycles."""
+        time_s = cycles * self.clock_ns * 1e-9
+        uw = {
+            "Pete": self.cal.pete.static_uw,
+            "RAM": self.ram_leak_uw,
+            "Uncore": self.uncore_static_uw + self.icache_leak_uw,
+            "Monte": self.monte_static_uw,
+            "Billie": self.billie_static_uw,
+        }[component]
+        return uw * time_s * 1e3
+
+    def static_components(self) -> list[str]:
+        out = ["Pete", "RAM"]
+        if self.icache_size is not None:
+            out.append("Uncore")
+        if self.has_monte:
+            out.append("Monte")
+        if self.has_billie:
+            out.append("Billie")
+        return out
+
+
+def report_from_corestats(stats, params: RunEnergyParams,
+                          label: str = "run", monte_stats=None,
+                          billie_stats=None) -> EnergyReport:
+    """Price one simulated run's counters into an :class:`EnergyReport`.
+
+    ``stats`` is the run's :class:`~repro.pete.stats.CoreStats`;
+    ``monte_stats`` / ``billie_stats`` add the coprocessor's own counters
+    when one was attached.
+    """
+    p = params
+    cycles = stats.cycles
+    bd = EnergyBreakdown()
+
+    bd.add_dynamic("Pete", (stats.active_cycles * p.pete_active_pj
+                            + stats.stall_cycles * p.pete_stall_pj) / 1e3)
+    bd.add_static("Pete", p.static_nj("Pete", cycles))
+
+    bd.add_dynamic("ROM", (stats.rom_word_reads * p.rom_word_pj
+                           + stats.rom_line_reads * p.rom_line_pj) / 1e3)
+
+    ram_reads = float(stats.ram_reads)
+    ram_writes = float(stats.ram_writes)
+    if monte_stats is not None:
+        load_words = getattr(monte_stats, "dma_load_words", 0)
+        ram_reads += load_words
+        ram_writes += monte_stats.dma_words - load_words
+    if billie_stats is not None:
+        words_per_op = -(-p.billie_m // 32)
+        ram_reads += billie_stats.loads * words_per_op
+        ram_writes += billie_stats.stores * words_per_op
+    bd.add_dynamic("RAM", (ram_reads * p.ram_read_pj
+                           + ram_writes * p.ram_write_pj) / 1e3)
+    bd.add_static("RAM", p.static_nj("RAM", cycles))
+
+    if p.icache_size is not None:
+        bd.add_dynamic("Uncore",
+                       (stats.icache_accesses * p.icache_access_pj
+                        + stats.icache_fills * p.icache_fill_pj
+                        + stats.instructions * p.uncore_active_pj) / 1e3)
+        bd.add_static("Uncore", p.static_nj("Uncore", cycles))
+
+    if monte_stats is not None:
+        idle = max(0, cycles - monte_stats.ffau_busy_cycles)
+        bd.add_dynamic("Monte",
+                       (monte_stats.ffau_busy_cycles * p.ffau_busy_pj
+                        + idle * p.ffau_idle_pj
+                        + monte_stats.dma_words * p.dma_word_pj
+                        + stats.cop2_issues * p.cop2_issue_pj) / 1e3)
+        bd.add_static("Monte", p.static_nj("Monte", cycles))
+
+    if billie_stats is not None:
+        idle = max(0, cycles - billie_stats.busy_cycles)
+        bd.add_dynamic("Billie",
+                       (billie_stats.busy_cycles * p.billie_active_pj
+                        + idle * p.billie_idle_pj) / 1e3)
+        bd.add_static("Billie", p.static_nj("Billie", cycles))
+
+    return EnergyReport(label, cycles, bd, p.clock_ns)

@@ -3,6 +3,17 @@
 Writes the rendered artifacts to stdout and, with ``--out DIR``, one text
 file per artifact into the given directory (``--csv`` adds machine-
 readable CSV next to each text file).
+
+Observability modes (instead of rendering artifacts):
+
+* ``--profile [CURVE:CONFIG:PRIMITIVE]`` -- per-operation cycle/energy
+  profile of one full primitive (default ``P-256:baseline:sign``),
+  reconciled against its :class:`EnergyReport`;
+* ``--profile-kernel NAME:K`` -- cycle-level per-symbol profile of one
+  assembled kernel run (hot-spot table + collapsed stacks);
+* ``--trace FILE [--trace-kernel NAME:K]`` -- run one kernel with
+  tracing on and write a Chrome ``trace_event`` JSON (open in Perfetto
+  or chrome://tracing).
 """
 
 from __future__ import annotations
@@ -14,28 +25,154 @@ import sys
 from repro.harness.figures import FIGURES, render_figure
 from repro.harness.tables import TABLES, render_table
 
+DEFAULT_PROFILE = "P-256:baseline:sign"
+DEFAULT_TRACE_KERNEL = "os_mul:8"
+
+
+def _normalize(token: str) -> tuple[str | None, str]:
+    """``(kind, name)``; a ``table_``/``figure_`` prefix pins the kind."""
+    t = token.lower().replace("_", ".")
+    for kind in ("table", "figure"):
+        if t.startswith(kind + "."):
+            return kind, t[len(kind) + 1:]
+    return None, t
+
+
+def _matches(token: tuple[str | None, str], kind: str, name: str) -> bool:
+    """Exact name, or a prefix ending at a component boundary (so
+    ``7.1`` selects 7.1 but not 7.15, and ``7`` selects all of 7.x)."""
+    want_kind, t = token
+    if want_kind is not None and want_kind != kind:
+        return False
+    if t == name:
+        return True
+    return name.startswith(t) and not name[len(t)].isalnum()
+
+
+def select_artifacts(only: list[str] | None) -> list[tuple[str, str]]:
+    """Resolve ``--only`` tokens to (kind, name) pairs, in artifact
+    order; raises ``SystemExit`` on tokens matching nothing."""
+    catalog = ([("table", n) for n in TABLES]
+               + [("figure", n) for n in FIGURES])
+    if not only:
+        return catalog
+    tokens = [_normalize(t) for t in only]
+    unknown = [orig for orig, t in zip(only, tokens)
+               if not any(_matches(t, kind, name)
+                          for kind, name in catalog)]
+    if unknown:
+        names = " ".join(sorted({n for _, n in catalog}))
+        raise SystemExit(
+            f"runall: unknown artifact name(s): {' '.join(unknown)}\n"
+            f"available: {names}")
+    return [(kind, name) for kind, name in catalog
+            if any(_matches(t, kind, name) for t in tokens)]
+
+
+def _parse_spec(spec: str, default: str, n: int, what: str) -> list[str]:
+    parts = (spec or default).split(":")
+    if len(parts) != n:
+        raise SystemExit(f"runall: bad {what} spec {spec!r} "
+                         f"(expected {n} ':'-separated fields, "
+                         f"like {default!r})")
+    return parts
+
+
+def _run_profile(spec: str) -> None:
+    from repro.trace.opprofile import profile_primitive
+
+    curve, config, primitive = _parse_spec(spec, DEFAULT_PROFILE, 3,
+                                           "--profile")
+    profile = profile_primitive(curve, config, primitive)
+    print(profile.table())
+    print(f"\nreconciliation vs EnergyReport: "
+          f"{100 * profile.reconcile():.4f}% difference")
+
+
+def _kernel_profile(spec: str):
+    from repro.kernels.runner import KernelRunner
+    from repro.trace.bus import CollectingSink
+    from repro.trace.metrics import PowerSampler
+
+    name, k = _parse_spec(spec, DEFAULT_TRACE_KERNEL, 2,
+                          "--profile-kernel/--trace-kernel")
+    events = CollectingSink()
+    power = PowerSampler(interval_cycles=64)
+    runner = KernelRunner()
+    try:
+        profiler, cpu = runner.profile(name, int(k),
+                                       extra_sinks=(events, power))
+    except KeyError as exc:
+        raise SystemExit(f"runall: {exc.args[0]}")
+    return profiler, cpu, events, power
+
+
+def _run_kernel_profile(spec: str) -> None:
+    profiler, cpu, _, _ = _kernel_profile(spec)
+    print(profiler.table(top=20))
+    diff = profiler.reconcile(cpu.stats)
+    print(f"\nreconciliation vs EnergyReport: {100 * diff:.4f}% "
+          f"difference")
+    stacks = profiler.collapsed_stacks()
+    if stacks:
+        print("\ncollapsed stacks (flamegraph input):")
+        print(stacks)
+
+
+def _run_trace(path: pathlib.Path, spec: str) -> None:
+    from repro.trace.chrome import write_chrome_trace
+
+    profiler, cpu, events, power = _kernel_profile(spec)
+    write_chrome_trace(
+        path, events.events, symbols=profiler.symbols,
+        power_series=power.power_series(),
+        metadata={"kernel": spec or DEFAULT_TRACE_KERNEL,
+                  "cycles": cpu.stats.cycles})
+    print(f"wrote {len(events.events)} events to {path} "
+          f"({cpu.stats.cycles} cycles simulated)")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="directory to write per-artifact text files")
     parser.add_argument("--only", nargs="*", default=None,
-                        help="artifact names (e.g. 7.1 7.14 s7.7)")
+                        help="artifact names or prefixes "
+                             "(e.g. 7.1 7_14 s7; unknown names fail)")
     parser.add_argument("--csv", action="store_true",
                         help="also write CSV files (requires --out)")
+    parser.add_argument("--profile", nargs="?", const=DEFAULT_PROFILE,
+                        metavar="CURVE:CONFIG:PRIMITIVE",
+                        help="print the per-operation energy profile of "
+                             f"one primitive (default {DEFAULT_PROFILE})")
+    parser.add_argument("--profile-kernel", metavar="NAME:K",
+                        help="print the per-symbol profile of one "
+                             "kernel run (e.g. os_mul:8)")
+    parser.add_argument("--trace", type=pathlib.Path, metavar="FILE",
+                        help="write a Chrome trace_event JSON of one "
+                             "kernel run")
+    parser.add_argument("--trace-kernel", default=DEFAULT_TRACE_KERNEL,
+                        metavar="NAME:K",
+                        help="kernel for --trace "
+                             f"(default {DEFAULT_TRACE_KERNEL})")
     args = parser.parse_args(argv)
+
+    if args.profile or args.profile_kernel or args.trace:
+        if args.profile:
+            _run_profile(args.profile)
+        if args.profile_kernel:
+            _run_kernel_profile(args.profile_kernel)
+        if args.trace:
+            _run_trace(args.trace, args.trace_kernel)
+        return 0
+
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 
     artifacts: list[tuple[str, str]] = []
-    for name in TABLES:
-        if args.only and name not in args.only:
-            continue
-        artifacts.append((f"table_{name}", render_table(name)))
-    for name in FIGURES:
-        if args.only and name not in args.only:
-            continue
-        artifacts.append((f"figure_{name}", render_figure(name)))
+    for kind, name in select_artifacts(args.only):
+        render = render_table if kind == "table" else render_figure
+        artifacts.append((f"{kind}_{name}", render(name)))
 
     for name, text in artifacts:
         print(text)

@@ -57,6 +57,8 @@ class KernelRunner:
 
     def __init__(self) -> None:
         self._cache: dict[tuple, KernelResult] = {}
+        self._tracer = None          # TraceBus threaded through _build_cpu
+        self._last_cpu: Pete | None = None
 
     # -- public measurement API ------------------------------------------
 
@@ -69,6 +71,29 @@ class KernelRunner:
             self._cache[key] = runs[len(runs) // 2]
         return self._cache[key]
 
+    def profile(self, name: str, k: int, params=None, extra_sinks=()):
+        """Run one kernel with tracing on; returns ``(profiler, cpu)``.
+
+        ``params`` is a :class:`repro.energy.simulated.RunEnergyParams`
+        (defaults match the plain software configuration the kernels run
+        in).  ``extra_sinks`` (e.g. a :class:`CollectingSink` or a
+        :class:`PowerSampler`) see the same event stream.
+        """
+        from repro.trace.bus import TraceBus
+        from repro.trace.profiler import Profiler
+
+        bus = TraceBus()
+        profiler = Profiler(params=params)
+        bus.attach(profiler)
+        for sink in extra_sinks:
+            bus.attach(sink)
+        self._tracer = bus
+        try:
+            self._run_once(name, k)
+        finally:
+            self._tracer = None
+        return profiler, self._last_cpu
+
     # -- harness construction -----------------------------------------------
 
     def _build_cpu(self, source: str, entry_label: str,
@@ -76,9 +101,18 @@ class KernelRunner:
                    ) -> tuple[Pete, int]:
         full = source + "\n__halt:\n    halt\n"
         program = assemble(full, base=0)
-        cpu = Pete(extensions=extensions, binary_extensions=binary_extensions)
+        cpu = Pete(extensions=extensions, binary_extensions=binary_extensions,
+                   tracer=self._tracer)
         cpu.load(program)
+        if self._tracer is not None:
+            from repro.trace.profiler import Symbolizer
+
+            sym = Symbolizer.from_program(program)
+            for sink in self._tracer.sinks:
+                if getattr(sink, "symbols", "absent") is None:
+                    sink.symbols = sym
         cpu.set_reg("ra", program.address_of("__halt"))
+        self._last_cpu = cpu
         return cpu, program.address_of(entry_label)
 
     def _run_once(self, name: str, k: int) -> KernelResult:

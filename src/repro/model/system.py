@@ -10,7 +10,7 @@ coprocessor timing machines directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dc_fields
 from functools import lru_cache
 
 from repro.accel.billie import Billie, BillieConfig
@@ -95,15 +95,35 @@ class SystemModel:
                  primitive: str, ideal_icache: bool = False) -> Activity:
         if isinstance(config, str):
             config = get_config(config)
-        self._check_support(curve_name, config)
+        act = _sum_parts(self.activity_parts(curve_name, config, primitive))
+        act.pete_stall = max(0.0, act.cycles - act.pete_active)
         if config.accelerator == "monte":
-            act = self._monte_activity(curve_name, config, primitive)
+            act.ffau_idle = max(0.0, act.cycles - act.ffau_busy)
         elif config.accelerator == "billie":
-            act = self._billie_activity(curve_name, config, primitive)
-        else:
-            act = self._software_activity(curve_name, config, primitive)
+            act.billie_idle = max(0.0, act.cycles - act.billie_busy)
         self._apply_fetch_path(act, config, ideal_icache)
         return act
+
+    def activity_parts(self, curve_name: str,
+                       config: MicroarchConfig | str,
+                       primitive: str) -> dict[str, Activity]:
+        """Per-operation-class decomposition of one primitive's activity.
+
+        The parts (one per field/order operation class plus the fixed
+        SHA-256/glue overhead) sum -- in insertion order -- to exactly
+        the accumulation :meth:`activity` performs, *before* the
+        stall/idle finalization and the fetch-path conversion, which are
+        whole-run quantities.  :mod:`repro.trace.opprofile` prices the
+        parts into the per-symbol energy profile of a full primitive.
+        """
+        if isinstance(config, str):
+            config = get_config(config)
+        self._check_support(curve_name, config)
+        if config.accelerator == "monte":
+            return self._monte_parts(curve_name, config, primitive)
+        if config.accelerator == "billie":
+            return self._billie_parts(curve_name, config, primitive)
+        return self._software_parts(curve_name, config, primitive)
 
     @staticmethod
     def _check_support(curve_name: str, config: MicroarchConfig) -> None:
@@ -115,29 +135,30 @@ class SystemModel:
 
     # -- software path -------------------------------------------------------
 
-    def _software_activity(self, curve_name: str, config: MicroarchConfig,
-                           primitive: str) -> Activity:
+    def _software_parts(self, curve_name: str, config: MicroarchConfig,
+                        primitive: str) -> dict[str, Activity]:
         counts = getattr(ecdsa_opcounts(curve_name), primitive)
         costs = software_costs(curve_name, config)
-        act = Activity()
+        parts: dict[str, Activity] = {}
         for op, n in {**counts.field_ops, **counts.order_ops}.items():
             if not n:
                 continue
             cost: OpCost = costs[op].scaled(n)
-            act.cycles += cost.cycles
-            act.pete_active += cost.instructions
-            act.ram_reads += cost.ram_reads
-            act.ram_writes += cost.ram_writes
-        act.cycles += ECDSA_FIXED_CYCLES
-        act.pete_active += 0.92 * ECDSA_FIXED_CYCLES
-        act.ram_reads += 0.2 * ECDSA_FIXED_CYCLES
-        act.pete_stall = max(0.0, act.cycles - act.pete_active)
-        return act
+            part = parts[op] = Activity()
+            part.cycles = cost.cycles
+            part.pete_active = cost.instructions
+            part.ram_reads = cost.ram_reads
+            part.ram_writes = cost.ram_writes
+        fixed = parts["fixed"] = Activity()
+        fixed.cycles = ECDSA_FIXED_CYCLES
+        fixed.pete_active = 0.92 * ECDSA_FIXED_CYCLES
+        fixed.ram_reads = 0.2 * ECDSA_FIXED_CYCLES
+        return parts
 
     # -- Monte path ------------------------------------------------------------
 
-    def _monte_activity(self, curve_name: str, config: MicroarchConfig,
-                        primitive: str) -> Activity:
+    def _monte_parts(self, curve_name: str, config: MicroarchConfig,
+                     primitive: str) -> dict[str, Activity]:
         curve = get_curve(curve_name)
         counts = getattr(ecdsa_opcounts(curve_name), primitive)
         monte = _shared_monte(curve.field.p)
@@ -154,16 +175,16 @@ class SystemModel:
         inv_sqr, inv_mul = fermat_prime_opcounts(curve.field.p)
         n_mul += counts.field("finv") * (inv_sqr + inv_mul)
 
-        act = Activity()
-        field_cycles = n_mul * mul_eff + n_add * add_eff
+        parts: dict[str, Activity] = {}
+        field = parts["field-ops (Monte)"] = Activity()
         ops = n_mul + n_add
-        act.cycles += field_cycles
-        act.ffau_busy += n_mul * mul_ffau + n_add * add_ffau
-        act.monte_issues += 4.0 * ops        # lda/ldb/op/st stream
-        act.dma_words += ops * (2.0 - MONTE_REUSE_FRACTION + 1.0) * k
-        act.pete_active += MONTE_ISSUE_INSTRS * ops
-        act.ram_reads += ops * (2.0 - MONTE_REUSE_FRACTION) * k
-        act.ram_writes += ops * k
+        field.cycles = n_mul * mul_eff + n_add * add_eff
+        field.ffau_busy = n_mul * mul_ffau + n_add * add_ffau
+        field.monte_issues = 4.0 * ops        # lda/ldb/op/st stream
+        field.dma_words = ops * (2.0 - MONTE_REUSE_FRACTION + 1.0) * k
+        field.pete_active = MONTE_ISSUE_INSTRS * ops
+        field.ram_reads = ops * (2.0 - MONTE_REUSE_FRACTION) * k
+        field.ram_writes = ops * k
         # order arithmetic runs on Pete with baseline software costs --
         # unless the Section 8 variant maps the group-order inversion
         # onto Monte (reconfigured for the modulus n) as Fermat muls
@@ -171,55 +192,55 @@ class SystemModel:
         for op, n in counts.order_ops.items():
             if not n:
                 continue
+            part = parts[op] = Activity()
             if op == "oinv" and config.monte_order_inversion:
                 inv_sqr_n, inv_mul_n = fermat_prime_opcounts(curve.n)
                 muls = n * (inv_sqr_n + inv_mul_n + 2)  # + domain swap
-                act.cycles += muls * mul_eff
-                act.ffau_busy += muls * mul_ffau
-                act.monte_issues += 4.0 * muls
-                act.dma_words += muls * 1.0 * k  # operands mostly forwarded
-                act.pete_active += MONTE_ISSUE_INSTRS * muls
+                part.cycles = muls * mul_eff
+                part.ffau_busy = muls * mul_ffau
+                part.monte_issues = 4.0 * muls
+                part.dma_words = muls * 1.0 * k  # operands mostly forwarded
+                part.pete_active = MONTE_ISSUE_INSTRS * muls
                 continue
             cost = sw_costs[op].scaled(n)
-            act.cycles += cost.cycles
-            act.pete_active += cost.instructions
-            act.ram_reads += cost.ram_reads
-            act.ram_writes += cost.ram_writes
-        act.cycles += ECDSA_FIXED_CYCLES
-        act.pete_active += 0.92 * ECDSA_FIXED_CYCLES
-        act.pete_stall = max(0.0, act.cycles - act.pete_active)
-        act.ffau_idle = max(0.0, act.cycles - act.ffau_busy)
-        return act
+            part.cycles = cost.cycles
+            part.pete_active = cost.instructions
+            part.ram_reads = cost.ram_reads
+            part.ram_writes = cost.ram_writes
+        fixed = parts["fixed"] = Activity()
+        fixed.cycles = ECDSA_FIXED_CYCLES
+        fixed.pete_active = 0.92 * ECDSA_FIXED_CYCLES
+        return parts
 
     # -- Billie path --------------------------------------------------------------
 
-    def _billie_activity(self, curve_name: str, config: MicroarchConfig,
-                         primitive: str) -> Activity:
-        curve = get_curve(curve_name)
+    def _billie_parts(self, curve_name: str, config: MicroarchConfig,
+                      primitive: str) -> dict[str, Activity]:
         counts = getattr(ecdsa_opcounts(curve_name), primitive)
         run = _billie_primitive_run(curve_name, primitive)
-        act = Activity()
-        act.cycles += run["cycles"]
-        act.billie_busy += run["busy_cycles"]
-        act.billie_ram_words += run["ram_words"]
-        act.pete_active += run["instructions"]
-        act.ram_reads += run["ram_words"] * 0.5
-        act.ram_writes += run["ram_words"] * 0.5
+        parts: dict[str, Activity] = {}
+        scalar = parts["scalar-mul (Billie)"] = Activity()
+        scalar.cycles = run["cycles"]
+        scalar.billie_busy = run["busy_cycles"]
+        scalar.billie_ram_words = run["ram_words"]
+        scalar.pete_active = run["instructions"]
+        scalar.ram_reads = run["ram_words"] * 0.5
+        scalar.ram_writes = run["ram_words"] * 0.5
         # order arithmetic on Pete
         sw_costs = software_costs(curve_name, "baseline")
         for op, n in counts.order_ops.items():
             if not n:
                 continue
             cost = sw_costs[op].scaled(n)
-            act.cycles += cost.cycles
-            act.pete_active += cost.instructions
-            act.ram_reads += cost.ram_reads
-            act.ram_writes += cost.ram_writes
-        act.cycles += ECDSA_FIXED_CYCLES
-        act.pete_active += 0.92 * ECDSA_FIXED_CYCLES
-        act.pete_stall = max(0.0, act.cycles - act.pete_active)
-        act.billie_idle = max(0.0, act.cycles - act.billie_busy)
-        return act
+            part = parts[op] = Activity()
+            part.cycles = cost.cycles
+            part.pete_active = cost.instructions
+            part.ram_reads = cost.ram_reads
+            part.ram_writes = cost.ram_writes
+        fixed = parts["fixed"] = Activity()
+        fixed.cycles = ECDSA_FIXED_CYCLES
+        fixed.pete_active = 0.92 * ECDSA_FIXED_CYCLES
+        return parts
 
     # -- fetch path ---------------------------------------------------------------
 
@@ -367,6 +388,16 @@ class SystemModel:
             bd.add_static("Billie", static_uw * time_s * 1e3)
 
         return EnergyReport(label, int(act.cycles), bd)
+
+
+def _sum_parts(parts: dict[str, Activity]) -> Activity:
+    """Field-wise sum of activity parts, in insertion order."""
+    total = Activity()
+    for part in parts.values():
+        for f in dc_fields(Activity):
+            setattr(total, f.name,
+                    getattr(total, f.name) + getattr(part, f.name))
+    return total
 
 
 # ---------------------------------------------------------------------------

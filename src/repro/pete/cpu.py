@@ -27,7 +27,7 @@ Coprocessor-2 instructions are forwarded to an attached coprocessor model
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.pete.assembler import Assembled
 from repro.pete.icache import ICache, ICacheConfig
@@ -35,6 +35,10 @@ from repro.pete.isa import Decoded, PeteISA
 from repro.pete.memory import RAM_BASE, MemorySystem
 from repro.pete.muldiv import MASK32, MulDivUnit
 from repro.pete.stats import CoreStats
+from repro.trace.events import COP2, RETIRE, STALL, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.bus import TraceBus
 
 
 class Halt(Exception):
@@ -96,6 +100,7 @@ class Pete:
         icache: ICacheConfig | None = None,
         coprocessor: Optional[Coprocessor] = None,
         trace: bool = False,
+        tracer: "TraceBus | None" = None,
     ) -> None:
         self.stats = CoreStats()
         self.mem = MemorySystem(self.stats)
@@ -113,6 +118,16 @@ class Pete:
         #: substitute used for debugging generated kernels
         self.trace_enabled = trace
         self.trace_log: list[tuple[int, int, str]] = []
+        #: structured observability: a TraceBus (or None, the zero-cost
+        #: default) receiving typed events from every component
+        self.tracer = tracer
+        self.mem.tracer = tracer
+        self.mem.clock = self
+        self.muldiv.tracer = tracer
+        if self.icache is not None:
+            self.icache.tracer = tracer
+        #: the last program image loaded (symbol table for profilers)
+        self.program: Assembled | None = None
 
     # ------------------------------------------------------------------
     # Program loading / register access
@@ -122,6 +137,7 @@ class Pete:
         data = b"".join(w.to_bytes(4, "little") for w in program.words)
         self.mem.write_rom(program.base, data)
         self._decoded.clear()
+        self.program = program
 
     def set_reg(self, name_or_idx, value: int) -> None:
         idx = name_or_idx
@@ -171,10 +187,14 @@ class Pete:
 
     def _fetch(self) -> Decoded:
         if self.icache is not None:
-            penalty = self.icache.access(self.pc)
+            penalty = self.icache.access(self.pc, now=self.cycle)
             if penalty:
                 self.cycle += penalty
                 self.stats.stall_cycles += penalty
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEvent(
+                        STALL, self.cycle - penalty, penalty, self.pc,
+                        "pete", "icache_miss"))
             word = self.mem.peek_word(self.pc)
         else:
             word = self.mem.fetch_word(self.pc)
@@ -191,6 +211,10 @@ class Pete:
             self.cycle += wait
             self.stats.stall_cycles += wait
             self.stats.mult_stall_cycles += wait
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    STALL, self.cycle - wait, wait, self.pc, "pete",
+                    "muldiv"))
 
     def _predict(self, pc: int, backward: bool) -> bool:
         state = self._predictor.get(pc)
@@ -212,11 +236,16 @@ class Pete:
             self.stats.branch_mispredicts += 1
             self.cycle += 1
             self.stats.stall_cycles += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    STALL, self.cycle - 1, 1, self.pc, "pete",
+                    "branch_mispredict"))
         self._train(self.pc, taken)
         if taken:
             self._pending_target = target
 
     def _step(self) -> None:
+        step_start = self.cycle
         d = self._fetch()
         self.stats.instructions += 1
         if self.trace_enabled:
@@ -230,6 +259,9 @@ class Pete:
             self.cycle += 1
             self.stats.stall_cycles += 1
             self.stats.load_use_stalls += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    STALL, self.cycle - 1, 1, self.pc, "pete", "load_use"))
         loaded_reg: int | None = None
 
         regs = self.regs
@@ -342,12 +374,18 @@ class Pete:
             self._pending_target = regs[d.rs]
             self.cycle += 1  # register-indirect target resolves in EX
             self.stats.stall_cycles += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    STALL, self.cycle - 1, 1, pc, "pete", "jr_target"))
         elif m == "jalr":
             if d.rd:
                 regs[d.rd] = (pc + 8) & MASK32
             self._pending_target = regs[d.rs]
             self.cycle += 1
             self.stats.stall_cycles += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    STALL, self.cycle - 1, 1, pc, "pete", "jr_target"))
         elif m in ("mult", "multu"):
             self._wait_muldiv()
             self.muldiv.mult(self.cycle, regs[d.rs], regs[d.rt],
@@ -395,22 +433,41 @@ class Pete:
             self.muldiv.maddgf2(self.cycle, regs[d.rs], regs[d.rt])
             self.stats.mult_issues += 1
         elif m == "break":
+            if self.tracer is not None:
+                # the halt retires (it fetched and counted) but adds no
+                # datapath cycle: duration covers only its stalls
+                self.tracer.emit(TraceEvent(
+                    RETIRE, step_start, self.cycle - step_start, pc,
+                    "pete", m, -1))
             raise Halt()
         elif m == "syscall":
             pass  # treated as a no-op in the bare-metal environment
         elif m == "ctc2" or m.startswith("cop2"):
             if self.coprocessor is None:
                 raise RuntimeError(f"{m} with no coprocessor attached")
+            self.stats.cop2_issues += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    COP2, self.cycle, 0, pc, "pete", m))
             stall = self.coprocessor.issue(d, self)
             if stall:
                 self.cycle += stall
                 self.stats.stall_cycles += stall
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEvent(
+                        STALL, self.cycle - stall, stall, pc, "pete",
+                        "cop2"))
         else:  # pragma: no cover - decode guarantees coverage
             raise RuntimeError(f"unimplemented mnemonic {m}")
 
         self._last_load_reg = loaded_reg if loaded_reg else None
         self.cycle += 1
         self.stats.cycles = self.cycle
+        if self.tracer is not None:
+            target = self._pending_target
+            self.tracer.emit(TraceEvent(
+                RETIRE, step_start, self.cycle - step_start, pc, "pete",
+                m, -1 if target is None else target))
         if advance:
             self.pc += 4
 

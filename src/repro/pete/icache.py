@@ -17,6 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.pete.stats import CoreStats
+from repro.trace.events import (
+    ICACHE_ACCESS,
+    ICACHE_FILL,
+    ROM_LINE,
+    TraceEvent,
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,7 @@ class ICache:
         # The data store mirrors the ROM contents; we track presence only
         # (contents are always consistent since ROM is immutable).
         self._pf_tag: int | None = None  # prefetch buffer line address
+        self.tracer = None  # TraceBus, attached by the owning Pete
 
     def invalidate(self) -> None:
         """The reset routine's cache initialization (Section 5.3.2)."""
@@ -60,19 +67,24 @@ class ICache:
         index = line_addr % self.config.n_lines
         return line_addr, index
 
-    def access(self, addr: int) -> int:
+    def access(self, addr: int, now: int = 0) -> int:
         """Look up one instruction fetch; returns the stall penalty in
         cycles (0 on a hit) and updates the event counters.
 
         The caller charges ROM line reads through the returned events:
         every miss costs one ROM line read; a prefetch-buffer hit costs no
         stall but the buffer then issues the next line's ROM read.
+        ``now`` is the current core cycle, used only to timestamp trace
+        events.
         """
         cfg = self.config
         self.stats.icache_accesses += 1
         line_addr, index = self._split(addr)
         if self.tags[index] == line_addr:
             self.stats.icache_hits += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    ICACHE_ACCESS, now, 0, addr, "icache", "hit"))
             return 0
         self.stats.icache_misses += 1
         if cfg.prefetch and self._pf_tag == line_addr:
@@ -83,13 +95,30 @@ class ICache:
             self._pf_tag = line_addr + 1
             self.stats.prefetch_fetches += 1
             self.stats.rom_line_reads += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    ICACHE_ACCESS, now, 0, addr, "icache", "pf_hit"))
+                self.tracer.emit(TraceEvent(
+                    ICACHE_FILL, now, 0, addr, "icache", "pf_fill"))
+                self.tracer.emit(TraceEvent(
+                    ROM_LINE, now, 0, addr, "rom", "prefetch"))
             return 0
         # true miss: read line from ROM, fill the cache
         self.stats.rom_line_reads += 1
         self.tags[index] = line_addr
         self.stats.icache_fills += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                ICACHE_ACCESS, now, 0, addr, "icache", "miss"))
+            self.tracer.emit(TraceEvent(
+                ICACHE_FILL, now, cfg.miss_penalty, addr, "icache", "fill"))
+            self.tracer.emit(TraceEvent(
+                ROM_LINE, now, 0, addr, "rom", "fill"))
         if cfg.prefetch:
             self._pf_tag = line_addr + 1
             self.stats.prefetch_fetches += 1
             self.stats.rom_line_reads += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    ROM_LINE, now, 0, addr, "rom", "prefetch"))
         return cfg.miss_penalty

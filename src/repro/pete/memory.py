@@ -12,6 +12,13 @@ Both memories count accesses; the counters feed the energy model.
 from __future__ import annotations
 
 from repro.pete.stats import CoreStats
+from repro.trace.events import (
+    RAM_READ,
+    RAM_WRITE,
+    ROM_LINE,
+    ROM_READ,
+    TraceEvent,
+)
 
 ROM_BASE = 0x0000_0000
 ROM_SIZE = 256 * 1024
@@ -29,6 +36,11 @@ class MemorySystem:
         self.ram_size = ram_size
         self.rom = bytearray(rom_size)
         self.ram = bytearray(ram_size)
+        self.tracer = None   # TraceBus, attached by the owning Pete
+        self.clock = None    # object with a .cycle attribute (the core)
+
+    def _now(self) -> int:
+        return self.clock.cycle if self.clock is not None else -1
 
     # -- region helpers -----------------------------------------------------
 
@@ -48,6 +60,9 @@ class MemorySystem:
         if is_ram:
             raise MemoryError("instructions are not stored in RAM")
         self.stats.rom_word_reads += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                ROM_READ, self._now(), 0, -1, "rom", "fetch", addr))
         return int.from_bytes(backing[offset:offset + 4], "little")
 
     def fetch_line(self, addr: int, line_bytes: int = 16) -> list[int]:
@@ -56,6 +71,9 @@ class MemorySystem:
         if is_ram:
             raise MemoryError("instructions are not stored in RAM")
         self.stats.rom_line_reads += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                ROM_LINE, self._now(), 0, -1, "rom", "line", addr))
         base = offset & ~(line_bytes - 1)
         return [
             int.from_bytes(backing[base + 4 * i:base + 4 * i + 4], "little")
@@ -77,6 +95,11 @@ class MemorySystem:
             self.stats.ram_reads += 1
         else:
             self.stats.rom_word_reads += 1
+        if self.tracer is not None:
+            kind = RAM_READ if is_ram else ROM_READ
+            unit = "ram" if is_ram else "rom"
+            self.tracer.emit(TraceEvent(
+                kind, self._now(), 0, -1, unit, "load", addr))
         value = int.from_bytes(backing[offset:offset + size], "little")
         if signed and value >> (8 * size - 1):
             value -= 1 << (8 * size)
@@ -89,6 +112,9 @@ class MemorySystem:
         if not is_ram:
             raise MemoryError(f"store to ROM at 0x{addr:08x}")
         self.stats.ram_writes += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                RAM_WRITE, self._now(), 0, -1, "ram", "store", addr))
         backing[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
             size, "little"
         )

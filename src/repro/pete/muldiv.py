@@ -18,6 +18,7 @@ This module is purely functional + latency bookkeeping; the CPU core asks
 from __future__ import annotations
 
 from repro.fields.inversion import _poly_mul
+from repro.trace.events import MULDIV_BUSY, TraceEvent
 
 MASK32 = 0xFFFFFFFF
 MASK96 = (1 << 96) - 1
@@ -43,6 +44,7 @@ class MulDivUnit:
         self.acc = 0          # 96-bit (OvFlo, Hi, Lo)
         self.busy_until = 0   # absolute cycle when the unit drains
         self.issues = 0
+        self.tracer = None    # TraceBus, attached by the owning Pete
 
     # -- accumulator views ---------------------------------------------------
 
@@ -71,6 +73,9 @@ class MulDivUnit:
         start = max(now, self.busy_until)
         self.busy_until = start + latency
         self.issues += 1
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                MULDIV_BUSY, start, latency, -1, "pete.muldiv"))
         return start
 
     # -- operations -------------------------------------------------------------

@@ -24,6 +24,7 @@ class CoreStats:
     branches: int = 0
     mult_issues: int = 0
     div_issues: int = 0
+    cop2_issues: int = 0
     # program memory
     rom_word_reads: int = 0
     rom_line_reads: int = 0

@@ -1,0 +1,46 @@
+"""Observability for the simulator stack: tracing, profiling, metrics.
+
+Submodules:
+
+* :mod:`repro.trace.events` -- typed trace events (the vocabulary);
+* :mod:`repro.trace.bus` -- the event bus + sink protocol;
+* :mod:`repro.trace.profiler` -- PC/symbol cycle+energy attribution,
+  hot-spot tables, collapsed stacks;
+* :mod:`repro.trace.metrics` -- labeled metrics registry and the
+  interval power sampler (power-over-time series);
+* :mod:`repro.trace.chrome` -- Chrome ``trace_event`` JSON export
+  (loadable in Perfetto / chrome://tracing);
+* :mod:`repro.trace.opprofile` -- model-level per-symbol profile of a
+  full ECDSA primitive, reconciling with its ``EnergyReport``;
+* :mod:`repro.trace.record` -- structured JSON benchmark records.
+
+This ``__init__`` stays import-light (events + bus only, the rest via
+PEP 562 lazy attributes) because the Pete core imports the event types
+on its own import path.
+"""
+
+from __future__ import annotations
+
+from repro.trace.bus import CollectingSink, NullSink, TraceBus, attach_tracer
+from repro.trace.events import TraceEvent
+
+__all__ = [
+    "TraceBus", "TraceEvent", "CollectingSink", "NullSink",
+    "attach_tracer", "Profiler", "MetricsRegistry", "PowerSampler",
+]
+
+_LAZY = {
+    "Profiler": ("repro.trace.profiler", "Profiler"),
+    "MetricsRegistry": ("repro.trace.metrics", "MetricsRegistry"),
+    "PowerSampler": ("repro.trace.metrics", "PowerSampler"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

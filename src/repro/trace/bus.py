@@ -1,0 +1,80 @@
+"""The event bus wiring instrumented components to sinks.
+
+A :class:`TraceBus` is the single object threaded through the simulator
+stack: Pete, the instruction cache, the multiply/divide unit, the memory
+system and both coprocessors each hold a ``tracer`` attribute that is
+either ``None`` (the zero-cost default -- every instrumentation site is
+behind one ``if self.tracer is not None``) or a bus.  Sinks subscribe
+with :meth:`attach` and receive every event in emission order, which for
+Pete-driven runs is program order (events belonging to an instruction
+are emitted before its RETIRE event).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.trace.events import TraceEvent
+
+
+class TraceSink(Protocol):
+    """Anything that consumes trace events."""
+
+    def on_event(self, event: TraceEvent) -> None: ...
+
+
+class TraceBus:
+    """Fan-out of trace events to the attached sinks."""
+
+    def __init__(self, sinks: Iterable[TraceSink] = ()) -> None:
+        self._sinks: list[TraceSink] = list(sinks)
+        self.events_emitted = 0
+
+    def attach(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TraceSink) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple[TraceSink, ...]:
+        return tuple(self._sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.on_event(event)
+
+
+class CollectingSink:
+    """The simplest sink: keep every event (tests, exporters)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class NullSink:
+    """Discard everything (measuring the emission overhead itself)."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        pass
+
+
+def attach_tracer(cpu, bus: TraceBus | None) -> None:
+    """Wire one bus through a built :class:`~repro.pete.cpu.Pete` and
+    whatever is hanging off it (cache, mul/div unit, memory system and a
+    Monte/Billie behind a COP2 adapter)."""
+    cpu.tracer = bus
+    cpu.mem.tracer = bus
+    cpu.muldiv.tracer = bus
+    if cpu.icache is not None:
+        cpu.icache.tracer = bus
+    cop = cpu.coprocessor
+    if cop is not None:
+        inner = getattr(cop, "monte", None) or getattr(cop, "billie", None)
+        if inner is not None:
+            inner.tracer = bus

@@ -1,0 +1,149 @@
+"""Chrome ``trace_event`` JSON export (Perfetto / chrome://tracing).
+
+Builds the JSON object format described in the Trace Event Format spec:
+complete slices (``"ph": "X"``) for instruction retirement (folded to
+symbols so a million-instruction run stays loadable), pipeline stalls,
+mul/div occupancy, FFAU and Billie functional-unit busy intervals and
+DMA bursts, plus ``"C"`` counter events for the sampled power series.
+Timestamps are microseconds: ``cycle * clock_ns / 1000``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.energy.technology import SYSTEM_CLOCK_NS
+from repro.trace import events as ev
+
+#: (pid, tid) placement and display names for each track
+_PROCESSES = {1: "pete", 2: "coprocessor"}
+_TRACKS = {
+    "retire": (1, 1),
+    "stall": (1, 2),
+    "muldiv": (1, 3),
+    "ffau": (2, 1),
+    "dma": (2, 2),
+    "billie": (2, 3),
+    "billie_ram": (2, 4),
+}
+_THREAD_NAMES = {
+    (1, 1): "retire (symbols)",
+    (1, 2): "stalls",
+    (1, 3): "mul/div unit",
+    (2, 1): "FFAU",
+    (2, 2): "DMA",
+    (2, 3): "Billie FUs",
+    (2, 4): "Billie ld/st",
+}
+
+_UNIT_TRACK = {
+    ev.MULDIV_BUSY: "muldiv",
+    ev.FFAU_BUSY: "ffau",
+    ev.DMA_BURST: "dma",
+    ev.BILLIE_BUSY: "billie",
+    ev.BILLIE_RAM: "billie_ram",
+}
+
+
+def _slice(name: str, track: str, start_cycle: int, dur_cycles: int,
+           clock_ns: float, args: dict | None = None) -> dict:
+    pid, tid = _TRACKS[track]
+    out = {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": start_cycle * clock_ns / 1000.0,
+        "dur": max(dur_cycles, 1) * clock_ns / 1000.0,
+    }
+    if args:
+        out["args"] = args
+    return out
+
+
+def build_chrome_trace(events, symbols=None, power_series=None,
+                       clock_ns: float = SYSTEM_CLOCK_NS,
+                       metadata: dict | None = None) -> dict:
+    """Build the trace object from a list of :class:`TraceEvent`.
+
+    ``symbols`` is an optional :class:`repro.trace.profiler.Symbolizer`;
+    with it, consecutive retirements inside one symbol fold into a
+    single slice (named by the symbol), otherwise each retirement is a
+    per-mnemonic slice.  ``power_series`` is ``[(cycle, mW), ...]`` as
+    produced by :meth:`PowerSampler.power_series`.
+    """
+    out: list[dict] = []
+    for pid, pname in _PROCESSES.items():
+        out.append({"name": "process_name", "ph": "M", "pid": pid,
+                    "args": {"name": pname}})
+    for (pid, tid), tname in _THREAD_NAMES.items():
+        out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": tname}})
+
+    # fold consecutive retires sharing a symbol into one slice
+    open_sym: str | None = None
+    open_start = 0
+    open_end = 0
+    open_count = 0
+
+    def close_retire() -> None:
+        nonlocal open_sym, open_count
+        if open_sym is not None:
+            out.append(_slice(open_sym, "retire", open_start,
+                              open_end - open_start, clock_ns,
+                              {"instructions": open_count}))
+        open_sym, open_count = None, 0
+
+    for e in events:
+        if e.kind == ev.RETIRE:
+            name = symbols.symbol(e.pc) if symbols is not None else e.detail
+            if name == open_sym and e.cycle <= open_end:
+                open_end = e.cycle + max(e.duration, 1)
+                open_count += 1
+            else:
+                close_retire()
+                open_sym = name
+                open_start = e.cycle
+                open_end = e.cycle + max(e.duration, 1)
+                open_count = 1
+        elif e.kind == ev.STALL:
+            out.append(_slice(e.detail, "stall", e.cycle, e.duration,
+                              clock_ns))
+        else:
+            track = _UNIT_TRACK.get(e.kind)
+            if track is None:
+                continue  # per-access memory events: too fine for slices
+            name = e.detail or e.unit
+            args = {"words": e.value} if e.kind in (
+                ev.DMA_BURST, ev.BILLIE_RAM) else None
+            out.append(_slice(name, track, max(e.cycle, 0), e.duration,
+                              clock_ns, args))
+    close_retire()
+
+    if power_series:
+        for cycle, mw in power_series:
+            out.append({
+                "name": "power", "ph": "C", "pid": 1,
+                "ts": cycle * clock_ns / 1000.0,
+                "args": {"mW": round(mw, 6)},
+            })
+
+    trace = {
+        "traceEvents": out,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock_ns": clock_ns},
+    }
+    if metadata:
+        trace["otherData"].update(metadata)
+    return trace
+
+
+def write_chrome_trace(path, events, symbols=None, power_series=None,
+                       clock_ns: float = SYSTEM_CLOCK_NS,
+                       metadata: dict | None = None) -> dict:
+    """Build and write the trace JSON; returns the trace object."""
+    trace = build_chrome_trace(events, symbols, power_series, clock_ns,
+                               metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return trace

@@ -1,0 +1,74 @@
+"""Typed trace events emitted by the instrumented simulators.
+
+One flat event record covers every instrumentation site; the ``kind``
+constants below enumerate the vocabulary.  Events are only constructed
+when a :class:`~repro.trace.bus.TraceBus` is attached (the null path is a
+single ``if self.tracer is not None`` per site), so the record favours
+clarity over packing tricks -- ``__slots__`` keeps allocation cheap when
+tracing *is* on.
+
+Field conventions:
+
+* ``cycle`` -- start cycle of the event (``-1`` when the emitting
+  component has no clock; sinks attribute such events to the enclosing
+  instruction);
+* ``duration`` -- cycles covered (0 for point events);
+* ``pc`` -- program counter the event is attributable to (retires and
+  stalls; ``-1`` elsewhere);
+* ``unit`` -- the hardware component, dotted (``pete``, ``pete.muldiv``,
+  ``rom``, ``ram``, ``icache``, ``monte.ffau``, ``monte.dma``,
+  ``billie.mul`` ...);
+* ``detail`` -- mnemonic / stall reason / operation name;
+* ``value`` -- event-specific payload (address, word count, jump target).
+"""
+
+from __future__ import annotations
+
+# -- event kinds ------------------------------------------------------------
+
+RETIRE = "retire"            # one instruction retired (duration = 1 + stalls)
+STALL = "stall"              # pipeline stall; detail = reason
+COP2 = "cop2"                # a COP2 instruction issued to a coprocessor
+ROM_READ = "rom_read"        # one 32-bit ROM word read
+ROM_LINE = "rom_line"        # one 128-bit ROM line read
+RAM_READ = "ram_read"
+RAM_WRITE = "ram_write"
+ICACHE_ACCESS = "icache_access"   # detail = "hit" | "miss" | "pf_hit"
+ICACHE_FILL = "icache_fill"
+MULDIV_BUSY = "muldiv_busy"  # the Hi/Lo unit occupied; duration = latency
+FFAU_BUSY = "ffau_busy"      # Monte's FFAU computing; detail = op
+DMA_BURST = "dma_burst"      # Monte DMA transfer; value = words moved
+BILLIE_BUSY = "billie_busy"  # one Billie functional unit; unit = billie.<fu>
+BILLIE_RAM = "billie_ram"    # Billie load/store RAM traffic; value = words
+
+#: Stall reasons carried in ``detail`` of STALL events.
+STALL_REASONS = (
+    "icache_miss", "load_use", "branch_mispredict", "jr_target",
+    "muldiv", "cop2",
+)
+
+
+class TraceEvent:
+    """One instrumentation event (see module docstring for conventions)."""
+
+    __slots__ = ("kind", "cycle", "duration", "pc", "unit", "detail", "value")
+
+    def __init__(self, kind: str, cycle: int, duration: int = 0,
+                 pc: int = -1, unit: str = "", detail: str = "",
+                 value: int = 0) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.duration = duration
+        self.pc = pc
+        self.unit = unit
+        self.detail = detail
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.kind!r}, cycle={self.cycle}, "
+                f"duration={self.duration}, pc={self.pc:#x}, "
+                f"unit={self.unit!r}, detail={self.detail!r}, "
+                f"value={self.value})")
+
+    def as_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}

@@ -1,0 +1,231 @@
+"""Labeled metrics registry + interval-sampled power series.
+
+The registry unifies the repo's scattered counter bags --
+:class:`~repro.pete.stats.CoreStats`, the model's
+:class:`~repro.model.system.Activity` and
+:class:`~repro.energy.accounting.EnergyReport` -- behind one namespace
+of labeled counters, gauges and series, serializable to JSON for the
+benchmark records and the CI artifacts.
+
+:class:`PowerSampler` is the trace sink producing the dissertation-style
+power-over-time plots: it buckets every event's dynamic energy into
+fixed cycle intervals and renders mW per interval (static power added as
+a constant floor), exportable as Chrome ``Counter`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dc_fields, is_dataclass
+
+from repro.energy.simulated import RunEnergyParams
+from repro.trace import events as ev
+from repro.trace.profiler import EnergyCharger
+
+
+def _label_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Sample:
+    """One collected metric value."""
+
+    name: str
+    kind: str                 # counter | gauge | series
+    labels: dict[str, str]
+    value: float | list
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Series:
+    """An (x, y) sequence -- cycle-indexed samples of one quantity."""
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: list[tuple[float, float]] = []
+
+    def append(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+
+class MetricsRegistry:
+    """Named, labeled metrics with JSON export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, tuple], object] = {}
+
+    def _get(self, kind: str, factory, name: str, labels: dict):
+        key = (name, kind, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def series(self, name: str, **labels: str) -> Series:
+        return self._get("series", Series, name, labels)
+
+    # -- ingestion from the existing counter bags --------------------------
+
+    def ingest_counters(self, obj, prefix: str = "", **labels: str) -> None:
+        """Ingest any all-numeric dataclass (CoreStats, MonteStats,
+        BillieStats, Activity) as counters named ``prefix<field>``."""
+        if not is_dataclass(obj):
+            raise TypeError(f"expected a dataclass, got {type(obj)!r}")
+        for f in dc_fields(obj):
+            value = getattr(obj, f.name)
+            if isinstance(value, (int, float)):
+                self.counter(f"{prefix}{f.name}", **labels).inc(value)
+
+    def ingest_energy_report(self, report, **labels: str) -> None:
+        """Ingest an :class:`EnergyReport` as per-component counters plus
+        summary gauges."""
+        for comp, nj in report.breakdown.dynamic_nj.items():
+            self.counter("energy_dynamic_nj", component=comp,
+                         **labels).inc(nj)
+        for comp, nj in report.breakdown.static_nj.items():
+            self.counter("energy_static_nj", component=comp,
+                         **labels).inc(nj)
+        self.gauge("energy_total_uj", **labels).set(report.total_uj)
+        self.gauge("power_mw", **labels).set(report.power_mw)
+        self.counter("cycles", **labels).inc(report.cycles)
+
+    # -- export ------------------------------------------------------------
+
+    def collect(self) -> list[Sample]:
+        out = []
+        for (name, kind, labels), metric in sorted(
+                self._metrics.items(), key=lambda kv: kv[0][:2]):
+            value = ([list(p) for p in metric.points]
+                     if isinstance(metric, Series) else metric.value)
+            out.append(Sample(name, kind, dict(labels), value))
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "metrics": [
+                {"name": s.name, "kind": s.kind, "labels": s.labels,
+                 "value": s.value}
+                for s in self.collect()
+            ]
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+class PowerSampler:
+    """Trace sink: dynamic power averaged over fixed cycle intervals.
+
+    Events carrying a cycle are bucketed at that cycle; un-clocked
+    events (cycle ``-1``) fall into the bucket of the last clocked event
+    seen, which in program order is the enclosing instruction's.
+    Interval events (FFAU/Billie busy, DMA bursts) are spread uniformly
+    over the cycles they cover.
+    """
+
+    def __init__(self, params: RunEnergyParams | None = None,
+                 interval_cycles: int = 1000) -> None:
+        if interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        self.params = params or RunEnergyParams()
+        self.charger = EnergyCharger(self.params)
+        self.interval = interval_cycles
+        self.buckets: dict[int, float] = {}   # bucket index -> nJ
+        self._now = 0
+        self.last_cycle = 0
+
+    def on_event(self, e) -> None:
+        if e.cycle >= 0:
+            self._now = e.cycle
+            end = e.cycle + e.duration
+            if end > self.last_cycle:
+                self.last_cycle = end
+        nj = self.charger.dynamic_nj(e)
+        if e.kind == ev.RETIRE and self.params.icache_size is not None:
+            nj += self.charger.uncore_fetch_nj()
+        if not nj:
+            return
+        start = e.cycle if e.cycle >= 0 else self._now
+        if e.duration > 1:
+            # spread interval events across the buckets they cover
+            per_cycle = nj / e.duration
+            first, last = start // self.interval, (
+                start + e.duration - 1) // self.interval
+            for b in range(first, last + 1):
+                lo = max(start, b * self.interval)
+                hi = min(start + e.duration, (b + 1) * self.interval)
+                self.buckets[b] = (self.buckets.get(b, 0.0)
+                                   + per_cycle * (hi - lo))
+        else:
+            b = start // self.interval
+            self.buckets[b] = self.buckets.get(b, 0.0) + nj
+
+    # -- results -----------------------------------------------------------
+
+    def static_mw(self) -> float:
+        """Static (leakage) power floor of the configured system, in mW."""
+        p = self.params
+        nj_per_cycle = sum(p.static_nj(c, 1.0)
+                           for c in p.static_components())
+        # nJ per cycle over ns per cycle is watts; *1e3 -> mW
+        return nj_per_cycle / p.clock_ns * 1e3
+
+    def power_series(self, include_static: bool = True
+                     ) -> list[tuple[int, float]]:
+        """``[(cycle, mW), ...]`` -- average power per interval."""
+        if not self.buckets:
+            return []
+        interval_s = self.interval * self.params.clock_ns * 1e-9
+        floor = self.static_mw() if include_static else 0.0
+        last_bucket = self.last_cycle // self.interval
+        out = []
+        for b in range(0, last_bucket + 1):
+            nj = self.buckets.get(b, 0.0)
+            out.append((b * self.interval, nj * 1e-9 / interval_s * 1e3
+                        + floor))
+        return out
+
+    def to_registry(self, registry: MetricsRegistry, **labels: str) -> None:
+        series = registry.series("power_mw", **labels)
+        for cycle, mw in self.power_series():
+            series.append(cycle, mw)
+
+    def render(self, width: int = 60, include_static: bool = True) -> str:
+        """ASCII power-over-time sketch (one row per interval)."""
+        series = self.power_series(include_static)
+        if not series:
+            return "(no samples)"
+        peak = max(mw for _, mw in series)
+        lines = [f"power over time ({self.interval} cycles/interval, "
+                 f"peak {peak:.3f} mW)"]
+        for cycle, mw in series:
+            bar = "#" * max(1, round(width * mw / peak)) if peak else ""
+            lines.append(f"{cycle:>10} {mw:>9.3f} {bar}")
+        return "\n".join(lines)

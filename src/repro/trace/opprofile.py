@@ -1,0 +1,128 @@
+"""Per-operation energy profile of a full ECDSA primitive.
+
+A whole sign/verify does not run cycle-accurately on Pete -- the system
+model composes measured kernel costs and coprocessor timing machines
+(:mod:`repro.model.system`).  This module is the profiler's model-level
+sibling: it prices each part of
+:meth:`~repro.model.system.SystemModel.activity_parts` (one row per
+field/order operation class) with exactly the coefficients
+:meth:`SystemModel.report` uses, and books everything that is a
+whole-run quantity -- pipeline stalls, coprocessor idle clocking, the
+instruction-fetch path and every static term -- into one residual row.
+Rows plus residual equal the authoritative report by construction; the
+tests additionally check the residual against an independent pricing of
+those run-level quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curves import get_curve
+from repro.energy.components import FFAUPower
+from repro.model.configs import MicroarchConfig, get_config
+from repro.model.system import Activity, SystemModel
+
+RESIDUAL_ROW = "(fetch+stall+idle+static)"
+
+
+@dataclass
+class OpRow:
+    """One operation class of the profiled primitive."""
+
+    name: str
+    cycles: float
+    dynamic_nj: float
+
+
+class OperationProfile:
+    """The priced decomposition of one primitive's energy report."""
+
+    def __init__(self, curve: str, config: str, primitive: str,
+                 rows: list[OpRow], residual_nj: float, report) -> None:
+        self.curve = curve
+        self.config = config
+        self.primitive = primitive
+        self.rows = rows
+        self.residual_nj = residual_nj
+        self.report = report
+
+    def total_nj(self) -> float:
+        return sum(r.dynamic_nj for r in self.rows) + self.residual_nj
+
+    def reconcile(self) -> float:
+        """Relative difference vs the authoritative report (0 by
+        construction; kept as the symmetric API to
+        :meth:`repro.trace.profiler.Profiler.reconcile`)."""
+        return (abs(self.total_nj() - self.report.total_nj)
+                / self.report.total_nj)
+
+    def table(self) -> str:
+        total_nj = self.report.total_nj
+        total_cycles = max(1.0, float(self.report.cycles))
+        lines = [
+            f"{self.curve}/{self.config}/{self.primitive}: "
+            f"{self.report.cycles} cycles, {self.report.total_uj:.2f} uJ",
+            f"{'operation':<24} {'cycles':>12} {'cyc%':>6} {'uJ':>9} "
+            f"{'uJ%':>6}",
+        ]
+        for r in sorted(self.rows, key=lambda r: -r.dynamic_nj):
+            lines.append(
+                f"{r.name:<24} {r.cycles:>12.0f} "
+                f"{100 * r.cycles / total_cycles:>5.1f}% "
+                f"{r.dynamic_nj / 1e3:>9.4f} "
+                f"{100 * r.dynamic_nj / total_nj:>5.1f}%")
+        lines.append(
+            f"{RESIDUAL_ROW:<24} {'':>12} {'':>6} "
+            f"{self.residual_nj / 1e3:>9.4f} "
+            f"{100 * self.residual_nj / total_nj:>5.1f}%")
+        lines.append(
+            f"{'total':<24} {self.report.cycles:>12} {'100.0%':>6} "
+            f"{self.total_nj() / 1e3:>9.4f} {'100.0%':>6}")
+        return "\n".join(lines)
+
+
+def _part_dynamic_nj(model: SystemModel, config: MicroarchConfig,
+                     curve_bits: int, part: Activity) -> float:
+    """Price one part's *compute* activity (the per-op attributable
+    share of :meth:`SystemModel._energy`'s dynamic terms)."""
+    cal = model.cal
+    pete_factor = 1.0
+    if config.prime_isa_ext:
+        pete_factor *= cal.pete.isa_ext_factor
+    if config.binary_isa_ext:
+        pete_factor *= cal.pete.binary_ext_factor
+    pj = part.pete_active * cal.pete.active_pj * pete_factor
+    ram = cal.ram(dual_port=config.accelerator is not None)
+    pj += (part.ram_reads * ram.read_energy_pj()
+           + part.ram_writes * ram.write_energy_pj())
+    if config.accelerator == "monte":
+        pj += (part.ffau_busy
+               * FFAUPower(32).dynamic_pj_per_cycle(curve_bits)
+               + part.dma_words * cal.monte.dma_word_pj
+               + part.monte_issues * cal.monte.issue_pj)
+    elif config.accelerator == "billie":
+        pj += part.billie_busy * cal.billie.active_pj(
+            curve_bits, config.billie_sram_regfile)
+    return pj / 1e3
+
+
+def profile_primitive(curve_name: str, config: MicroarchConfig | str,
+                      primitive: str = "sign",
+                      ideal_icache: bool = False,
+                      model: SystemModel | None = None
+                      ) -> OperationProfile:
+    """Profile one full primitive: per-operation rows + residual."""
+    model = model or SystemModel()
+    config_obj = get_config(config) if isinstance(config, str) else config
+    curve_bits = get_curve(curve_name).bits
+    parts = model.activity_parts(curve_name, config_obj, primitive)
+    report = model.report(curve_name, config_obj, primitive, ideal_icache)
+    rows = [
+        OpRow(name, part.cycles,
+              _part_dynamic_nj(model, config_obj, curve_bits, part))
+        for name, part in parts.items()
+    ]
+    residual = report.total_nj - sum(r.dynamic_nj for r in rows)
+    return OperationProfile(curve_name, config_obj.name, primitive,
+                            rows, residual, report)

@@ -1,0 +1,304 @@
+"""Profiler sink: attribute cycles, stalls and energy to code.
+
+The profiler consumes the event stream of one simulated run and answers
+*where did the cycles and nanojoules go*:
+
+* per-PC and per-symbol cycle/stall/energy accounting (symbols come from
+  the assembler's label table; any PC folds to the nearest preceding
+  label);
+* call-path tracking via ``jal``/``jalr`` pushes and ``jr $ra`` pops,
+  rendered as collapsed stacks (flamegraph-compatible: one
+  ``path;leaf count`` line per call path);
+* a top-N hot-spot table whose energy column reconciles with
+  :func:`repro.energy.simulated.report_from_corestats` -- both charge
+  the identical :class:`~repro.energy.simulated.RunEnergyParams`
+  per-event energies.
+
+Events emitted by un-clocked components (the memory system inside one
+instruction) are buffered and attributed to the *next* RETIRE event,
+which in Pete's in-order pipeline is exactly the instruction that caused
+them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.energy.simulated import RunEnergyParams, report_from_corestats
+from repro.trace import events as ev
+
+#: $ra -- the link register whose ``jr`` pops the call stack.
+_RA = 31
+
+
+class Symbolizer:
+    """Fold program counters to the assembler's labels."""
+
+    def __init__(self, labels: dict[str, int], base: int = 0) -> None:
+        pairs = sorted((base + 4 * idx, name) for name, idx in labels.items())
+        self._addrs = [addr for addr, _ in pairs]
+        self._names = [name for _, name in pairs]
+
+    @classmethod
+    def from_program(cls, program) -> "Symbolizer":
+        """From an :class:`~repro.pete.assembler.Assembled` image."""
+        return cls(program.labels, program.base)
+
+    def symbol(self, pc: int) -> str:
+        i = bisect_right(self._addrs, pc) - 1
+        if i < 0:
+            return f"0x{pc:x}" if pc >= 0 else "?"
+        return self._names[i]
+
+
+class EnergyCharger:
+    """Per-event dynamic energy, shared by profiler and power sampler."""
+
+    def __init__(self, params: RunEnergyParams) -> None:
+        self.p = params
+
+    def dynamic_nj(self, e) -> float:
+        """Dynamic energy (nJ) of one event; 0.0 for unpriced kinds."""
+        p = self.p
+        k = e.kind
+        if k == ev.RETIRE:
+            # one active cycle; the stall cycles inside the instruction
+            # are charged by their own STALL events
+            return p.pete_active_pj / 1e3
+        if k == ev.STALL:
+            return e.duration * p.pete_stall_pj / 1e3
+        if k == ev.ROM_READ:
+            return p.rom_word_pj / 1e3
+        if k == ev.ROM_LINE:
+            return p.rom_line_pj / 1e3
+        if k == ev.RAM_READ:
+            return p.ram_read_pj / 1e3
+        if k == ev.RAM_WRITE:
+            return p.ram_write_pj / 1e3
+        if k == ev.ICACHE_ACCESS:
+            return p.icache_access_pj / 1e3
+        if k == ev.ICACHE_FILL:
+            return p.icache_fill_pj / 1e3
+        if k == ev.COP2:
+            return p.cop2_issue_pj / 1e3
+        if k == ev.FFAU_BUSY:
+            return e.duration * p.ffau_busy_pj / 1e3
+        if k == ev.DMA_BURST:
+            ram_pj = (p.ram_read_pj if e.detail == "load"
+                      else p.ram_write_pj)
+            return e.value * (p.dma_word_pj + ram_pj) / 1e3
+        if k == ev.BILLIE_BUSY:
+            return e.duration * p.billie_active_pj / 1e3
+        if k == ev.BILLIE_RAM:
+            ram_pj = (p.ram_read_pj if e.detail == "load"
+                      else p.ram_write_pj)
+            return e.value * ram_pj / 1e3
+        return 0.0
+
+    def uncore_fetch_nj(self) -> float:
+        """Uncore buffer energy charged once per retired instruction
+        when an instruction cache is configured."""
+        return self.p.uncore_active_pj / 1e3
+
+
+@dataclass
+class SymbolProfile:
+    """Accumulated costs of one symbol."""
+
+    symbol: str
+    cycles: int = 0
+    instructions: int = 0
+    stall_cycles: int = 0
+    dynamic_nj: float = 0.0
+    stalls: dict[str, int] = field(default_factory=dict)
+
+
+class Profiler:
+    """Attribute the event stream to PCs, symbols and call paths."""
+
+    def __init__(self, symbols: Symbolizer | None = None,
+                 params: RunEnergyParams | None = None) -> None:
+        self.symbols = symbols
+        self.params = params or RunEnergyParams()
+        self.charger = EnergyCharger(self.params)
+        # per-pc accumulation
+        self.pc_cycles: dict[int, int] = {}
+        self.pc_instructions: dict[int, int] = {}
+        self.pc_stalls: dict[int, int] = {}
+        self.pc_dynamic_nj: dict[int, float] = {}
+        self.stall_reasons: dict[str, int] = {}
+        # pending events awaiting their RETIRE (un-clocked emitters)
+        self._pending_nj = 0.0
+        self._pending_stalls: list = []
+        # coprocessor activity (not PC-attributable)
+        self.coproc_dynamic_nj = 0.0
+        self.coproc_busy_cycles = 0
+        # call-path tracking
+        self._stack: list[str] = []
+        self._ret_stack: list[int] = []
+        self.path_cycles: dict[tuple[str, ...], int] = {}
+        # run totals
+        self.total_cycles = 0
+        self.total_instructions = 0
+
+    # -- sink protocol -----------------------------------------------------
+
+    def on_event(self, e) -> None:
+        kind = e.kind
+        if kind == ev.RETIRE:
+            self._on_retire(e)
+            return
+        nj = self.charger.dynamic_nj(e)
+        if kind == ev.STALL:
+            self._pending_stalls.append(e)
+            self._pending_nj += nj
+            self.stall_reasons[e.detail] = (
+                self.stall_reasons.get(e.detail, 0) + e.duration)
+        elif kind in (ev.FFAU_BUSY, ev.BILLIE_BUSY):
+            self.coproc_dynamic_nj += nj
+            self.coproc_busy_cycles += e.duration
+        elif kind in (ev.DMA_BURST, ev.BILLIE_RAM):
+            self.coproc_dynamic_nj += nj
+        else:
+            self._pending_nj += nj
+
+    def _on_retire(self, e) -> None:
+        pc = e.pc
+        stall = sum(s.duration for s in self._pending_stalls)
+        # active cycles = duration minus the stalls inside it: exactly 1
+        # for every instruction except the halt, which retires in zero
+        active = e.duration - stall
+        nj = (self._pending_nj + active * self.params.pete_active_pj / 1e3
+              + self.charger.uncore_fetch_nj())
+        self._pending_nj = 0.0
+        self._pending_stalls.clear()
+        self.pc_cycles[pc] = self.pc_cycles.get(pc, 0) + e.duration
+        self.pc_instructions[pc] = self.pc_instructions.get(pc, 0) + 1
+        self.pc_stalls[pc] = self.pc_stalls.get(pc, 0) + stall
+        self.pc_dynamic_nj[pc] = self.pc_dynamic_nj.get(pc, 0.0) + nj
+        self.total_cycles += e.duration
+        self.total_instructions += 1
+        if self.symbols is not None:
+            self._track_calls(e)
+
+    def _track_calls(self, e) -> None:
+        leaf = self.symbols.symbol(e.pc)
+        path = tuple(self._stack) + (leaf,)
+        self.path_cycles[path] = self.path_cycles.get(path, 0) + e.duration
+        m = e.detail
+        if m in ("jal", "jalr") and e.value >= 0:
+            self._stack.append(leaf)
+            self._ret_stack.append(e.pc + 8)
+        elif m == "jr" and self._stack and e.value == self._ret_stack[-1]:
+            self._stack.pop()
+            self._ret_stack.pop()
+
+    # -- results -----------------------------------------------------------
+
+    def _static_nj_total(self) -> float:
+        return sum(self.params.static_nj(c, self.total_cycles)
+                   for c in self.params.static_components())
+
+    def total_dynamic_nj(self) -> float:
+        base = sum(self.pc_dynamic_nj.values()) + self.coproc_dynamic_nj
+        return base + self._idle_nj()
+
+    def _idle_nj(self) -> float:
+        """Coprocessor idle-clocking energy (a run-level quantity)."""
+        p = self.params
+        nj = 0.0
+        if p.has_monte:
+            idle = max(0, self.total_cycles - self.coproc_busy_cycles)
+            nj += idle * p.ffau_idle_pj / 1e3
+        if p.has_billie:
+            idle = max(0, self.total_cycles - self.coproc_busy_cycles)
+            nj += idle * p.billie_idle_pj / 1e3
+        return nj
+
+    def total_nj(self) -> float:
+        return self.total_dynamic_nj() + self._static_nj_total()
+
+    def by_symbol(self) -> list[SymbolProfile]:
+        """Per-symbol rollup, hottest (most cycles) first."""
+        rollup: dict[str, SymbolProfile] = {}
+        for pc, cycles in self.pc_cycles.items():
+            name = (self.symbols.symbol(pc) if self.symbols is not None
+                    else f"0x{pc:x}")
+            prof = rollup.setdefault(name, SymbolProfile(name))
+            prof.cycles += cycles
+            prof.instructions += self.pc_instructions[pc]
+            prof.stall_cycles += self.pc_stalls[pc]
+            prof.dynamic_nj += self.pc_dynamic_nj[pc]
+        return sorted(rollup.values(), key=lambda s: -s.cycles)
+
+    def table(self, top: int | None = None) -> str:
+        """Render the hot-spot table (cycles + energy per symbol).
+
+        Energy per symbol = attributed dynamic energy plus the symbol's
+        cycle-share of static/idle energy, so the table's total equals
+        :meth:`total_nj` exactly.
+        """
+        rows = self.by_symbol()
+        shown = rows if top is None else rows[:top]
+        overhead_nj = self._static_nj_total() + self._idle_nj()
+        total_nj = self.total_nj()
+        total_cycles = max(1, self.total_cycles)
+        lines = [
+            f"{'symbol':<24} {'cycles':>10} {'cyc%':>6} {'instrs':>9} "
+            f"{'stalls':>8} {'uJ':>9} {'uJ%':>6}",
+        ]
+        for s in shown:
+            nj = s.dynamic_nj + overhead_nj * s.cycles / total_cycles
+            lines.append(
+                f"{s.symbol:<24} {s.cycles:>10} "
+                f"{100 * s.cycles / total_cycles:>5.1f}% "
+                f"{s.instructions:>9} {s.stall_cycles:>8} "
+                f"{nj / 1e3:>9.4f} {100 * nj / max(total_nj, 1e-12):>5.1f}%")
+        if len(shown) < len(rows):
+            rest_c = sum(s.cycles for s in rows[top:])
+            rest_nj = sum(s.dynamic_nj for s in rows[top:])
+            rest_nj += overhead_nj * rest_c / total_cycles
+            lines.append(f"{'(other)':<24} {rest_c:>10} "
+                         f"{100 * rest_c / total_cycles:>5.1f}% "
+                         f"{'':>9} {'':>8} {rest_nj / 1e3:>9.4f} "
+                         f"{100 * rest_nj / max(total_nj, 1e-12):>5.1f}%")
+        if self.coproc_dynamic_nj or self._idle_nj():
+            nj = self.coproc_dynamic_nj
+            lines.append(f"{'(coprocessor)':<24} "
+                         f"{self.coproc_busy_cycles:>10} {'':>6} {'':>9} "
+                         f"{'':>8} {nj / 1e3:>9.4f} "
+                         f"{100 * nj / max(total_nj, 1e-12):>5.1f}%")
+        lines.append(
+            f"{'total':<24} {self.total_cycles:>10} {'100.0%':>6} "
+            f"{self.total_instructions:>9} "
+            f"{sum(self.stall_reasons.values()):>8} "
+            f"{total_nj / 1e3:>9.4f} {'100.0%':>6}")
+        return "\n".join(lines)
+
+    def collapsed_stacks(self) -> str:
+        """Flamegraph-compatible collapsed stacks (cycles as weight)."""
+        lines = [f"{';'.join(path)} {cycles}"
+                 for path, cycles in sorted(self.path_cycles.items())]
+        return "\n".join(lines)
+
+    def energy_report(self, label: str = "profiled-run"):
+        """The run's :class:`EnergyReport` as the profiler accounts it --
+        reconciles with ``report_from_corestats`` on the same run."""
+        from repro.energy.accounting import EnergyBreakdown, EnergyReport
+
+        bd = EnergyBreakdown()
+        bd.add_dynamic("attributed", self.total_dynamic_nj())
+        for comp in self.params.static_components():
+            bd.add_static(comp, self.params.static_nj(
+                comp, self.total_cycles))
+        return EnergyReport(label, self.total_cycles, bd,
+                            self.params.clock_ns)
+
+    def reconcile(self, stats, monte_stats=None, billie_stats=None,
+                  label: str = "run") -> float:
+        """Relative difference between the profiler's total energy and
+        the authoritative counter-based report for the same run."""
+        report = report_from_corestats(stats, self.params, label,
+                                       monte_stats, billie_stats)
+        return abs(self.total_nj() - report.total_nj) / report.total_nj

@@ -1,0 +1,63 @@
+"""Structured JSON records for benchmark and profile runs.
+
+Every benchmark invocation (and the CI smoke job) writes one record so
+runs are comparable across commits: artifact name, configuration,
+cycles, energy, wall-clock, and the git revision that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+
+SCHEMA = "repro.bench.v1"
+
+
+def git_sha(repo_dir: str | None = None) -> str:
+    """Current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_record(artifact: str, config: str = "", cycles: float = 0,
+                 energy_uj: float = 0.0, wall_s: float = 0.0,
+                 data: dict | None = None) -> dict:
+    """Assemble one structured benchmark record."""
+    return {
+        "schema": SCHEMA,
+        "artifact": artifact,
+        "config": config,
+        "cycles": cycles,
+        "energy_uj": energy_uj,
+        "wall_s": wall_s,
+        "data": data or {},
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def write_record(record: dict, out_dir: str | None = None) -> str:
+    """Write ``record`` to ``<out_dir>/BENCH_<artifact>.json``.
+
+    ``out_dir`` defaults to ``$BENCH_RECORD_DIR`` or ``results/bench``
+    relative to the current directory.  Returns the path written.
+    """
+    out_dir = out_dir or os.environ.get("BENCH_RECORD_DIR",
+                                        os.path.join("results", "bench"))
+    os.makedirs(out_dir, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-._" else "_"
+                   for c in record["artifact"])
+    path = os.path.join(out_dir, f"BENCH_{safe}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,70 @@
+"""EnergyBreakdown/EnergyReport arithmetic, incl. the zero-cycle case."""
+
+import pytest
+
+from repro.energy.accounting import EnergyBreakdown, EnergyReport
+
+
+def _report(label="r", cycles=1000):
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 600.0)
+    bd.add_dynamic("RAM", 300.0)
+    bd.add_static("Pete", 100.0)
+    bd.add_static("RAM", 50.0)
+    return EnergyReport(label, cycles, bd)
+
+
+def test_zero_cycle_report_has_zero_power():
+    """Regression: power on an empty run must be 0.0, not a
+    ZeroDivisionError."""
+    report = EnergyReport("empty", 0, EnergyBreakdown())
+    assert report.dynamic_power_mw == 0.0
+    assert report.static_power_mw == 0.0
+    assert report.power_mw == 0.0
+    assert report.total_uj == 0.0
+    assert "0.0 uJ" in report.summary()
+
+
+def test_zero_cycles_with_energy_still_no_crash():
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 10.0)
+    report = EnergyReport("odd", 0, bd)
+    assert report.power_mw == 0.0
+    assert report.total_nj == 10.0
+
+
+def test_breakdown_accumulates_and_lists_components():
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 1.0)
+    bd.add_dynamic("Pete", 2.0)
+    bd.add_static("RAM", 4.0)
+    assert bd.dynamic_nj["Pete"] == 3.0
+    assert bd.component_total_nj("Pete") == 3.0
+    assert bd.component_total_nj("RAM") == 4.0
+    assert bd.components == ["Pete", "RAM"]
+
+
+def test_totals_and_power_split():
+    report = _report()
+    assert report.total_nj == 1050.0
+    assert report.total_uj == pytest.approx(1.05)
+    assert report.time_s == pytest.approx(1000 * report.clock_ns * 1e-9)
+    expected_dyn = 900.0 * 1e-9 / report.time_s * 1e3
+    assert report.dynamic_power_mw == pytest.approx(expected_dyn)
+    assert report.power_mw == pytest.approx(
+        report.dynamic_power_mw + report.static_power_mw)
+    assert report.component_uj("Pete") == pytest.approx(0.7)
+
+
+def test_merged_sums_components_and_cycles():
+    a, b = _report("sign", 1000), _report("verify", 500)
+    b.breakdown.add_dynamic("Monte", 40.0)
+    merged = a.merged(b, "sign+verify")
+    assert merged.label == "sign+verify"
+    assert merged.cycles == 1500
+    assert merged.breakdown.dynamic_nj["Pete"] == 1200.0
+    assert merged.breakdown.dynamic_nj["Monte"] == 40.0
+    assert merged.breakdown.static_nj["RAM"] == 100.0
+    assert merged.total_nj == pytest.approx(a.total_nj + b.total_nj)
+    # inputs untouched
+    assert a.breakdown.dynamic_nj["Pete"] == 600.0

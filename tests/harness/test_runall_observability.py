@@ -1,0 +1,98 @@
+"""runall: --only matching and the observability CLI modes."""
+
+import json
+
+import pytest
+
+from repro.harness.figures import FIGURES
+from repro.harness.runall import main, select_artifacts
+from repro.harness.tables import TABLES
+
+
+# ---------------------------------------------------------------------------
+# --only selection
+# ---------------------------------------------------------------------------
+
+
+def test_no_filter_selects_full_catalog():
+    got = select_artifacts(None)
+    assert len(got) == len(TABLES) + len(FIGURES)
+
+
+def test_exact_name_matches_table_and_figure():
+    got = select_artifacts(["7.1"])
+    assert got == [("table", "7.1"), ("figure", "7.1")]
+    # crucially: the prefix does NOT bleed into 7.15
+    assert ("figure", "7.15") not in got
+
+
+def test_underscore_and_kind_prefix_normalization():
+    assert select_artifacts(["7_14"]) == [("figure", "7.14")]
+    assert select_artifacts(["table_7_2"]) == [("table", "7.2")]
+    assert select_artifacts(["Figure.S7.7"]) == [("figure", "s7.7")]
+
+
+def test_component_prefix_selects_a_family():
+    names = [n for _, n in select_artifacts(["s7"])]
+    assert names == ["s7.7", "s7.8"]
+    sevens = [n for _, n in select_artifacts(["7"])]
+    assert "7.1" in sevens and "7.15" in sevens
+    assert all(n.startswith("7.") for n in sevens)
+
+
+def test_unknown_names_fail_loudly():
+    with pytest.raises(SystemExit) as exc:
+        select_artifacts(["7.1", "nope", "9.9"])
+    msg = str(exc.value)
+    assert "unknown artifact name(s): nope 9.9" in msg
+    assert "available:" in msg and "7.15" in msg
+
+
+def test_main_propagates_unknown_only(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--only", "bogus", "--out", str(tmp_path)])
+
+
+# ---------------------------------------------------------------------------
+# observability modes
+# ---------------------------------------------------------------------------
+
+
+def test_profile_mode_prints_reconciled_table(capsys):
+    assert main(["--profile", "P-192:baseline:sign"]) == 0
+    out = capsys.readouterr().out
+    assert "P-192/baseline/sign" in out
+    assert "reconciliation vs EnergyReport: 0.0000% difference" in out
+
+
+def test_profile_default_spec(capsys):
+    assert main(["--profile"]) == 0
+    assert "P-256/baseline/sign" in capsys.readouterr().out
+
+
+def test_profile_kernel_mode(capsys):
+    assert main(["--profile-kernel", "os_mul:4"]) == 0
+    out = capsys.readouterr().out
+    assert "os_mul" in out and "total" in out
+    assert "reconciliation vs EnergyReport: 0.0000%" in out
+    assert "collapsed stacks" in out
+
+
+def test_trace_mode_writes_loadable_json(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["--trace", str(path),
+                 "--trace-kernel", "os_mul:4"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    trace = json.loads(path.read_text())
+    assert trace["traceEvents"]
+    assert trace["otherData"]["kernel"] == "os_mul:4"
+    assert {e["ph"] for e in trace["traceEvents"]} <= {"X", "M", "C"}
+
+
+def test_bad_specs_exit_with_message():
+    with pytest.raises(SystemExit) as exc:
+        main(["--profile", "P-256:baseline"])
+    assert "bad --profile spec" in str(exc.value)
+    with pytest.raises(SystemExit) as exc:
+        main(["--profile-kernel", "no_such_kernel:4"])
+    assert "no_such_kernel" in str(exc.value)

@@ -1,0 +1,45 @@
+"""CoreStats counter arithmetic."""
+
+from dataclasses import fields
+
+from repro.pete.stats import CoreStats
+
+
+def test_add_accumulates_every_field():
+    a = CoreStats(cycles=10, instructions=5, stall_cycles=2, ram_reads=3)
+    b = CoreStats(cycles=7, instructions=4, stall_cycles=1,
+                  icache_fills=6)
+    a.add(b)
+    assert a.cycles == 17
+    assert a.instructions == 9
+    assert a.stall_cycles == 3
+    assert a.ram_reads == 3
+    assert a.icache_fills == 6
+    # untouched counters stay zero
+    assert a.div_issues == 0
+
+
+def test_add_covers_all_declared_fields():
+    one = CoreStats(**{f.name: 1 for f in fields(CoreStats)})
+    two = CoreStats(**{f.name: 2 for f in fields(CoreStats)})
+    one.add(two)
+    assert all(getattr(one, f.name) == 3 for f in fields(CoreStats))
+
+
+def test_scaled_multiplies_every_counter():
+    stats = CoreStats(cycles=10, instructions=4, rom_word_reads=8)
+    scaled = stats.scaled(2.5)
+    assert scaled["cycles"] == 25.0
+    assert scaled["instructions"] == 10.0
+    assert scaled["rom_word_reads"] == 20.0
+    assert set(scaled) == {f.name for f in fields(CoreStats)}
+    # original untouched
+    assert stats.cycles == 10
+
+
+def test_active_cycles_and_as_dict():
+    stats = CoreStats(cycles=100, stall_cycles=30)
+    assert stats.active_cycles == 70
+    d = stats.as_dict()
+    assert d["cycles"] == 100 and d["stall_cycles"] == 30
+    assert set(d) == {f.name for f in fields(CoreStats)}

@@ -1,0 +1,104 @@
+"""Event bus plumbing: emission, sinks, wiring, null fast path."""
+
+from repro.pete import Pete, assemble
+from repro.pete.memory import RAM_BASE
+from repro.trace import events as ev
+from repro.trace.bus import (
+    CollectingSink,
+    NullSink,
+    TraceBus,
+    attach_tracer,
+)
+from repro.trace.events import TraceEvent
+
+PROGRAM = f"""
+main:
+    li $t0, 5
+    li $t1, {RAM_BASE}
+loop:
+    sw $t0, 0($t1)
+    lw $t2, 0($t1)
+    addiu $t0, $t0, -1
+    bne $t0, $zero, loop
+    halt
+"""
+
+
+def _traced_run():
+    bus = TraceBus()
+    sink = bus.attach(CollectingSink())
+    cpu = Pete(tracer=bus)
+    cpu.load(assemble(PROGRAM))
+    stats = cpu.run(0)
+    return bus, sink, stats
+
+
+def test_bus_attach_detach_and_fanout():
+    bus = TraceBus()
+    a, b = CollectingSink(), CollectingSink()
+    bus.attach(a)
+    bus.attach(b)
+    bus.emit(TraceEvent(ev.RETIRE, 0, 1, 0x10, "pete", "addu"))
+    assert len(a.events) == len(b.events) == 1
+    bus.detach(b)
+    bus.emit(TraceEvent(ev.STALL, 1, 1, 0x14, "pete", "load_use"))
+    assert len(a.events) == 2 and len(b.events) == 1
+    assert bus.events_emitted == 2
+    assert NullSink().on_event(a.events[0]) is None
+
+
+def test_event_as_dict_roundtrip():
+    e = TraceEvent(ev.DMA_BURST, 7, 8, -1, "monte.dma", "load", 6)
+    d = e.as_dict()
+    assert d["kind"] == ev.DMA_BURST and d["cycle"] == 7
+    assert d["duration"] == 8 and d["value"] == 6
+
+
+def test_traced_run_mirrors_stats():
+    """Event counts mirror the stat counters one-for-one."""
+    _, sink, stats = _traced_run()
+    kinds = {}
+    for e in sink.events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    assert kinds[ev.RETIRE] == stats.instructions
+    assert kinds[ev.RAM_READ] == stats.ram_reads
+    assert kinds[ev.RAM_WRITE] == stats.ram_writes
+    # uncached fetch: one ROM word read per instruction
+    assert kinds[ev.ROM_READ] == stats.rom_word_reads
+    stall_cycles = sum(e.duration for e in sink.events
+                       if e.kind == ev.STALL)
+    assert stall_cycles == stats.stall_cycles
+    retire_cycles = sum(e.duration for e in sink.events
+                        if e.kind == ev.RETIRE)
+    assert retire_cycles == stats.cycles
+
+
+def test_program_order_events_precede_their_retire():
+    """Events of an instruction are emitted before its RETIRE."""
+    _, sink, _ = _traced_run()
+    pending = []
+    for e in sink.events:
+        if e.kind == ev.RETIRE:
+            for p in pending:
+                if p.pc >= 0:
+                    assert p.pc == e.pc
+            pending.clear()
+        else:
+            pending.append(e)
+    assert not pending  # the halt RETIRE flushed the tail
+
+
+def test_null_tracer_emits_nothing():
+    cpu = Pete()
+    assert cpu.tracer is None and cpu.mem.tracer is None
+    cpu.load(assemble(PROGRAM))
+    cpu.run(0)  # no AttributeError: every site is behind the None check
+
+
+def test_attach_tracer_wires_components():
+    bus = TraceBus()
+    cpu = Pete()
+    attach_tracer(cpu, bus)
+    assert cpu.tracer is bus
+    assert cpu.mem.tracer is bus
+    assert cpu.muldiv.tracer is bus

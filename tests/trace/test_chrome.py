@@ -1,0 +1,105 @@
+"""Chrome trace_event JSON export: structure, folding, counters."""
+
+import json
+
+from repro.pete import Pete, assemble
+from repro.pete.memory import RAM_BASE
+from repro.trace import events as ev
+from repro.trace.bus import CollectingSink, TraceBus
+from repro.trace.chrome import build_chrome_trace, write_chrome_trace
+from repro.trace.profiler import Symbolizer
+
+PROGRAM = f"""
+main:
+    li $t0, 4
+    li $t1, {RAM_BASE}
+loop:
+    sw $t0, 0($t1)
+    mult $t0, $t0
+    mflo $t2
+    addiu $t0, $t0, -1
+    bne $t0, $zero, loop
+    halt
+"""
+
+
+def _traced_run():
+    program = assemble(PROGRAM)
+    bus = TraceBus()
+    sink = bus.attach(CollectingSink())
+    cpu = Pete(tracer=bus)
+    cpu.load(program)
+    stats = cpu.run(0)
+    return program, sink.events, stats
+
+
+def test_trace_structure_is_valid_trace_event_json():
+    program, events, _ = _traced_run()
+    trace = build_chrome_trace(events,
+                               symbols=Symbolizer.from_program(program))
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["displayTimeUnit"] == "ns"
+    assert trace["otherData"]["clock_ns"] > 0
+    assert {e["ph"] for e in trace["traceEvents"]} <= {"X", "M", "C"}
+    for e in trace["traceEvents"]:
+        if e["ph"] == "X":
+            assert e["ts"] >= 0 and e["dur"] > 0
+            assert isinstance(e["pid"], int)
+    # loadable by a strict JSON parser
+    json.loads(json.dumps(trace))
+
+
+def test_metadata_slices_name_processes_and_threads():
+    program, events, _ = _traced_run()
+    trace = build_chrome_trace(events,
+                               symbols=Symbolizer.from_program(program))
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert {"pete", "coprocessor", "stalls", "mul/div unit"} <= names
+
+
+def test_symbol_folding_preserves_instruction_count():
+    program, events, stats = _traced_run()
+    trace = build_chrome_trace(events,
+                               symbols=Symbolizer.from_program(program))
+    retire = [e for e in trace["traceEvents"]
+              if e["ph"] == "X" and e["pid"] == 1 and e["tid"] == 1]
+    assert sum(e["args"]["instructions"] for e in retire) == stats.instructions
+    # folding shrinks: far fewer slices than instructions
+    assert len(retire) < stats.instructions
+    assert {e["name"] for e in retire} == {"main", "loop"}
+
+
+def test_unfolded_trace_uses_mnemonics():
+    _, events, stats = _traced_run()
+    trace = build_chrome_trace(events)  # no symbolizer
+    retire = [e for e in trace["traceEvents"]
+              if e["ph"] == "X" and (e["pid"], e["tid"]) == (1, 1)]
+    names = {e["name"] for e in retire}
+    assert "mult" in names and "bne" in names
+
+
+def test_stall_and_muldiv_tracks_present():
+    _, events, _ = _traced_run()
+    trace = build_chrome_trace(events)
+    tracks = {(e["pid"], e["tid"]) for e in trace["traceEvents"]
+              if e["ph"] == "X"}
+    assert (1, 2) in tracks  # stalls (mflo waits on mult)
+    assert (1, 3) in tracks  # mul/div busy interval
+    stall_events = [e for e in events if e.kind == ev.STALL]
+    assert stall_events  # the workload does stall
+
+
+def test_power_counter_events_and_metadata_passthrough(tmp_path):
+    program, events, stats = _traced_run()
+    series = [(0, 1.5), (64, 2.25)]
+    path = tmp_path / "trace.json"
+    trace = write_chrome_trace(
+        path, events, symbols=Symbolizer.from_program(program),
+        power_series=series, metadata={"kernel": "unit-test"})
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert [c["args"]["mW"] for c in counters] == [1.5, 2.25]
+    assert trace["otherData"]["kernel"] == "unit-test"
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(trace))
+    assert len(on_disk["traceEvents"]) == len(trace["traceEvents"])

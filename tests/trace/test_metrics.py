@@ -1,0 +1,151 @@
+"""Metrics registry and interval power sampler."""
+
+import json
+
+import pytest
+
+from repro.energy.accounting import EnergyBreakdown, EnergyReport
+from repro.energy.simulated import RunEnergyParams, report_from_corestats
+from repro.kernels.runner import KernelRunner
+from repro.pete.stats import CoreStats
+from repro.trace.events import TraceEvent
+from repro.trace import events as ev
+from repro.trace.metrics import MetricsRegistry, PowerSampler
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_counter_gauge_series_identity_by_name_and_labels():
+    reg = MetricsRegistry()
+    c = reg.counter("hits", kernel="os_mul")
+    c.inc()
+    c.inc(2.5)
+    assert reg.counter("hits", kernel="os_mul").value == 3.5
+    # different labels -> a distinct metric
+    assert reg.counter("hits", kernel="comb_mul").value == 0.0
+    reg.gauge("temp").set(7)
+    assert reg.gauge("temp").value == 7.0
+    s = reg.series("power")
+    s.append(0, 1.0)
+    s.append(64, 2.0)
+    assert reg.series("power").points == [(0, 1.0), (64, 2.0)]
+
+
+def test_collect_and_json_export():
+    reg = MetricsRegistry()
+    reg.counter("b").inc(1)
+    reg.counter("a", run="x").inc(2)
+    reg.series("s").append(1, 2)
+    samples = reg.collect()
+    assert [s.name for s in samples] == ["a", "b", "s"]  # sorted
+    assert samples[0].labels == {"run": "x"}
+    parsed = json.loads(reg.to_json())
+    assert parsed == reg.as_dict()
+    assert parsed["metrics"][2]["value"] == [[1, 2]]
+
+
+def test_ingest_counters_from_corestats():
+    reg = MetricsRegistry()
+    stats = CoreStats(cycles=100, instructions=60, ram_reads=7)
+    reg.ingest_counters(stats, prefix="core_", kernel="k")
+    assert reg.counter("core_cycles", kernel="k").value == 100
+    assert reg.counter("core_ram_reads", kernel="k").value == 7
+    with pytest.raises(TypeError):
+        reg.ingest_counters({"not": "a dataclass"})
+
+
+def test_ingest_energy_report():
+    bd = EnergyBreakdown()
+    bd.add_dynamic("Pete", 500.0)
+    bd.add_dynamic("RAM", 250.0)
+    bd.add_static("Pete", 100.0)
+    report = EnergyReport("run", cycles=1000, breakdown=bd)
+    reg = MetricsRegistry()
+    reg.ingest_energy_report(report, run="r1")
+    assert reg.counter("energy_dynamic_nj", component="Pete",
+                       run="r1").value == 500.0
+    assert reg.counter("energy_static_nj", component="Pete",
+                       run="r1").value == 100.0
+    assert reg.gauge("energy_total_uj", run="r1").value == report.total_uj
+    assert reg.gauge("power_mw", run="r1").value == report.power_mw
+    assert reg.counter("cycles", run="r1").value == 1000
+
+
+# ---------------------------------------------------------------------------
+# power sampler
+# ---------------------------------------------------------------------------
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        PowerSampler(interval_cycles=0)
+
+
+def test_bucketed_energy_matches_report_dynamic():
+    """Sum over all buckets == the run's dynamic energy (the sampler is
+    the same per-event pricing, just time-resolved)."""
+    params = RunEnergyParams()
+    sampler = PowerSampler(params, interval_cycles=64)
+    runner = KernelRunner()
+    _, cpu = runner.profile("os_mul", 6, params=params,
+                            extra_sinks=(sampler,))
+    report = report_from_corestats(cpu.stats, params)
+    sampled_nj = sum(sampler.buckets.values())
+    dynamic_nj = sum(report.breakdown.dynamic_nj.values())
+    assert sampled_nj == pytest.approx(dynamic_nj, rel=1e-3)
+    assert sampler.last_cycle == cpu.stats.cycles
+
+
+def test_interval_events_spread_conserves_energy():
+    params = RunEnergyParams(has_monte=True, monte_key_bits=192)
+    sampler = PowerSampler(params, interval_cycles=100)
+    e = TraceEvent(ev.FFAU_BUSY, 150, 300, -1, "monte.ffau", "fiosmul")
+    sampler.on_event(e)
+    # spans buckets 1..4; per-bucket shares sum to the event's energy
+    assert set(sampler.buckets) == {1, 2, 3, 4}
+    assert (sum(sampler.buckets.values())
+            == pytest.approx(sampler.charger.dynamic_nj(e)))
+    # interior buckets carry a full interval's share each
+    assert sampler.buckets[2] == pytest.approx(
+        sampler.charger.dynamic_nj(e) * 100 / 300)
+
+
+def test_power_series_floor_and_average():
+    params = RunEnergyParams()
+    sampler = PowerSampler(params, interval_cycles=64)
+    runner = KernelRunner()
+    runner.profile("os_mul", 4, params=params, extra_sinks=(sampler,))
+    series = sampler.power_series(include_static=True)
+    bare = sampler.power_series(include_static=False)
+    assert len(series) == len(bare) > 0
+    floor = sampler.static_mw()
+    assert floor > 0
+    for (c1, with_static), (c2, dyn) in zip(series, bare):
+        assert c1 == c2
+        assert with_static == pytest.approx(dyn + floor)
+    # average power integrates back to the bucketed energy
+    interval_s = 64 * params.clock_ns * 1e-9
+    integ_nj = sum(mw * 1e-3 * interval_s for _, mw in bare) * 1e9
+    assert integ_nj == pytest.approx(sum(sampler.buckets.values()))
+
+
+def test_static_mw_is_leakage_over_the_clock():
+    params = RunEnergyParams()
+    sampler = PowerSampler(params)
+    expected_uw = params.cal.pete.static_uw + params.ram_leak_uw
+    assert sampler.static_mw() == pytest.approx(expected_uw / 1e3)
+
+
+def test_to_registry_and_render():
+    sampler = PowerSampler(interval_cycles=64)
+    runner = KernelRunner()
+    runner.profile("os_mul", 4, extra_sinks=(sampler,))
+    reg = MetricsRegistry()
+    sampler.to_registry(reg, kernel="os_mul")
+    assert reg.series("power_mw", kernel="os_mul").points
+    text = sampler.render(width=30)
+    assert "power over time" in text and "mW" in text
+    assert PowerSampler().render() == "(no samples)"

@@ -1,0 +1,61 @@
+"""Model-level per-operation profile: rows + residual == report."""
+
+import pytest
+
+from repro.model.configs import get_config
+from repro.model.system import SystemModel
+from repro.trace.opprofile import RESIDUAL_ROW, profile_primitive
+
+#: reconciliation is exact by construction
+EXACT = 1e-12
+
+
+@pytest.mark.parametrize("curve,config,primitive", [
+    ("P-192", "baseline", "sign"),
+    ("P-256", "baseline", "sign"),
+    ("P-256", "isa_ext_ic", "verify"),
+    ("P-192", "monte", "sign"),
+    ("B-163", "billie", "sign"),
+])
+def test_profile_reconciles_exactly(curve, config, primitive):
+    profile = profile_primitive(curve, config, primitive)
+    assert profile.reconcile() <= EXACT
+    assert profile.total_nj() == pytest.approx(profile.report.total_nj)
+
+
+def test_rows_decompose_the_primitive():
+    profile = profile_primitive("P-256", "baseline", "sign")
+    names = [r.name for r in profile.rows]
+    assert len(names) == len(set(names))  # one row per operation class
+    assert len(names) > 1
+    assert all(r.cycles >= 0 and r.dynamic_nj >= 0 for r in profile.rows)
+    # compute rows never exceed the report; the rest is the residual
+    assert sum(r.dynamic_nj for r in profile.rows) < profile.report.total_nj
+    assert profile.residual_nj > 0
+
+
+def test_rows_match_model_activity_parts():
+    model = SystemModel()
+    config = get_config("monte")
+    parts = model.activity_parts("P-192", config, "sign")
+    profile = profile_primitive("P-192", config, "sign", model=model)
+    assert [r.name for r in profile.rows] == list(parts)
+    for row, part in zip(profile.rows, parts.values()):
+        assert row.cycles == part.cycles
+
+
+def test_accelerated_rows_name_the_coprocessor():
+    monte = profile_primitive("P-192", "monte", "sign")
+    assert any("Monte" in r.name for r in monte.rows)
+    billie = profile_primitive("B-163", "billie", "sign")
+    assert any("Billie" in r.name for r in billie.rows)
+
+
+def test_table_renders_rows_residual_and_total():
+    profile = profile_primitive("P-256", "baseline", "sign")
+    table = profile.table()
+    assert "P-256/baseline/sign" in table
+    assert RESIDUAL_ROW in table
+    assert "total" in table and "100.0%" in table
+    for r in profile.rows:
+        assert r.name in table

@@ -1,0 +1,164 @@
+"""Profiler attribution + energy reconciliation against the reports."""
+
+import pytest
+
+from repro.accel.billie import Billie
+from repro.accel.cop2_adapter import BillieCop2Adapter, MonteCop2Adapter
+from repro.accel.monte import Monte
+from repro.energy.simulated import RunEnergyParams
+from repro.fields.nist import NIST_PRIMES
+from repro.kernels.runner import KernelRunner
+from repro.pete import Pete, assemble
+from repro.pete.icache import ICacheConfig
+from repro.pete.memory import RAM_BASE
+from repro.trace.bus import TraceBus, attach_tracer
+from repro.trace.profiler import Profiler, Symbolizer
+
+A_ADDR = RAM_BASE + 0x400
+B_ADDR = RAM_BASE + 0x500
+DST_ADDR = RAM_BASE + 0x600
+
+#: acceptance bound: profiled energy within 0.1% of the counter report
+RECONCILE_TOL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return KernelRunner()
+
+
+# ---------------------------------------------------------------------------
+# software kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,k", [("os_mul", 6), ("comb_mul", 6),
+                                    ("ps_mul_ext", 8), ("speck64", 1)])
+def test_kernel_profile_reconciles(runner, name, k):
+    profiler, cpu = runner.profile(name, k)
+    assert profiler.total_cycles == cpu.stats.cycles
+    assert profiler.total_instructions == cpu.stats.instructions
+    assert profiler.reconcile(cpu.stats) <= RECONCILE_TOL
+
+
+def test_per_symbol_rollup_covers_all_cycles(runner):
+    profiler, cpu = runner.profile("os_mul", 6)
+    rows = profiler.by_symbol()
+    assert sum(r.cycles for r in rows) == cpu.stats.cycles
+    assert sum(r.instructions for r in rows) == cpu.stats.instructions
+    assert sum(r.stall_cycles for r in rows) == cpu.stats.stall_cycles
+    names = {r.symbol for r in rows}
+    assert "os_mul" in names  # the kernel's own entry label
+
+
+def test_hotspot_table_renders_totals(runner):
+    profiler, cpu = runner.profile("os_mul", 6)
+    table = profiler.table(top=2)
+    assert "total" in table and str(cpu.stats.cycles) in table
+    assert "100.0%" in table
+
+
+def test_stall_reasons_accumulate(runner):
+    profiler, cpu = runner.profile("comb_mul", 6)
+    assert (sum(profiler.stall_reasons.values())
+            == cpu.stats.stall_cycles)
+
+
+# ---------------------------------------------------------------------------
+# call-path tracking
+# ---------------------------------------------------------------------------
+
+
+def test_call_paths_via_jal_jr():
+    program = assemble("""
+main:
+    li $t0, 3
+again:
+    jal helper
+    addiu $t0, $t0, -1
+    bne $t0, $zero, again
+    halt
+helper:
+    addiu $v0, $v0, 1
+    jr $ra
+""")
+    bus = TraceBus()
+    profiler = bus.attach(
+        Profiler(symbols=Symbolizer.from_program(program)))
+    cpu = Pete(tracer=bus)
+    cpu.load(program)
+    stats = cpu.run(0)
+    # the call site folds to its nearest label ("again")
+    assert ("again", "helper") in profiler.path_cycles
+    assert profiler.path_cycles[("again", "helper")] > 0
+    # every cycle lands on exactly one path
+    assert sum(profiler.path_cycles.values()) == stats.cycles
+    stacks = profiler.collapsed_stacks()
+    assert "again;helper " in stacks
+
+
+# ---------------------------------------------------------------------------
+# accelerated + cached configurations
+# ---------------------------------------------------------------------------
+
+
+def test_monte_icache_run_reconciles():
+    monte = Monte(NIST_PRIMES[192])
+    cpu = Pete(coprocessor=MonteCop2Adapter(monte),
+               icache=ICacheConfig(size_bytes=4096))
+    params = RunEnergyParams(has_monte=True, monte_key_bits=192,
+                             icache_size=4096)
+    bus = TraceBus()
+    profiler = bus.attach(Profiler(params=params))
+    attach_tracer(cpu, bus)
+    cpu.mem.write_ram_words(A_ADDR, monte.ctx.to_mont(5))
+    cpu.mem.write_ram_words(B_ADDR, monte.ctx.to_mont(7))
+    program = assemble(f"""
+main:
+    li $t0, 6
+    ctc2 $t0, 0
+    li $a1, {A_ADDR}
+    li $a2, {B_ADDR}
+    li $a0, {DST_ADDR}
+    cop2lda $a1
+    cop2ldb $a2
+    cop2mul
+    cop2st $a0
+    cop2sync
+    halt
+""")
+    cpu.load(program)
+    stats = cpu.run(0)
+    assert profiler.total_cycles == stats.cycles
+    assert profiler.coproc_busy_cycles == monte.stats.ffau_busy_cycles
+    assert profiler.reconcile(stats,
+                              monte_stats=monte.stats) <= RECONCILE_TOL
+
+
+def test_billie_run_reconciles():
+    billie = Billie()
+    cpu = Pete(coprocessor=BillieCop2Adapter(billie))
+    params = RunEnergyParams(has_billie=True, billie_m=163)
+    bus = TraceBus()
+    profiler = bus.attach(Profiler(params=params))
+    attach_tracer(cpu, bus)
+    cpu.mem.write_ram_words(A_ADDR, [3, 0, 0, 0, 0, 0])
+    cpu.mem.write_ram_words(B_ADDR, [5, 0, 0, 0, 0, 0])
+    program = assemble(f"""
+main:
+    li $a1, {A_ADDR}
+    li $a2, {B_ADDR}
+    li $a0, {DST_ADDR}
+    cop2ld $a1, 1
+    cop2ld $a2, 2
+    cop2mul 3, 1, 2
+    cop2st $a0, 3
+    cop2sync
+    halt
+""")
+    cpu.load(program)
+    stats = cpu.run(0)
+    assert profiler.total_cycles == stats.cycles
+    assert profiler.coproc_busy_cycles == billie.stats.busy_cycles
+    assert profiler.reconcile(stats,
+                              billie_stats=billie.stats) <= RECONCILE_TOL

@@ -1,0 +1,49 @@
+"""Benchmark record schema and writer."""
+
+import json
+
+from repro.trace.record import SCHEMA, bench_record, git_sha, write_record
+
+
+def test_record_has_all_schema_fields():
+    rec = bench_record("os_mul", config="k=8", cycles=1234,
+                       energy_uj=5.6, wall_s=0.01, data={"rows": 3})
+    assert rec["schema"] == SCHEMA
+    assert rec["artifact"] == "os_mul"
+    assert rec["config"] == "k=8"
+    assert rec["cycles"] == 1234
+    assert rec["energy_uj"] == 5.6
+    assert rec["wall_s"] == 0.01
+    assert rec["data"] == {"rows": 3}
+    assert rec["timestamp"]
+    assert rec["git_sha"]
+
+
+def test_git_sha_in_this_checkout():
+    sha = git_sha()
+    assert sha == "unknown" or (len(sha) == 40
+                                and all(c in "0123456789abcdef" for c in sha))
+
+
+def test_git_sha_outside_a_checkout(tmp_path):
+    assert git_sha(str(tmp_path)) == "unknown"
+
+
+def test_write_record_roundtrip(tmp_path):
+    rec = bench_record("smoke", cycles=10)
+    path = write_record(rec, out_dir=str(tmp_path))
+    assert path.endswith("BENCH_smoke.json")
+    assert json.loads((tmp_path / "BENCH_smoke.json").read_text()) == rec
+
+
+def test_write_record_sanitizes_artifact_name(tmp_path):
+    rec = bench_record("os_mul:8 (fast)")
+    path = write_record(rec, out_dir=str(tmp_path))
+    assert path.endswith("BENCH_os_mul_8__fast_.json")
+
+
+def test_write_record_honours_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("BENCH_RECORD_DIR", str(tmp_path / "env_dir"))
+    path = write_record(bench_record("x"))
+    assert path.startswith(str(tmp_path / "env_dir"))
+    assert (tmp_path / "env_dir" / "BENCH_x.json").exists()
