@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench profile artifacts compare examples all
+.PHONY: install test lint bench profile artifacts compare regress baseline examples all
 
 install:
 	pip install -e .
@@ -32,6 +32,20 @@ artifacts:
 
 compare:
 	python -m repro.harness.compare
+
+# Cross-run regression gate: the working tree vs the committed baseline
+# snapshot, smoke subset (CI-sized).  The report and the gate's ledger
+# record land under results/.
+regress:
+	PYTHONPATH=src python -m repro.regress gate --smoke \
+		--report results/regress/gate_report.txt
+	PYTHONPATH=src python -m repro.regress scorecard \
+		> results/regress/scorecard.txt
+
+# Regenerate the committed baseline (run after an *intended* cycle or
+# energy change, and commit the result with it).
+baseline:
+	PYTHONPATH=src python -m repro.regress baseline
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done

@@ -7,9 +7,12 @@ chapter: the benchmarked callable *is* the artifact's full computation
 artifacts verbatim.  Heavy artifacts run a single round.
 
 Every ``run_once`` additionally writes one structured JSON record
-(artifact, config, cycles, energy, wall-clock, git sha) via
-:mod:`repro.trace.record` -- to ``$BENCH_RECORD_DIR`` or
-``results/bench/`` -- so runs are comparable across commits.
+(artifact, config, cycles, energy, wall-clock, git sha + dirty flag)
+via :mod:`repro.trace.record` -- to ``$BENCH_RECORD_DIR`` or
+``results/bench/`` under the repo root -- and appends the same record
+to the cross-run ledger (:mod:`repro.regress.ledger`, default
+``results/ledger/bench.jsonl``) so runs are comparable across commits
+with ``python -m repro.regress diff``.
 """
 
 from __future__ import annotations
@@ -35,30 +38,18 @@ def _artifact_name(benchmark) -> str:
 
 
 def _write_record(benchmark, result, config: str) -> None:
-    from repro.trace.record import bench_record, write_record
+    from repro.regress.ledger import Ledger
+    from repro.trace.record import bench_record, summarize_rows, \
+        write_record
 
     stats = getattr(getattr(benchmark, "stats", None), "stats", None)
     wall_s = float(getattr(stats, "min", 0.0) or 0.0)
-    cycles = 0.0
-    energy_uj = 0.0
-    data: dict = {}
-    rows = result if isinstance(result, list) else []
-    if rows and isinstance(rows[0], dict):
-        data["rows"] = len(rows)
-        data["columns"] = [str(k) for k in rows[0]]
-        for row in rows:
-            for key, value in row.items():
-                if not isinstance(value, (int, float)):
-                    continue
-                key_l = str(key).lower()
-                if "cycle" in key_l:
-                    cycles += value
-                elif key_l.endswith("uj") or "energy" in key_l:
-                    energy_uj += value
+    cycles, energy_uj, data = summarize_rows(result)
     record = bench_record(_artifact_name(benchmark), config=config,
                           cycles=cycles, energy_uj=energy_uj,
                           wall_s=wall_s, data=data)
     path = write_record(record)
+    Ledger().append(record)
     print(f"(bench record: {path})")
 
 

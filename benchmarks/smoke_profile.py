@@ -65,7 +65,15 @@ def main(argv: list[str]) -> int:
         profiler.table(top=20) + "\n\n" + profiler.collapsed_stacks()
         + "\n")
 
-    # -- the structured record
+    # -- diffable profiler dump (python -m repro.regress diff)
+    import json
+
+    dump = profiler.to_record("kernel:os_mul", config="os_mul:8")
+    (out_dir / "profile_os_mul.json").write_text(
+        json.dumps(dump, indent=2, sort_keys=True) + "\n")
+
+    # -- the structured record, also appended to the run ledger
+    from repro.regress.ledger import Ledger
     from repro.trace.record import bench_record, write_record
 
     record = bench_record(
@@ -78,7 +86,9 @@ def main(argv: list[str]) -> int:
               "p256_sign_uj": profile.report.total_uj,
               "trace_events": len(events.events)})
     path = write_record(record, str(out_dir))
+    ledger_path = Ledger(out_dir / "ledger").append(record)
     print(f"smoke record: {path}")
+    print(f"smoke ledger: {ledger_path}")
     return 0
 
 

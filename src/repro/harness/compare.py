@@ -10,6 +10,7 @@ the command doubles as a reproduction gate for CI.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from dataclasses import dataclass
 
@@ -35,10 +36,14 @@ class Comparison:
 
     @property
     def ratio(self) -> float:
+        if self.reference == 0:
+            return 1.0 if self.measured == 0 else math.inf
         return self.measured / self.reference
 
     @property
     def ok(self) -> bool:
+        if self.reference == 0:
+            return self.measured == 0
         return abs(self.ratio - 1.0) <= self.tolerance
 
 
@@ -84,46 +89,59 @@ def latency_comparisons(model: SystemModel) -> list[Comparison]:
     return out
 
 
+#: The paper's headline energy-ratio bands (EXPERIMENTS.md "Headline
+#: factors") as data: name, numerator (curve, config), denominator
+#: (curve, config), allowed band, note.  This table is the single
+#: source both the gate below and the :mod:`repro.regress` fidelity
+#: scorecard evaluate.
+FACTOR_BAND_SPECS: tuple[tuple, ...] = (
+    ("ISA factor P-192", ("P-192", "baseline"), ("P-192", "isa_ext"),
+     1.32, 1.48, "published 1.32-1.45"),
+    ("ISA factor P-256", ("P-256", "baseline"), ("P-256", "isa_ext"),
+     1.32, 1.48, "published 1.32-1.45"),
+    ("Monte factor P-192", ("P-192", "baseline"), ("P-192", "monte"),
+     5.0, 7.0, "published 5.17-6.34"),
+    ("Monte factor P-256", ("P-256", "baseline"), ("P-256", "monte"),
+     5.0, 7.0, "published 5.17-6.34"),
+    ("Monte factor P-521", ("P-521", "baseline"), ("P-521", "monte"),
+     5.0, 7.0, "published 5.17-6.34"),
+    ("binary SW/ISA B-163", ("B-163", "baseline"), ("B-163", "binary_isa"),
+     6.0, 8.5, "published 6.40-8.46"),
+    ("binary SW/ISA B-571", ("B-571", "baseline"), ("B-571", "binary_isa"),
+     6.0, 8.5, "published 6.40-8.46"),
+    ("Billie/Monte 163/192", ("P-192", "monte"), ("B-163", "billie"),
+     1.7, 2.2, "published 1.92"),
+    ("Billie/Monte 571/521 (convergence)",
+     ("P-521", "monte"), ("B-571", "billie"),
+     0.8, 1.45, "published: converged"),
+)
+
+#: Cycle-exact kernel anchors (Section 6): kernel, k, paper cycles,
+#: tolerance, note.
+KERNEL_ANCHOR_SPECS: tuple[tuple, ...] = (
+    ("ps_mul_ext", 6, 374, 0.10, ""),
+    ("ps_mulgf2", 6, 376, 0.10, ""),
+    ("red_b163", 6, 100, 0.10, ""),
+    ("red_p192", 6, 97, 0.85, "different conditional-subtract structure"),
+)
+
+
 def factor_comparisons(model: SystemModel) -> list[BandComparison]:
     def uj(curve, config):
         return model.report(curve, config).total_uj
 
-    out = []
-    for curve in ("P-192", "P-256"):
-        out.append(BandComparison(
-            f"ISA factor {curve}", uj(curve, "baseline")
-            / uj(curve, "isa_ext"), 1.32, 1.48,
-            "published 1.32-1.45"))
-    for curve in ("P-192", "P-256", "P-521"):
-        out.append(BandComparison(
-            f"Monte factor {curve}", uj(curve, "baseline")
-            / uj(curve, "monte"), 5.0, 7.0, "published 5.17-6.34"))
-    for curve in ("B-163", "B-571"):
-        out.append(BandComparison(
-            f"binary SW/ISA {curve}", uj(curve, "baseline")
-            / uj(curve, "binary_isa"), 6.0, 8.5, "published 6.40-8.46"))
-    out.append(BandComparison(
-        "Billie/Monte 163/192", uj("P-192", "monte")
-        / uj("B-163", "billie"), 1.7, 2.2, "published 1.92"))
-    out.append(BandComparison(
-        "Billie/Monte 571/521 (convergence)", uj("P-521", "monte")
-        / uj("B-571", "billie"), 0.8, 1.45, "published: converged"))
-    return out
+    return [BandComparison(name, uj(*num) / uj(*den), low, high, note)
+            for name, num, den, low, high, note in FACTOR_BAND_SPECS]
 
 
 def anchor_comparisons() -> list[Comparison]:
     runner = shared_runner()
-    out = [
-        Comparison("kernel ps_mul_ext k=6 (cycles)",
-                   runner.measure("ps_mul_ext", 6).cycles, 374, 0.10),
-        Comparison("kernel ps_mulgf2 k=6 (cycles)",
-                   runner.measure("ps_mulgf2", 6).cycles, 376, 0.10),
-        Comparison("kernel red_b163 (cycles)",
-                   runner.measure("red_b163", 6).cycles, 100, 0.10),
-        Comparison("kernel red_p192 (cycles)",
-                   runner.measure("red_p192", 6).cycles, 97, 0.85,
-                   "different conditional-subtract structure"),
-    ]
+    out = []
+    for name, k, paper, tolerance, note in KERNEL_ANCHOR_SPECS:
+        label = (f"kernel {name} k={k} (cycles)" if name.startswith("ps_")
+                 else f"kernel {name} (cycles)")
+        out.append(Comparison(label, runner.measure(name, k).cycles,
+                              paper, tolerance, note))
     for (width, bits), (power, time_ns, energy) in PAPER_TABLE_7_4.items():
         point = ffau_width_point(width, bits)
         out.append(Comparison(f"FFAU w={width} {bits}-bit energy (nJ)",
@@ -131,11 +149,19 @@ def anchor_comparisons() -> list[Comparison]:
     return out
 
 
+def all_rows(model: SystemModel | None = None
+             ) -> tuple[list[Comparison], list[BandComparison]]:
+    """Every tracked quantity: the one list both :func:`run_report` and
+    the :mod:`repro.regress` fidelity scorecard evaluate, so their
+    verdicts reconcile by construction."""
+    model = model or SystemModel()
+    return (latency_comparisons(model) + anchor_comparisons(),
+            factor_comparisons(model))
+
+
 def run_report(verbose: bool = True) -> tuple[int, int]:
     """Print the full report; returns (passed, failed)."""
-    model = SystemModel()
-    rows: list = (latency_comparisons(model) + anchor_comparisons())
-    bands = factor_comparisons(model)
+    rows, bands = all_rows()
     passed = failed = 0
     for row in rows:
         status = "ok " if row.ok else "FAIL"

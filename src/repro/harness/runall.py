@@ -107,8 +107,18 @@ def _kernel_profile(spec: str):
     return profiler, cpu, events, power
 
 
-def _run_kernel_profile(spec: str) -> None:
+def _run_kernel_profile(spec: str, dump: pathlib.Path | None = None) -> None:
     profiler, cpu, _, _ = _kernel_profile(spec)
+    if dump is not None:
+        import json
+
+        record = profiler.to_record(
+            f"kernel:{(spec or DEFAULT_TRACE_KERNEL).split(':')[0]}",
+            config=spec or DEFAULT_TRACE_KERNEL)
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        dump.write_text(json.dumps(record, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"wrote profile dump to {dump}")
     print(profiler.table(top=20))
     diff = profiler.reconcile(cpu.stats)
     print(f"\nreconciliation vs EnergyReport: {100 * diff:.4f}% "
@@ -148,6 +158,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile-kernel", metavar="NAME:K",
                         help="print the per-symbol profile of one "
                              "kernel run (e.g. os_mul:8)")
+    parser.add_argument("--profile-json", type=pathlib.Path,
+                        metavar="FILE",
+                        help="with --profile-kernel: also write the "
+                             "profile as a run record (diffable with "
+                             "`python -m repro.regress diff`)")
+    parser.add_argument("--ledger", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="ledger directory for per-artifact records "
+                             "(default: LEDGER under --out)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="with --out: skip the ledger records")
     parser.add_argument("--trace", type=pathlib.Path, metavar="FILE",
                         help="write a Chrome trace_event JSON of one "
                              "kernel run")
@@ -161,28 +182,65 @@ def main(argv: list[str] | None = None) -> int:
         if args.profile:
             _run_profile(args.profile)
         if args.profile_kernel:
-            _run_kernel_profile(args.profile_kernel)
+            _run_kernel_profile(args.profile_kernel, args.profile_json)
         if args.trace:
             _run_trace(args.trace, args.trace_kernel)
         return 0
 
+    ledger = None
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+        if not args.no_ledger:
+            from repro.regress.ledger import Ledger
 
-    artifacts: list[tuple[str, str]] = []
+            ledger = Ledger(args.ledger or args.out / "ledger")
+
+    artifacts: list[tuple[str, str, str]] = []
     for kind, name in select_artifacts(args.only):
         render = render_table if kind == "table" else render_figure
-        artifacts.append((f"{kind}_{name}", render(name)))
+        artifacts.append((kind, name, render(name)))
 
-    for name, text in artifacts:
+    for kind, name, text in artifacts:
         print(text)
         print()
         if args.out:
-            stem = name.replace(".", "_")
+            stem = f"{kind}_{name}".replace(".", "_")
             (args.out / f"{stem}.txt").write_text(text + "\n")
             if args.csv:
-                (args.out / f"{stem}.csv").write_text(_to_csv(name))
+                (args.out / f"{stem}.csv").write_text(
+                    _to_csv(f"{kind}_{name}"))
+            if ledger is not None:
+                ledger.append(_artifact_record(kind, name))
+    if ledger is not None:
+        print(f"(ledger: {ledger.path_for('bench')})")
     return 0
+
+
+def _artifact_record(kind: str, name: str) -> dict:
+    """One ledger record per rendered artifact, summarized from the
+    same rows the txt/csv files are rendered from -- ``results/`` and
+    the ledger can therefore never disagree.  Figure series flatten
+    into the record's ``components`` map so ``repro.regress diff``
+    ranks per-series deltas."""
+    from repro.trace.record import bench_record, summarize_rows, \
+        summarize_series
+
+    components: dict = {}
+    if kind == "table":
+        cycles, energy_uj, data = summarize_rows(TABLES[name]())
+    else:
+        series = FIGURES[name]()
+        cycles, energy_uj, data = summarize_series(series)
+        for sname, values in series.items():
+            if isinstance(values, dict):
+                components.update(
+                    {f"{sname}/{k}": v for k, v in values.items()
+                     if isinstance(v, (int, float))})
+            elif isinstance(values, (int, float)):
+                components[str(sname)] = values
+    return bench_record(f"{kind}_{name}", cycles=cycles,
+                        energy_uj=energy_uj, data=data,
+                        components=components)
 
 
 def _to_csv(artifact: str) -> str:

@@ -55,20 +55,33 @@ class KernelResult:
 class KernelRunner:
     """Builds and times kernels; validates against :mod:`repro.mp`."""
 
-    def __init__(self) -> None:
+    def __init__(self, ledger=None) -> None:
         self._cache: dict[tuple, KernelResult] = {}
         self._tracer = None          # TraceBus threaded through _build_cpu
         self._last_cpu: Pete | None = None
+        if ledger is None:
+            from repro.regress.ledger import default_ledger
+
+            ledger = default_ledger()
+        self.ledger = ledger
 
     # -- public measurement API ------------------------------------------
 
     def measure(self, name: str, k: int, trials: int = 3) -> KernelResult:
-        """Median-of-``trials`` cycle measurement for a kernel at size k."""
+        """Median-of-``trials`` cycle measurement for a kernel at size k.
+
+        First measurement per (kernel, k) also appends one record to the
+        runner's ledger (a no-op unless a ledger is configured -- see
+        :func:`repro.regress.ledger.default_ledger`).
+        """
         key = (name, k)
         if key not in self._cache:
             runs = [self._run_once(name, k) for _ in range(trials)]
             runs.sort(key=lambda r: r.cycles)
             self._cache[key] = runs[len(runs) // 2]
+            from repro.trace.record import kernel_record
+
+            self.ledger.append(kernel_record(self._cache[key]))
         return self._cache[key]
 
     def profile(self, name: str, k: int, params=None, extra_sinks=()):

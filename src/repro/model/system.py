@@ -278,6 +278,26 @@ class SystemModel:
         return OperationLatency(curve_name, config_obj.name,
                                 sign.cycles, verify.cycles)
 
+    def snapshot(self, curve_name: str, config: MicroarchConfig | str
+                 ) -> dict:
+        """Machine-readable quantities of one (curve, config) pair for
+        the regression ledger and gate: sign/verify cycles, sign+verify
+        energy, the per-component energy split, and per-operation-class
+        cycles from :meth:`activity_parts`."""
+        config_obj = get_config(config) if isinstance(config, str) else config
+        lat = self.latency(curve_name, config_obj)
+        rep = self.report(curve_name, config_obj)
+        return {
+            "sign_cycles": lat.sign_cycles,
+            "verify_cycles": lat.verify_cycles,
+            "energy_uj": rep.total_uj,
+            "components": {c: rep.component_uj(c)
+                           for c in rep.breakdown.components},
+            "parts": {part: act.cycles for part, act in
+                      self.activity_parts(curve_name, config_obj,
+                                          "sign").items()},
+        }
+
     # ------------------------------------------------------------------
     # Energy
     # ------------------------------------------------------------------

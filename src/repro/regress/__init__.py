@@ -1,0 +1,52 @@
+"""Cross-run regression observability.
+
+Where :mod:`repro.trace` observes one run, this package observes the
+repository *across* runs and commits:
+
+* :mod:`repro.regress.ledger` -- append-only JSONL ledger of structured
+  run records (``results/ledger/*.jsonl``), fed by ``runall``,
+  :class:`~repro.kernels.runner.KernelRunner` and the pytest
+  benchmarks;
+* :mod:`repro.regress.diff` -- differential profiler: ranked
+  per-symbol / per-component deltas between any two records, ledgers or
+  profiler dumps;
+* :mod:`repro.regress.gate` -- committed baseline snapshot
+  (``results/baseline/BASELINE.json``) and the per-quantity-tolerance
+  regression gate;
+* :mod:`repro.regress.scorecard` -- the paper-fidelity bands evaluated
+  into one machine-readable ledger record, reconciling with
+  :mod:`repro.harness.compare`.
+
+CLI: ``python -m repro.regress {diff,gate,baseline,scorecard,log}``.
+
+This ``__init__`` stays import-light (the ledger only): the gate and
+scorecard pull in the whole simulator stack, so they load lazily.
+"""
+
+from __future__ import annotations
+
+from repro.regress.ledger import Ledger, NullLedger, default_ledger
+
+__all__ = [
+    "Ledger", "NullLedger", "default_ledger",
+    "diff_records", "render_diff", "measure_quantities", "make_baseline",
+    "scorecard_record",
+]
+
+_LAZY = {
+    "diff_records": ("repro.regress.diff", "diff_records"),
+    "render_diff": ("repro.regress.diff", "render_diff"),
+    "measure_quantities": ("repro.regress.gate", "measure_quantities"),
+    "make_baseline": ("repro.regress.gate", "make_baseline"),
+    "scorecard_record": ("repro.regress.scorecard", "scorecard_record"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,178 @@
+"""Cross-run regression CLI: ``python -m repro.regress <subcommand>``.
+
+* ``diff A B`` -- differential report between two run records
+  (``BENCH_*.json`` / profiler dumps) or two ledger shards (``*.jsonl``,
+  latest record per artifact): ranked per-symbol and per-component
+  deltas, new/vanished symbols;
+* ``gate [--smoke]`` -- re-measure the working tree against the
+  committed ``results/baseline/BASELINE.json``; non-zero exit naming
+  every out-of-tolerance quantity;
+* ``baseline [--smoke]`` -- regenerate the baseline snapshot
+  (``make baseline``);
+* ``scorecard`` -- evaluate the paper-fidelity bands into one ledger
+  record, reconciling with ``python -m repro.harness.compare``;
+* ``log`` -- tail the ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.regress.ledger import Ledger, NullLedger, load_any
+
+
+def _cmd_diff(args) -> int:
+    from repro.regress.diff import diff_ledgers, diff_records, render_diff
+
+    a = load_any(args.a)
+    b = load_any(args.b)
+    if len(a) == 1 and len(b) == 1:
+        print(render_diff(diff_records(a[0], b[0]), a[0], b[0],
+                          top=args.top))
+        return 0
+    latest_a = {r.get("artifact", "?"): r for r in a}
+    latest_b = {r.get("artifact", "?"): r for r in b}
+    diffs, only_a, only_b = diff_ledgers(a, b)
+    for diff in diffs:
+        if diff.empty and not args.all:
+            continue
+        print(render_diff(diff, latest_a.get(diff.artifact),
+                          latest_b.get(diff.artifact), top=args.top))
+        print()
+    unchanged = sum(1 for d in diffs if d.empty)
+    if unchanged and not args.all:
+        print(f"({unchanged} artifacts unchanged; --all shows them)")
+    if only_a:
+        print(f"only in {args.a}: {' '.join(only_a)}")
+    if only_b:
+        print(f"only in {args.b}: {' '.join(only_b)}")
+    return 0
+
+
+def _ledger_for(args) -> Ledger | NullLedger:
+    if getattr(args, "no_ledger", False):
+        return NullLedger()
+    return Ledger(args.ledger) if args.ledger else Ledger()
+
+
+def _cmd_gate(args) -> int:
+    from repro.regress import gate
+
+    try:
+        baseline = gate.load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"regress gate: no baseline snapshot at "
+              f"{args.baseline or gate.default_baseline_path()}; "
+              f"generate one with `make baseline`", file=sys.stderr)
+        return 2
+    measured = gate.measure_quantities(smoke=args.smoke)
+    failures = gate.check(baseline, measured)
+    report = gate.render_report(baseline, measured, failures)
+    print(report)
+    if args.report:
+        import os
+
+        os.makedirs(os.path.dirname(os.path.abspath(args.report)),
+                    exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    _ledger_for(args).append(
+        gate.gate_record(baseline, measured, failures, smoke=args.smoke))
+    return 1 if failures else 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.regress import gate
+
+    baseline = gate.make_baseline(smoke=args.smoke)
+    path = gate.write_baseline(baseline, args.baseline)
+    print(f"wrote {len(baseline['quantities'])} quantities to {path}")
+    if baseline.get("git_dirty"):
+        print("warning: baseline captured from a dirty working tree",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.regress.scorecard import render_scorecard, scorecard_record
+
+    record = scorecard_record()
+    print(render_scorecard(record))
+    _ledger_for(args).append(record)
+    return 1 if args.strict and record["data"]["failed"] else 0
+
+
+def _cmd_log(args) -> int:
+    ledger = Ledger(args.ledger) if args.ledger else Ledger()
+    records = ledger.read(args.kind)
+    for record in records[-args.n:]:
+        dirty = "+dirty" if record.get("git_dirty") else ""
+        print(f"{record.get('timestamp', '?'):>24} "
+              f"{record.get('git_sha', 'unknown')[:12]}{dirty:<7} "
+              f"{record.get('artifact', '?'):<28} "
+              f"cycles={record.get('cycles', 0):<12g} "
+              f"uJ={record.get('energy_uj', 0):<10g} "
+              f"{record.get('config', '')}")
+    if not records:
+        print(f"(no {args.kind} records in {ledger.directory})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.regress",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("diff", help="diff two records or ledgers")
+    p.add_argument("a", help="record .json or ledger .jsonl (before)")
+    p.add_argument("b", help="record .json or ledger .jsonl (after)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows per ranking (default 15)")
+    p.add_argument("--all", action="store_true",
+                   help="also print unchanged artifacts")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("gate", help="gate the tree against the baseline")
+    p.add_argument("--baseline", default=None,
+                   help="snapshot path (default results/baseline/"
+                        "BASELINE.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="measure only the CI smoke subset")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="also write the report to FILE")
+    p.add_argument("--ledger", default=None,
+                   help="ledger directory (default results/ledger)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append a gate record to the ledger")
+    p.set_defaults(func=_cmd_gate)
+
+    p = sub.add_parser("baseline", help="regenerate the baseline snapshot")
+    p.add_argument("--baseline", default=None, help="output path")
+    p.add_argument("--smoke", action="store_true",
+                   help="freeze only the smoke subset")
+    p.set_defaults(func=_cmd_baseline)
+
+    p = sub.add_parser("scorecard",
+                       help="evaluate the paper-fidelity scorecard")
+    p.add_argument("--strict", action="store_true",
+                   help="non-zero exit when any band fails")
+    p.add_argument("--ledger", default=None,
+                   help="ledger directory (default results/ledger)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append the record to the ledger")
+    p.set_defaults(func=_cmd_scorecard)
+
+    p = sub.add_parser("log", help="tail the ledger")
+    p.add_argument("--kind", default="bench",
+                   choices=("bench", "profile", "scorecard", "gate"))
+    p.add_argument("-n", type=int, default=20)
+    p.add_argument("--ledger", default=None)
+    p.set_defaults(func=_cmd_log)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Differential profiler: what changed between two runs.
+
+Diffs two run records (or the latest records of two ledgers, or two
+profiler dumps -- anything in the :mod:`repro.trace.record` schema) and
+ranks the deltas by absolute contribution:
+
+* top-level cycles / energy / wall-clock;
+* per-symbol cycle / stall / energy deltas, plus symbols that appeared
+  or vanished between the runs;
+* per-component energy deltas (Pete / ROM / RAM / Uncore / Monte /
+  Billie).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One quantity's change between two runs."""
+
+    name: str
+    before: float
+    after: float
+    unit: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def pct(self) -> float | None:
+        """Relative change; ``None`` when the before value is zero."""
+        if self.before == 0:
+            return None
+        return 100.0 * (self.after - self.before) / abs(self.before)
+
+    def render(self) -> str:
+        pct = f"{self.pct:+.1f}%" if self.pct is not None else "new"
+        return (f"{self.name:<28} {self.before:>12.4g} -> "
+                f"{self.after:>12.4g} {self.unit:<6} ({pct})")
+
+
+@dataclass
+class SymbolDiff:
+    """Per-symbol deltas plus appearance/disappearance lists."""
+
+    changed: list[dict] = field(default_factory=list)
+    new: list[dict] = field(default_factory=list)
+    vanished: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class RecordDiff:
+    """Full differential between two run records."""
+
+    artifact: str
+    scalars: list[Delta]
+    components: list[Delta]
+    symbols: SymbolDiff
+
+    @property
+    def empty(self) -> bool:
+        return not (any(d.delta for d in self.scalars)
+                    or any(d.delta for d in self.components)
+                    or self.symbols.changed or self.symbols.new
+                    or self.symbols.vanished)
+
+
+def diff_scalars(a: dict, b: dict) -> list[Delta]:
+    out = []
+    for key, unit in (("cycles", "cyc"), ("energy_uj", "uJ"),
+                      ("wall_s", "s")):
+        va, vb = float(a.get(key) or 0), float(b.get(key) or 0)
+        if va or vb:
+            out.append(Delta(key, va, vb, unit))
+    return out
+
+
+def diff_components(a: dict, b: dict) -> list[Delta]:
+    """Per-component energy deltas, ranked by absolute contribution."""
+    ca = a.get("components") or {}
+    cb = b.get("components") or {}
+    out = [Delta(name, float(ca.get(name, 0.0)), float(cb.get(name, 0.0)),
+                 "uJ")
+           for name in sorted(set(ca) | set(cb))]
+    return sorted((d for d in out if d.delta), key=lambda d: -abs(d.delta))
+
+
+def diff_symbols(a: dict, b: dict) -> SymbolDiff:
+    """Per-symbol deltas, ranked by absolute cycle contribution."""
+    rows_a = {r["symbol"]: r for r in a.get("symbols") or []}
+    rows_b = {r["symbol"]: r for r in b.get("symbols") or []}
+    diff = SymbolDiff()
+    for name in set(rows_a) | set(rows_b):
+        ra, rb = rows_a.get(name), rows_b.get(name)
+        if ra is None:
+            diff.new.append(rb)
+        elif rb is None:
+            diff.vanished.append(ra)
+        else:
+            row = {"symbol": name}
+            for key in ("cycles", "instructions", "stall_cycles", "uj"):
+                row[key] = (float(rb.get(key, 0) or 0)
+                            - float(ra.get(key, 0) or 0))
+            if any(row[k] for k in
+                   ("cycles", "instructions", "stall_cycles", "uj")):
+                diff.changed.append(row)
+    diff.changed.sort(key=lambda r: (-abs(r["cycles"]), -abs(r["uj"])))
+    diff.new.sort(key=lambda r: -float(r.get("cycles", 0) or 0))
+    diff.vanished.sort(key=lambda r: -float(r.get("cycles", 0) or 0))
+    return diff
+
+
+def diff_records(a: dict, b: dict) -> RecordDiff:
+    return RecordDiff(
+        artifact=b.get("artifact") or a.get("artifact") or "?",
+        scalars=diff_scalars(a, b),
+        components=diff_components(a, b),
+        symbols=diff_symbols(a, b))
+
+
+def diff_ledgers(records_a: list[dict], records_b: list[dict]
+                 ) -> tuple[list[RecordDiff], list[str], list[str]]:
+    """Diff the latest record per artifact of two record lists.
+
+    Returns ``(diffs, only_in_a, only_in_b)``.
+    """
+    latest_a = {r.get("artifact", "?"): r for r in records_a}
+    latest_b = {r.get("artifact", "?"): r for r in records_b}
+    shared = sorted(set(latest_a) & set(latest_b))
+    diffs = [diff_records(latest_a[name], latest_b[name]) for name in shared]
+    return (diffs, sorted(set(latest_a) - set(latest_b)),
+            sorted(set(latest_b) - set(latest_a)))
+
+
+def _provenance(record: dict) -> str:
+    sha = (record.get("git_sha") or "unknown")[:12]
+    dirty = record.get("git_dirty")
+    suffix = "+dirty" if dirty else ("" if dirty is False else "?")
+    return f"{sha}{suffix}"
+
+
+def render_diff(diff: RecordDiff, a: dict | None = None,
+                b: dict | None = None, top: int = 15) -> str:
+    """Human-readable differential report for one artifact."""
+    lines = [f"== {diff.artifact}"
+             + (f"  [{_provenance(a)} -> {_provenance(b)}]"
+                if a and b else "")]
+    if diff.empty:
+        lines.append("  (no change)")
+        return "\n".join(lines)
+    for d in diff.scalars:
+        if d.delta:
+            lines.append("  " + d.render())
+    if diff.components:
+        lines.append("  components (by |delta uJ|):")
+        for d in diff.components[:top]:
+            lines.append("    " + d.render())
+    sym = diff.symbols
+    if sym.changed or sym.new or sym.vanished:
+        lines.append("  symbols (by |delta cycles|):")
+        for row in sym.changed[:top]:
+            lines.append(
+                f"    {row['symbol']:<24} {row['cycles']:>+10.0f} cyc "
+                f"{row['stall_cycles']:>+8.0f} stall "
+                f"{row['uj']:>+10.4f} uJ")
+        for row in sym.new[:top]:
+            lines.append(f"    NEW  {row['symbol']:<20} "
+                         f"{float(row.get('cycles', 0) or 0):>9.0f} cyc")
+        for row in sym.vanished[:top]:
+            lines.append(f"    GONE {row['symbol']:<20} "
+                         f"{float(row.get('cycles', 0) or 0):>9.0f} cyc")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Append-only cross-run ledger: ``results/ledger/<kind>.jsonl``.
+
+One line per run record (:mod:`repro.trace.record` schema), sharded by
+record kind (``bench.jsonl``, ``profile.jsonl``, ``scorecard.jsonl``,
+``gate.jsonl``).  The ledger is the repository's performance history:
+``runall --out``, :class:`~repro.kernels.runner.KernelRunner`, the
+pytest benchmarks and the fidelity scorecard all append to it, and
+``python -m repro.regress diff`` reads it back to answer *which symbol
+got slower between these two runs*.
+
+The reader is migration tolerant (old schema lines are upgraded via
+:func:`repro.trace.record.upgrade_record`) and skips blank lines, so a
+ledger survives schema bumps and interrupted appends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.trace.record import repo_root, upgrade_record
+
+#: Environment switches: explicit directory wins; REPRO_LEDGER=1 turns
+#: the default (repo-root) ledger on for emitters that are off in unit
+#: tests (KernelRunner).
+ENV_DIR = "REPRO_LEDGER_DIR"
+ENV_ENABLE = "REPRO_LEDGER"
+
+
+def default_ledger_dir() -> str:
+    return os.environ.get(ENV_DIR,
+                          os.path.join(repo_root(), "results", "ledger"))
+
+
+class Ledger:
+    """Append/read interface over one ledger directory."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = str(directory) if directory else default_ledger_dir()
+
+    def path_for(self, kind: str) -> str:
+        return os.path.join(self.directory, f"{kind}.jsonl")
+
+    def append(self, record: dict) -> str:
+        """Append one record as a JSON line; returns the file path."""
+        kind = record.get("kind", "bench")
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(kind)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+    def read(self, kind: str = "bench") -> list[dict]:
+        """All records of one kind, oldest first, schema-upgraded."""
+        path = self.path_for(kind)
+        if not os.path.exists(path):
+            return []
+        records = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(upgrade_record(json.loads(line)))
+        return records
+
+    def latest(self, artifact: str, kind: str = "bench") -> dict | None:
+        """Most recent record of ``artifact``, or ``None``."""
+        for record in reversed(self.read(kind)):
+            if record.get("artifact") == artifact:
+                return record
+        return None
+
+    def latest_by_artifact(self, kind: str = "bench") -> dict[str, dict]:
+        """``{artifact: most recent record}`` for one kind."""
+        out: dict[str, dict] = {}
+        for record in self.read(kind):
+            out[record.get("artifact", "?")] = record
+        return out
+
+
+class NullLedger:
+    """Disabled ledger: appends go nowhere, reads are empty."""
+
+    directory = None
+
+    def append(self, record: dict) -> None:
+        return None
+
+    def read(self, kind: str = "bench") -> list[dict]:
+        return []
+
+    def latest(self, artifact: str, kind: str = "bench") -> None:
+        return None
+
+    def latest_by_artifact(self, kind: str = "bench") -> dict:
+        return {}
+
+
+def default_ledger() -> Ledger | NullLedger:
+    """The ledger implicit emitters use.
+
+    Enabled when ``$REPRO_LEDGER_DIR`` names a directory or
+    ``$REPRO_LEDGER`` is truthy; otherwise a :class:`NullLedger`, so
+    unit tests and casual library use never touch the filesystem.
+    """
+    if os.environ.get(ENV_DIR):
+        return Ledger(os.environ[ENV_DIR])
+    if os.environ.get(ENV_ENABLE, "").lower() not in ("", "0", "false", "no"):
+        return Ledger()
+    return NullLedger()
+
+
+def load_any(path: str) -> list[dict]:
+    """Read a record source: a single ``*.json`` record or a ``*.jsonl``
+    ledger shard.  Always returns a list (len 1 for single records)."""
+    if path.endswith(".jsonl"):
+        records = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(upgrade_record(json.loads(line)))
+        return records
+    with open(path, encoding="utf-8") as fh:
+        return [upgrade_record(json.load(fh))]

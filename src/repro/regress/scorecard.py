@@ -1,0 +1,64 @@
+"""Fidelity scorecard: the paper bands as one machine-readable record.
+
+Evaluates every quantity the reproduction gate
+(:mod:`repro.harness.compare`) tracks -- latency-table rows, kernel and
+FFAU anchors, headline factor bands -- via the *same*
+:func:`~repro.harness.compare.all_rows` call the gate itself uses, so
+the scorecard's pass/fail verdicts reconcile with ``python -m
+repro.harness.compare`` by construction.  The resulting record is
+appended to the ledger (``results/ledger/scorecard.jsonl``), turning
+paper-fidelity drift into a time series instead of a surprise gate
+failure.
+"""
+
+from __future__ import annotations
+
+from repro.harness.compare import all_rows
+from repro.trace.record import bench_record
+
+
+def scorecard_rows(model=None) -> list[dict]:
+    """Every tracked quantity as a serializable row."""
+    comparisons, bands = all_rows(model)
+    rows = []
+    for c in comparisons:
+        rows.append({
+            "name": c.name, "type": "ratio", "measured": c.measured,
+            "reference": c.reference, "tolerance": c.tolerance,
+            "ok": c.ok, "note": c.note,
+        })
+    for b in bands:
+        rows.append({
+            "name": b.name, "type": "band", "measured": b.measured,
+            "low": b.low, "high": b.high, "ok": b.ok, "note": b.note,
+        })
+    return rows
+
+
+def scorecard_record(model=None) -> dict:
+    """One ledger record scoring the whole reproduction."""
+    rows = scorecard_rows(model)
+    passed = sum(1 for r in rows if r["ok"])
+    failed = len(rows) - passed
+    return bench_record(
+        "fidelity-scorecard", kind="scorecard",
+        config=f"{passed}/{len(rows)} ok",
+        data={"passed": passed, "failed": failed, "rows": rows})
+
+
+def render_scorecard(record: dict) -> str:
+    data = record["data"]
+    lines = [f"fidelity scorecard @ {record['git_sha'][:12]}"
+             + ("+dirty" if record.get("git_dirty") else "")
+             + f": {data['passed']} ok, {data['failed']} failed"]
+    for row in data["rows"]:
+        status = "ok " if row["ok"] else "FAIL"
+        if row["type"] == "ratio":
+            bound = (f"vs {row['reference']:10.2f} "
+                     f"(tol {row['tolerance']:.0%})")
+        else:
+            bound = f"in [{row['low']:.2f}, {row['high']:.2f}]"
+        note = f"  [{row['note']}]" if row.get("note") else ""
+        lines.append(f"[{status}] {row['name']:<42} "
+                     f"{row['measured']:10.2f} {bound}{note}")
+    return "\n".join(lines)

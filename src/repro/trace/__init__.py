@@ -12,7 +12,9 @@ Submodules:
   (loadable in Perfetto / chrome://tracing);
 * :mod:`repro.trace.opprofile` -- model-level per-symbol profile of a
   full ECDSA primitive, reconciling with its ``EnergyReport``;
-* :mod:`repro.trace.record` -- structured JSON benchmark records.
+* :mod:`repro.trace.record` -- structured JSON run records (schema v2:
+  git sha + dirty flag, per-component/per-symbol attribution), the unit
+  the :mod:`repro.regress` cross-run ledger appends and diffs.
 
 This ``__init__`` stays import-light (events + bus only, the rest via
 PEP 562 lazy attributes) because the Pete core imports the event types

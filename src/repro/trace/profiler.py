@@ -276,6 +276,38 @@ class Profiler:
             f"{total_nj / 1e3:>9.4f} {'100.0%':>6}")
         return "\n".join(lines)
 
+    def symbol_rows(self) -> list[dict]:
+        """Per-symbol hot spots as serializable rows (hottest first),
+        energy including each symbol's cycle-share of static/idle
+        overhead exactly as :meth:`table` prints it."""
+        overhead_nj = self._static_nj_total() + self._idle_nj()
+        total_cycles = max(1, self.total_cycles)
+        return [{
+            "symbol": s.symbol,
+            "cycles": s.cycles,
+            "instructions": s.instructions,
+            "stall_cycles": s.stall_cycles,
+            "uj": (s.dynamic_nj + overhead_nj * s.cycles / total_cycles)
+            / 1e3,
+        } for s in self.by_symbol()]
+
+    def to_record(self, artifact: str, config: str = "") -> dict:
+        """This run as a ``kind="profile"`` ledger record -- the unit
+        ``python -m repro.regress diff`` compares between two runs."""
+        from repro.trace.record import bench_record
+
+        report = self.energy_report(artifact)
+        return bench_record(
+            artifact, config=config, kind="profile",
+            cycles=self.total_cycles,
+            energy_uj=self.total_nj() / 1e3,
+            data={"instructions": self.total_instructions,
+                  "stall_cycles": sum(self.stall_reasons.values()),
+                  "stall_reasons": dict(self.stall_reasons)},
+            components={c: report.component_uj(c)
+                        for c in report.breakdown.components},
+            symbols=self.symbol_rows())
+
     def collapsed_stacks(self) -> str:
         """Flamegraph-compatible collapsed stacks (cycles as weight)."""
         lines = [f"{';'.join(path)} {cycles}"

@@ -58,3 +58,57 @@ def test_anchor_list():
 
 def test_cli():
     assert main(["--quiet"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# tolerance edges, zero-reference guard, exclusion list, exit status
+# ---------------------------------------------------------------------------
+
+
+def test_tolerance_edge_is_inclusive():
+    # binary-exact values so the boundary itself is representable
+    assert Comparison("x", 125.0, 100.0, 0.25).ok
+    assert not Comparison("x", 125.1, 100.0, 0.25).ok
+    assert Comparison("x", 75.0, 100.0, 0.25).ok
+    assert BandComparison("y", 1.0, 1.0, 2.0).ok
+    assert BandComparison("y", 2.0, 1.0, 2.0).ok
+
+
+def test_zero_reference_guard():
+    import math
+
+    z = Comparison("z", 5.0, 0.0, 0.10)
+    assert z.ratio == math.inf and not z.ok
+    both_zero = Comparison("z", 0.0, 0.0, 0.10)
+    assert both_zero.ratio == 1.0 and both_zero.ok
+
+
+def test_strict_gate_exclusion_list_is_exact():
+    from repro.harness.compare import PAPER_ANOMALIES
+
+    assert PAPER_ANOMALIES == {("P-521", "baseline", "verify"),
+                               ("B-283", "binary_isa", "verify")}
+    model = SystemModel()
+    for curve, config, primitive in PAPER_ANOMALIES:
+        row = next(r for r in latency_comparisons(model) if r.name
+                   .startswith(f"{curve}/{config}/{primitive}"))
+        assert row.tolerance == 0.60 and row.note
+
+
+def test_band_specs_are_the_single_source():
+    from repro.harness.compare import FACTOR_BAND_SPECS, factor_comparisons
+
+    bands = factor_comparisons(SystemModel())
+    assert [b.name for b in bands] == [s[0] for s in FACTOR_BAND_SPECS]
+    assert [(b.low, b.high) for b in bands] \
+        == [(s[3], s[4]) for s in FACTOR_BAND_SPECS]
+
+
+def test_main_exits_nonzero_on_out_of_band_quantity(monkeypatch):
+    import repro.harness.compare as compare
+
+    monkeypatch.setattr(compare, "latency_comparisons", lambda model: [])
+    monkeypatch.setattr(compare, "anchor_comparisons", lambda: [
+        Comparison("forced failure", 200.0, 100.0, 0.10)])
+    monkeypatch.setattr(compare, "factor_comparisons", lambda model: [])
+    assert main(["--quiet"]) == 1

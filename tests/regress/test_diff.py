@@ -1,0 +1,110 @@
+"""Differential engine: ranked deltas, new/vanished symbols, CLI."""
+
+import json
+
+from repro.kernels.runner import KernelRunner
+from repro.regress.diff import (
+    Delta,
+    diff_components,
+    diff_ledgers,
+    diff_records,
+    diff_symbols,
+    render_diff,
+)
+from repro.regress.ledger import NullLedger
+from repro.trace.record import bench_record
+
+
+def _record(artifact="os_mul", cycles=100, energy_uj=1.0,
+            components=None, symbols=None):
+    return bench_record(artifact, cycles=cycles, energy_uj=energy_uj,
+                        components=components, symbols=symbols)
+
+
+def _sym(name, cycles, stalls=0, uj=0.0, instructions=0):
+    return {"symbol": name, "cycles": cycles, "instructions": instructions,
+            "stall_cycles": stalls, "uj": uj}
+
+
+def test_delta_pct_and_zero_guard():
+    d = Delta("cycles", 100, 150)
+    assert d.delta == 50 and d.pct == 50.0
+    assert Delta("x", 0, 5).pct is None
+    assert "new" in Delta("x", 0, 5).render()
+
+
+def test_components_ranked_by_absolute_contribution():
+    a = _record(components={"Pete": 1.0, "RAM": 2.0, "ROM": 3.0})
+    b = _record(components={"Pete": 1.1, "RAM": 4.0, "ROM": 2.5})
+    deltas = diff_components(a, b)
+    assert [d.name for d in deltas] == ["RAM", "ROM", "Pete"]
+    assert deltas[0].delta == 2.0
+
+
+def test_symbols_changed_new_vanished():
+    a = _record(symbols=[_sym("hot", 100, uj=1.0), _sym("gone", 50),
+                         _sym("same", 10)])
+    b = _record(symbols=[_sym("hot", 400, stalls=8, uj=2.5),
+                         _sym("fresh", 30), _sym("same", 10)])
+    diff = diff_symbols(a, b)
+    assert [r["symbol"] for r in diff.changed] == ["hot"]
+    assert diff.changed[0]["cycles"] == 300
+    assert diff.changed[0]["stall_cycles"] == 8
+    assert [r["symbol"] for r in diff.new] == ["fresh"]
+    assert [r["symbol"] for r in diff.vanished] == ["gone"]
+
+
+def test_record_diff_and_render():
+    a = _record(cycles=100, energy_uj=1.0,
+                components={"Pete": 0.6}, symbols=[_sym("loop", 90)])
+    b = _record(cycles=150, energy_uj=1.5,
+                components={"Pete": 0.9}, symbols=[_sym("loop", 140)])
+    diff = diff_records(a, b)
+    assert not diff.empty
+    text = render_diff(diff, a, b)
+    assert "os_mul" in text
+    assert "cycles" in text and "+50.0%" in text
+    assert "loop" in text and "Pete" in text
+
+
+def test_identical_records_diff_empty():
+    a = _record()
+    diff = diff_records(a, dict(a))
+    assert diff.empty
+    assert "(no change)" in render_diff(diff)
+
+
+def test_diff_ledgers_matches_latest_per_artifact():
+    a = [_record("t1", cycles=10), _record("t1", cycles=20),
+         _record("only_a")]
+    b = [_record("t1", cycles=30), _record("only_b")]
+    diffs, only_a, only_b = diff_ledgers(a, b)
+    assert [d.artifact for d in diffs] == ["t1"]
+    # latest record (cycles=20) is the comparison base, not the first
+    assert diffs[0].scalars[0].before == 20
+    assert only_a == ["only_a"] and only_b == ["only_b"]
+
+
+def test_profiler_dumps_are_diffable():
+    runner = KernelRunner(ledger=NullLedger())
+    prof_a, _ = runner.profile("mp_add", 2)
+    prof_b, _ = runner.profile("mp_add", 4)
+    a = prof_a.to_record("kernel:mp_add", config="k=2")
+    b = prof_b.to_record("kernel:mp_add", config="k=4")
+    diff = diff_records(a, b)
+    assert diff.scalars[0].name == "cycles"
+    assert diff.scalars[0].delta > 0
+    assert diff.symbols.changed, "loop symbols must show cycle deltas"
+    assert any(d.name == "attributed" or d.name for d in diff.components)
+
+
+def test_cli_diff_two_records(tmp_path, capsys):
+    from repro.regress.__main__ import main
+
+    pa = tmp_path / "a.json"
+    pb = tmp_path / "b.json"
+    pa.write_text(json.dumps(_record(cycles=100)))
+    pb.write_text(json.dumps(_record(cycles=250)))
+    assert main(["diff", str(pa), str(pb)]) == 0
+    out = capsys.readouterr().out
+    assert "os_mul" in out and "+150.0%" in out

@@ -1,0 +1,129 @@
+"""Baseline snapshot + regression gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels.runner import shared_runner
+from repro.regress import gate
+from repro.regress.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def smoke_baseline():
+    return gate.make_baseline(smoke=True)
+
+
+def test_baseline_covers_kernels_and_model(smoke_baseline):
+    names = smoke_baseline["quantities"]
+    assert "kernel/os_mul:8/cycles" in names
+    assert "model/P-192:baseline/sign_cycles" in names
+    assert "model/P-192:monte/energy_uj" in names
+    assert any(n.startswith("model/P-192:baseline/component:")
+               for n in names)
+    # cycle counts gate exactly; energies allow a float epsilon
+    assert names["kernel/os_mul:8/cycles"]["tolerance"] == 0.0
+    assert 0 < names["model/P-192:baseline/energy_uj"]["tolerance"] < 1e-3
+
+
+def test_gate_passes_against_own_tree(smoke_baseline):
+    measured = gate.measure_quantities(smoke=True)
+    assert gate.check(smoke_baseline, measured) == []
+    report = gate.render_report(smoke_baseline, measured, [])
+    assert "no regressions" in report
+
+
+def test_gate_names_an_artificially_slowed_kernel(smoke_baseline):
+    class SlowRunner:
+        """Wraps the real runner; os_mul takes twice the cycles."""
+
+        def measure(self, name, k, trials=3):
+            result = shared_runner().measure(name, k, trials)
+            if name == "os_mul":
+                result = dataclasses.replace(result,
+                                             cycles=2 * result.cycles)
+            return result
+
+    measured = gate.measure_quantities(smoke=True, runner=SlowRunner())
+    failures = gate.check(smoke_baseline, measured)
+    names = [f.name for f in failures]
+    assert names == ["kernel/os_mul:8/cycles"]
+    report = gate.render_report(smoke_baseline, measured, failures)
+    assert "FAIL kernel/os_mul:8/cycles" in report
+    assert "+100.00%" in report
+    assert "make baseline" in report
+
+
+def test_gate_flags_vanished_quantity(smoke_baseline):
+    measured = gate.measure_quantities(smoke=True)
+    measured["kernel/os_mul:8/cycles"] = None
+    failures = gate.check(smoke_baseline, measured)
+    assert [f.name for f in failures] == ["kernel/os_mul:8/cycles"]
+    assert "no longer measurable" in failures[0].render()
+
+
+def test_smoke_measurement_gates_against_full_baseline(smoke_baseline):
+    # a full baseline contains strictly more quantities; smoke runs
+    # compare only the overlap
+    measured = gate.measure_quantities(smoke=True)
+    extra = dict(smoke_baseline)
+    extra["quantities"] = dict(smoke_baseline["quantities"])
+    extra["quantities"]["kernel/bsqr_ext:6/cycles"] = {
+        "value": 123.0, "tolerance": 0.0}
+    assert gate.check(extra, measured) == []
+
+
+def test_cli_gate_exit_status_and_report(tmp_path, smoke_baseline, capsys):
+    # tampering with the committed baseline is equivalent to the working
+    # tree having slowed down relative to it
+    tampered = dict(smoke_baseline)
+    tampered["quantities"] = {
+        name: dict(entry)
+        for name, entry in smoke_baseline["quantities"].items()}
+    tampered["quantities"]["kernel/os_mul:8/cycles"]["value"] *= 0.5
+    path = gate.write_baseline(tampered, str(tmp_path / "BASELINE.json"))
+    report_path = tmp_path / "report.txt"
+    rc = main(["gate", "--smoke", "--baseline", path, "--no-ledger",
+               "--report", str(report_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "kernel/os_mul:8/cycles" in out
+    assert "kernel/os_mul:8/cycles" in report_path.read_text()
+
+    # untampered baseline passes and appends a gate record
+    clean = gate.write_baseline(smoke_baseline,
+                                str(tmp_path / "CLEAN.json"))
+    rc = main(["gate", "--smoke", "--baseline", clean,
+               "--ledger", str(tmp_path / "ledger")])
+    assert rc == 0
+    from repro.regress.ledger import Ledger
+
+    records = Ledger(tmp_path / "ledger").read("gate")
+    assert len(records) == 1
+    assert records[0]["data"]["failed"] == 0
+    assert records[0]["data"]["checked"] > 0
+
+
+def test_cli_gate_missing_baseline(tmp_path, capsys):
+    rc = main(["gate", "--baseline", str(tmp_path / "absent.json"),
+               "--no-ledger"])
+    assert rc == 2
+    assert "make baseline" in capsys.readouterr().err
+
+
+def test_baseline_refuses_unmeasurable_quantities():
+    class BrokenRunner:
+        def measure(self, name, k, trials=3):
+            raise KeyError(name)
+
+    with pytest.raises(RuntimeError, match="unmeasurable"):
+        gate.make_baseline(smoke=True, runner=BrokenRunner())
+
+
+def test_cli_baseline_roundtrip(tmp_path, capsys):
+    path = tmp_path / "BASELINE.json"
+    assert main(["baseline", "--smoke", "--baseline", str(path)]) == 0
+    assert "quantities" in capsys.readouterr().out
+    loaded = gate.load_baseline(str(path))
+    assert loaded["schema"] == gate.BASELINE_SCHEMA
+    assert loaded["quantities"]

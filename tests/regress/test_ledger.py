@@ -1,0 +1,105 @@
+"""Append-only run ledger: sharding, reading, env gating, emitters."""
+
+import json
+
+from repro.kernels.runner import KernelRunner
+from repro.regress.ledger import (
+    Ledger,
+    NullLedger,
+    default_ledger,
+    load_any,
+)
+from repro.trace.record import SCHEMA, SCHEMA_V1, bench_record
+
+
+def test_append_read_roundtrip(tmp_path):
+    ledger = Ledger(tmp_path)
+    ledger.append(bench_record("a", cycles=1))
+    ledger.append(bench_record("b", cycles=2))
+    records = ledger.read("bench")
+    assert [r["artifact"] for r in records] == ["a", "b"]
+    assert all(r["schema"] == SCHEMA for r in records)
+
+
+def test_kinds_shard_into_separate_files(tmp_path):
+    ledger = Ledger(tmp_path)
+    ledger.append(bench_record("a"))
+    ledger.append(bench_record("fidelity", kind="scorecard"))
+    assert (tmp_path / "bench.jsonl").exists()
+    assert (tmp_path / "scorecard.jsonl").exists()
+    assert len(ledger.read("bench")) == 1
+    assert len(ledger.read("scorecard")) == 1
+
+
+def test_latest_picks_most_recent(tmp_path):
+    ledger = Ledger(tmp_path)
+    ledger.append(bench_record("a", cycles=1))
+    ledger.append(bench_record("a", cycles=9))
+    assert ledger.latest("a")["cycles"] == 9
+    assert ledger.latest("missing") is None
+    assert ledger.latest_by_artifact()["a"]["cycles"] == 9
+
+
+def test_reader_upgrades_v1_lines_and_skips_blanks(tmp_path):
+    v1 = {"schema": SCHEMA_V1, "artifact": "old", "config": "",
+          "cycles": 7, "energy_uj": 0.0, "wall_s": 0.0, "data": {},
+          "git_sha": "deadbeef", "timestamp": "t"}
+    (tmp_path / "bench.jsonl").write_text(
+        json.dumps(v1) + "\n\n" + json.dumps(bench_record("new")) + "\n")
+    records = Ledger(tmp_path).read("bench")
+    assert len(records) == 2
+    old = records[0]
+    assert old["schema"] == SCHEMA
+    assert old["git_dirty"] is None
+    assert old["kind"] == "bench"
+    assert old["components"] == {} and old["symbols"] == []
+
+
+def test_default_ledger_env_gating(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    assert isinstance(default_ledger(), NullLedger)
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    assert isinstance(default_ledger(), NullLedger)
+    monkeypatch.setenv("REPRO_LEDGER", "1")
+    assert isinstance(default_ledger(), Ledger)
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+    ledger = default_ledger()
+    assert isinstance(ledger, Ledger)
+    assert ledger.directory == str(tmp_path)
+
+
+def test_null_ledger_is_inert(tmp_path):
+    null = NullLedger()
+    assert null.append(bench_record("x")) is None
+    assert null.read() == [] and null.latest("x") is None
+
+
+def test_load_any_single_record_and_shard(tmp_path):
+    record = bench_record("one", cycles=3)
+    single = tmp_path / "BENCH_one.json"
+    single.write_text(json.dumps(record))
+    assert load_any(str(single))[0]["cycles"] == 3
+    ledger = Ledger(tmp_path)
+    ledger.append(bench_record("a"))
+    ledger.append(bench_record("b"))
+    assert len(load_any(str(tmp_path / "bench.jsonl"))) == 2
+
+
+def test_kernel_runner_appends_once_per_measurement(tmp_path):
+    ledger = Ledger(tmp_path)
+    runner = KernelRunner(ledger=ledger)
+    runner.measure("mp_add", 2)
+    runner.measure("mp_add", 2)  # cached: no second record
+    runner.measure("mp_add", 3)
+    records = ledger.read("bench")
+    assert [r["artifact"] for r in records] == ["kernel:mp_add"] * 2
+    assert [r["config"] for r in records] == ["k=2", "k=3"]
+    assert records[0]["cycles"] > 0
+    assert records[0]["data"]["instructions"] > 0
+
+
+def test_kernel_runner_defaults_to_null_ledger(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    assert isinstance(KernelRunner().ledger, NullLedger)

@@ -1,0 +1,50 @@
+"""Fidelity scorecard: reconciles exactly with the compare gate."""
+
+import pytest
+
+from repro.harness.compare import run_report
+from repro.regress.ledger import Ledger
+from repro.regress.scorecard import render_scorecard, scorecard_record
+
+
+@pytest.fixture(scope="module")
+def record():
+    return scorecard_record()
+
+
+def test_scorecard_reconciles_with_compare_verdicts(record):
+    """Acceptance: same pass/fail counts as harness/compare on this run."""
+    passed, failed = run_report(verbose=False)
+    assert record["data"]["passed"] == passed
+    assert record["data"]["failed"] == failed
+
+
+def test_scorecard_rows_cover_all_tracked_quantities(record):
+    rows = record["data"]["rows"]
+    assert len(rows) == record["data"]["passed"] + record["data"]["failed"]
+    types = {r["type"] for r in rows}
+    assert types == {"ratio", "band"}
+    names = {r["name"] for r in rows}
+    assert any("P-192/baseline/sign" in n for n in names)
+    assert any(n.startswith("FFAU") for n in names)
+    assert any(n.startswith("Monte factor") for n in names)
+    for row in rows:
+        assert isinstance(row["ok"], bool)
+        if row["type"] == "band":
+            assert row["low"] < row["high"]
+
+
+def test_scorecard_is_a_ledger_record(record, tmp_path):
+    assert record["kind"] == "scorecard"
+    assert record["artifact"] == "fidelity-scorecard"
+    ledger = Ledger(tmp_path)
+    ledger.append(record)
+    (loaded,) = ledger.read("scorecard")
+    assert loaded["data"]["passed"] == record["data"]["passed"]
+
+
+def test_render_lists_every_row(record):
+    text = render_scorecard(record)
+    assert "fidelity scorecard" in text
+    assert text.count("\n") == len(record["data"]["rows"])
+    assert "in [" in text and "(tol" in text

@@ -47,3 +47,101 @@ def test_write_record_honours_env_dir(tmp_path, monkeypatch):
     path = write_record(bench_record("x"))
     assert path.startswith(str(tmp_path / "env_dir"))
     assert (tmp_path / "env_dir" / "BENCH_x.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# schema v2: provenance, repo-root anchoring, migration
+# ---------------------------------------------------------------------------
+
+
+def test_v2_record_has_provenance_and_kind():
+    from repro.trace.record import bench_record
+
+    rec = bench_record("x")
+    assert rec["kind"] == "bench"
+    assert rec["git_dirty"] in (True, False, None)
+    assert rec["components"] == {} and rec["symbols"] == []
+
+
+def test_bench_record_rejects_unknown_kind():
+    import pytest
+
+    from repro.trace.record import bench_record
+
+    with pytest.raises(ValueError, match="unknown record kind"):
+        bench_record("x", kind="nonsense")
+
+
+def test_git_dirty_none_outside_a_checkout(tmp_path):
+    from repro.trace.record import git_dirty
+
+    assert git_dirty(str(tmp_path)) is None
+
+
+def test_upgrade_v1_record_is_tolerant():
+    import pytest
+
+    from repro.trace.record import SCHEMA, SCHEMA_V1, upgrade_record
+
+    v1 = {"schema": SCHEMA_V1, "artifact": "old", "cycles": 1}
+    up = upgrade_record(v1)
+    assert up["schema"] == SCHEMA
+    assert up["kind"] == "bench"
+    assert up["git_dirty"] is None
+    assert up["components"] == {} and up["symbols"] == []
+    with pytest.raises(ValueError, match="unknown record schema"):
+        upgrade_record({"schema": "repro.bench.v99"})
+
+
+def test_load_record_upgrades_old_files(tmp_path):
+    from repro.trace.record import SCHEMA, SCHEMA_V1, load_record
+
+    path = tmp_path / "BENCH_old.json"
+    path.write_text(json.dumps({"schema": SCHEMA_V1, "artifact": "old"}))
+    rec = load_record(str(path))
+    assert rec["schema"] == SCHEMA and rec["git_dirty"] is None
+
+
+def test_default_record_dir_is_repo_root_anchored(tmp_path, monkeypatch):
+    import os
+
+    from repro.trace.record import default_record_dir, repo_root
+
+    monkeypatch.delenv("BENCH_RECORD_DIR", raising=False)
+    monkeypatch.chdir(tmp_path)
+    d = default_record_dir()
+    assert os.path.isabs(d)
+    assert d == os.path.join(repo_root(), "results", "bench")
+    assert not d.startswith(str(tmp_path))
+
+
+def test_repo_root_finds_this_checkout():
+    import os
+
+    from repro.trace.record import repo_root
+
+    root = repo_root()
+    assert os.path.exists(os.path.join(root, "setup.py"))
+
+
+def test_summarize_rows_folds_cycles_and_energy():
+    from repro.trace.record import summarize_rows
+
+    rows = [{"op": "sign", "cycles_100k": 2.0, "total_uj": 1.5},
+            {"op": "verify", "cycles_100k": 3.0, "total_uj": 2.5,
+             "note": "text ignored"}]
+    cycles, energy_uj, data = summarize_rows(rows)
+    assert cycles == 5.0 and energy_uj == 4.0
+    assert data["rows"] == 2 and "op" in data["columns"]
+    assert summarize_rows(None) == (0.0, 0.0, {})
+
+
+def test_kernel_record_shape():
+    from repro.kernels.runner import KernelResult
+    from repro.trace.record import kernel_record
+
+    rec = kernel_record(KernelResult("os_mul", 8, 926, 700, 30, 20))
+    assert rec["artifact"] == "kernel:os_mul"
+    assert rec["config"] == "k=8"
+    assert rec["cycles"] == 926
+    assert rec["data"]["rom_reads"] == 700
