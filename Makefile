@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench profile artifacts compare regress baseline examples all
+.PHONY: install test lint bench profile artifacts sweep sweep-clean compare regress baseline examples all
 
 install:
 	pip install -e .
@@ -29,6 +29,15 @@ profile:
 
 artifacts:
 	python -m repro.harness.runall --out results --csv
+
+# Parallel, cached artifact regeneration: same output as `artifacts`,
+# fanned over a process pool with results memoized in results/cache/
+# (a warm rerun touches zero simulators).
+sweep:
+	PYTHONPATH=src python -m repro.sweep --out results --csv
+
+sweep-clean:
+	rm -rf results/cache
 
 compare:
 	python -m repro.harness.compare

@@ -72,6 +72,21 @@ def main(argv: list[str]) -> int:
     (out_dir / "profile_os_mul.json").write_text(
         json.dumps(dump, indent=2, sort_keys=True) + "\n")
 
+    # -- sweep-engine smoke: cold compute, then warm cache replay
+    from repro.harness.registry import select
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.engine import run_sweep
+
+    specs = select(["table_7.3", "table_7.5"])
+    cache = ResultCache(out_dir / "sweep-cache")
+    cold = run_sweep(specs, cache=cache)
+    warm = run_sweep(specs, cache=cache)
+    assert warm.hits == len(specs), "warm sweep must replay from cache"
+    assert [o.payload for o in cold.outcomes] == \
+        [o.payload for o in warm.outcomes], "warm payloads must match"
+    print(cold.summary())
+    print(warm.summary())
+
     # -- the structured record, also appended to the run ledger
     from repro.regress.ledger import Ledger
     from repro.trace.record import bench_record, write_record
@@ -84,7 +99,9 @@ def main(argv: list[str]) -> int:
         data={"p192_sign_cycles": latency.sign_cycles,
               "p192_verify_cycles": latency.verify_cycles,
               "p256_sign_uj": profile.report.total_uj,
-              "trace_events": len(events.events)})
+              "trace_events": len(events.events),
+              "sweep_cold_computed": cold.computed,
+              "sweep_warm_hits": warm.hits})
     path = write_record(record, str(out_dir))
     ledger_path = Ledger(out_dir / "ledger").append(record)
     print(f"smoke record: {path}")

@@ -1,0 +1,152 @@
+"""Public facade: the one import surface for driving the reproduction.
+
+Three entry points (documented in ``docs/API.md``):
+
+* :func:`compute_artifact` -- produce one table/figure payload (text,
+  CSV, summarized quantities);
+* :func:`sweep` -- run the artifact cross-product through the parallel
+  sweep engine with the content-addressed result cache;
+* :func:`open_session` -- a context in which every artifact producer,
+  kernel runner and sweep prices against a caller-supplied
+  :class:`~repro.energy.calibration.Calibration` instead of the
+  default.
+
+Everything here delegates to :mod:`repro.harness.registry` and
+:mod:`repro.sweep`; nothing below this module needs to be imported for
+ordinary use.
+"""
+
+from __future__ import annotations
+
+from repro.harness.registry import (
+    ArtifactSpec,
+    UnknownArtifactError,
+    get_spec,
+    select,
+)
+from repro.sweep.cache import ResultCache
+from repro.sweep.engine import SweepEngine, SweepResult
+
+__all__ = [
+    "ArtifactSpec",
+    "Session",
+    "SweepResult",
+    "UnknownArtifactError",
+    "compute_artifact",
+    "open_session",
+    "sweep",
+]
+
+
+def _resolve(name: str, kind: str | None) -> ArtifactSpec:
+    if kind is not None:
+        return get_spec(kind, name)
+    specs = select([name])
+    if len(specs) > 1:
+        choices = ", ".join(s.artifact_id for s in specs)
+        raise UnknownArtifactError(
+            f"artifact name {name!r} is ambiguous ({choices}); "
+            f"pass kind= or a table_/figure_ prefix")
+    return specs[0]
+
+
+def compute_artifact(name: str, kind: str | None = None) -> dict:
+    """Produce one artifact's payload.
+
+    ``name`` accepts the same tokens as ``runall --only`` (``"7.1"``,
+    ``"table_7_2"``, ``"figure.s7.8"``) but must resolve to exactly one
+    artifact.  The payload dict carries the rendered ``text``, the
+    ``csv`` flattening, the ledger quantities (``cycles``,
+    ``energy_uj``, ``data``, ``components``) and the production
+    ``wall_s``.
+    """
+    return _resolve(name, kind).payload()
+
+
+def sweep(only=None, jobs: int = 1, cache: bool = True,
+          cache_dir=None, calibration=None, **engine_kwargs
+          ) -> SweepResult:
+    """Run artifacts (all of them, or an ``only`` selection) through
+    the sweep engine.
+
+    ``cache=True`` memoizes results in the on-disk content-addressed
+    store (``cache_dir`` overrides its location); ``jobs>1`` fans tasks
+    out over a process pool.  ``calibration`` is folded into the cache
+    keys -- open a session (:func:`open_session`) around the call when
+    the *computation* should use it too.  Remaining keyword arguments
+    reach :class:`~repro.sweep.engine.SweepEngine` (``timeout_s``,
+    ``retries``, ``ledger``, ``compute``).
+    """
+    specs = select(list(only) if only is not None else None)
+    store = ResultCache(cache_dir) if (cache or cache_dir) else None
+    engine = SweepEngine(jobs=jobs, cache=store,
+                         calibration=calibration, **engine_kwargs)
+    return engine.run(specs)
+
+
+class Session:
+    """A calibration-scoped view of the whole reproduction.
+
+    While the session is entered, :func:`repro.model.system.shared_model`
+    -- and therefore every table/figure producer -- prices against the
+    session's calibration, and the session's sweeps key the result
+    cache with it (so sessions never poison each other's cache
+    entries).
+    """
+
+    def __init__(self, calibration=None) -> None:
+        from repro.energy.calibration import CALIBRATION
+        from repro.model.system import SystemModel
+
+        self.calibration = calibration if calibration is not None \
+            else CALIBRATION
+        self.model = SystemModel(self.calibration)
+        self._cm = None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.calibration.fingerprint()
+
+    def runner(self, ledger=None):
+        """A kernel runner keyed to this session's calibration."""
+        from repro.kernels.runner import KernelRunner
+
+        return KernelRunner(ledger=ledger, calibration=self.calibration)
+
+    def compute_artifact(self, name: str, kind: str | None = None) -> dict:
+        with self:
+            return compute_artifact(name, kind)
+
+    def sweep(self, only=None, jobs: int = 1, **kwargs) -> SweepResult:
+        with self:
+            return sweep(only, jobs=jobs,
+                         calibration=self.calibration, **kwargs)
+
+    # -- context management (re-entrant) --------------------------------
+
+    def __enter__(self) -> Session:
+        from repro.model.system import use_model
+
+        if self._cm is None:
+            self._cm = use_model(self.model)
+            self._cm.__enter__()
+            self._depth = 1
+        else:
+            self._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            cm, self._cm = self._cm, None
+            cm.__exit__(*exc)
+
+
+def open_session(calibration=None) -> Session:
+    """A :class:`Session` for ``calibration`` (default: the calibrated
+    coefficients shipped with the repo).  Use as a context manager::
+
+        with open_session(calibration=my_cal) as s:
+            payload = s.compute_artifact("table_7.1")
+    """
+    return Session(calibration)

@@ -19,7 +19,10 @@ measured (cycles, event counts) lives upstream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 
 from repro.energy.memory_model import (
     MemoryEnergyModel,
@@ -134,6 +137,18 @@ class Calibration:
     rom_energy_scale: float = 1.0
     ram_energy_scale: float = 1.0
 
+    def fingerprint(self) -> str:
+        """Stable content hash over every coefficient.
+
+        Two calibrations with identical coefficients share a
+        fingerprint; any edit to a constant changes it.  The sweep
+        cache (:mod:`repro.sweep`) and the kernel-measurement cache
+        (:class:`repro.kernels.runner.KernelRunner`) fold this into
+        their keys so results from different calibrations can never be
+        served for one another.
+        """
+        return _fingerprint(self)
+
     # memory macros
     def rom(self, line_port: bool = False) -> MemoryEnergyModel:
         return _scaled(program_rom(line_port), self.rom_energy_scale)
@@ -143,6 +158,12 @@ class Calibration:
 
     def icache(self, size_bytes: int) -> MemoryEnergyModel:
         return icache_macros(size_bytes)
+
+
+@lru_cache(maxsize=None)
+def _fingerprint(cal: Calibration) -> str:
+    blob = json.dumps(asdict(cal), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def _scaled(macro: MemoryEnergyModel, scale: float) -> MemoryEnergyModel:

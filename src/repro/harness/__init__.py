@@ -3,10 +3,27 @@
 ``python -m repro.harness.runall`` prints all of them; the individual
 renderers live in :mod:`repro.harness.tables` and
 :mod:`repro.harness.figures` and are also what the pytest-benchmark
-suite under ``benchmarks/`` invokes.
+suite under ``benchmarks/`` invokes.  The typed artifact catalog --
+what the CLI, the sweep engine and :mod:`repro.api` all select from --
+is :mod:`repro.harness.registry`.
 """
 
 from repro.harness.figures import FIGURES, render_figure
+from repro.harness.registry import (
+    ArtifactSpec,
+    UnknownArtifactError,
+    get_spec,
+    select,
+)
 from repro.harness.tables import TABLES, render_table
 
-__all__ = ["TABLES", "FIGURES", "render_table", "render_figure"]
+__all__ = [
+    "ArtifactSpec",
+    "FIGURES",
+    "TABLES",
+    "UnknownArtifactError",
+    "get_spec",
+    "render_figure",
+    "render_table",
+    "select",
+]

@@ -7,8 +7,6 @@ what factor, where crossovers fall -- is inspectable without matplotlib.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.accel.billie import Billie, BillieConfig
 from repro.accel.monte import Monte, MonteConfig
 from repro.ec.curves import SECURITY_PAIRS, get_curve
@@ -21,15 +19,10 @@ from repro.harness.tables import (
 from repro.model.arm import ARM_CORTEX_M3
 from repro.model.configs import ISA_EXT, with_icache
 from repro.model.prior_work import GUO_SCHAUMONT_163
-from repro.model.system import SystemModel
+from repro.model.system import shared_model as _model
 
 #: Components shown in the breakdown figures, in plot order.
 BREAKDOWN_COMPONENTS = ("Pete", "ROM", "RAM", "Uncore", "Monte", "Billie")
-
-
-@lru_cache(maxsize=1)
-def _model() -> SystemModel:
-    return SystemModel()
 
 
 def _energy_uj(curve: str, config) -> float:
@@ -304,8 +297,12 @@ FIGURES = {
 
 
 def render_figure(name: str) -> str:
-    """Format a figure's series as text."""
-    data = FIGURES[name]()
+    """Format a figure's series as text (recomputes the data)."""
+    return render_series(name, FIGURES[name]())
+
+
+def render_series(name: str, data: dict) -> str:
+    """Format a figure's already-computed series as text."""
     lines = [f"Figure {name}"]
     for series, values in data.items():
         if isinstance(values, dict):

@@ -2,7 +2,12 @@
 
 Writes the rendered artifacts to stdout and, with ``--out DIR``, one text
 file per artifact into the given directory (``--csv`` adds machine-
-readable CSV next to each text file).
+readable CSV next to each text file).  Artifact selection, production
+and rendering all go through :mod:`repro.harness.registry`; execution
+goes through the sweep engine (:mod:`repro.sweep`), so ``--jobs N``
+parallelizes the run and ``--cache`` memoizes artifact results on disk
+keyed by producing-code content + calibration + params (a warm rerun
+touches zero simulators).
 
 Observability modes (instead of rendering artifacts):
 
@@ -21,52 +26,32 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import warnings
 
-from repro.harness.figures import FIGURES, render_figure
-from repro.harness.tables import TABLES, render_table
+from repro.harness.registry import (
+    ArtifactSpec,
+    UnknownArtifactError,
+    get_spec,
+    select,
+)
 
 DEFAULT_PROFILE = "P-256:baseline:sign"
 DEFAULT_TRACE_KERNEL = "os_mul:8"
 
 
-def _normalize(token: str) -> tuple[str | None, str]:
-    """``(kind, name)``; a ``table_``/``figure_`` prefix pins the kind."""
-    t = token.lower().replace("_", ".")
-    for kind in ("table", "figure"):
-        if t.startswith(kind + "."):
-            return kind, t[len(kind) + 1:]
-    return None, t
-
-
-def _matches(token: tuple[str | None, str], kind: str, name: str) -> bool:
-    """Exact name, or a prefix ending at a component boundary (so
-    ``7.1`` selects 7.1 but not 7.15, and ``7`` selects all of 7.x)."""
-    want_kind, t = token
-    if want_kind is not None and want_kind != kind:
-        return False
-    if t == name:
-        return True
-    return name.startswith(t) and not name[len(t)].isalnum()
+def select_specs(only: list[str] | None) -> list[ArtifactSpec]:
+    """Resolve ``--only`` tokens to specs, in artifact order; raises
+    ``SystemExit`` on tokens matching nothing."""
+    try:
+        return select(only)
+    except UnknownArtifactError as exc:
+        raise SystemExit(str(exc))
 
 
 def select_artifacts(only: list[str] | None) -> list[tuple[str, str]]:
     """Resolve ``--only`` tokens to (kind, name) pairs, in artifact
     order; raises ``SystemExit`` on tokens matching nothing."""
-    catalog = ([("table", n) for n in TABLES]
-               + [("figure", n) for n in FIGURES])
-    if not only:
-        return catalog
-    tokens = [_normalize(t) for t in only]
-    unknown = [orig for orig, t in zip(only, tokens)
-               if not any(_matches(t, kind, name)
-                          for kind, name in catalog)]
-    if unknown:
-        names = " ".join(sorted({n for _, n in catalog}))
-        raise SystemExit(
-            f"runall: unknown artifact name(s): {' '.join(unknown)}\n"
-            f"available: {names}")
-    return [(kind, name) for kind, name in catalog
-            if any(_matches(t, kind, name) for t in tokens)]
+    return [spec.key for spec in select_specs(only)]
 
 
 def _parse_spec(spec: str, default: str, n: int, what: str) -> list[str]:
@@ -151,6 +136,22 @@ def main(argv: list[str] | None = None) -> int:
                              "(e.g. 7.1 7_14 s7; unknown names fail)")
     parser.add_argument("--csv", action="store_true",
                         help="also write CSV files (requires --out)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="artifact tasks to run in parallel "
+                             "(default 1: inline, no process pool)")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize artifact results in the on-disk "
+                             "content-addressed cache")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="cache directory (implies --cache; default "
+                             "results/cache or $REPRO_SWEEP_CACHE_DIR)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task timeout for pooled runs "
+                             "(default 600)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retries per failed task (default 1)")
     parser.add_argument("--profile", nargs="?", const=DEFAULT_PROFILE,
                         metavar="CURVE:CONFIG:PRIMITIVE",
                         help="print the per-operation energy profile of "
@@ -195,77 +196,86 @@ def main(argv: list[str] | None = None) -> int:
 
             ledger = Ledger(args.ledger or args.out / "ledger")
 
-    artifacts: list[tuple[str, str, str]] = []
-    for kind, name in select_artifacts(args.only):
-        render = render_table if kind == "table" else render_figure
-        artifacts.append((kind, name, render(name)))
+    specs = select_specs(args.only)
 
-    for kind, name, text in artifacts:
-        print(text)
+    cache = None
+    if args.cache or args.cache_dir:
+        from repro.sweep.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
+    from repro.sweep.engine import SweepEngine
+
+    engine_kwargs: dict = {}
+    if args.timeout is not None:
+        engine_kwargs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        engine_kwargs["retries"] = args.retries
+    engine = SweepEngine(jobs=args.jobs, cache=cache, ledger=ledger,
+                         **engine_kwargs)
+    result = engine.run(specs)
+
+    for spec, outcome in zip(specs, result.outcomes):
+        if not outcome.ok:
+            print(f"runall: {spec.artifact_id} failed after "
+                  f"{outcome.attempts} attempt(s): {outcome.error}",
+                  file=sys.stderr)
+            continue
+        payload = outcome.payload
+        print(payload["text"])
         print()
         if args.out:
-            stem = f"{kind}_{name}".replace(".", "_")
-            (args.out / f"{stem}.txt").write_text(text + "\n")
+            (args.out / f"{spec.slug}.txt").write_text(
+                payload["text"] + "\n")
             if args.csv:
-                (args.out / f"{stem}.csv").write_text(
-                    _to_csv(f"{kind}_{name}"))
+                (args.out / f"{spec.slug}.csv").write_text(
+                    payload["csv"])
             if ledger is not None:
-                ledger.append(_artifact_record(kind, name))
+                ledger.append(spec.record(payload))
+    if cache is not None or args.jobs > 1:
+        print(result.summary(), file=sys.stderr)
     if ledger is not None:
         print(f"(ledger: {ledger.path_for('bench')})")
-    return 0
+    return 1 if result.failed else 0
 
 
-def _artifact_record(kind: str, name: str) -> dict:
-    """One ledger record per rendered artifact, summarized from the
-    same rows the txt/csv files are rendered from -- ``results/`` and
-    the ledger can therefore never disagree.  Figure series flatten
-    into the record's ``components`` map so ``repro.regress diff``
-    ranks per-series deltas."""
-    from repro.trace.record import bench_record, summarize_rows, \
-        summarize_series
-
-    components: dict = {}
-    if kind == "table":
-        cycles, energy_uj, data = summarize_rows(TABLES[name]())
-    else:
-        series = FIGURES[name]()
-        cycles, energy_uj, data = summarize_series(series)
-        for sname, values in series.items():
-            if isinstance(values, dict):
-                components.update(
-                    {f"{sname}/{k}": v for k, v in values.items()
-                     if isinstance(v, (int, float))})
-            elif isinstance(values, (int, float)):
-                components[str(sname)] = values
-    return bench_record(f"{kind}_{name}", cycles=cycles,
-                        energy_uj=energy_uj, data=data,
-                        components=components)
+# ---------------------------------------------------------------------------
+# Deprecated private helpers (moved into repro.harness.registry)
+# ---------------------------------------------------------------------------
 
 
-def _to_csv(artifact: str) -> str:
-    """Flatten an artifact's data into CSV rows."""
-    import csv
-    import io
+def _shim_artifact_record(kind: str, name: str) -> dict:
+    return get_spec(kind, name).record()
 
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
+
+def _shim_to_csv(artifact: str) -> str:
     kind, _, name = artifact.partition("_")
-    if kind == "table":
-        rows = TABLES[name]()
-        writer.writerow(list(rows[0]))
-        for row in rows:
-            writer.writerow([row[key] for key in rows[0]])
-    else:
-        data = FIGURES[name]()
-        writer.writerow(["series", "key", "value"])
-        for series, values in data.items():
-            if isinstance(values, dict):
-                for key, value in values.items():
-                    writer.writerow([series, key, value])
-            else:
-                writer.writerow([series, "", values])
-    return buffer.getvalue()
+    return get_spec(kind, name).to_csv()
+
+
+def __getattr__(name: str):
+    from repro.harness.registry import matches, normalize_token
+
+    deprecated = {
+        "_normalize": ("repro.harness.registry.normalize_token",
+                       normalize_token),
+        "_matches": ("repro.harness.registry.matches",
+                     matches),
+        "_artifact_record": ("repro.harness.registry."
+                             "ArtifactSpec.record",
+                             _shim_artifact_record),
+        "_to_csv": ("repro.harness.registry.ArtifactSpec.to_csv",
+                    _shim_to_csv),
+    }
+    if name in deprecated:
+        replacement, func = deprecated[name]
+        warnings.warn(
+            f"repro.harness.runall.{name} is deprecated; "
+            f"use {replacement} instead",
+            DeprecationWarning, stacklevel=2)
+        return func
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":

@@ -8,12 +8,10 @@ comparison where the paper published absolute numbers.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.accel.ffau import FFAU, FFAUConfig
 from repro.energy.components import FFAUPower
 from repro.model.arm import ARM_CORTEX_M3
-from repro.model.system import SystemModel
+from repro.model.system import shared_model as _model
 
 PRIME_CURVES = ("P-192", "P-224", "P-256", "P-384", "P-521")
 BINARY_CURVES = ("B-163", "B-233", "B-283", "B-409", "B-571")
@@ -43,11 +41,6 @@ PAPER_TABLE_7_2 = {
     ("B-283", "billie"): (4.6, 5.4), ("B-409", "billie"): (9.0, 10.6),
     ("B-571", "billie"): (16.7, 19.7),
 }
-
-
-@lru_cache(maxsize=1)
-def _model() -> SystemModel:
-    return SystemModel()
 
 
 def table7_1() -> list[dict]:
@@ -175,8 +168,12 @@ TABLES = {
 
 
 def render_table(name: str) -> str:
-    """Format a table as aligned text."""
-    rows = TABLES[name]()
+    """Format a table as aligned text (recomputes the rows)."""
+    return render_rows(name, TABLES[name]())
+
+
+def render_rows(name: str, rows: list[dict]) -> str:
+    """Format already-computed table rows as aligned text."""
     if not rows:
         return f"Table {name}: (empty)"
     keys = list(rows[0])

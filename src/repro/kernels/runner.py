@@ -2,8 +2,11 @@
 
 Every measurement doubles as a correctness check: the kernel's output
 words in simulated RAM are compared against the :mod:`repro.mp` reference
-before the cycle count is accepted.  Results are cached per
-(kernel, k, ISA features) since the kernels are deterministic.
+before the cycle count is accepted.  The kernels are deterministic, so
+results are memoized in a process-wide cache shared by every runner,
+keyed ``(kernel, k, calibration fingerprint)`` -- the fingerprint keeps
+runners built from different calibrations from ever serving each
+other's entries (the ISA feature set is implied by the kernel name).
 """
 
 from __future__ import annotations
@@ -52,11 +55,30 @@ class KernelResult:
         return self.instructions
 
 
-class KernelRunner:
-    """Builds and times kernels; validates against :mod:`repro.mp`."""
+#: Process-wide measurement memo shared by every runner (externalized
+#: from the old per-instance cache so sweeps, the gate and the harness
+#: never re-simulate a kernel another runner already measured).
+_SHARED_CACHE: dict[tuple, KernelResult] = {}
 
-    def __init__(self, ledger=None) -> None:
-        self._cache: dict[tuple, KernelResult] = {}
+
+class KernelRunner:
+    """Builds and times kernels; validates against :mod:`repro.mp`.
+
+    ``cache`` overrides the process-wide shared measurement memo (pass
+    ``{}`` for an isolated runner); ``calibration`` is folded into the
+    cache key so runners with different calibrations cannot serve each
+    other stale entries.
+    """
+
+    def __init__(self, ledger=None, calibration=None,
+                 cache: dict | None = None) -> None:
+        if calibration is None:
+            from repro.energy.calibration import CALIBRATION
+
+            calibration = CALIBRATION
+        self.cal = calibration
+        self._cache = _SHARED_CACHE if cache is None else cache
+        self._recorded: set[tuple] = set()
         self._tracer = None          # TraceBus threaded through _build_cpu
         self._last_cpu: Pete | None = None
         if ledger is None:
@@ -67,18 +89,24 @@ class KernelRunner:
 
     # -- public measurement API ------------------------------------------
 
+    def _cache_key(self, name: str, k: int) -> tuple:
+        return (name, k, self.cal.fingerprint())
+
     def measure(self, name: str, k: int, trials: int = 3) -> KernelResult:
         """Median-of-``trials`` cycle measurement for a kernel at size k.
 
         First measurement per (kernel, k) also appends one record to the
         runner's ledger (a no-op unless a ledger is configured -- see
-        :func:`repro.regress.ledger.default_ledger`).
+        :func:`repro.regress.ledger.default_ledger`), even when the
+        shared cache already held the result.
         """
-        key = (name, k)
+        key = self._cache_key(name, k)
         if key not in self._cache:
             runs = [self._run_once(name, k) for _ in range(trials)]
             runs.sort(key=lambda r: r.cycles)
             self._cache[key] = runs[len(runs) // 2]
+        if key not in self._recorded:
+            self._recorded.add(key)
             from repro.trace.record import kernel_record
 
             self.ledger.append(kernel_record(self._cache[key]))
@@ -95,6 +123,12 @@ class KernelRunner:
         from repro.trace.bus import TraceBus
         from repro.trace.profiler import Profiler
 
+        if params is None:
+            from repro.energy.calibration import CALIBRATION
+            from repro.energy.simulated import RunEnergyParams
+
+            if self.cal is not CALIBRATION:
+                params = RunEnergyParams(cal=self.cal)
         bus = TraceBus()
         profiler = Profiler(params=params)
         bus.attach(profiler)

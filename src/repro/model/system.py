@@ -10,6 +10,7 @@ coprocessor timing machines directly.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, fields as dc_fields
 from functools import lru_cache
 
@@ -86,6 +87,11 @@ class SystemModel:
 
     def __init__(self, calibration: Calibration = CALIBRATION) -> None:
         self.cal = calibration
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the calibration in effect (cache identity)."""
+        return self.cal.fingerprint()
 
     # ------------------------------------------------------------------
     # Activity synthesis
@@ -423,6 +429,40 @@ def _sum_parts(parts: dict[str, Activity]) -> Activity:
 # ---------------------------------------------------------------------------
 # Shared/cached heavy objects
 # ---------------------------------------------------------------------------
+
+#: Session-installed model (see :func:`use_model`); ``None`` means the
+#: process-wide default-calibration model.
+_ACTIVE_MODEL: SystemModel | None = None
+
+
+@lru_cache(maxsize=1)
+def _default_model() -> SystemModel:
+    return SystemModel()
+
+
+def shared_model() -> SystemModel:
+    """The model artifact producers consult.
+
+    Defaults to a process-wide :class:`SystemModel` built from the
+    default :data:`~repro.energy.calibration.CALIBRATION`; a session
+    opened via :func:`repro.api.open_session` (or :func:`use_model`)
+    temporarily installs its own model here, so every table/figure
+    producer prices against the session's calibration without threading
+    a model argument through each renderer.
+    """
+    return _ACTIVE_MODEL if _ACTIVE_MODEL is not None else _default_model()
+
+
+@contextmanager
+def use_model(model: SystemModel):
+    """Install ``model`` as the shared model for the enclosed block."""
+    global _ACTIVE_MODEL
+    previous = _ACTIVE_MODEL
+    _ACTIVE_MODEL = model
+    try:
+        yield model
+    finally:
+        _ACTIVE_MODEL = previous
 
 
 @lru_cache(maxsize=None)

@@ -165,7 +165,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("log", help="tail the ledger")
     p.add_argument("--kind", default="bench",
-                   choices=("bench", "profile", "scorecard", "gate"))
+                   choices=("bench", "profile", "scorecard", "gate",
+                            "sweep"))
     p.add_argument("-n", type=int, default=20)
     p.add_argument("--ledger", default=None)
     p.set_defaults(func=_cmd_log)

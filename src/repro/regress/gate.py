@@ -54,9 +54,9 @@ SMOKE_MODEL: tuple[tuple[str, str], ...] = (
 
 
 def full_model_rows() -> tuple[tuple[str, str], ...]:
-    from repro.harness.tables import PAPER_TABLE_7_1, PAPER_TABLE_7_2
+    from repro.harness.registry import model_rows
 
-    return tuple(sorted({**PAPER_TABLE_7_1, **PAPER_TABLE_7_2}))
+    return model_rows()
 
 
 def default_baseline_path() -> str:

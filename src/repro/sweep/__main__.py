@@ -1,0 +1,33 @@
+"""CLI: ``python -m repro.sweep [runall options]``.
+
+``runall`` with the sweep defaults switched on: the result cache
+enabled and one worker per CPU (capped at 8) unless the invocation says
+otherwise.  All ``runall`` flags pass through, e.g.::
+
+    python -m repro.sweep --only 7.1 7.2 --out results --csv
+    python -m repro.sweep --jobs 2            # override the default pool
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.harness.runall import main as runall_main
+
+MAX_DEFAULT_JOBS = 8
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(a == "--cache" or a.startswith("--cache-dir")
+               for a in argv):
+        argv.append("--cache")
+    if not any(a == "--jobs" or a.startswith("--jobs=") for a in argv):
+        argv += ["--jobs", str(min(MAX_DEFAULT_JOBS,
+                                   os.cpu_count() or 1))]
+    return runall_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

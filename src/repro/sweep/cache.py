@@ -1,0 +1,103 @@
+"""On-disk content-addressed result cache for artifact payloads.
+
+One JSON file per cache entry, named by the full
+:func:`repro.sweep.keys.artifact_key` -- the key *is* the address, so a
+hit needs no validation beyond reading the file, and any change to the
+producing code, the calibration or the parameters simply addresses a
+different (absent) entry.  Writes are atomic (temp file + ``rename``)
+so parallel sweep workers and concurrent sweeps can share a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.trace.record import repo_root
+
+CACHE_SCHEMA = "repro.sweep.v1"
+
+#: Overrides the default cache directory (``results/cache``).
+ENV_DIR = "REPRO_SWEEP_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(ENV_DIR,
+                          os.path.join(repo_root(), "results", "cache"))
+
+
+class ResultCache:
+    """Get/put interface over one cache directory."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = str(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload, or ``None`` (miss, or corrupt entry)."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (entry.get("schema") != CACHE_SCHEMA
+                or entry.get("key") != key
+                or not isinstance(entry.get("payload"), dict)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: dict, artifact: str = "") -> str:
+        """Store one payload atomically; returns the entry path."""
+        os.makedirs(self.directory, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "artifact": artifact,
+            "written": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path_for(key)
+
+    def keys(self) -> list[str]:
+        """Keys of every entry currently in the directory."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names
+                      if n.endswith(".json"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            try:
+                os.unlink(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())

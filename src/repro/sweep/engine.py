@@ -1,0 +1,241 @@
+"""Process-pool sweep engine with memoized artifact results.
+
+Runs a list of :class:`~repro.harness.registry.ArtifactSpec` tasks --
+the paper's full artifact cross-product, or any ``--only`` slice of it
+-- either inline (``jobs=1``) or on a :class:`ProcessPoolExecutor`,
+memoizing each task's payload in a
+:class:`~repro.sweep.cache.ResultCache` keyed by
+:func:`~repro.sweep.keys.artifact_key`.  A warm cache therefore replays
+the whole sweep without running a single Pete/Monte/Billie simulation.
+
+Robustness: every task gets a per-task timeout (pooled runs), a bounded
+number of retries, and graceful degradation -- a task that keeps
+failing is reported and *skipped*, never fatal to the sweep.  Each task
+emits one ``sweep`` record (status, attempts, wall-clock, cycles,
+energy) into the :mod:`repro.regress` ledger, so
+``python -m repro.regress diff`` can compare serial vs parallel or cold
+vs warm runs shard-against-shard.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+
+from repro.sweep.keys import artifact_key
+
+#: Per-task wall-clock budget in pooled runs (inline runs are not
+#: preemptible and ignore it).
+DEFAULT_TIMEOUT_S = 600.0
+#: Additional attempts after the first failure.
+DEFAULT_RETRIES = 1
+
+
+def _compute_payload(kind: str, name: str) -> dict:
+    """Default task body (top-level so pool workers can unpickle it)."""
+    from repro.harness.registry import get_spec
+
+    return get_spec(kind, name).payload()
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one artifact task."""
+
+    kind: str
+    name: str
+    status: str                 # "hit" | "computed" | "failed"
+    wall_s: float = 0.0
+    attempts: int = 0
+    error: str | None = None
+    payload: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("hit", "computed")
+
+    @property
+    def artifact(self) -> str:
+        return f"{self.kind}_{self.name}"
+
+
+@dataclass
+class SweepResult:
+    """Outcomes of one engine run, in task order."""
+
+    outcomes: list[TaskOutcome]
+    jobs: int
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "hit")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "computed")
+
+    @property
+    def failed(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        return (f"sweep: {len(self.outcomes)} artifacts, "
+                f"{self.hits} cached, {self.computed} computed, "
+                f"{len(self.failed)} failed, jobs={self.jobs}")
+
+
+class SweepEngine:
+    """Executes artifact tasks with caching, retry and timeouts.
+
+    ``cache=None`` disables memoization; ``ledger=None`` uses the
+    env-gated default (:func:`repro.regress.ledger.default_ledger`), so
+    unit tests stay IO-free.  ``compute`` is injectable for tests; the
+    default resolves the spec in the worker and builds its payload.
+    ``calibration`` only affects the cache key -- installing a
+    non-default calibration for the *computation* is the session's job
+    (:func:`repro.api.open_session`).
+    """
+
+    def __init__(self, jobs: int = 1, cache=None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retries: int = DEFAULT_RETRIES,
+                 ledger=None, calibration=None, compute=None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        if ledger is None:
+            from repro.regress.ledger import default_ledger
+
+            ledger = default_ledger()
+        self.ledger = ledger
+        self.calibration = calibration
+        self.compute = compute or _compute_payload
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, specs) -> SweepResult:
+        specs = list(specs)
+        outcomes: dict[tuple[str, str], TaskOutcome] = {}
+        keys: dict[tuple[str, str], str] = {}
+
+        pending = []
+        for spec in specs:
+            if self.cache is not None:
+                start = time.perf_counter()
+                keys[spec.key] = artifact_key(
+                    spec, calibration=self.calibration)
+                payload = self.cache.get(keys[spec.key])
+                if payload is not None:
+                    outcomes[spec.key] = TaskOutcome(
+                        spec.kind, spec.name, "hit",
+                        wall_s=time.perf_counter() - start,
+                        payload=payload)
+                    continue
+            pending.append(spec)
+
+        if pending:
+            if self.jobs > 1:
+                self._run_pool(pending, outcomes)
+            else:
+                self._run_inline(pending, outcomes)
+
+        for spec in specs:
+            outcome = outcomes[spec.key]
+            if outcome.status == "computed" and self.cache is not None:
+                self.cache.put(keys[spec.key], outcome.payload,
+                               artifact=outcome.artifact)
+            self.ledger.append(self._record(outcome))
+        return SweepResult([outcomes[spec.key] for spec in specs],
+                           jobs=self.jobs)
+
+    # -- execution paths ----------------------------------------------------
+
+    def _run_inline(self, pending, outcomes) -> None:
+        for spec in pending:
+            start = time.perf_counter()
+            error = None
+            for attempt in range(1, self.retries + 2):
+                try:
+                    payload = self.compute(spec.kind, spec.name)
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    continue
+                outcomes[spec.key] = TaskOutcome(
+                    spec.kind, spec.name, "computed",
+                    wall_s=time.perf_counter() - start,
+                    attempts=attempt, payload=payload)
+                break
+            else:
+                outcomes[spec.key] = TaskOutcome(
+                    spec.kind, spec.name, "failed",
+                    wall_s=time.perf_counter() - start,
+                    attempts=self.retries + 1, error=error)
+
+    def _run_pool(self, pending, outcomes) -> None:
+        attempts = {spec.key: 0 for spec in pending}
+        errors: dict[tuple[str, str], str] = {}
+        started = {spec.key: time.perf_counter() for spec in pending}
+        remaining = list(pending)
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            for _ in range(self.retries + 1):
+                if not remaining:
+                    break
+                futures = {spec.key: pool.submit(self.compute, spec.kind,
+                                                 spec.name)
+                           for spec in remaining}
+                retry = []
+                for spec in remaining:
+                    attempts[spec.key] += 1
+                    try:
+                        payload = futures[spec.key].result(
+                            timeout=self.timeout_s)
+                    except FutureTimeout:
+                        futures[spec.key].cancel()
+                        errors[spec.key] = (f"timed out after "
+                                            f"{self.timeout_s:g}s")
+                        retry.append(spec)
+                        continue
+                    except Exception as exc:
+                        errors[spec.key] = f"{type(exc).__name__}: {exc}"
+                        retry.append(spec)
+                        continue
+                    outcomes[spec.key] = TaskOutcome(
+                        spec.kind, spec.name, "computed",
+                        wall_s=time.perf_counter() - started[spec.key],
+                        attempts=attempts[spec.key], payload=payload)
+                remaining = retry
+        for spec in remaining:
+            outcomes[spec.key] = TaskOutcome(
+                spec.kind, spec.name, "failed",
+                wall_s=time.perf_counter() - started[spec.key],
+                attempts=attempts[spec.key], error=errors.get(spec.key))
+
+    # -- ledger -------------------------------------------------------------
+
+    def _record(self, outcome: TaskOutcome) -> dict:
+        from repro.trace.record import bench_record
+
+        payload = outcome.payload or {}
+        return bench_record(
+            outcome.artifact, kind="sweep",
+            config=f"jobs={self.jobs}",
+            cycles=payload.get("cycles", 0),
+            energy_uj=payload.get("energy_uj", 0.0),
+            wall_s=outcome.wall_s,
+            data={
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "cached": self.cache is not None,
+                "compute_wall_s": payload.get("wall_s"),
+            })
+
+
+def run_sweep(specs, jobs: int = 1, cache=None, **kwargs) -> SweepResult:
+    """Convenience wrapper: build an engine, run ``specs`` through it."""
+    return SweepEngine(jobs=jobs, cache=cache, **kwargs).run(specs)

@@ -30,7 +30,7 @@ SCHEMA_V1 = "repro.bench.v1"
 #: Every schema this reader understands, oldest first.
 KNOWN_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
-_RECORD_KINDS = ("bench", "profile", "scorecard", "gate")
+_RECORD_KINDS = ("bench", "profile", "scorecard", "gate", "sweep")
 
 
 def _git(args: list[str], repo_dir: str | None) -> str | None:

@@ -1,0 +1,83 @@
+"""The typed artifact registry behind runall, the sweep and repro.api."""
+
+import pytest
+
+from repro.harness.figures import FIGURES, render_figure
+from repro.harness.registry import (
+    ArtifactSpec,
+    UnknownArtifactError,
+    get_spec,
+    model_rows,
+    registry,
+    select,
+)
+from repro.harness.tables import TABLES, render_table
+
+
+def test_registry_covers_the_full_catalog_in_runall_order():
+    specs = list(registry().values())
+    assert [s.key for s in specs] == (
+        [("table", n) for n in TABLES]
+        + [("figure", n) for n in FIGURES])
+
+
+def test_spec_identity_properties():
+    spec = get_spec("table", "7.1")
+    assert spec.artifact_id == "table_7.1"
+    assert spec.slug == "table_7_1"
+    assert spec.producer is TABLES["7.1"]
+    assert spec.producer_module.startswith("repro.")
+
+
+def test_unknown_kind_and_name_raise():
+    with pytest.raises(ValueError):
+        ArtifactSpec("chart", "7.1", lambda: None)
+    with pytest.raises(UnknownArtifactError):
+        get_spec("table", "99.9")
+
+
+def test_render_matches_the_legacy_renderers():
+    assert get_spec("table", "7.5").render() == render_table("7.5")
+    assert get_spec("figure", "s7.8").render() == render_figure("s7.8")
+
+
+def test_payload_is_json_serializable_and_complete():
+    import json
+
+    from repro.harness.registry import PAYLOAD_KEYS
+
+    payload = get_spec("table", "7.5").payload()
+    assert set(payload) == set(PAYLOAD_KEYS)
+    json.dumps(payload)  # must not raise
+    assert payload["text"].startswith("Table 7.5")
+    assert payload["csv"].splitlines()[0]
+    assert payload["wall_s"] > 0
+
+
+def test_record_matches_payload_quantities():
+    spec = get_spec("table", "7.5")
+    payload = spec.payload()
+    record = spec.record(payload)
+    assert record["artifact"] == "table_7.5"
+    assert record["kind"] == "bench"
+    assert record["cycles"] == payload["cycles"]
+    assert record["energy_uj"] == payload["energy_uj"]
+
+
+def test_select_matches_legacy_rules():
+    assert [s.key for s in select(["7.1"])] == [
+        ("table", "7.1"), ("figure", "7.1")]
+    assert [s.name for s in select(["s7"])] == ["s7.7", "s7.8"]
+    assert [s.key for s in select(["table_7_2"])] == [("table", "7.2")]
+    with pytest.raises(UnknownArtifactError) as exc:
+        select(["nope"])
+    assert "unknown artifact name(s): nope" in str(exc.value)
+
+
+def test_model_rows_is_the_latency_cross_product():
+    rows = model_rows()
+    assert ("P-192", "baseline") in rows
+    assert rows == tuple(sorted(rows))
+    from repro.regress.gate import full_model_rows
+
+    assert full_model_rows() == rows

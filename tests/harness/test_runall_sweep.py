@@ -1,0 +1,32 @@
+"""runall with --jobs/--cache: parallel and warm runs match serial."""
+
+from repro.harness.runall import main
+
+
+def _read_dir(d):
+    return {p.name: p.read_bytes() for p in d.iterdir()}
+
+
+def test_parallel_cached_and_warm_match_serial(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    serial, par, warm = (tmp_path / n for n in ("serial", "par", "warm"))
+
+    assert main(["--only", "7.5", "--out", str(serial), "--csv",
+                 "--no-ledger"]) == 0
+    serial_out = capsys.readouterr().out
+
+    assert main(["--only", "7.5", "--out", str(par), "--csv",
+                 "--no-ledger", "--jobs", "2",
+                 "--cache-dir", str(cache)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == serial_out
+    assert "0 cached" in captured.err and "jobs=2" in captured.err
+    assert _read_dir(par) == _read_dir(serial)
+
+    # warm rerun: every artifact replayed from the cache, still identical
+    assert main(["--only", "7.5", "--out", str(warm), "--csv",
+                 "--no-ledger", "--cache-dir", str(cache)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == serial_out
+    assert "0 computed" in captured.err
+    assert _read_dir(warm) == _read_dir(serial)

@@ -1,0 +1,47 @@
+"""The on-disk content-addressed result cache."""
+
+import json
+
+from repro.sweep.cache import CACHE_SCHEMA, ENV_DIR, ResultCache, \
+    default_cache_dir
+
+PAYLOAD = {"text": "Table X", "csv": "a,b\n", "cycles": 10,
+           "energy_uj": 1.5, "data": {}, "components": {}, "wall_s": 0.1}
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put("k" * 64, PAYLOAD, artifact="table_x")
+    assert cache.get("k" * 64) == PAYLOAD
+    entry = json.loads(open(path).read())
+    assert entry["schema"] == CACHE_SCHEMA
+    assert entry["artifact"] == "table_x"
+
+
+def test_miss_on_absent_corrupt_and_mismatched_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("absent") is None
+    (tmp_path / "bad.json").write_text("{not json")
+    assert cache.get("bad") is None
+    # a valid file stored under the wrong name must not be served
+    cache.put("aaaa", PAYLOAD)
+    (tmp_path / "bbbb.json").write_text(
+        (tmp_path / "aaaa.json").read_text())
+    assert cache.get("bbbb") is None
+    assert cache.hits == 0 and cache.misses == 3
+
+
+def test_keys_len_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for k in ("k1", "k2"):
+        cache.put(k, PAYLOAD)
+    assert cache.keys() == ["k1", "k2"]
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_default_dir_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_DIR, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == str(tmp_path / "elsewhere")
+    assert ResultCache().directory == str(tmp_path / "elsewhere")

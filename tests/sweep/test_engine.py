@@ -1,0 +1,191 @@
+"""The sweep engine: retry, skip, caching, ledger records, pooling."""
+
+import time
+
+import pytest
+
+from repro.harness.registry import ArtifactSpec, get_spec
+from repro.sweep.cache import ResultCache
+from repro.sweep.engine import SweepEngine, run_sweep
+
+
+class ListLedger:
+    def __init__(self):
+        self.records = []
+
+    def append(self, record):
+        self.records.append(record)
+        return record
+
+
+def payload_for(kind, name):
+    return {"text": f"{kind} {name}", "csv": "a\n1\n", "cycles": 7,
+            "energy_uj": 0.5, "data": {}, "components": {},
+            "wall_s": 0.01}
+
+
+def _specs(*names):
+    return [get_spec("table", n) for n in names]
+
+
+def fake_specs(*names):
+    return [ArtifactSpec("table", n, payload_for) for n in names]
+
+
+# -- module-level so ProcessPoolExecutor workers can unpickle them ------
+
+
+def pool_compute(kind, name):
+    return payload_for(kind, name)
+
+
+def pool_fail(kind, name):
+    raise RuntimeError("injected pool failure")
+
+
+def pool_sleep(kind, name):
+    time.sleep(2.0)
+    return payload_for(kind, name)
+
+
+# ---------------------------------------------------------------------------
+# inline execution: retry then skip
+# ---------------------------------------------------------------------------
+
+
+def test_inline_retry_then_success():
+    calls = []
+
+    def flaky(kind, name):
+        calls.append(name)
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return payload_for(kind, name)
+
+    result = run_sweep(fake_specs("x"), ledger=ListLedger(),
+                       compute=flaky, retries=1)
+    (outcome,) = result.outcomes
+    assert outcome.status == "computed" and outcome.attempts == 2
+    assert calls == ["x", "x"]
+
+
+def test_inline_persistent_failure_is_skipped_not_fatal():
+    def boom(kind, name):
+        raise ValueError("permanently broken")
+
+    result = run_sweep(fake_specs("x", "y"), ledger=ListLedger(),
+                       compute=lambda k, n: payload_for(k, n)
+                       if n == "y" else boom(k, n), retries=2)
+    by_name = {o.name: o for o in result.outcomes}
+    assert by_name["x"].status == "failed"
+    assert by_name["x"].attempts == 3
+    assert "permanently broken" in by_name["x"].error
+    assert by_name["y"].status == "computed"
+    assert result.failed == [by_name["x"]]
+    assert "1 failed" in result.summary()
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        SweepEngine(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# pool execution
+# ---------------------------------------------------------------------------
+
+
+def test_pool_computes_all_tasks_in_order():
+    specs = fake_specs("a", "b", "c")
+    result = run_sweep(specs, jobs=2, ledger=ListLedger(),
+                       compute=pool_compute)
+    assert [o.name for o in result.outcomes] == ["a", "b", "c"]
+    assert all(o.status == "computed" for o in result.outcomes)
+    assert result.outcomes[0].payload["text"] == "table a"
+
+
+def test_pool_failure_retries_then_skips():
+    result = run_sweep(fake_specs("a"), jobs=2, ledger=ListLedger(),
+                       compute=pool_fail, retries=1)
+    (outcome,) = result.outcomes
+    assert outcome.status == "failed" and outcome.attempts == 2
+    assert "injected pool failure" in outcome.error
+
+
+def test_pool_timeout_is_reported():
+    result = run_sweep(fake_specs("a"), jobs=2, ledger=ListLedger(),
+                       compute=pool_sleep, retries=0, timeout_s=0.2)
+    (outcome,) = result.outcomes
+    assert outcome.status == "failed"
+    assert "timed out" in outcome.error
+
+
+# ---------------------------------------------------------------------------
+# cache interplay (real registry specs, injected compute)
+# ---------------------------------------------------------------------------
+
+
+def test_cold_then_warm_is_byte_identical_with_zero_computes(tmp_path):
+    specs = _specs("7.3", "7.5")
+    cache = ResultCache(tmp_path)
+    cold = run_sweep(specs, cache=cache, ledger=ListLedger(),
+                     compute=pool_compute)
+    assert cold.computed == 2 and cold.hits == 0
+
+    def forbidden(kind, name):
+        raise AssertionError("warm run must not compute")
+
+    warm = run_sweep(specs, cache=cache, ledger=ListLedger(),
+                     compute=forbidden)
+    assert warm.hits == 2 and warm.computed == 0
+    for c, w in zip(cold.outcomes, warm.outcomes):
+        assert c.payload == w.payload
+
+
+def test_failed_tasks_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = run_sweep(_specs("7.3"), cache=cache, ledger=ListLedger(),
+                       compute=pool_fail, retries=0)
+    assert result.outcomes[0].status == "failed"
+    assert len(cache) == 0
+
+
+def test_calibration_partitions_the_cache(tmp_path):
+    import dataclasses
+
+    from repro.energy.calibration import CALIBRATION
+
+    tweaked = dataclasses.replace(CALIBRATION, rom_energy_scale=1.5)
+    cache = ResultCache(tmp_path)
+    run_sweep(_specs("7.3"), cache=cache, ledger=ListLedger(),
+              compute=pool_compute)
+    other = run_sweep(_specs("7.3"), cache=cache, ledger=ListLedger(),
+                      compute=pool_compute, calibration=tweaked)
+    assert other.hits == 0 and other.computed == 1
+    assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# ledger records
+# ---------------------------------------------------------------------------
+
+
+def test_one_sweep_record_per_task_with_status():
+    ledger = ListLedger()
+    run_sweep(fake_specs("a", "b"), ledger=ledger, compute=pool_compute)
+    assert len(ledger.records) == 2
+    for record in ledger.records:
+        assert record["kind"] == "sweep"
+        assert record["data"]["status"] == "computed"
+        assert record["data"]["attempts"] == 1
+        assert record["config"] == "jobs=1"
+        assert record["cycles"] == 7
+
+
+def test_failed_task_record_carries_the_error():
+    ledger = ListLedger()
+    run_sweep(fake_specs("a"), ledger=ledger, compute=pool_fail,
+              retries=0)
+    (record,) = ledger.records
+    assert record["data"]["status"] == "failed"
+    assert "injected pool failure" in record["data"]["error"]

@@ -1,0 +1,59 @@
+"""The public facade: compute_artifact, sweep, sessions."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import UnknownArtifactError, compute_artifact, \
+    open_session, sweep
+from repro.energy.calibration import CALIBRATION
+
+
+def test_compute_artifact_accepts_only_style_tokens():
+    a = compute_artifact("table_7.5")
+    b = compute_artifact("7.5", kind="table")
+    assert a["text"] == b["text"]
+    assert a["text"].startswith("Table 7.5")
+
+
+def test_ambiguous_and_unknown_names_raise():
+    with pytest.raises(UnknownArtifactError, match="ambiguous"):
+        compute_artifact("7.5")          # both a table and a figure
+    with pytest.raises(UnknownArtifactError):
+        compute_artifact("99.9")
+
+
+def test_sweep_facade_runs_a_selection(tmp_path):
+    result = sweep(only=["table_7.3"], cache_dir=tmp_path)
+    assert len(result.outcomes) == 1
+    assert result.outcomes[0].ok
+    warm = sweep(only=["table_7.3"], cache_dir=tmp_path)
+    assert warm.hits == 1
+
+
+def test_session_prices_artifacts_with_its_calibration():
+    hot = dataclasses.replace(CALIBRATION, ram_energy_scale=4.0)
+    default = compute_artifact("figure_7.4")
+    with open_session(calibration=hot) as session:
+        scaled = session.compute_artifact("figure_7.4")
+    assert scaled["text"] != default["text"]
+    # leaving the session restores the default pricing
+    assert compute_artifact("figure_7.4")["text"] == default["text"]
+
+
+def test_session_is_reentrant_and_exposes_identity():
+    with open_session() as session:
+        with session:
+            assert session.fingerprint == CALIBRATION.fingerprint()
+    runner = session.runner(ledger=type("L", (), {
+        "append": lambda self, r: r})())
+    assert runner.cal is CALIBRATION
+
+
+def test_session_sweep_keys_cache_by_calibration(tmp_path):
+    hot = dataclasses.replace(CALIBRATION, ram_energy_scale=4.0)
+    cold = sweep(only=["table_7.3"], cache_dir=tmp_path)
+    assert cold.computed == 1
+    with open_session(calibration=hot) as session:
+        other = session.sweep(only=["table_7.3"], cache_dir=tmp_path)
+    assert other.computed == 1 and other.hits == 0
