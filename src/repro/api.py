@@ -72,9 +72,10 @@ def sweep(only=None, jobs: int = 1, cache: bool = True,
     ``cache=True`` memoizes results in the on-disk content-addressed
     store (``cache_dir`` overrides its location); ``jobs>1`` fans tasks
     out over a process pool.  ``calibration`` is folded into the cache
-    keys -- open a session (:func:`open_session`) around the call when
-    the *computation* should use it too.  Remaining keyword arguments
-    reach :class:`~repro.sweep.engine.SweepEngine` (``timeout_s``,
+    keys *and* installed around every task body (in workers too), so
+    the results are always priced with the calibration they are cached
+    under.  Remaining keyword arguments reach
+    :class:`~repro.sweep.engine.SweepEngine` (``timeout_s``,
     ``retries``, ``ledger``, ``compute``).
     """
     specs = select(list(only) if only is not None else None)
@@ -102,6 +103,7 @@ class Session:
             else CALIBRATION
         self.model = SystemModel(self.calibration)
         self._cm = None
+        self._depth = 0
 
     @property
     def fingerprint(self) -> str:
@@ -127,15 +129,16 @@ class Session:
     def __enter__(self) -> Session:
         from repro.model.system import use_model
 
-        if self._cm is None:
+        if self._depth == 0:
             self._cm = use_model(self.model)
             self._cm.__enter__()
-            self._depth = 1
-        else:
-            self._depth += 1
+        self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
+        if self._depth == 0 or self._cm is None:
+            raise RuntimeError(
+                "Session.__exit__ without a matching __enter__")
         self._depth -= 1
         if self._depth == 0:
             cm, self._cm = self._cm, None

@@ -11,6 +11,7 @@ coprocessor timing machines directly.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, fields as dc_fields
 from functools import lru_cache
 
@@ -431,8 +432,11 @@ def _sum_parts(parts: dict[str, Activity]) -> Activity:
 # ---------------------------------------------------------------------------
 
 #: Session-installed model (see :func:`use_model`); ``None`` means the
-#: process-wide default-calibration model.
-_ACTIVE_MODEL: SystemModel | None = None
+#: process-wide default-calibration model.  A :class:`ContextVar` so
+#: concurrent sessions on different threads (or async tasks) see only
+#: their own model and cannot restore each other's.
+_ACTIVE_MODEL: ContextVar[SystemModel | None] = ContextVar(
+    "repro_active_model", default=None)
 
 
 @lru_cache(maxsize=1)
@@ -450,19 +454,18 @@ def shared_model() -> SystemModel:
     producer prices against the session's calibration without threading
     a model argument through each renderer.
     """
-    return _ACTIVE_MODEL if _ACTIVE_MODEL is not None else _default_model()
+    model = _ACTIVE_MODEL.get()
+    return model if model is not None else _default_model()
 
 
 @contextmanager
 def use_model(model: SystemModel):
     """Install ``model`` as the shared model for the enclosed block."""
-    global _ACTIVE_MODEL
-    previous = _ACTIVE_MODEL
-    _ACTIVE_MODEL = model
+    token = _ACTIVE_MODEL.set(model)
     try:
         yield model
     finally:
-        _ACTIVE_MODEL = previous
+        _ACTIVE_MODEL.reset(token)
 
 
 @lru_cache(maxsize=None)

@@ -2,7 +2,7 @@
 
 Runs a list of :class:`~repro.harness.registry.ArtifactSpec` tasks --
 the paper's full artifact cross-product, or any ``--only`` slice of it
--- either inline (``jobs=1``) or on a :class:`ProcessPoolExecutor`,
+-- either inline (``jobs=1``) or fanned out over worker processes,
 memoizing each task's payload in a
 :class:`~repro.sweep.cache.ResultCache` keyed by
 :func:`~repro.sweep.keys.artifact_key`.  A warm cache therefore replays
@@ -10,34 +10,82 @@ the whole sweep without running a single Pete/Monte/Billie simulation.
 
 Robustness: every task gets a per-task timeout (pooled runs), a bounded
 number of retries, and graceful degradation -- a task that keeps
-failing is reported and *skipped*, never fatal to the sweep.  Each task
-emits one ``sweep`` record (status, attempts, wall-clock, cycles,
-energy) into the :mod:`repro.regress` ledger, so
-``python -m repro.regress diff`` can compare serial vs parallel or cold
-vs warm runs shard-against-shard.
+failing is reported and *skipped*, never fatal to the sweep.  Pooled
+tasks each run in a dedicated worker process, so the timeout clock
+starts when the task actually starts (queued tasks are never falsely
+timed out) and a genuinely hung simulation is killed, freeing its slot
+instead of stalling the sweep.  Cache entries and ledger records are
+written as each task completes, so an interrupted cold sweep still
+warms the cache for its rerun.  Each task emits one ``sweep`` record
+(status, attempts, wall-clock, cycles, energy) into the
+:mod:`repro.regress` ledger, so ``python -m repro.regress diff`` can
+compare serial vs parallel or cold vs warm runs shard-against-shard.
 """
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 
 from repro.sweep.keys import artifact_key
 
-#: Per-task wall-clock budget in pooled runs (inline runs are not
-#: preemptible and ignore it).
+#: Per-task wall-clock budget in pooled runs, measured from the moment
+#: the task's worker process starts (inline runs are not preemptible
+#: and ignore it).
 DEFAULT_TIMEOUT_S = 600.0
 #: Additional attempts after the first failure.
 DEFAULT_RETRIES = 1
 
+#: Grace period between SIGTERM and SIGKILL when reaping a hung worker.
+_KILL_GRACE_S = 5.0
 
-def _compute_payload(kind: str, name: str) -> dict:
-    """Default task body (top-level so pool workers can unpickle it)."""
+
+def _compute_payload(kind: str, name: str, calibration=None) -> dict:
+    """Default task body (top-level so pool workers can unpickle it).
+
+    ``calibration`` installs the matching
+    :class:`~repro.model.system.SystemModel` around the producer, so a
+    worker process -- which does not share the parent's session state
+    under ``spawn``/``forkserver`` start methods -- prices with the
+    same calibration the result will be cached under.
+    """
     from repro.harness.registry import get_spec
 
-    return get_spec(kind, name).payload()
+    spec = get_spec(kind, name)
+    if calibration is None:
+        return spec.payload()
+    from repro.model.system import SystemModel, use_model
+
+    with use_model(SystemModel(calibration)):
+        return spec.payload()
+
+
+def _pool_worker(conn, compute, kind: str, name: str) -> None:
+    """Run one task in a dedicated process, reporting over ``conn``."""
+    try:
+        message = ("ok", compute(kind, name))
+    except BaseException as exc:
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    except Exception as exc:
+        conn.send(("error", f"unsendable result: "
+                            f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _reap(proc) -> None:
+    """Terminate a worker, escalating to SIGKILL if it ignores SIGTERM."""
+    proc.terminate()
+    proc.join(timeout=_KILL_GRACE_S)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
 
 
 @dataclass
@@ -91,11 +139,13 @@ class SweepEngine:
 
     ``cache=None`` disables memoization; ``ledger=None`` uses the
     env-gated default (:func:`repro.regress.ledger.default_ledger`), so
-    unit tests stay IO-free.  ``compute`` is injectable for tests; the
-    default resolves the spec in the worker and builds its payload.
-    ``calibration`` only affects the cache key -- installing a
-    non-default calibration for the *computation* is the session's job
-    (:func:`repro.api.open_session`).
+    unit tests stay IO-free.  ``calibration`` is folded into the cache
+    key *and* threaded into the default task body, which installs it
+    around the producer in every worker -- pooled results are always
+    priced with the calibration they are cached under.  ``compute`` is
+    injectable for tests; an injected compute is responsible for its
+    own calibration handling (the engine still keys the cache with
+    ``calibration``).
     """
 
     def __init__(self, jobs: int = 1, cache=None,
@@ -114,7 +164,11 @@ class SweepEngine:
             ledger = default_ledger()
         self.ledger = ledger
         self.calibration = calibration
-        self.compute = compute or _compute_payload
+        if compute is None:
+            compute = _compute_payload if calibration is None \
+                else functools.partial(_compute_payload,
+                                       calibration=calibration)
+        self.compute = compute
 
     # -- public API ---------------------------------------------------------
 
@@ -131,31 +185,36 @@ class SweepEngine:
                     spec, calibration=self.calibration)
                 payload = self.cache.get(keys[spec.key])
                 if payload is not None:
-                    outcomes[spec.key] = TaskOutcome(
+                    outcome = TaskOutcome(
                         spec.kind, spec.name, "hit",
                         wall_s=time.perf_counter() - start,
                         payload=payload)
+                    outcomes[spec.key] = outcome
+                    self.ledger.append(self._record(outcome))
                     continue
             pending.append(spec)
 
         if pending:
             if self.jobs > 1:
-                self._run_pool(pending, outcomes)
+                self._run_pool(pending, outcomes, keys)
             else:
-                self._run_inline(pending, outcomes)
-
-        for spec in specs:
-            outcome = outcomes[spec.key]
-            if outcome.status == "computed" and self.cache is not None:
-                self.cache.put(keys[spec.key], outcome.payload,
-                               artifact=outcome.artifact)
-            self.ledger.append(self._record(outcome))
+                self._run_inline(pending, outcomes, keys)
         return SweepResult([outcomes[spec.key] for spec in specs],
                            jobs=self.jobs)
 
+    # -- completion ---------------------------------------------------------
+
+    def _finish(self, spec, outcome: TaskOutcome, keys) -> None:
+        """Persist one settled task immediately, so an interrupted
+        sweep keeps every already-computed payload."""
+        if outcome.status == "computed" and self.cache is not None:
+            self.cache.put(keys[spec.key], outcome.payload,
+                           artifact=outcome.artifact)
+        self.ledger.append(self._record(outcome))
+
     # -- execution paths ----------------------------------------------------
 
-    def _run_inline(self, pending, outcomes) -> None:
+    def _run_inline(self, pending, outcomes, keys) -> None:
         for spec in pending:
             start = time.perf_counter()
             error = None
@@ -175,45 +234,84 @@ class SweepEngine:
                     spec.kind, spec.name, "failed",
                     wall_s=time.perf_counter() - start,
                     attempts=self.retries + 1, error=error)
+            self._finish(spec, outcomes[spec.key], keys)
 
-    def _run_pool(self, pending, outcomes) -> None:
-        attempts = {spec.key: 0 for spec in pending}
-        errors: dict[tuple[str, str], str] = {}
-        started = {spec.key: time.perf_counter() for spec in pending}
-        remaining = list(pending)
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            for _ in range(self.retries + 1):
-                if not remaining:
-                    break
-                futures = {spec.key: pool.submit(self.compute, spec.kind,
-                                                 spec.name)
-                           for spec in remaining}
-                retry = []
-                for spec in remaining:
-                    attempts[spec.key] += 1
+    def _run_pool(self, pending, outcomes, keys) -> None:
+        """One dedicated worker process per task attempt.
+
+        At most ``self.jobs`` workers run at once.  Each worker reports
+        over a pipe; its deadline is measured from ``Process.start()``,
+        and a worker that outlives it is killed -- the slot frees up
+        for the queued/retried tasks instead of the sweep blocking on a
+        hung simulation.
+        """
+        ctx = multiprocessing.get_context()
+        queue = deque((spec, 1) for spec in pending)
+        first_start: dict[tuple[str, str], float] = {}
+        running: dict[object, tuple] = {}   # recv conn -> (proc, spec, n, t0)
+
+        def settle(spec, attempt, status, payload=None, error=None):
+            outcome = TaskOutcome(
+                spec.kind, spec.name, status,
+                wall_s=time.perf_counter() - first_start[spec.key],
+                attempts=attempt, error=error, payload=payload)
+            outcomes[spec.key] = outcome
+            self._finish(spec, outcome, keys)
+
+        def retry_or_fail(spec, attempt, error):
+            if attempt <= self.retries:
+                queue.append((spec, attempt + 1))
+            else:
+                settle(spec, attempt, "failed", error=error)
+
+        try:
+            while queue or running:
+                while queue and len(running) < self.jobs:
+                    spec, attempt = queue.popleft()
+                    recv, send = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_pool_worker,
+                        args=(send, self.compute, spec.kind, spec.name),
+                        daemon=True)
+                    proc.start()
+                    send.close()
+                    first_start.setdefault(spec.key, time.perf_counter())
+                    running[recv] = (proc, spec, attempt,
+                                     time.perf_counter())
+
+                now = time.perf_counter()
+                budget = min(t0 + self.timeout_s
+                             for _, _, _, t0 in running.values()) - now
+                for conn in _connection_wait(list(running),
+                                             timeout=max(0.0, budget)):
+                    proc, spec, attempt, _ = running.pop(conn)
                     try:
-                        payload = futures[spec.key].result(
-                            timeout=self.timeout_s)
-                    except FutureTimeout:
-                        futures[spec.key].cancel()
-                        errors[spec.key] = (f"timed out after "
-                                            f"{self.timeout_s:g}s")
-                        retry.append(spec)
+                        status, value = conn.recv()
+                    except EOFError:
+                        status, value = "error", None
+                    conn.close()
+                    proc.join()
+                    if status == "ok":
+                        settle(spec, attempt, "computed", payload=value)
+                    else:
+                        error = value or (f"worker died (exit code "
+                                          f"{proc.exitcode})")
+                        retry_or_fail(spec, attempt, error)
+
+                now = time.perf_counter()
+                for conn, (proc, spec, attempt, t0) in list(running.items()):
+                    if now - t0 < self.timeout_s:
                         continue
-                    except Exception as exc:
-                        errors[spec.key] = f"{type(exc).__name__}: {exc}"
-                        retry.append(spec)
-                        continue
-                    outcomes[spec.key] = TaskOutcome(
-                        spec.kind, spec.name, "computed",
-                        wall_s=time.perf_counter() - started[spec.key],
-                        attempts=attempts[spec.key], payload=payload)
-                remaining = retry
-        for spec in remaining:
-            outcomes[spec.key] = TaskOutcome(
-                spec.kind, spec.name, "failed",
-                wall_s=time.perf_counter() - started[spec.key],
-                attempts=attempts[spec.key], error=errors.get(spec.key))
+                    del running[conn]
+                    conn.close()
+                    _reap(proc)
+                    retry_or_fail(spec, attempt,
+                                  f"timed out after {self.timeout_s:g}s")
+        finally:
+            # an interrupt/crash must not leak live workers
+            for conn, (proc, _, _, _) in running.items():
+                conn.close()
+                _reap(proc)
 
     # -- ledger -------------------------------------------------------------
 

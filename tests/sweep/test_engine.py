@@ -48,6 +48,17 @@ def pool_sleep(kind, name):
     return payload_for(kind, name)
 
 
+def pool_hang_a(kind, name):
+    if name == "a":
+        time.sleep(30.0)
+    return payload_for(kind, name)
+
+
+def pool_sleep_short(kind, name):
+    time.sleep(0.4)
+    return payload_for(kind, name)
+
+
 # ---------------------------------------------------------------------------
 # inline execution: retry then skip
 # ---------------------------------------------------------------------------
@@ -120,6 +131,32 @@ def test_pool_timeout_is_reported():
     assert "timed out" in outcome.error
 
 
+def test_hung_task_is_killed_and_does_not_starve_the_queue():
+    """A hung worker is reaped at its deadline: the queued task still
+    runs, and the sweep returns promptly instead of blocking on the
+    hung process."""
+    start = time.perf_counter()
+    result = run_sweep(fake_specs("a", "b", "c"), jobs=2,
+                       ledger=ListLedger(), compute=pool_hang_a,
+                       retries=0, timeout_s=0.5)
+    elapsed = time.perf_counter() - start
+    by_name = {o.name: o for o in result.outcomes}
+    assert by_name["a"].status == "failed"
+    assert "timed out" in by_name["a"].error
+    assert by_name["b"].status == "computed"
+    assert by_name["c"].status == "computed"
+    assert elapsed < 10.0
+
+
+def test_queued_tasks_are_not_falsely_timed_out():
+    """Deadlines are measured from each task's actual start, so tasks
+    waiting behind a full pool never burn their budget in the queue."""
+    result = run_sweep(fake_specs("a", "b", "c", "d"), jobs=2,
+                       ledger=ListLedger(), compute=pool_sleep_short,
+                       retries=0, timeout_s=1.0)
+    assert all(o.status == "computed" for o in result.outcomes)
+
+
 # ---------------------------------------------------------------------------
 # cache interplay (real registry specs, injected compute)
 # ---------------------------------------------------------------------------
@@ -148,6 +185,40 @@ def test_failed_tasks_are_not_cached(tmp_path):
                        compute=pool_fail, retries=0)
     assert result.outcomes[0].status == "failed"
     assert len(cache) == 0
+
+
+def test_cache_entries_are_written_incrementally(tmp_path):
+    """Completed payloads are persisted as they settle, so an
+    interrupted sweep still warms the cache for its rerun."""
+    cache = ResultCache(tmp_path)
+
+    def interrupt_on_second(kind, name):
+        if name == "7.5":
+            raise KeyboardInterrupt
+        return payload_for(kind, name)
+
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(_specs("7.3", "7.5"), cache=cache, ledger=ListLedger(),
+                  compute=interrupt_on_second)
+    assert len(cache) == 1
+
+
+def test_default_compute_installs_the_calibration():
+    """The default task body prices with the calibration it is handed,
+    so pooled workers compute what the cache key promises even when
+    they do not inherit the parent's session state."""
+    import dataclasses
+
+    from repro.energy.calibration import CALIBRATION
+    from repro.sweep.engine import _compute_payload
+
+    hot = dataclasses.replace(CALIBRATION, ram_energy_scale=4.0)
+    default = _compute_payload("figure", "7.4")
+    scaled = _compute_payload("figure", "7.4", calibration=hot)
+    assert scaled["text"] != default["text"]
+    # and the engine threads its calibration into that default body
+    engine = SweepEngine(calibration=hot, ledger=ListLedger())
+    assert engine.compute.keywords["calibration"] is hot
 
 
 def test_calibration_partitions_the_cache(tmp_path):

@@ -57,3 +57,57 @@ def test_session_sweep_keys_cache_by_calibration(tmp_path):
     with open_session(calibration=hot) as session:
         other = session.sweep(only=["table_7.3"], cache_dir=tmp_path)
     assert other.computed == 1 and other.hits == 0
+
+
+def test_pooled_session_sweep_prices_with_its_calibration(tmp_path):
+    """jobs>1 must not poison the cache: the payload stored under the
+    session's key equals what the session computes inline, not the
+    default-calibration result."""
+    hot = dataclasses.replace(CALIBRATION, ram_energy_scale=4.0)
+    default_text = compute_artifact("figure_7.4")["text"]
+    with open_session(calibration=hot) as session:
+        pooled = session.sweep(only=["figure_7.4"], jobs=2,
+                               cache_dir=tmp_path)
+        expected = session.compute_artifact("figure_7.4")["text"]
+    (outcome,) = pooled.outcomes
+    assert outcome.status == "computed"
+    assert outcome.payload["text"] == expected
+    assert outcome.payload["text"] != default_text
+    # the warm rerun serves that same payload back under the hot key
+    with open_session(calibration=hot) as session:
+        warm = session.sweep(only=["figure_7.4"], jobs=1,
+                             cache_dir=tmp_path)
+    assert warm.hits == 1
+    assert warm.outcomes[0].payload["text"] == expected
+
+
+def test_unmatched_session_exit_raises():
+    session = open_session()
+    with pytest.raises(RuntimeError, match="matching __enter__"):
+        session.__exit__(None, None, None)
+
+
+def test_sessions_are_thread_isolated():
+    """A session entered on one thread must not leak its model into
+    another thread's pricing."""
+    import threading
+
+    from repro.model.system import shared_model
+
+    hot = dataclasses.replace(CALIBRATION, ram_energy_scale=4.0)
+    entered = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with open_session(calibration=hot):
+            entered.set()
+            release.wait(timeout=10.0)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    try:
+        assert entered.wait(timeout=10.0)
+        assert shared_model().cal is CALIBRATION
+    finally:
+        release.set()
+        thread.join()
