@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench profile artifacts sweep sweep-clean compare regress baseline examples all
+.PHONY: install test lint bench profile diffexec artifacts sweep sweep-clean compare regress baseline examples all
 
 install:
 	pip install -e .
@@ -22,10 +22,18 @@ bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 # Observability smoke: profiled Table 7.1 subset, per-symbol kernel
-# profile, Chrome trace and the BENCH_smoke.json record.
+# profile, Chrome trace, and the BENCH_smoke.json + BENCH_fastpath.json
+# records (reference and superblock fast-path timings side by side).
 profile:
 	PYTHONPATH=src python benchmarks/smoke_profile.py results/smoke
+	PYTHONPATH=src python benchmarks/bench_fastpath.py results/smoke
 	PYTHONPATH=src python -m repro.harness.runall --profile
+
+# Lock-step differential verification of the superblock fast path
+# (mirrors the fastpath-diff CI job over the default kernel set).
+diffexec:
+	PYTHONPATH=src python -m repro.pete.diffexec \
+		--report results/diffexec-report.txt
 
 artifacts:
 	python -m repro.harness.runall --out results --csv

@@ -152,6 +152,18 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 600)")
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="retries per failed task (default 1)")
+    parser.add_argument("--fast", action="store_true",
+                        help="run kernel simulations on the superblock "
+                             "fast path (repro.pete.fastpath); output "
+                             "is byte-identical, only wall-clock "
+                             "changes (sets $REPRO_PETE_FAST for "
+                             "worker processes)")
+    parser.add_argument("--stats-json", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="write run statistics as JSON "
+                             '({"computed": N, "cached": N, ...}) for '
+                             "machine consumption (CI asserts on these "
+                             "fields instead of grepping stderr)")
     parser.add_argument("--profile", nargs="?", const=DEFAULT_PROFILE,
                         metavar="CURVE:CONFIG:PRIMITIVE",
                         help="print the per-operation energy profile of "
@@ -178,6 +190,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="kernel for --trace "
                              f"(default {DEFAULT_TRACE_KERNEL})")
     args = parser.parse_args(argv)
+
+    if args.fast:
+        # before any kernel is measured: the process-wide shared runner
+        # reads the gate when it is first constructed
+        import os
+
+        os.environ["REPRO_PETE_FAST"] = "1"
 
     if args.profile or args.profile_kernel or args.trace:
         if args.profile:
@@ -211,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         engine_kwargs["timeout_s"] = args.timeout
     if args.retries is not None:
         engine_kwargs["retries"] = args.retries
+    if args.fast:
+        engine_kwargs["fast"] = True
     engine = SweepEngine(jobs=args.jobs, cache=cache, ledger=ledger,
                          **engine_kwargs)
     result = engine.run(specs)
@@ -234,6 +255,19 @@ def main(argv: list[str] | None = None) -> int:
                 ledger.append(spec.record(payload))
     if cache is not None or args.jobs > 1:
         print(result.summary(), file=sys.stderr)
+    if args.stats_json is not None:
+        import json
+
+        stats = {
+            "artifacts": len(result.outcomes),
+            "computed": result.computed,
+            "cached": result.hits,
+            "failed": len(result.failed),
+            "jobs": result.jobs,
+        }
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(
+            json.dumps(stats, sort_keys=True) + "\n")
     if ledger is not None:
         print(f"(ledger: {ledger.path_for('bench')})")
     return 1 if result.failed else 0

@@ -11,6 +11,7 @@ other's entries (the ISA feature set is implied by the kernel name).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from functools import lru_cache
@@ -61,25 +62,55 @@ class KernelResult:
 _SHARED_CACHE: dict[tuple, KernelResult] = {}
 
 
+def fast_mode_default() -> bool:
+    """The ``$REPRO_PETE_FAST`` env gate for the superblock fast path.
+
+    Set to ``1`` (anything but ``""``/``"0"``) to make every
+    :class:`KernelRunner` without an explicit ``fast=`` argument run
+    its simulations through ``Pete.run(fast=True)``.  The fast path is
+    stats-identical to the reference interpreter, so measurements (and
+    every artifact derived from them) are unchanged -- only wall-clock
+    drops.  ``python -m repro.harness.runall --fast`` sets this before
+    any kernel is measured.
+    """
+    return os.environ.get("REPRO_PETE_FAST", "") not in ("", "0")
+
+
+class _CapturedRun(Exception):
+    """Internal: carries a fully-prepared cpu out of a kernel builder."""
+
+    def __init__(self, cpu: Pete, entry: int) -> None:
+        super().__init__("captured")
+        self.cpu = cpu
+        self.entry = entry
+
+
 class KernelRunner:
     """Builds and times kernels; validates against :mod:`repro.mp`.
 
     ``cache`` overrides the process-wide shared measurement memo (pass
     ``{}`` for an isolated runner); ``calibration`` is folded into the
     cache key so runners with different calibrations cannot serve each
-    other stale entries.
+    other stale entries.  ``fast`` selects the superblock-threaded
+    interpreter (:mod:`repro.pete.fastpath`) for every simulation; it
+    defaults to the ``$REPRO_PETE_FAST`` env gate and changes nothing
+    but wall-clock (the fast path is stats-identical, enforced by
+    ``python -m repro.pete.diffexec``).
     """
 
     def __init__(self, ledger=None, calibration=None,
-                 cache: dict | None = None) -> None:
+                 cache: dict | None = None,
+                 fast: bool | None = None) -> None:
         if calibration is None:
             from repro.energy.calibration import CALIBRATION
 
             calibration = CALIBRATION
         self.cal = calibration
+        self.fast = fast_mode_default() if fast is None else fast
         self._cache = _SHARED_CACHE if cache is None else cache
         self._recorded: set[tuple] = set()
         self._tracer = None          # TraceBus threaded through _build_cpu
+        self._capture = False        # prepare() interception flag
         self._last_cpu: Pete | None = None
         if ledger is None:
             from repro.regress.ledger import default_ledger
@@ -141,6 +172,34 @@ class KernelRunner:
             self._tracer = None
         return profiler, self._last_cpu
 
+    def prepare(self, name: str, k: int) -> tuple[Pete, int]:
+        """A fully-loaded, ready-to-run cpu for ``(kernel, k)``.
+
+        Builds the same harness :meth:`measure` would (program
+        assembled, pointer arguments set, operands written to RAM) but
+        stops just before ``run``, returning ``(cpu, entry)``.  The
+        lock-step differential harness (:mod:`repro.pete.diffexec`)
+        clones the prepared core so the fast and reference interpreters
+        consume byte-identical inputs.
+        """
+        self._capture = True
+        try:
+            self._run_once(name, k)
+        except _CapturedRun as captured:
+            return captured.cpu, captured.entry
+        finally:
+            self._capture = False
+        raise RuntimeError(
+            f"kernel {name!r} never launched its cpu")  # pragma: no cover
+
+    def _launch(self, cpu: Pete, entry: int):
+        """Every kernel builder starts its cpu through this hook, so
+        the fast/reference choice (and prepare()'s capture) apply
+        uniformly."""
+        if self._capture:
+            raise _CapturedRun(cpu, entry)
+        return cpu.run(entry, fast=self.fast)
+
     # -- harness construction -----------------------------------------------
 
     def _build_cpu(self, source: str, entry_label: str,
@@ -184,7 +243,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, k))
         carry = cpu.get_reg("v0")
         assert got + (carry << (32 * k)) == a + b, "mp_add mismatch"
@@ -198,7 +257,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, k))
         borrow = cpu.get_reg("v0")
         assert got == (a - b) % (1 << (32 * k)), "mp_sub mismatch"
@@ -213,7 +272,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == a * b, "os_mul mismatch"
         return self._result("os_mul", k, cpu)
@@ -226,7 +285,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == a * b, "ps_mul_ext mismatch"
         return self._result("ps_mul_ext", k, cpu)
@@ -238,7 +297,7 @@ class KernelRunner:
             True, False)
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=A_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == a * a, "ps_sqr_ext mismatch"
         return self._result("ps_sqr_ext", k, cpu)
@@ -251,7 +310,7 @@ class KernelRunner:
                                      "red_p192", False, False)
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(product, 12))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
         assert got == product % NIST_PRIMES[192], "red_p192 mismatch"
         return self._result("red_p192", 6, cpu)
@@ -266,7 +325,7 @@ class KernelRunner:
                            table=TABLE_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k + 2))
         assert got == _poly_mul(a, b), "comb_mul mismatch"
         return self._result("comb_mul", k, cpu)
@@ -281,7 +340,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == _poly_mul(a, b), "ps_mulgf2 mismatch"
         return self._result("ps_mulgf2", k, cpu)
@@ -295,7 +354,7 @@ class KernelRunner:
         table_bytes = b"".join(v.to_bytes(2, "little")
                                for v in SQUARE_TABLE_8BIT)
         cpu.mem.write_ram(RAM_BASE + TABLE_OFF, table_bytes)
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == _poly_sqr(a), "bsqr_table mismatch"
         return self._result("bsqr_table", k, cpu)
@@ -306,7 +365,7 @@ class KernelRunner:
                                      "bsqr_ext", False, True)
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, k))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2 * k))
         assert got == _poly_sqr(a), "bsqr_ext mismatch"
         return self._result("bsqr_ext", k, cpu)
@@ -325,7 +384,7 @@ class KernelRunner:
         cpu.mem.write_ram_words(RAM_BASE + A_OFF,
                                 [block & 0xFFFFFFFF, block >> 32])
         cpu.mem.write_ram_words(RAM_BASE + B_OFF, round_keys)
-        cpu.run(entry)
+        self._launch(cpu, entry)
         words = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 2)
         got = words[0] | (words[1] << 32)
         assert got == speck64_encrypt(block, round_keys), "speck mismatch"
@@ -339,7 +398,7 @@ class KernelRunner:
                                      "red_b163", False, False)
         self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF)
         cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(product, 11))
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
         assert got == reduce_binary(product, 163), "red_b163 mismatch"
         return self._result("red_b163", 6, cpu)
@@ -353,7 +412,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF)
         cpu.set_reg("a1", scalar)
         cpu.set_reg("a2", value)
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 1)[0]
         assert got == (scalar * value) & 0xFFFFFFFF, "scalar_daa mismatch"
         return self._result("scalar_daa", k, cpu)
@@ -367,7 +426,7 @@ class KernelRunner:
         self._set_ptr_args(cpu, dst=DST_OFF)
         cpu.set_reg("a1", scalar)
         cpu.set_reg("a2", value)
-        cpu.run(entry)
+        self._launch(cpu, entry)
         got = cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 1)[0]
         assert got == (scalar * value) & 0xFFFFFFFF, "scalar_ladder mismatch"
         return self._result("scalar_ladder", k, cpu)

@@ -128,6 +128,14 @@ class Pete:
             self.icache.tracer = tracer
         #: the last program image loaded (symbol table for profilers)
         self.program: Assembled | None = None
+        #: superblock fast path (repro.pete.fastpath), built lazily by
+        #: ``run(fast=True)`` or attached by the diffexec harness
+        self.fastpath = None
+        #: delay-slot bookkeeping for the resumable stepping API
+        #: (``begin``/``step_instruction``); ``run``'s own loop keeps
+        #: the same state in locals for speed
+        self._delay_target: int | None = None
+        self._in_delay_slot = False
 
     # ------------------------------------------------------------------
     # Program loading / register access
@@ -138,6 +146,66 @@ class Pete:
         self.mem.write_rom(program.base, data)
         self._decoded.clear()
         self.program = program
+        # after self.program is set: invalidation re-attaches the
+        # fast path to the *new* program's shared block map
+        if self.fastpath is not None:
+            self.fastpath.invalidate()
+
+    def flush_decoded(self) -> None:
+        """Drop the decoded-instruction cache (and, with it, every
+        compiled superblock -- the closures bake in decoded words)."""
+        self._decoded.clear()
+        if self.fastpath is not None:
+            self.fastpath.invalidate()
+
+    def attach_tracer(self, tracer: "TraceBus | None") -> None:
+        """Attach (or, with ``None``, detach) a trace bus mid-session.
+
+        Every component sees the new bus immediately; a fast-mode run
+        deoptimizes to the reference interpreter at the next superblock
+        boundary, so per-instruction events keep firing.
+        """
+        self.tracer = tracer
+        self.mem.tracer = tracer
+        self.muldiv.tracer = tracer
+        if self.icache is not None:
+            self.icache.tracer = tracer
+
+    def clone(self) -> "Pete":
+        """An independent copy of this core's full architectural state.
+
+        Used by the lock-step differential harness
+        (:mod:`repro.pete.diffexec`) to run the reference and fast-path
+        interpreters on identical inputs.  Tracers are not carried over
+        (attach one with :meth:`attach_tracer`), and coprocessors hold
+        external state the core cannot copy.
+        """
+        if self.coprocessor is not None:
+            raise ValueError("cannot clone a core with a coprocessor "
+                             "attached")
+        other = Pete(
+            extensions=self.muldiv.extensions,
+            binary_extensions=self.muldiv.binary_extensions,
+            icache=self.icache.config if self.icache else None,
+            trace=self.trace_enabled,
+        )
+        other.mem.rom[:] = self.mem.rom
+        other.mem.ram[:] = self.mem.ram
+        other.regs[:] = self.regs
+        other.pc = self.pc
+        other.cycle = self.cycle
+        for f_name, value in self.stats.as_dict().items():
+            setattr(other.stats, f_name, value)
+        other.muldiv.acc = self.muldiv.acc
+        other.muldiv.busy_until = self.muldiv.busy_until
+        other.muldiv.issues = self.muldiv.issues
+        other._predictor = dict(self._predictor)
+        other._last_load_reg = self._last_load_reg
+        if self.icache is not None:
+            other.icache.tags = list(self.icache.tags)
+            other.icache._pf_tag = self.icache._pf_tag
+        other.program = self.program
+        return other
 
     def set_reg(self, name_or_idx, value: int) -> None:
         idx = name_or_idx
@@ -160,11 +228,56 @@ class Pete:
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, entry: int, max_cycles: int = 50_000_000) -> CoreStats:
-        """Run from ``entry`` until a ``break`` retires."""
+    def begin(self, entry: int) -> None:
+        """Reset execution state to start at ``entry``.
+
+        ``run`` calls this internally; the stepping API
+        (:meth:`step_instruction`) and the lock-step drivers in
+        :mod:`repro.pete.diffexec` call it directly.
+        """
         self.pc = entry
         self.regs[29] = RAM_BASE + self.mem.ram_size - 16  # $sp
         self._last_load_reg = None
+        self._pending_target = None
+        self._delay_target = None
+        self._in_delay_slot = False
+
+    def step_instruction(self) -> bool:
+        """Execute one instruction on the reference interpreter,
+        including delay-slot bookkeeping; returns ``False`` once a
+        ``break`` retires (the core has halted)."""
+        try:
+            self._step()
+        except Halt:
+            return False
+        if self._in_delay_slot:
+            assert self._delay_target is not None
+            self.pc = self._delay_target
+            self._delay_target = None
+            self._in_delay_slot = False
+        elif self._pending_target is not None:
+            self._delay_target = self._pending_target
+            self._pending_target = None
+            self._in_delay_slot = True
+        return True
+
+    def run(self, entry: int, max_cycles: int = 50_000_000,
+            fast: bool = False) -> CoreStats:
+        """Run from ``entry`` until a ``break`` retires.
+
+        ``fast=True`` routes execution through the superblock fast path
+        (:mod:`repro.pete.fastpath`): straight-line runs execute as
+        compiled closures with identical architectural state, stats and
+        energy activity.  With a tracer attached (or ``trace_enabled``)
+        the fast path transparently deoptimizes to the reference
+        interpreter so per-instruction events still fire.  The only
+        observable difference is the failure boundary of a non-halting
+        program: the fast path checks ``max_cycles`` at block (not
+        instruction) granularity.
+        """
+        self.begin(entry)
+        if fast:
+            return self._run_fast(max_cycles)
         delay_target: int | None = None
         in_delay_slot = False
         try:
@@ -181,6 +294,26 @@ class Pete:
                     in_delay_slot = True
         except Halt:
             return self.stats
+        raise RuntimeError(f"program did not halt within {max_cycles} cycles")
+
+    def _run_fast(self, max_cycles: int) -> CoreStats:
+        """Superblock-threaded execution loop (``run(fast=True)``)."""
+        if self.fastpath is None:
+            from repro.pete.fastpath import Fastpath
+
+            self.fastpath = Fastpath(self)
+        fastpath = self.fastpath
+        while self.cycle < max_cycles:
+            # deopt conditions are re-checked at every block boundary,
+            # so a tracer attached mid-run takes effect immediately
+            if (not self._in_delay_slot and self.tracer is None
+                    and not self.trace_enabled):
+                block = fastpath.lookup(self.pc)
+                if block is not None:
+                    block(self)
+                    continue
+            if not self.step_instruction():
+                return self.stats
         raise RuntimeError(f"program did not halt within {max_cycles} cycles")
 
     _pending_target: int | None = None

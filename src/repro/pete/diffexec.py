@@ -1,0 +1,310 @@
+"""Lock-step differential verification of the superblock fast path.
+
+Runs the fast (:mod:`repro.pete.fastpath`) and reference interpreters
+side by side on identical inputs: the fast core advances one *unit* at
+a time (a compiled superblock, or a single reference instruction where
+no block applies), the reference core is then stepped by the same
+number of instructions, and the complete architectural state -- PC,
+registers, cycle, every ``CoreStats`` counter, the Hi/Lo/OvFlo
+accumulator, RAM contents, the branch predictor and the load-use latch
+-- is compared at every unit boundary.  The first divergence is
+reported with disassembly context around the offending PC.
+
+This is the correctness tool that lets interpreter work move fast: any
+change to the fast path (or the reference core) that breaks the
+stats/energy-exactness contract is localized to the first diverging
+block and quantity, not discovered as a wrong number in Table 7.1.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.pete.diffexec \\
+        --kernels os_mul:8 comb_mul:6 scalar_ladder:16
+
+runs the named kernels (default: a representative set covering the
+prime-field, binary-field, scalar and symmetric kernel families),
+prints one summary line per kernel and exits non-zero on the first
+divergence.  ``--report PATH`` writes the full report (divergence
+details included) for CI to upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from repro.pete.cpu import Pete
+from repro.pete.fastpath import Fastpath
+
+#: One kernel per family: prime-field school/product-scanning, NIST
+#: reduction, binary-field comb + squaring, scalar loops, symmetric.
+DEFAULT_KERNELS = (
+    "mp_add:8", "os_mul:8", "ps_mul_ext:8", "red_p192:6",
+    "comb_mul:6", "ps_mulgf2:6", "bsqr_table:6", "red_b163:6",
+    "scalar_daa:16", "scalar_ladder:16", "speck64:1",
+)
+
+
+@dataclass
+class Divergence:
+    """The first state mismatch between the two interpreters."""
+
+    what: str                  # e.g. "regs[$t0]", "cycle", "stats.cycles"
+    ref_value: object
+    fast_value: object
+    pc: int                    # fast-core PC at the boundary
+    instructions: int          # instructions retired when it surfaced
+    context: str = ""          # disassembly window around the PC
+
+    def format(self) -> str:
+        lines = [
+            f"divergence after {self.instructions} instructions "
+            f"at pc=0x{self.pc:06x}:",
+            f"  {self.what}: reference={self.ref_value!r} "
+            f"fast={self.fast_value!r}",
+        ]
+        if self.context:
+            lines.append("  context:")
+            lines.extend("    " + line
+                         for line in self.context.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one lock-step run."""
+
+    label: str
+    instructions: int = 0
+    blocks: int = 0            # superblock executions on the fast side
+    boundaries: int = 0        # state comparisons performed
+    divergence: Divergence | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "DIVERGED"
+        return (f"{self.label:<18} {status:<9} "
+                f"{self.instructions:>9} instructions  "
+                f"{self.blocks:>6} blocks  "
+                f"{self.boundaries:>7} state compares")
+
+    def format(self) -> str:
+        out = [self.summary()]
+        if self.divergence is not None:
+            out.append(self.divergence.format())
+        out.extend(self.notes)
+        return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Stepping and comparison primitives
+# ---------------------------------------------------------------------------
+
+
+def step_unit(cpu: Pete, fastpath: Fastpath) -> tuple[bool, bool]:
+    """Advance ``cpu`` by one fast-path unit.
+
+    A unit is one compiled superblock when one applies (no pending
+    delay slot, no tracer attached), else one reference-interpreter
+    instruction.  Returns ``(alive, was_block)``; ``alive`` is False
+    once the core halts.  This mirrors ``Pete._run_fast`` exactly and
+    exists so callers (the lock-step loop, deopt tests) can observe
+    state *between* units.
+    """
+    if (not cpu._in_delay_slot and cpu.tracer is None
+            and not cpu.trace_enabled):
+        block = fastpath.lookup(cpu.pc)
+        if block is not None:
+            block(cpu)
+            return True, True
+    return cpu.step_instruction(), False
+
+
+def _reg_name(index: int) -> str:
+    from repro.pete.isa import REGISTER_NAMES
+
+    return f"regs[${REGISTER_NAMES[index]}]"
+
+
+def compare_state(ref: Pete, fast: Pete) -> Divergence | None:
+    """First architectural difference between two cores, or ``None``."""
+
+    def div(what, ref_value, fast_value):
+        return Divergence(what, ref_value, fast_value, fast.pc,
+                          fast.stats.instructions)
+
+    if ref.pc != fast.pc:
+        return div("pc", hex(ref.pc), hex(fast.pc))
+    if ref.cycle != fast.cycle:
+        return div("cycle", ref.cycle, fast.cycle)
+    if ref.regs != fast.regs:
+        for i, (a, b) in enumerate(zip(ref.regs, fast.regs)):
+            if a != b:
+                return div(_reg_name(i), a, b)
+    if ref.muldiv.acc != fast.muldiv.acc:
+        return div("muldiv.acc", hex(ref.muldiv.acc),
+                   hex(fast.muldiv.acc))
+    if ref.muldiv.busy_until != fast.muldiv.busy_until:
+        return div("muldiv.busy_until", ref.muldiv.busy_until,
+                   fast.muldiv.busy_until)
+    if ref.muldiv.issues != fast.muldiv.issues:
+        return div("muldiv.issues", ref.muldiv.issues,
+                   fast.muldiv.issues)
+    if ref._last_load_reg != fast._last_load_reg:
+        return div("load-use latch", ref._last_load_reg,
+                   fast._last_load_reg)
+    stats_diff = ref.stats.diff(fast.stats)
+    if stats_diff:
+        name, (a, b) = next(iter(stats_diff.items()))
+        return div(f"stats.{name}", a, b)
+    if ref._predictor != fast._predictor:
+        return div("branch predictor", ref._predictor, fast._predictor)
+    if ref.mem.ram != fast.mem.ram:
+        for offset, (a, b) in enumerate(zip(ref.mem.ram, fast.mem.ram)):
+            if a != b:
+                from repro.pete.memory import RAM_BASE
+
+                return div(f"ram[0x{RAM_BASE + offset:08x}]", a, b)
+    return None
+
+
+def _context(cpu: Pete, window: int = 6) -> str:
+    """Disassembly around ``cpu.pc``, the boundary PC marked."""
+    from repro.pete.disassembler import disassemble_decoded
+    from repro.pete.isa import PeteISA
+
+    labels: dict[int, str] = {}
+    if cpu.program is not None:
+        labels = {cpu.program.base + 4 * index: name
+                  for name, index in cpu.program.labels.items()}
+    lines = []
+    for addr in range(cpu.pc - 4 * window, cpu.pc + 4 * (window + 1), 4):
+        if addr < 0:
+            continue
+        try:
+            text = disassemble_decoded(
+                PeteISA.decode(cpu.mem.peek_word(addr)), addr)
+        except (MemoryError, ValueError):
+            text = "<not decodable>"
+        if addr in labels:
+            lines.append(f"{labels[addr]}:")
+        marker = "->" if addr == cpu.pc else "  "
+        lines.append(f"{marker} 0x{addr:06x}  {text}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The lock-step loop
+# ---------------------------------------------------------------------------
+
+
+def lockstep(fast: Pete, entry: int, *, label: str = "",
+             max_cycles: int = 50_000_000) -> DiffReport:
+    """Run ``fast`` (fast path) against a clone of itself (reference)
+    in lock-step from ``entry``; state is compared at every unit
+    boundary and the first divergence ends the run."""
+    ref = fast.clone()
+    fastpath = Fastpath(fast)
+    fast.fastpath = fastpath
+    fast.begin(entry)
+    ref.begin(entry)
+    report = DiffReport(label or f"pc=0x{entry:x}")
+
+    while True:
+        if fast.cycle > max_cycles:
+            raise RuntimeError(
+                f"{report.label}: no halt within {max_cycles} cycles")
+        before = fast.stats.instructions
+        fast_alive, was_block = step_unit(fast, fastpath)
+        if was_block:
+            report.blocks += 1
+        ref_alive = True
+        for _ in range(fast.stats.instructions - before):
+            ref_alive = ref.step_instruction()
+            if not ref_alive:
+                break
+        report.boundaries += 1
+        report.instructions = fast.stats.instructions
+        divergence = compare_state(ref, fast)
+        if divergence is None and fast_alive != ref_alive:
+            divergence = Divergence(
+                "halt", f"ref halted={not ref_alive}",
+                f"fast halted={not fast_alive}", fast.pc,
+                fast.stats.instructions)
+        if divergence is not None:
+            divergence.context = _context(fast)
+            report.divergence = divergence
+            return report
+        if not fast_alive:
+            return report
+
+
+def diff_kernel(name: str, k: int, *,
+                max_cycles: int = 50_000_000) -> DiffReport:
+    """Lock-step one generated kernel (same harness the measurements
+    use) on the fast vs reference interpreters."""
+    from repro.kernels.runner import KernelRunner
+
+    runner = KernelRunner(cache={})
+    cpu, entry = runner.prepare(name, k)
+    return lockstep(cpu, entry, label=f"{name}:{k}",
+                    max_cycles=max_cycles)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="*", metavar="NAME:K",
+                        default=list(DEFAULT_KERNELS),
+                        help="kernels to verify (default: one per "
+                             "kernel family)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write the full report (with divergence "
+                             "details) to this file")
+    parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    args = parser.parse_args(argv)
+
+    reports = []
+    for token in args.kernels:
+        name, _, k = token.partition(":")
+        if not k:
+            raise SystemExit(f"diffexec: bad kernel spec {token!r} "
+                             f"(expected NAME:K, like os_mul:8)")
+        try:
+            report = diff_kernel(name, int(k),
+                                 max_cycles=args.max_cycles)
+        except KeyError as exc:
+            raise SystemExit(f"diffexec: {exc.args[0]}")
+        reports.append(report)
+        print(report.summary())
+        if not report.ok:
+            print(report.divergence.format())
+
+    diverged = [r for r in reports if not r.ok]
+    total = sum(r.instructions for r in reports)
+    blocks = sum(r.blocks for r in reports)
+    footer = (f"diffexec: {len(reports)} kernels, {total} instructions, "
+              f"{blocks} superblocks, {len(diverged)} divergences")
+    print(footer)
+
+    if args.report:
+        import pathlib
+
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = "\n\n".join(r.format() for r in reports)
+        path.write_text(body + "\n\n" + footer + "\n")
+        print(f"(report: {path})")
+    return 1 if diverged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,508 @@
+"""Superblock-threaded fast path for the Pete interpreter.
+
+The reference interpreter (:meth:`repro.pete.cpu.Pete._step`) pays full
+decode-and-dispatch cost per instruction: a fetch, a decoded-cache
+lookup, a ``_sources`` tuple build and a long mnemonic chain.  The
+kernels this simulator exists to price are straight-line field
+arithmetic with hot, predictable inner loops, so almost all of that
+work is re-derivable from the instruction words alone.
+
+This module discovers *superblocks* at run time -- maximal straight-line
+runs of decoded instructions, ending at branches, jumps, COP2 commands
+and traps -- and compiles each into one specialized Python closure:
+
+* register indices, immediates and shift amounts are baked in as
+  constants (``regs[9] = (regs[8] + 4) & MASK32``);
+* per-block cycle, instruction and stall deltas that are statically
+  known (the +1 per instruction, intra-block load-use interlocks, the
+  per-fetch ROM word read) are folded into single additions;
+* only the genuinely dynamic costs stay dynamic: instruction-cache
+  penalties, multiply/divide drain interlocks, and the load-use check
+  against the instruction that ran *before* the block was entered.
+
+The contract is exactness: a fast-mode run must leave ``CoreStats``,
+the architectural state (registers, memory, Hi/Lo accumulator, branch
+predictor) and therefore every derived energy number float-identical to
+a reference run.  The lock-step harness in :mod:`repro.pete.diffexec`
+verifies this at every block boundary.
+
+Deopt rules: closures are only compiled and entered when no tracer is
+attached and ``trace_enabled`` is off -- the run loop re-checks at every
+block boundary, so attaching a :class:`~repro.trace.bus.TraceBus`
+mid-run falls back to the reference interpreter and per-instruction
+events keep firing with identical cycle numbers.
+
+Invalidation: ``Pete.load`` (ROM reload) and ``Pete.flush_decoded``
+invalidate the per-core block map; a configuration change (the icache
+swapped in or out, ISA extension flags flipped) is caught by a
+fingerprint check on every lookup.  Compiled code is also memoized in a
+content-addressed module-level cache keyed by the block's instruction
+words, so repeated simulations of the same kernel (e.g. the runner's
+median-of-three trials) compile each block once per process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.pete.cpu import _sources
+from repro.pete.isa import Decoded, PeteISA
+from repro.pete.muldiv import MASK32
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pete.cpu import Pete
+
+#: Discovery stops after this many instructions; execution simply
+#: continues in the follow-on block, so the cap only bounds codegen.
+MAX_BLOCK_LEN = 256
+#: Blocks shorter than this are not worth a call; the reference
+#: interpreter handles them (a ``None`` entry in the block map).
+MIN_BLOCK_LEN = 2
+
+#: Mnemonics with straight-line semantics (compilable into blocks).
+#: Everything else -- branches, jumps, COP2/CTC2, break -- ends a block
+#: and executes on the reference interpreter.
+_SIMPLE = frozenset((
+    "addu", "add", "addiu", "addi", "subu", "sub",
+    "and", "or", "xor", "nor",
+    "slt", "sltu", "slti", "sltiu",
+    "andi", "ori", "xori", "lui",
+    "sll", "srl", "sra", "sllv", "srlv", "srav",
+    "lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb",
+    "syscall",
+))
+_MULDIV = frozenset((
+    "mult", "multu", "div", "divu", "mflo", "mfhi", "mtlo", "mthi",
+    "maddu", "m2addu", "addau", "sha", "mulgf2", "maddgf2",
+))
+COMPILABLE = _SIMPLE | _MULDIV
+
+#: mnemonics that charge the issue counters (mirrors Pete._step)
+_MULT_ISSUE = frozenset(("mult", "multu", "maddu", "m2addu",
+                         "mulgf2", "maddgf2"))
+_DIV_ISSUE = frozenset(("div", "divu"))
+
+_SIGN = 0x8000_0000
+
+#: Content-addressed code memo shared by every Fastpath instance:
+#: identical instruction words at the same entry PC compile to the same
+#: closure, so re-simulating a kernel reuses the compiled blocks.
+_CODE_CACHE: dict[tuple, Callable] = {}
+_CODE_CACHE_MAX = 4096
+
+
+def _s32(value: int) -> int:
+    return value - (1 << 32) if value & _SIGN else value
+
+
+# ---------------------------------------------------------------------------
+# Block code generation
+# ---------------------------------------------------------------------------
+
+
+class _BlockCompiler:
+    """Generates the Python source of one superblock closure."""
+
+    def __init__(self, decs: list[Decoded], entry_pc: int,
+                 icache_on: bool) -> None:
+        self.decs = decs
+        self.entry_pc = entry_pc
+        self.icache_on = icache_on
+        self.lines: list[str] = []
+        self.pending_cycles = 0      # statically-known cycle delta
+        self.static_stall = 0
+        self.static_load_use = 0
+        self.mult_issues = 0
+        self.div_issues = 0
+        self.uses_muldiv = any(d.mnemonic in _MULDIV for d in decs)
+        # sources of the first instruction decide whether the incoming
+        # load-use interlock needs a dynamic guard ($zero never stalls)
+        self.entry_sources = tuple(r for r in _sources(decs[0]) if r)
+
+    # -- emit helpers ----------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def flush_cycles(self) -> None:
+        """Materialize pending static cycles before a dynamic read."""
+        if self.pending_cycles:
+            self.emit(f"cycle += {self.pending_cycles}")
+            self.pending_cycles = 0
+
+    def wait_muldiv(self) -> None:
+        """The MulDiv drain interlock (mirrors Pete._wait_muldiv)."""
+        self.flush_cycles()
+        self.emit("_bu = muldiv.busy_until")
+        self.emit("if _bu > cycle:")
+        self.emit("    _w = _bu - cycle")
+        self.emit("    cycle += _w")
+        self.emit("    stall += _w")
+        self.emit("    mstall += _w")
+
+    # -- per-instruction execute code ------------------------------------
+
+    @staticmethod
+    def _addr(d: Decoded) -> str:
+        if d.imm:
+            return f"(regs[{d.rs}] + {d.imm}) & {MASK32}"
+        return f"regs[{d.rs}]"  # register values are always masked
+
+    def gen_exec(self, d: Decoded) -> None:
+        m = d.mnemonic
+        e = self.emit
+        if m in ("addu", "add"):
+            if d.rd:
+                e(f"regs[{d.rd}] = (regs[{d.rs}] + regs[{d.rt}]) "
+                  f"& {MASK32}")
+        elif m in ("addiu", "addi"):
+            if d.rt:
+                e(f"regs[{d.rt}] = (regs[{d.rs}] + {d.imm}) & {MASK32}")
+        elif m == "lw":
+            target = f"regs[{d.rt}] = " if d.rt else ""
+            e(f"{target}mem.load({self._addr(d)}, 4)")
+        elif m == "sw":
+            e(f"mem.store({self._addr(d)}, regs[{d.rt}], 4)")
+        elif m in ("subu", "sub"):
+            if d.rd:
+                e(f"regs[{d.rd}] = (regs[{d.rs}] - regs[{d.rt}]) "
+                  f"& {MASK32}")
+        elif m == "and":
+            if d.rd:
+                e(f"regs[{d.rd}] = regs[{d.rs}] & regs[{d.rt}]")
+        elif m == "or":
+            if d.rd:
+                e(f"regs[{d.rd}] = regs[{d.rs}] | regs[{d.rt}]")
+        elif m == "xor":
+            if d.rd:
+                e(f"regs[{d.rd}] = regs[{d.rs}] ^ regs[{d.rt}]")
+        elif m == "nor":
+            if d.rd:
+                e(f"regs[{d.rd}] = ~(regs[{d.rs}] | regs[{d.rt}]) "
+                  f"& {MASK32}")
+        elif m == "slt":
+            # biased compare: s32(a) < s32(b)  <=>  a^2^31 < b^2^31
+            if d.rd:
+                e(f"regs[{d.rd}] = int((regs[{d.rs}] ^ {_SIGN}) < "
+                  f"(regs[{d.rt}] ^ {_SIGN}))")
+        elif m == "sltu":
+            if d.rd:
+                e(f"regs[{d.rd}] = int(regs[{d.rs}] < regs[{d.rt}])")
+        elif m == "slti":
+            if d.rt:
+                biased = (d.imm & MASK32) ^ _SIGN
+                e(f"regs[{d.rt}] = int((regs[{d.rs}] ^ {_SIGN}) < "
+                  f"{biased})")
+        elif m == "sltiu":
+            if d.rt:
+                e(f"regs[{d.rt}] = int(regs[{d.rs}] < "
+                  f"{d.imm & MASK32})")
+        elif m == "andi":
+            if d.rt:
+                e(f"regs[{d.rt}] = regs[{d.rs}] & {d.imm}")
+        elif m == "ori":
+            if d.rt:
+                e(f"regs[{d.rt}] = regs[{d.rs}] | {d.imm}")
+        elif m == "xori":
+            if d.rt:
+                e(f"regs[{d.rt}] = regs[{d.rs}] ^ {d.imm}")
+        elif m == "lui":
+            if d.rt:
+                e(f"regs[{d.rt}] = {(d.imm << 16) & MASK32}")
+        elif m == "sll":
+            if d.rd:
+                if d.shamt:
+                    e(f"regs[{d.rd}] = (regs[{d.rt}] << {d.shamt}) "
+                      f"& {MASK32}")
+                else:
+                    e(f"regs[{d.rd}] = regs[{d.rt}]")
+        elif m == "srl":
+            if d.rd:
+                e(f"regs[{d.rd}] = regs[{d.rt}] >> {d.shamt}")
+        elif m == "sra":
+            if d.rd:
+                e(f"regs[{d.rd}] = (_s32(regs[{d.rt}]) >> {d.shamt}) "
+                  f"& {MASK32}")
+        elif m == "sllv":
+            if d.rd:
+                e(f"regs[{d.rd}] = (regs[{d.rt}] << (regs[{d.rs}] "
+                  f"& 31)) & {MASK32}")
+        elif m == "srlv":
+            if d.rd:
+                e(f"regs[{d.rd}] = regs[{d.rt}] >> (regs[{d.rs}] & 31)")
+        elif m == "srav":
+            if d.rd:
+                e(f"regs[{d.rd}] = (_s32(regs[{d.rt}]) >> "
+                  f"(regs[{d.rs}] & 31)) & {MASK32}")
+        elif m in ("lh", "lhu", "lb", "lbu"):
+            size = 2 if m.startswith("lh") else 1
+            signed = not m.endswith("u")
+            call = f"mem.load({self._addr(d)}, {size}, signed={signed})"
+            if d.rt:
+                e(f"regs[{d.rt}] = {call} & {MASK32}")
+            else:
+                e(call)
+        elif m in ("sh", "sb"):
+            size = 2 if m == "sh" else 1
+            e(f"mem.store({self._addr(d)}, regs[{d.rt}], {size})")
+        elif m == "syscall":
+            pass  # no-op in the bare-metal environment
+        elif m in ("mult", "multu"):
+            self.wait_muldiv()
+            e(f"muldiv.mult(cycle, regs[{d.rs}], regs[{d.rt}], "
+              f"signed={m == 'mult'})")
+        elif m in ("div", "divu"):
+            self.wait_muldiv()
+            e(f"muldiv.div(cycle, regs[{d.rs}], regs[{d.rt}], "
+              f"signed={m == 'div'})")
+        elif m == "mflo":
+            self.wait_muldiv()
+            if d.rd:
+                e(f"regs[{d.rd}] = muldiv.acc & {MASK32}")
+        elif m == "mfhi":
+            self.wait_muldiv()
+            if d.rd:
+                e(f"regs[{d.rd}] = (muldiv.acc >> 32) & {MASK32}")
+        elif m == "mtlo":
+            self.wait_muldiv()
+            e(f"muldiv.set_lo(regs[{d.rs}])")
+        elif m == "mthi":
+            self.wait_muldiv()
+            e(f"muldiv.set_hi(regs[{d.rs}])")
+        elif m in ("maddu", "m2addu", "mulgf2", "maddgf2"):
+            self.wait_muldiv()
+            e(f"muldiv.{m}(cycle, regs[{d.rs}], regs[{d.rt}])")
+        elif m == "addau":
+            self.wait_muldiv()
+            e(f"muldiv.addau(cycle, regs[{d.rs}], regs[{d.rt}])")
+        elif m == "sha":
+            self.wait_muldiv()
+            e("muldiv.sha(cycle)")
+        else:  # pragma: no cover - discovery guarantees coverage
+            raise ValueError(f"mnemonic {m!r} is not compilable")
+        if m in _MULT_ISSUE:
+            self.mult_issues += 1
+        elif m in _DIV_ISSUE:
+            self.div_issues += 1
+
+    # -- whole-block assembly --------------------------------------------
+
+    def source(self) -> str:
+        decs, entry_pc = self.decs, self.entry_pc
+        n = len(decs)
+        out = self.lines
+        out.append("def __block(cpu):")
+        self.emit("regs = cpu.regs")
+        self.emit("mem = cpu.mem")
+        self.emit("stats = cpu.stats")
+        self.emit("cycle = cpu.cycle")
+        if self.uses_muldiv:
+            self.emit("muldiv = cpu.muldiv")
+        if self.icache_on:
+            self.emit("access = cpu.icache.access")
+        dynamic_stall = (self.icache_on or self.uses_muldiv
+                         or bool(self.entry_sources))
+        if dynamic_stall:
+            self.emit("stall = 0")
+        if self.uses_muldiv:
+            self.emit("mstall = 0")
+        if self.entry_sources:
+            self.emit("luse = 0")
+
+        prev_load_reg: int | None = None
+        for i, d in enumerate(decs):
+            pc = entry_pc + 4 * i
+            if self.icache_on:
+                # `now` is only a trace timestamp; tracer is None here
+                self.emit(f"_p = access({pc})")
+                self.emit("if _p:")
+                self.emit("    cycle += _p")
+                self.emit("    stall += _p")
+            if i == 0:
+                if self.entry_sources:
+                    self.emit("_llr = cpu._last_load_reg")
+                    srcs = repr(self.entry_sources)
+                    self.emit(f"if _llr is not None and _llr in {srcs}:")
+                    self.emit("    cycle += 1")
+                    self.emit("    stall += 1")
+                    self.emit("    luse += 1")
+            elif prev_load_reg is not None and \
+                    prev_load_reg in _sources(d):
+                # intra-block load-use interlock: statically certain
+                self.pending_cycles += 1
+                self.static_stall += 1
+                self.static_load_use += 1
+            self.gen_exec(d)
+            self.pending_cycles += 1   # the instruction's own cycle
+            prev_load_reg = d.rt if (d.is_load and d.rt) else None
+
+        self.flush_cycles()
+        self.emit("cpu.cycle = cycle")
+        self.emit(f"cpu.pc = {entry_pc + 4 * n}")
+        self.emit(f"cpu._last_load_reg = {prev_load_reg!r}")
+        self.emit("stats.cycles = cycle")
+        self.emit(f"stats.instructions += {n}")
+        stall_terms = (["stall"] if dynamic_stall else []) + \
+            ([str(self.static_stall)] if self.static_stall else [])
+        if stall_terms:
+            self.emit(f"stats.stall_cycles += {' + '.join(stall_terms)}")
+        luse_terms = (["luse"] if self.entry_sources else []) + \
+            ([str(self.static_load_use)] if self.static_load_use else [])
+        if luse_terms:
+            self.emit(
+                f"stats.load_use_stalls += {' + '.join(luse_terms)}")
+        if self.uses_muldiv:
+            self.emit("stats.mult_stall_cycles += mstall")
+        if self.mult_issues:
+            self.emit(f"stats.mult_issues += {self.mult_issues}")
+        if self.div_issues:
+            self.emit(f"stats.div_issues += {self.div_issues}")
+        if not self.icache_on:
+            # uncached fetch: one ROM word read per instruction (the
+            # cached path counts accesses inside ICache.access)
+            self.emit(f"stats.rom_word_reads += {n}")
+        return "\n".join(out) + "\n"
+
+
+def compile_block(decs: list[Decoded], entry_pc: int,
+                  icache_on: bool) -> Callable:
+    """Compile one straight-line run into an executable closure."""
+    source = _BlockCompiler(decs, entry_pc, icache_on).source()
+    namespace: dict = {"_s32": _s32}
+    exec(compile(source, f"<superblock@0x{entry_pc:x}>", "exec"),
+         namespace)
+    fn = namespace["__block"]
+    fn.__fastpath_source__ = source      # introspection for tests/debug
+    fn.__fastpath_len__ = len(decs)
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Per-core block map
+# ---------------------------------------------------------------------------
+
+_MISS = object()
+
+#: Shared discovery maps, content-addressed by the loaded program (its
+#: word tuple + base) and the execution configuration.  Cores running
+#: the same program -- ``Pete.clone()`` trials, the runner's
+#: median-of-3 repeats -- reuse one pc -> closure map instead of
+#: re-discovering and re-decoding every block on every run (discovery
+#: dominates short runs otherwise).  Closures only touch the ``cpu``
+#: argument they are called with, so sharing them across cores is safe.
+_BLOCK_MAPS: dict[tuple, dict[int, Optional[Callable]]] = {}
+_BLOCK_MAPS_MAX = 64
+
+
+class Fastpath:
+    """Discovers, compiles and caches superblocks for one core."""
+
+    def __init__(self, cpu: "Pete") -> None:
+        self._cpu = cpu
+        #: entry PC -> closure, or None where no block applies (block
+        #: boundaries and too-short runs); shared with other cores
+        #: running the same program under the same configuration
+        self._blocks: dict[int, Optional[Callable]] = {}
+        self._key: Optional[tuple] = None
+        self.compiled = 0        # blocks compiled by this instance
+        self.code_cache_hits = 0  # blocks reused from _CODE_CACHE
+        self._attach()
+
+    # -- configuration / invalidation ------------------------------------
+
+    def _fingerprint(self) -> tuple:
+        cpu = self._cpu
+        return (cpu.icache, cpu.muldiv.extensions,
+                cpu.muldiv.binary_extensions)
+
+    def _attach(self) -> None:
+        """Bind ``self._blocks`` to the shared map for the currently
+        loaded program (a private map when no program is loaded)."""
+        cpu = self._cpu
+        self._config = self._fingerprint()
+        self._key = None
+        if cpu.program is None:
+            self._blocks = {}
+            return
+        self._key = (tuple(cpu.program.words), cpu.program.base,
+                     cpu.icache is not None,
+                     cpu.muldiv.extensions,
+                     cpu.muldiv.binary_extensions)
+        blocks = _BLOCK_MAPS.get(self._key)
+        if blocks is None:
+            if len(_BLOCK_MAPS) >= _BLOCK_MAPS_MAX:
+                _BLOCK_MAPS.clear()
+            blocks = _BLOCK_MAPS[self._key] = {}
+        self._blocks = blocks
+
+    def invalidate(self) -> None:
+        """Drop every cached closure (ROM reload / decoded flush).
+
+        The current shared map is emptied *and* unregistered, so cores
+        still bound to it rediscover from their actual ROM; this core
+        rebinds to the map for whatever program is now loaded.
+        """
+        if self._key is not None:
+            _BLOCK_MAPS.pop(self._key, None)
+        self._blocks.clear()
+        self._attach()
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, pc: int) -> Optional[Callable]:
+        """The closure entered at ``pc``, compiling on first miss;
+        ``None`` where the reference interpreter must run."""
+        if self._config != self._fingerprint():
+            # configuration change (icache swap, extension toggle):
+            # rebind to the matching shared map, keep other maps intact
+            self._attach()
+        block = self._blocks.get(pc, _MISS)
+        if block is _MISS:
+            block = self._compile_at(pc)
+            self._blocks[pc] = block
+        return block
+
+    # -- discovery / compilation -----------------------------------------
+
+    def _discover(self, pc: int) -> tuple[list[Decoded], list[int]]:
+        """Decode forward from ``pc`` to the next block boundary."""
+        cpu = self._cpu
+        decoded_cache = cpu._decoded
+        decs: list[Decoded] = []
+        words: list[int] = []
+        addr = pc
+        while len(decs) < MAX_BLOCK_LEN:
+            try:
+                word = cpu.mem.peek_word(addr)
+            except MemoryError:
+                break
+            d = decoded_cache.get(addr)
+            if d is None or d.word != word:
+                try:
+                    d = PeteISA.decode(word)
+                except ValueError:
+                    break  # data / garbage: the reference path raises
+                decoded_cache[addr] = d
+            if d.mnemonic not in COMPILABLE:
+                break
+            decs.append(d)
+            words.append(word)
+            addr += 4
+        return decs, words
+
+    def _compile_at(self, pc: int) -> Optional[Callable]:
+        decs, words = self._discover(pc)
+        if len(decs) < MIN_BLOCK_LEN:
+            return None
+        icache_on = self._cpu.icache is not None
+        key = (icache_on, pc, tuple(words))
+        fn = _CODE_CACHE.get(key)
+        if fn is None:
+            fn = compile_block(decs, pc, icache_on)
+            if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+                _CODE_CACHE.clear()
+            _CODE_CACHE[key] = fn
+            self.compiled += 1
+        else:
+            self.code_cache_hits += 1
+        return fn

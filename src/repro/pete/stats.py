@@ -55,3 +55,16 @@ class CoreStats:
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, other: "CoreStats") -> dict[str, tuple[int, int]]:
+        """Counters that differ from ``other``: name -> (self, other).
+
+        The differential harness (:mod:`repro.pete.diffexec`) uses this
+        to name the first diverging quantity instead of dumping two
+        whole counter sets.
+        """
+        return {
+            f.name: (getattr(self, f.name), getattr(other, f.name))
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(other, f.name)
+        }

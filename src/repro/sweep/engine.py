@@ -44,17 +44,25 @@ DEFAULT_RETRIES = 1
 _KILL_GRACE_S = 5.0
 
 
-def _compute_payload(kind: str, name: str, calibration=None) -> dict:
+def _compute_payload(kind: str, name: str, calibration=None,
+                     fast=None) -> dict:
     """Default task body (top-level so pool workers can unpickle it).
 
     ``calibration`` installs the matching
     :class:`~repro.model.system.SystemModel` around the producer, so a
     worker process -- which does not share the parent's session state
     under ``spawn``/``forkserver`` start methods -- prices with the
-    same calibration the result will be cached under.
+    same calibration the result will be cached under.  ``fast`` pins
+    ``$REPRO_PETE_FAST`` in the worker before the first kernel is
+    measured, so pooled tasks run the same interpreter path as the
+    parent regardless of start method.
     """
     from repro.harness.registry import get_spec
 
+    if fast is not None:
+        import os
+
+        os.environ["REPRO_PETE_FAST"] = "1" if fast else "0"
     spec = get_spec(kind, name)
     if calibration is None:
         return spec.payload()
@@ -151,7 +159,8 @@ class SweepEngine:
     def __init__(self, jobs: int = 1, cache=None,
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  retries: int = DEFAULT_RETRIES,
-                 ledger=None, calibration=None, compute=None) -> None:
+                 ledger=None, calibration=None, compute=None,
+                 fast: bool | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -164,10 +173,13 @@ class SweepEngine:
             ledger = default_ledger()
         self.ledger = ledger
         self.calibration = calibration
+        self.fast = fast
         if compute is None:
-            compute = _compute_payload if calibration is None \
-                else functools.partial(_compute_payload,
-                                       calibration=calibration)
+            compute = _compute_payload
+            if calibration is not None or fast is not None:
+                compute = functools.partial(_compute_payload,
+                                            calibration=calibration,
+                                            fast=fast)
         self.compute = compute
 
     # -- public API ---------------------------------------------------------
@@ -330,6 +342,7 @@ class SweepEngine:
                 "attempts": outcome.attempts,
                 "error": outcome.error,
                 "cached": self.cache is not None,
+                "fast": self.fast,
                 "compute_wall_s": payload.get("wall_s"),
             })
 

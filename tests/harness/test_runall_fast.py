@@ -1,0 +1,40 @@
+"""runall --fast byte-identity and --stats-json machine stats."""
+
+import json
+
+from repro.harness.runall import main
+
+
+def _read_dir(d):
+    return {p.name: p.read_bytes() for p in d.iterdir()}
+
+
+def test_stats_json_cold_then_warm(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    stats_path = tmp_path / "stats.json"
+
+    assert main(["--only", "7.5", "--cache-dir", str(cache),
+                 "--stats-json", str(stats_path)]) == 0
+    cold = json.loads(stats_path.read_text())
+    assert cold["computed"] == cold["artifacts"] > 0
+    assert cold["cached"] == 0 and cold["failed"] == 0
+
+    assert main(["--only", "7.5", "--cache-dir", str(cache),
+                 "--stats-json", str(stats_path)]) == 0
+    warm = json.loads(stats_path.read_text())
+    assert warm["computed"] == 0
+    assert warm["cached"] == warm["artifacts"] == cold["artifacts"]
+    capsys.readouterr()
+
+
+def test_fast_flag_produces_identical_artifacts(tmp_path, capsys,
+                                                monkeypatch):
+    monkeypatch.delenv("REPRO_PETE_FAST", raising=False)
+    ref, fast = tmp_path / "ref", tmp_path / "fast"
+    assert main(["--only", "7.5", "--out", str(ref), "--csv",
+                 "--no-ledger"]) == 0
+    ref_out = capsys.readouterr().out
+    assert main(["--only", "7.5", "--out", str(fast), "--csv",
+                 "--no-ledger", "--fast"]) == 0
+    assert capsys.readouterr().out == ref_out
+    assert _read_dir(fast) == _read_dir(ref)
