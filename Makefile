@@ -8,13 +8,19 @@ install:
 test:
 	pytest tests/ 2>&1 | tee test_output.txt
 
-# Static checks: ruff (when available) over the Python sources, then
-# the repo's own verifier over every shipped kernel and microprogram.
+# Static checks: ruff (when available) over the Python sources, mypy
+# (when available) over the analysis and sweep packages, then the
+# repo's own verifier over every shipped kernel and microprogram.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed; skipping Python style checks"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file mypy.ini src/repro/analysis src/repro/sweep; \
+	else \
+		echo "mypy not installed; skipping type checks"; \
 	fi
 	PYTHONPATH=src python -m repro.analysis --all
 

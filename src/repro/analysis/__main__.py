@@ -1,9 +1,19 @@
 """Command-line front end: ``python -m repro.analysis``.
 
-Analyzes the registered kernels and microprograms (``--all``, the
-default) or a named subset, prints human-readable or JSON reports, and
-exits nonzero when any *unwaived* finding remains -- which is how
-``make lint`` and CI gate on it.
+Two entry points share this module:
+
+* the legacy lint pass (``python -m repro.analysis --all``), which
+  analyzes the registered kernels and microprograms, prints
+  human-readable or JSON reports, and exits nonzero when any
+  *unwaived* finding remains -- how ``make lint`` gates on it; and
+* ``python -m repro.analysis verify [--all|--program NAME] [--json]
+  [--out FILE] [--static] [--record]``, the whole-program verifier:
+  abstract interpretation, interprocedural taint, the static
+  superblock map, and cycle/energy upper bounds asserted against an
+  actual harness run (see :mod:`repro.analysis.verify`).  ``--out``
+  writes the machine-readable findings artifact CI uploads;
+  ``--record`` appends one ``kind="analysis"`` record per kernel to
+  the regress ledger.
 """
 
 from __future__ import annotations
@@ -11,8 +21,117 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING
 
 from repro.analysis import registry
+
+if TYPE_CHECKING:
+    from repro.analysis.verify import VerifyReport
+
+
+def _verify_human(report: "VerifyReport", show_waived: bool) -> str:
+    lines = []
+    status = "ok" if report.clean else f"{len(report.findings)} finding(s)"
+    waived = f", {len(report.waived)} waived" if report.waived else ""
+    bound = report.bound.cycles if report.bound else "-"
+    obs = report.observed.get("cycles", "-")
+    tight = f"{report.tightness:.2f}x" if report.tightness else "-"
+    lines.append(f"kernel     {report.name:<14} {status}{waived}  "
+                 f"bound={bound} observed={obs} tightness={tight}  "
+                 f"superblocks={len(report.superblocks)} "
+                 f"({report.superblock_coverage:.0%} of image)")
+    for f in report.findings:
+        lines.append(f"    [{f.check}] @{f.index}: {f.message}")
+    if show_waived:
+        for f, w in report.waived:
+            lines.append(f"    [waived {f.check}] @{f.index}: {f.message}")
+            lines.append(f"        reason: {w.reason}")
+    for header, trips in report.assumed_loops:
+        lines.append(f"    assumed trip bound {trips} for loop at "
+                     f"@{header}")
+    return "\n".join(lines)
+
+
+def verify_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis verify",
+        description="Whole-program verifier: abstract interpretation, "
+                    "interprocedural taint, superblock map, static "
+                    "cycle/energy bounds asserted against a real run.")
+    parser.add_argument("--all", action="store_true",
+                        help="verify every registered kernel (default "
+                             "when no --program is given)")
+    parser.add_argument("--program", "-p", action="append", default=[],
+                        metavar="NAME", help="verify one kernel "
+                        "(repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON findings artifact to stdout")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the JSON artifact to FILE")
+    parser.add_argument("--static", action="store_true",
+                        help="skip the harness run (no bound-vs-observed "
+                             "assertion; static results only)")
+    parser.add_argument("--record", action="store_true",
+                        help="append kind=analysis records to the "
+                             "regress ledger")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="include waived findings and their reasons")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.verify import (
+        verify_all,
+        verify_kernel,
+        verify_record,
+    )
+
+    observe = not args.static
+    if args.program:
+        known = {s.name: s for s in registry.KERNELS}
+        try:
+            specs = [known[name] for name in args.program]
+        except KeyError as exc:
+            parser.error(f"unknown kernel {exc.args[0]!r} (see --list)")
+        reports = [verify_kernel(s, observe=observe) for s in specs]
+    else:
+        reports = verify_all(observe=observe)
+
+    # the microprogram checks ride along so `verify --all` covers the
+    # complete registry, not only the Pete kernels
+    micro = ([] if args.program
+             else [registry.report_micro(m)
+                   for m in registry.MICROPROGRAMS])
+
+    payload = {
+        "reports": [r.to_dict() for r in reports],
+        "microprograms": [m.to_dict() for m in micro],
+        "clean": all(r.clean for r in reports) and all(
+            m.clean for m in micro),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(_verify_human(report, args.show_waived))
+        for m in micro:
+            status = "ok" if m.clean else f"{len(m.findings)} finding(s)"
+            print(f"microcode  {m.name:<14} {status}")
+        total = sum(len(r.findings) for r in reports) + sum(
+            len(m.findings) for m in micro)
+        waived = sum(len(r.waived) for r in reports)
+        print(f"{len(reports) + len(micro)} program(s): {total} "
+              f"finding(s), {waived} waived")
+
+    if args.record:
+        from repro.regress.ledger import default_ledger
+
+        ledger = default_ledger()
+        for report in reports:
+            ledger.append(verify_record(report))
+
+    return 0 if payload["clean"] else 1
 
 
 def _human(report: registry.ProgramReport, show_waived: bool) -> str:
@@ -30,6 +149,10 @@ def _human(report: registry.ProgramReport, show_waived: bool) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static verifier for the shipped Pete kernels and "

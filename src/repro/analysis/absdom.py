@@ -1,0 +1,356 @@
+"""The abstract value domain of the whole-program interpreter.
+
+One :class:`AbsVal` describes the set of 32-bit values a register (or a
+tracked RAM word) may hold at one program point:
+
+``sym + [lo, hi] step s``
+    every value of the form ``sym + lo + k*s`` that stays inside
+    ``[sym + lo, sym + hi]``.  ``sym`` is the *entry-symbolic base* --
+    the unknown value a register held when the analyzed entry point was
+    reached (``sym=4`` reads "whatever ``$a0`` was at entry") -- or
+    ``None`` for absolute (constant-rooted) values.  ``step`` encodes
+    the known-low-zero-bits information a shift/mask chain produces
+    (``sll $t0, $i, 3`` turns ``[0, 3] step 1`` into ``[0, 24] step
+    8``), which is what lets the interpreter enumerate jump tables and
+    word-aligned address sets exactly.
+
+``TOP``
+    no information (any 32-bit value).
+
+The arithmetic here is over unbounded Python integers: the domain
+deliberately does *not* model 2^32 wraparound.  The programs under
+analysis are hand-scheduled kernels whose pointers and counters live
+far from the wrap boundary; a transfer that could wrap in practice
+(huge constants, unbounded growth) loses precision toward :data:`TOP`
+instead of producing a wrong small set, which keeps the may-analyses
+sound for the properties we verify (see ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Enumeration guard: an AbsVal with more concrete values than this is
+#: never expanded into an explicit set (jump-table resolution gives up).
+MAX_ENUM = 32
+
+#: Cap on interval width before collapsing to TOP (keeps joins cheap on
+#: adversarial inputs; every kernel value set is far below this).
+MAX_WIDTH = 1 << 40
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """``sym + [lo, hi] step`` -- see the module docstring.
+
+    ``lo is None`` encodes TOP (sym/hi/step are ignored then).
+    Invariants for non-TOP values: ``lo <= hi``; ``step == 0`` iff
+    ``lo == hi``; otherwise ``(hi - lo) % step == 0``.
+    """
+
+    sym: int | None
+    lo: int | None
+    hi: int | None = None
+    step: int = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "AbsVal":
+        return TOP
+
+    @staticmethod
+    def const(value: int) -> "AbsVal":
+        return AbsVal(None, value, value, 0)
+
+    @staticmethod
+    def symbol(reg: int) -> "AbsVal":
+        """The entry value of register ``reg``, exactly."""
+        return AbsVal(reg, 0, 0, 0)
+
+    @staticmethod
+    def range(lo: int, hi: int, step: int = 1,
+              sym: int | None = None) -> "AbsVal":
+        if lo == hi:
+            return AbsVal(sym, lo, lo, 0)
+        if hi - lo > MAX_WIDTH:
+            return TOP
+        step = step or 1
+        span = hi - lo
+        if span % step:
+            step = math.gcd(span, step)
+        return AbsVal(sym, lo, hi, step)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo is not None and self.sym is None and self.lo == self.hi
+
+    def const_value(self) -> int | None:
+        return self.lo if self.is_const else None
+
+    @property
+    def is_singleton(self) -> bool:
+        """Exactly one value (possibly symbolic: ``sym + lo``)."""
+        return self.lo is not None and self.lo == self.hi
+
+    def count(self) -> int | None:
+        """Number of concrete values, or ``None`` for TOP/symbolic."""
+        if self.is_top or self.sym is not None:
+            return None
+        if self.lo == self.hi:
+            return 1
+        return (self.hi - self.lo) // (self.step or 1) + 1
+
+    def enumerate(self) -> list[int] | None:
+        """All concrete values when absolute and small, else ``None``."""
+        n = self.count()
+        if n is None or n > MAX_ENUM:
+            return None
+        if n == 1:
+            return [self.lo]
+        return list(range(self.lo, self.hi + 1, self.step))
+
+    # -- transfer arithmetic ----------------------------------------------
+
+    def add_const(self, c: int) -> "AbsVal":
+        if self.is_top:
+            return TOP
+        return AbsVal(self.sym, self.lo + c, self.hi + c, self.step)
+
+    def add(self, other: "AbsVal") -> "AbsVal":
+        if self.is_top or other.is_top:
+            return TOP
+        if self.sym is not None and other.sym is not None:
+            return TOP  # sum of two unknowns
+        sym = self.sym if self.sym is not None else other.sym
+        return AbsVal.range(self.lo + other.lo, self.hi + other.hi,
+                            math.gcd(self.step, other.step), sym)
+
+    def sub(self, other: "AbsVal") -> "AbsVal":
+        if self.is_top or other.is_top:
+            return TOP
+        if self.sym is not None and other.sym is not None:
+            if self.sym != other.sym:
+                return TOP
+            sym = None        # same base cancels: a difference of offsets
+        else:
+            if other.sym is not None:
+                return TOP    # const - unknown
+            sym = self.sym
+        return AbsVal.range(self.lo - other.hi, self.hi - other.lo,
+                            math.gcd(self.step, other.step), sym)
+
+    def shift_left(self, amount: int) -> "AbsVal":
+        if self.is_top or self.sym is not None:
+            return TOP
+        return AbsVal.range(self.lo << amount, self.hi << amount,
+                            (self.step or 1) << amount)
+
+    def shift_right_logical(self, amount: int) -> "AbsVal":
+        if self.is_top or self.sym is not None or self.lo < 0:
+            return TOP
+        if self.is_const:
+            return AbsVal.const(self.lo >> amount)
+        return AbsVal.range(self.lo >> amount, self.hi >> amount, 1)
+
+    def and_const(self, imm: int) -> "AbsVal":
+        if not self.is_top and self.sym is None and self.is_const:
+            return AbsVal.const(self.lo & imm)
+        # result always lies in [0, imm] whatever the operand was
+        return AbsVal.range(0, imm, 1) if imm else AbsVal.const(0)
+
+    def or_const(self, imm: int) -> "AbsVal":
+        if self.is_const:
+            return AbsVal.const(self.lo | imm)
+        if imm == 0:
+            return self
+        return TOP
+
+    def xor_const(self, imm: int) -> "AbsVal":
+        if self.is_const:
+            return AbsVal.const(self.lo ^ imm)
+        if imm == 0:
+            return self
+        return TOP
+
+    def widen_by_stride(self, stride: int, times: int) -> "AbsVal":
+        """Every value reachable by adding ``stride`` up to ``times``
+        times: the loop-body generalization of an induction register."""
+        if self.is_top:
+            return TOP
+        delta = stride * times
+        lo = self.lo + min(0, delta)
+        hi = self.hi + max(0, delta)
+        return AbsVal.range(lo, hi, math.gcd(self.step, abs(stride)),
+                            self.sym)
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        if self is other or self == other:
+            return self
+        if self.is_top or other.is_top:
+            return TOP
+        if self.sym != other.sym:
+            return TOP
+        lo = min(self.lo, other.lo)
+        hi = max(self.hi, other.hi)
+        step = math.gcd(self.step, other.step, other.lo - self.lo)
+        return AbsVal.range(lo, hi, step, self.sym)
+
+    # -- comparisons (for dead-branch proofs) ------------------------------
+
+    def must_equal(self, other: "AbsVal") -> bool:
+        return (self.is_singleton and other.is_singleton
+                and self.sym == other.sym and self.lo == other.lo)
+
+    def cannot_equal(self, other: "AbsVal") -> bool:
+        """Provably disjoint value sets (same-base or both absolute)."""
+        if self.is_top or other.is_top:
+            return False
+        if self.sym != other.sym:
+            return False  # unknown bases may coincide
+        if self.hi < other.lo or other.hi < self.lo:
+            return True
+        if self.is_singleton and not other.is_top:
+            v, s = self.lo, other.step or 1
+            if other.lo <= v <= other.hi and (v - other.lo) % s:
+                return True
+        if other.is_singleton and not self.is_top:
+            v, s = other.lo, self.step or 1
+            if self.lo <= v <= self.hi and (v - self.lo) % s:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_top:
+            return "T"
+        base = f"r{self.sym}+" if self.sym is not None else ""
+        if self.lo == self.hi:
+            return f"{base}{self.lo}"
+        return f"{base}[{self.lo},{self.hi}]/{self.step}"
+
+
+TOP = AbsVal(None, None, None, 0)
+
+
+class AbsState:
+    """Register file + tracked-memory map at one program point.
+
+    Registers are a 32-tuple of :class:`AbsVal` (``$zero`` pinned to
+    const 0; the Hi/Lo/OvFlo accumulator is always TOP -- the value
+    analysis never needs it).  Memory is a dict keyed ``(sym, offset)``
+    -- the word at byte offset ``offset`` from the entry value of
+    register ``sym`` (``sym=None`` roots at absolute address 0).
+    Distinct bases are assumed non-aliasing (the harness gives every
+    operand arena and the stack disjoint regions; ARCHITECTURE.md
+    records the assumption).
+    """
+
+    __slots__ = ("regs", "mem")
+
+    #: Tracked-memory size cap; overflow drops the map (soundly: an
+    #: untracked word reads as TOP).
+    MEM_CAP = 512
+
+    def __init__(self, regs: tuple[AbsVal, ...] | None = None,
+                 mem: dict[tuple[int | None, int], AbsVal] | None = None
+                 ) -> None:
+        if regs is None:
+            regs = (AbsVal.const(0),) + tuple(
+                AbsVal.symbol(r) for r in range(1, 32))
+        self.regs = regs
+        self.mem = mem if mem is not None else {}
+
+    @staticmethod
+    def entry(values: dict[int, int] | None = None) -> "AbsState":
+        """The state at the analyzed entry point.
+
+        ``values`` pins registers the harness sets to known constants
+        (e.g. ``$ra`` = the halt stub's address); everything else is
+        entry-symbolic.
+        """
+        regs = [AbsVal.const(0)]
+        for r in range(1, 32):
+            if values and r in values:
+                regs.append(AbsVal.const(values[r]))
+            else:
+                regs.append(AbsVal.symbol(r))
+        return AbsState(tuple(regs), {})
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, reg: int) -> AbsVal:
+        return self.regs[reg]
+
+    def set(self, reg: int, value: AbsVal) -> "AbsState":
+        if reg == 0:
+            return self
+        regs = self.regs[:reg] + (value,) + self.regs[reg + 1:]
+        return AbsState(regs, self.mem)
+
+    def load_word(self, key: tuple[int | None, int]) -> AbsVal:
+        return self.mem.get(key, TOP)
+
+    def store_word(self, key: tuple[int | None, int],
+                   value: AbsVal) -> "AbsState":
+        mem = dict(self.mem)
+        if value.is_top:
+            mem.pop(key, None)
+        else:
+            if len(mem) >= self.MEM_CAP and key not in mem:
+                return AbsState(self.regs, {})
+            mem[key] = value
+        return AbsState(self.regs, mem)
+
+    def clobber_memory(self, sym: int | None = "all",  # type: ignore[assignment]
+                       lo: int | None = None,
+                       hi: int | None = None) -> "AbsState":
+        """Forget tracked words an unresolved/ranged store may hit.
+
+        ``sym="all"`` drops everything; otherwise only keys rooted at
+        ``sym`` (within ``[lo, hi]`` bytes when given, widened to word
+        granularity) are dropped -- distinct bases don't alias.
+        """
+        if sym == "all":
+            return AbsState(self.regs, {}) if self.mem else self
+        mem = {k: v for k, v in self.mem.items()
+               if not (k[0] == sym
+                       and (lo is None or lo - 3 <= k[1] <= (hi or lo) + 3))}
+        if len(mem) == len(self.mem):
+            return self
+        return AbsState(self.regs, mem)
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "AbsState") -> "AbsState":
+        if self is other:
+            return self
+        if self.regs == other.regs:
+            regs = self.regs
+        else:
+            regs = tuple(a if a == b else a.join(b)
+                         for a, b in zip(self.regs, other.regs))
+        if self.mem == other.mem:
+            mem = self.mem
+        else:
+            mem = {}
+            for key in self.mem.keys() & other.mem.keys():
+                joined = self.mem[key].join(other.mem[key])
+                if not joined.is_top:
+                    mem[key] = joined
+        return AbsState(regs, mem)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AbsState)
+                and self.regs == other.regs and self.mem == other.mem)
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as keys
+        return hash(self.regs)

@@ -1,0 +1,468 @@
+"""Static per-path cycle and energy upper bounds over an interp walk.
+
+Given the :class:`~repro.analysis.interp.InterpResult` of a
+whole-program walk, this pass prices every reached instruction with a
+conservative per-event cost vector (cycles, instructions, ROM word
+fetches, RAM reads/writes) mirroring :class:`repro.pete.cpu.Pete`'s
+accounting, collapses loops innermost-first using the walk's trip
+bounds (``loop <= trips * max_iteration + max_exit_prefix``), adds
+memoized callee bounds at call sites, and takes the longest path
+through each function's feasibility-pruned DAG.  The result is a
+machine-checked guarantee ``bound >= observed CoreStats`` for *every*
+input reaching the analyzed entry, which ``verify`` asserts against an
+actual run and reports as tightness (bound/observed).
+
+Per-instruction model (matches ``cpu._step`` exactly; see that file):
+
+* every instruction: 1 cycle, 1 ROM word fetch (uncached path) --
+  except ``break``, which fetches and retires but halts before its
+  datapath cycle;
+* conditional branches: +1 for a possible mispredict (the 2-bit
+  predictor's worst case each execution);
+* ``jr``/``jalr``: +1 always (register target resolves in EX);
+* a possible load-use interlock: +1 when any interprocedural
+  predecessor loads into a register the instruction reads;
+* multiply/divide-unit interlock: every toucher of the accumulator
+  waits for the unit; an issue of latency ``L`` followed ``k``
+  instructions later by a toucher can stall it at most
+  ``max(0, L - 1 - k)`` cycles (each intervening instruction burns at
+  least one cycle, and the issuer itself drained the unit first).
+  ``k`` is bounded below by a min-distance fixpoint per latency class
+  over the interprocedural edge set.
+
+The pass *refuses* to certify (returns problems instead of a bound)
+when a loop has no trip bound, control flow is irreducible or
+recursive, or a coprocessor instruction is reached -- cop2 issue
+stalls have no static model here.  The bound assumes the instruction
+cache is off, matching the kernel harness configuration;
+:func:`energy_bound_nj` rejects cached parameter sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis import insn
+from repro.analysis.cfg import branch_target_index
+from repro.analysis.interp import FunctionInfo, InterpResult, Loop
+from repro.pete.cpu import _sources
+from repro.pete.memory import RAM_BASE, RAM_SIZE, ROM_BASE
+from repro.pete.muldiv import ACC_ADD_LATENCY, DIV_LATENCY, MULT_LATENCY
+
+#: Distance cap of the muldiv fixpoint; anything this far from an
+#: issue can never observe the unit busy (largest latency is DIV's).
+_DIST_CAP = 64
+
+#: Issue mnemonic -> latency class of the muldiv unit it occupies.
+_ISSUE_CLASS = {
+    "mult": "mult", "multu": "mult", "maddu": "mult", "m2addu": "mult",
+    "mulgf2": "mult", "maddgf2": "mult",
+    "addau": "acc", "sha": "acc",
+    "div": "div", "divu": "div",
+}
+
+_CLASS_LATENCY = {"mult": MULT_LATENCY, "acc": ACC_ADD_LATENCY,
+                  "div": DIV_LATENCY}
+
+#: Everything that calls ``_wait_muldiv`` before doing its work.
+_WAITERS = frozenset(_ISSUE_CLASS) | {"mflo", "mfhi", "mtlo", "mthi"}
+
+_LOADS = frozenset(("lw", "lh", "lhu", "lb", "lbu"))
+_STORES = frozenset(("sw", "sh", "sb"))
+
+
+@dataclass(frozen=True)
+class Cost:
+    """One additive event-count vector (all upper bounds)."""
+
+    cycles: int = 0
+    instructions: int = 0
+    rom_reads: int = 0
+    ram_reads: int = 0
+    ram_writes: int = 0
+    #: loads whose region (ROM vs RAM) the walk could not resolve;
+    #: priced at both rates by :func:`energy_bound_nj`
+    unknown_loads: int = 0
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.cycles + other.cycles,
+                    self.instructions + other.instructions,
+                    self.rom_reads + other.rom_reads,
+                    self.ram_reads + other.ram_reads,
+                    self.ram_writes + other.ram_writes,
+                    self.unknown_loads + other.unknown_loads)
+
+    def scale(self, n: int) -> "Cost":
+        return Cost(self.cycles * n, self.instructions * n,
+                    self.rom_reads * n, self.ram_reads * n,
+                    self.ram_writes * n, self.unknown_loads * n)
+
+    def sup(self, other: "Cost") -> "Cost":
+        """Element-wise maximum (join of two path bounds)."""
+        return Cost(max(self.cycles, other.cycles),
+                    max(self.instructions, other.instructions),
+                    max(self.rom_reads, other.rom_reads),
+                    max(self.ram_reads, other.ram_reads),
+                    max(self.ram_writes, other.ram_writes),
+                    max(self.unknown_loads, other.unknown_loads))
+
+    def to_dict(self) -> dict:
+        return {"cycles": self.cycles, "instructions": self.instructions,
+                "rom_reads": self.rom_reads, "ram_reads": self.ram_reads,
+                "ram_writes": self.ram_writes,
+                "unknown_loads": self.unknown_loads}
+
+
+ZERO = Cost()
+
+
+@dataclass
+class BoundResult:
+    """Outcome of one bound computation."""
+
+    total: Cost | None                 # None when the pass refused
+    per_function: dict[int, Cost]      # entry index -> certified bound
+    problems: list[str]
+
+    @property
+    def certified(self) -> bool:
+        return self.total is not None and not self.problems
+
+
+# ---------------------------------------------------------------------------
+# Muldiv distance fixpoint
+# ---------------------------------------------------------------------------
+
+
+def _muldiv_dists(result: InterpResult) -> dict[int, dict[str, int]]:
+    """Min instructions strictly between the nearest preceding issue of
+    each latency class and each node, over all interprocedural paths."""
+    program = result.program
+    present: set[str] = set()
+    for v in result.reached:
+        d = program.decoded[v]
+        if d is not None and d.mnemonic in _ISSUE_CLASS:
+            present.add(_ISSUE_CLASS[d.mnemonic])
+    present.discard("acc")  # latency 1 can never stall a successor
+    if not present:
+        return {}
+    nodes = result.reached
+    indist = {v: {c: _DIST_CAP for c in present} for v in nodes}
+
+    def outdist(u: int, c: str) -> int:
+        d = program.decoded[u]
+        if d is not None and _ISSUE_CLASS.get(d.mnemonic) == c:
+            return 0
+        return min(_DIST_CAP, indist[u][c] + 1)
+
+    work = deque(nodes)
+    queued = set(nodes)
+    while work:
+        u = work.popleft()
+        queued.discard(u)
+        for v in result.iedges.get(u, ()):
+            if v not in indist:
+                continue
+            for c in present:
+                nd = outdist(u, c)
+                if nd < indist[v][c]:
+                    indist[v][c] = nd
+                    if v not in queued:
+                        work.append(v)
+                        queued.add(v)
+    return indist
+
+
+# ---------------------------------------------------------------------------
+# Per-node cost
+# ---------------------------------------------------------------------------
+
+
+def _classify_load(result: InterpResult, v: int) -> str:
+    """``"ram"``, ``"rom"`` or ``"unknown"`` for the load at ``v``."""
+    addr = result.addr_info.get(v)
+    if addr is None or addr.is_top or addr.sym is not None:
+        return "unknown"
+    if addr.lo >= RAM_BASE and addr.hi < RAM_BASE + RAM_SIZE:
+        return "ram"
+    if addr.lo >= ROM_BASE and addr.hi < RAM_BASE:
+        return "rom"
+    return "unknown"
+
+
+def _node_costs(result: InterpResult,
+                problems: list[str]) -> dict[int, Cost]:
+    program = result.program
+    ipreds = result.ipreds()
+    dists = _muldiv_dists(result)
+    costs: dict[int, Cost] = {}
+    for v in sorted(result.reached):
+        d = program.decoded[v]
+        if d is None:
+            problems.append(f"index {v}: reached a data word "
+                            f"({program.line(v)})")
+            continue
+        m = d.mnemonic
+        if m == "break":
+            # fetches and retires, then halts before its datapath cycle
+            costs[v] = Cost(cycles=0, instructions=1, rom_reads=1)
+            continue
+        if m == "ctc2" or m.startswith("cop2"):
+            problems.append(f"index {v}: coprocessor issue has no static "
+                            f"stall model ({program.line(v)})")
+            continue
+        cyc = 1
+        if d.is_branch:
+            cyc += 1  # possible mispredict (even `b` trains a predictor)
+        if m in ("jr", "jalr"):
+            cyc += 1  # register target resolves in EX
+        srcs = _sources(d)
+        if srcs:
+            for u in ipreds.get(v, ()):
+                du = program.decoded[u]
+                if (du is not None and du.mnemonic in _LOADS
+                        and du.rt != 0 and du.rt in srcs):
+                    cyc += 1  # possible load-use interlock
+                    break
+        if m in _WAITERS and dists:
+            dv = dists.get(v)
+            if dv:
+                cyc += max((max(0, _CLASS_LATENCY[c] - 1 - k)
+                            for c, k in dv.items()), default=0)
+        ram_r = ram_w = unknown = 0
+        if m in _LOADS:
+            region = _classify_load(result, v)
+            if region == "ram":
+                ram_r = 1
+            elif region == "unknown":
+                unknown = 1
+        elif m in _STORES:
+            ram_w = 1
+        rom = 1 + (1 if m in _LOADS and _classify_load(result, v) == "rom"
+                   else 0)
+        costs[v] = Cost(cyc, 1, rom, ram_r, ram_w, unknown)
+    return costs
+
+
+# ---------------------------------------------------------------------------
+# DAG construction, loop collapse, longest path
+# ---------------------------------------------------------------------------
+
+
+def _dag_succs(result: InterpResult,
+               fn: FunctionInfo) -> dict[int, tuple[int, ...]]:
+    """Intraprocedural successors with back edges removed and branch
+    directions the walk proved infeasible pruned."""
+    program, cfg = result.program, result.cfg
+    succ: dict[int, tuple[int, ...]] = {}
+    for u in fn.nodes:
+        outs = [s for s in fn.succ.get(u, ())
+                if (u, s) not in fn.back_edges]
+        if u in cfg.slots and len(outs) > 1:
+            i = u - 1
+            owner = program.decoded[i]
+            dirs = result.branch_feasible.get(i)
+            if (dirs is not None and owner is not None and owner.is_branch
+                    and not insn.is_unconditional(owner)):
+                target = branch_target_index(program, i, cfg.slots)
+                fall = u + 1
+                if target is not None and target != fall:
+                    outs = [s for s in outs
+                            if not (s == target and "taken" not in dirs)
+                            and not (s == fall and "fall" not in dirs)]
+        succ[u] = tuple(dict.fromkeys(outs))
+    return succ
+
+
+def _topo(nodes: set[int], succ: dict[int, tuple[int, ...]]
+          ) -> list[int] | None:
+    """Topological order of the induced subgraph, or None on a cycle."""
+    indeg = {v: 0 for v in nodes}
+    for u in nodes:
+        for s in succ.get(u, ()):
+            if s in indeg:
+                indeg[s] += 1
+    work = deque(sorted(v for v, n in indeg.items() if n == 0))
+    order: list[int] = []
+    while work:
+        u = work.popleft()
+        order.append(u)
+        for s in succ.get(u, ()):
+            if s in indeg:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    work.append(s)
+    return order if len(order) == len(nodes) else None
+
+
+def _longest_paths(root: int, nodes: set[int], order: list[int],
+                   succ: dict[int, tuple[int, ...]],
+                   cost: dict[int, Cost]) -> dict[int, Cost]:
+    """Max path cost from ``root`` to each reachable node (inclusive)."""
+    lp: dict[int, Cost] = {root: cost[root]}
+    for u in order:
+        base = lp.get(u)
+        if base is None:
+            continue
+        for s in succ.get(u, ()):
+            if s not in nodes:
+                continue
+            cand = base + cost[s]
+            prev = lp.get(s)
+            lp[s] = cand if prev is None else prev.sup(cand)
+    return lp
+
+
+def _loop_depth(fn: FunctionInfo, lp: Loop) -> int:
+    depth, h = 0, lp.parent
+    while h is not None:
+        depth += 1
+        h = fn.loops[h].parent
+    return depth
+
+
+def _function_bound(result: InterpResult, entry: int,
+                    node_cost: dict[int, Cost],
+                    memo: dict[int, Cost | None], visiting: set[int],
+                    problems: list[str]) -> Cost | None:
+    if entry in memo:
+        return memo[entry]
+    if entry in visiting:
+        problems.append(f"recursion through function entry {entry}; "
+                        f"no static bound")
+        memo[entry] = None
+        return None
+    fn = result.functions.get(entry)
+    if fn is None:
+        problems.append(f"call to unanalyzed entry {entry}")
+        memo[entry] = None
+        return None
+    if fn.irreducible:
+        problems.append(f"function {entry}: irreducible control flow")
+        memo[entry] = None
+        return None
+    visiting.add(entry)
+    try:
+        bound = _reducible_bound(result, fn, node_cost, memo, visiting,
+                                 problems)
+    finally:
+        visiting.discard(entry)
+    memo[entry] = bound
+    return bound
+
+
+def _reducible_bound(result: InterpResult, fn: FunctionInfo,
+                     node_cost: dict[int, Cost],
+                     memo: dict[int, Cost | None], visiting: set[int],
+                     problems: list[str]) -> Cost | None:
+    cost: dict[int, Cost] = {}
+    for v in fn.nodes:
+        c = node_cost.get(v)
+        if c is None:
+            return None  # the node pass already reported why
+        cost[v] = c
+    # calls: the callee's whole bound lands on the call's delay slot
+    ok = True
+    for i, callee in result.calls.items():
+        slot = i + 1
+        if slot not in cost:
+            continue
+        sub = _function_bound(result, callee, node_cost, memo, visiting,
+                              problems)
+        if sub is None:
+            ok = False
+            continue
+        cost[slot] = cost[slot] + sub
+    if not ok:
+        return None
+
+    succ = _dag_succs(result, fn)
+    alive = set(fn.nodes)
+    for lp in sorted(fn.loops.values(),
+                     key=lambda x: _loop_depth(fn, x), reverse=True):
+        h = lp.header
+        body = {v for v in lp.body if v in alive}
+        order = _topo(body, succ)
+        if order is None:
+            problems.append(f"loop at {h}: body not acyclic after "
+                            f"collapsing inner loops")
+            return None
+        paths = _longest_paths(h, body, order, succ, cost)
+        latch_costs = [paths[la] for la in lp.latches if la in paths]
+        exit_targets: list[int] = []
+        exit_max = ZERO
+        have_exit = False
+        for u in body:
+            pu = paths.get(u)
+            for s in succ.get(u, ()):
+                if s not in body:
+                    exit_targets.append(s)
+                    if pu is not None:
+                        exit_max = exit_max.sup(pu)
+                        have_exit = True
+        if not latch_costs:
+            # every latch pruned infeasible: the loop runs at most once
+            cost[h] = exit_max if have_exit else ZERO
+        else:
+            trips = result.trip_bounds.get((fn.entry, h))
+            if trips is None:
+                problems.append(
+                    f"loop at {h} ({result.program.line(h)}): no derived "
+                    f"trip bound; pass assume_trips or fix the loop")
+                return None
+            iter_max = ZERO
+            for c in latch_costs:
+                iter_max = iter_max.sup(c)
+            if not have_exit:
+                exit_max = iter_max
+            cost[h] = iter_max.scale(trips) + exit_max
+        succ[h] = tuple(dict.fromkeys(
+            s for s in exit_targets if s in alive or s == h))
+        alive -= body - {h}
+
+    order = _topo(alive, succ)
+    if order is None:
+        problems.append(f"function {fn.entry}: residual cycle outside "
+                        f"recognized loops")
+        return None
+    paths = _longest_paths(fn.entry, alive, order, succ, cost)
+    bound = ZERO
+    for c in paths.values():
+        bound = bound.sup(c)
+    return bound
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def compute_bound(result: InterpResult) -> BoundResult:
+    """Static per-event upper bound for a run from ``result.entry``."""
+    problems: list[str] = []
+    node_cost = _node_costs(result, problems)
+    memo: dict[int, Cost | None] = {}
+    total = _function_bound(result, result.entry, node_cost, memo, set(),
+                            problems)
+    per_function = {e: b for e, b in memo.items() if b is not None}
+    return BoundResult(total=total if not problems else None,
+                       per_function=per_function, problems=problems)
+
+
+def energy_bound_nj(cost: Cost, params) -> float:
+    """Price a bound vector with :class:`repro.energy.simulated
+    .RunEnergyParams`, mirroring ``report_from_corestats``.
+
+    Every cycle is priced at the dearer of active/stall; unresolved
+    loads are priced at *both* the ROM and RAM read rates.
+    """
+    if params.icache_size is not None:
+        raise ValueError("static energy bound assumes the icache is off")
+    cyc = cost.cycles
+    pj = cyc * max(params.pete_active_pj, params.pete_stall_pj)
+    pj += (cost.rom_reads + cost.unknown_loads) * params.rom_word_pj
+    pj += (cost.ram_reads + cost.unknown_loads) * params.ram_read_pj
+    pj += cost.ram_writes * params.ram_write_pj
+    return (pj / 1e3 + params.static_nj("Pete", cyc)
+            + params.static_nj("RAM", cyc))

@@ -101,28 +101,49 @@ class AsmProgram:
 
 
 def delay_slots(program: AsmProgram) -> set[int]:
-    """Indices occupied by branch/jump delay slots."""
+    """Indices occupied by branch/jump delay slots.
+
+    Back-to-back branches are resolved in ascending order: a control
+    transfer that itself sits in an earlier transfer's delay slot is a
+    ``control-in-delay-slot`` lint finding and does *not* claim a slot
+    of its own, so ``branch; branch; insn`` marks only index 1 as a
+    slot (owned by index 0) and a chain ``branch; branch; branch``
+    marks indices 1 (owner 0) and 3 (owner 2).  This keeps exactly one
+    owner per slot, which the CFG and the abstract interpreter rely on.
+    """
     slots: set[int] = set()
     for i, d in enumerate(program.decoded):
+        if i in slots:
+            continue  # control in a slot: finding, not a slot owner
         if d is not None and insn.is_control(d) and i + 1 < len(program):
-            # a control in a slot is itself a lint finding; its "slot"
-            # is not treated as one so the CFG stays well-formed
-            if i not in slots:
-                slots.add(i + 1)
+            slots.add(i + 1)
     return slots
 
 
-def branch_target_index(program: AsmProgram, index: int) -> int | None:
+def branch_target_index(program: AsmProgram, index: int,
+                        slots: set[int] | None = None) -> int | None:
     """Static target of the control instruction at ``index`` as an
-    instruction index, or ``None`` for register-indirect transfers."""
+    instruction index, or ``None`` for register-indirect transfers.
+
+    When ``slots`` (from :func:`delay_slots`) is given, a target that
+    lands *inside another instruction's delay slot* is rejected
+    (returns ``None``): jumping into a slot would execute it without
+    its owner, which has no well-defined block boundary.  The
+    ``branch-into-delay-slot`` lint reports the defect; callers that
+    want the raw target for diagnostics omit ``slots``.
+    """
     d = program.decoded[index]
     if d is None:
         return None
     if d.is_branch:
-        return index + 1 + d.imm
-    if d.mnemonic in ("j", "jal"):
-        return ((d.target << 2) - program.base) // 4
-    return None  # jr / jalr
+        target = index + 1 + d.imm
+    elif d.mnemonic in ("j", "jal"):
+        target = ((d.target << 2) - program.base) // 4
+    else:
+        return None  # jr / jalr
+    if slots is not None and target in slots:
+        return None
+    return target
 
 
 @dataclass
@@ -177,7 +198,7 @@ def build_cfg(program: AsmProgram) -> CFG:
         if i in slots:
             owner = program.decoded[i - 1]
             edges: list[int] = []
-            target = branch_target_index(program, i - 1)
+            target = branch_target_index(program, i - 1, slots)
             if target is not None and 0 <= target < n:
                 edges.append(target)
             if owner is not None and not insn.is_unconditional(owner):

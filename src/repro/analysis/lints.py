@@ -10,6 +10,11 @@ Checks (ids are stable; waivers and the CLI reference them):
     MIPS and unschedulable on Pete.
 ``branch-out-of-range``
     A static branch/jump target falls outside the program image.
+``branch-into-delay-slot``
+    A static branch/jump target lands inside another instruction's
+    delay slot: the slot would execute without its owner, which has no
+    well-defined block boundary.  The CFG drops the edge; this finding
+    reports it.
 ``delay-slot-clobber``
     The delay-slot instruction writes a register the branch condition
     reads.  Architecturally defined (the branch compares the *pre-slot*
@@ -35,6 +40,8 @@ Checks (ids are stable; waivers and the CLI reference them):
 
 from __future__ import annotations
 
+import datetime
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.analysis import insn
@@ -65,10 +72,18 @@ class Waiver:
     Waivers are the annotation mechanism for *intentional* findings:
     the descending-pointer delay-slot schedule, the paper's
     non-constant-time algorithm choices.  Every waiver must say why.
+
+    ``expires`` makes a waiver temporary: an ``int`` is a PR count
+    (the waiver dies once ``CHANGES.md`` has that many entries), a
+    string is an ISO date (``"2026-12-31"``).  An expired waiver no
+    longer suppresses anything -- the finding comes back *active*,
+    its message prefixed with the expiry and the original reason, so
+    ``verify --all`` fails loudly instead of silently forever.
     """
 
     check: str
     reason: str
+    expires: str | int | None = None
 
 
 @dataclass(frozen=True)
@@ -152,18 +167,64 @@ def analyze_program(program: AsmProgram, abi: AbiModel = KERNEL_ABI,
     return AnalysisResult(program, cfg, active, waived)
 
 
-def apply_waivers(findings: list[Finding], waivers: tuple[Waiver, ...]
+def current_pr_count() -> int | None:
+    """PRs landed so far = non-blank ``CHANGES.md`` entries (the file
+    gains exactly one line per PR), or ``None`` outside a checkout."""
+    from repro.trace.record import repo_root
+
+    path = os.path.join(repo_root(), "CHANGES.md")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return sum(1 for line in fh
+                       if line.strip() and not line.startswith("#"))
+    except OSError:
+        return None
+
+
+def waiver_expired(waiver: Waiver, now: datetime.date | None = None,
+                   pr_count: int | None = None) -> bool:
+    """Evaluate a waiver's ``expires`` field.
+
+    ``now``/``pr_count`` are injectable for tests; they default to
+    today's date and :func:`current_pr_count`.  A malformed expiry
+    counts as expired -- failing loudly beats a typo granting a
+    permanent waiver.
+    """
+    if waiver.expires is None:
+        return False
+    if isinstance(waiver.expires, int):
+        if pr_count is None:
+            pr_count = current_pr_count()
+        return pr_count is not None and pr_count >= waiver.expires
+    try:
+        limit = datetime.date.fromisoformat(str(waiver.expires))
+    except ValueError:
+        return True
+    return (now or datetime.date.today()) >= limit
+
+
+def apply_waivers(findings: list[Finding], waivers: tuple[Waiver, ...],
+                  now: datetime.date | None = None,
+                  pr_count: int | None = None
                   ) -> tuple[list[Finding], list[tuple[Finding, Waiver]]]:
-    """Split findings into (active, waived-with-reason)."""
+    """Split findings into (active, waived-with-reason).
+
+    Expired waivers (see :class:`Waiver`) no longer suppress: their
+    findings stay active, with the expiry recorded in the message.
+    """
     by_check = {w.check: w for w in waivers}
     active: list[Finding] = []
     waived: list[tuple[Finding, Waiver]] = []
     for f in findings:
         waiver = by_check.get(f.check)
-        if waiver is not None:
-            waived.append((f, waiver))
-        else:
+        if waiver is None:
             active.append(f)
+        elif waiver_expired(waiver, now=now, pr_count=pr_count):
+            active.append(replace(
+                f, message=(f"waiver expired ({waiver.expires!r}, was: "
+                            f"{waiver.reason}): {f.message}")))
+        else:
+            waived.append((f, waiver))
     return active, waived
 
 
@@ -202,6 +263,13 @@ def _structural_checks(cfg: CFG) -> list[Finding]:
                     "branch-out-of-range", i,
                     f"target 0x{program.address(0) + 4 * target:x} is "
                     f"outside the program image: {program.line(i)}"))
+            elif target is not None and target in cfg.slots:
+                out.append(Finding(
+                    "branch-into-delay-slot", i,
+                    f"target {program.label_at(target) or target} is the "
+                    f"delay slot of '{program.line(target - 1)}' -- the "
+                    f"slot would execute without its owner: "
+                    f"{program.line(i)}"))
         if slot is not None and d.is_branch:
             clobbered = insn.defs(slot) & insn.branch_condition_uses(d)
             if clobbered:

@@ -63,6 +63,30 @@ class KernelSpec:
     taint: TaintSpec | None = None
     waivers: tuple[Waiver, ...] = ()
     note: str = ""
+    #: asserted trip bounds for loops whose termination argument is
+    #: mathematical rather than arithmetic: (label, max trips) pairs,
+    #: passed to the abstract interpreter as ``assume_trips`` and
+    #: surfaced in every verify report
+    loop_bounds: tuple[tuple[str, int], ...] = ()
+    #: label the harness jumps to (defaults to the kernel name)
+    entry_label: str = ""
+    #: operand word count the verify harness measures at
+    measure_k: int = K
+    #: ISA extension switches the kernel requires (select the matching
+    #: :class:`repro.energy.simulated.RunEnergyParams` for bounds)
+    prime_ext: bool = False
+    binary_ext: bool = False
+    #: taint spec for the *interprocedural* pass only -- for composed
+    #: images whose flows cross calls, which the legacy intra pass
+    #: cannot track; ``None`` falls back to ``taint``
+    itaint: TaintSpec | None = None
+
+    @property
+    def entry(self) -> str:
+        return self.entry_label or self.name
+
+    def taint_for_interp(self) -> TaintSpec | None:
+        return self.itaint if self.itaint is not None else self.taint
 
 
 @dataclass(frozen=True)
@@ -81,10 +105,17 @@ KERNELS: tuple[KernelSpec, ...] = (
     KernelSpec("os_mul", lambda: prime_kernels.gen_os_mul(K),
                taint=_OPERANDS_SECRET),
     KernelSpec("ps_mul_ext", lambda: prime_kernels.gen_ps_mul_ext(K),
-               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,),
+               prime_ext=True),
     KernelSpec("ps_sqr_ext",
                lambda: prime_kernels.gen_ps_mul_ext(K, squaring=True),
-               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,),
+               prime_ext=True,
+               # the squaring convolution walks two pointers toward
+               # each other; they converge only because both root at
+               # the same arena, which value analysis cannot see
+               loop_bounds=(("ps_sqr_ext_in_lo", 4),
+                            ("ps_sqr_ext_in_hi", 4))),
     KernelSpec("red_p192", prime_kernels.gen_red_p192,
                taint=_OPERANDS_SECRET,
                waivers=(Waiver(
@@ -92,7 +123,10 @@ KERNELS: tuple[KernelSpec, ...] = (
                    "NIST fast reduction branches on the carry word and "
                    "the trial-subtraction borrow; the paper's baseline "
                    "is not constant-time (Section 2.1.5 discusses the "
-                   "resulting leakage)"),)),
+                   "resulting leakage)"),),
+               # the carry-fold terminates because each pass shrinks
+               # the carry word: a mathematical argument, asserted here
+               loop_bounds=(("red_p192_fold", 4),)),
     KernelSpec("comb_mul", lambda: binary_kernels.gen_comb_mul(K),
                taint=_OPERANDS_SECRET,
                waivers=(Waiver(
@@ -102,7 +136,8 @@ KERNELS: tuple[KernelSpec, ...] = (
                    "cache-timing trade-off of table-based binary-field "
                    "multiplication"),)),
     KernelSpec("ps_mulgf2", lambda: binary_kernels.gen_ps_mulgf2(K),
-               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,)),
+               taint=_OPERANDS_SECRET, waivers=(_DS_SCHEDULE,),
+               prime_ext=True, binary_ext=True),
     KernelSpec("bsqr_table", lambda: binary_kernels.gen_bsqr_table(K),
                taint=_OPERANDS_SECRET,
                waivers=(Waiver(
@@ -110,28 +145,42 @@ KERNELS: tuple[KernelSpec, ...] = (
                    "byte-wise squaring looks the squared byte up in a "
                    "256-entry table indexed by secret data"),)),
     KernelSpec("bsqr_ext", lambda: binary_kernels.gen_bsqr_ext(K),
-               taint=_OPERANDS_SECRET),
+               taint=_OPERANDS_SECRET, binary_ext=True),
     KernelSpec("red_b163", binary_kernels.gen_red_b163,
                taint=_OPERANDS_SECRET),
     KernelSpec("speck64", symmetric_kernels.gen_speck64_encrypt,
-               taint=_OPERANDS_SECRET),
+               taint=_OPERANDS_SECRET, entry_label="speck64_enc",
+               measure_k=1),
     KernelSpec("scalar_daa", lambda: scalar_kernels.gen_scalar_daa(),
-               taint=_SCALAR_SECRET,
+               taint=_SCALAR_SECRET, measure_k=8,
                waivers=(Waiver(
                    "secret-dependent-branch",
                    "double-and-add exists to demonstrate the leak the "
                    "Montgomery ladder removes; side_channel.py measures "
                    "the same asymmetry dynamically"),)),
     KernelSpec("scalar_ladder", lambda: scalar_kernels.gen_scalar_ladder(),
-               taint=_SCALAR_SECRET,
+               taint=_SCALAR_SECRET, measure_k=8,
                note="certified constant-time: no waivers, no findings"),
     # The composed images bundle kernel-ABI callees ($s* scratch), so
-    # the kernel model applies to the whole program.  Taint is not run
-    # across calls: the single-bit memory model cannot distinguish a
-    # reloaded public pointer from secret data once both were stored
-    # (see taint.py).
-    KernelSpec("fmul_p192", composed.gen_fmul_p192),
-    KernelSpec("fmul_b163", composed.gen_fmul_b163),
+    # the kernel model applies to the whole program.  The legacy intra
+    # taint pass is not run across calls (its one-bit memory model
+    # cannot distinguish a reloaded public pointer from secret data
+    # once both were stored); the interprocedural pass tracks memory
+    # taint per word and covers the whole call tree via ``itaint``.
+    KernelSpec("fmul_p192", composed.gen_fmul_p192,
+               itaint=_OPERANDS_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-branch",
+                   "inherited from red_p192: the NIST reduction inside "
+                   "the composed field multiply branches on carry and "
+                   "borrow words derived from secret operands"),),
+               loop_bounds=(("red_p192_fold", 4),)),
+    KernelSpec("fmul_b163", composed.gen_fmul_b163,
+               itaint=_OPERANDS_SECRET,
+               waivers=(Waiver(
+                   "secret-dependent-address",
+                   "inherited from comb_mul: the comb method indexes "
+                   "its row table by secret operand nibbles"),)),
 )
 
 

@@ -29,10 +29,18 @@ it is exact on every shipped kernel (see ``tests/analysis``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.analysis import insn
-from repro.analysis.cfg import CFG, EXIT
+from repro.analysis.absdom import AbsVal
+from repro.analysis.cfg import CFG, EXIT, AsmProgram
 from repro.analysis.lints import Finding
+from repro.pete.isa import Decoded
+
+if TYPE_CHECKING:
+    from repro.analysis.interp import InterpResult
+
+_Sink = Callable[[str, int, str], None]
 
 
 @dataclass(frozen=True)
@@ -93,7 +101,8 @@ def taint_findings(cfg: CFG, spec: TaintSpec,
     return sorted(findings.values(), key=lambda f: (f.index, f.check))
 
 
-def _transfer(d, i, state, mem, program, sink):
+def _transfer(d: Decoded, i: int, state: int, mem: bool,
+              program: AsmProgram, sink: _Sink) -> tuple[int, bool]:
     m = d.mnemonic
     used = insn.uses(d)
     if d.is_branch:
@@ -129,3 +138,163 @@ def _transfer(d, i, state, mem, program, sink):
     if define:
         state = (state | define) if (used & state) else (state & ~define)
     return state, mem
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural taint over an abstract-interpretation result
+# ---------------------------------------------------------------------------
+
+_Key = tuple  # (base symbol | None, byte offset) -- the interp's memory keys
+
+
+def _may_alias(addr: AbsVal | None, key: _Key) -> bool:
+    """Could the abstract address touch the tracked word ``key``?
+    Distinct entry-symbolic bases are assumed non-aliasing (the same
+    assumption the value walk makes; see ARCHITECTURE.md)."""
+    if addr is None or addr.is_top:
+        return True
+    if addr.sym != key[0]:
+        return False
+    return addr.lo - 3 <= key[1] <= addr.hi + 3
+
+
+def _exact_key(addr: AbsVal | None) -> _Key | None:
+    if addr is not None and not addr.is_top and addr.is_singleton:
+        return (addr.sym, addr.lo)
+    return None
+
+
+def taint_interp(result: InterpResult, spec: TaintSpec) -> list[Finding]:
+    """Interprocedural secret-flow analysis with per-word memory taint.
+
+    Runs the same sink checks as :func:`taint_findings` but over the
+    interprocedural edge set an abstract-interpretation walk actually
+    traversed (:class:`repro.analysis.interp.InterpResult.iedges` --
+    call edges, return edges, loop back edges), using the walk's
+    resolved load/store addresses to key memory taint per word instead
+    of one blob bit.  State per instruction:
+
+    * ``regs`` -- tainted-location bitmask (GPRs + HI/LO/OvFlo);
+    * ``tainted`` -- word keys a secret value was stored to (may-set,
+      grows at joins);
+    * ``clean`` -- word keys *definitely* overwritten with a public
+      value since entry (must-set, intersected at joins); with
+      ``spec.secret_memory`` the initial RAM image is suspect, and a
+      load is cleared only by membership here;
+    * ``blob`` -- a secret store to an unresolved/ranged address
+      happened: any load not proven clean is tainted.
+
+    The split is what lets the composed ``fmul_*`` call trees verify:
+    the spilled ``$ra`` word stays in ``clean`` (its base -- the entry
+    ``$sp`` -- cannot alias the operand arenas), so reloading it does
+    not taint the final ``jr`` even though the multiplier's product
+    stores set ``blob``.
+    """
+    program = result.program
+    entry_regs = spec.entry_mask()
+    entry = result.entry
+    # per-instruction in-states
+    regs_in: dict[int, int] = {entry: entry_regs}
+    blob_in: dict[int, bool] = {entry: bool(spec.secret_memory)}
+    tkeys_in: dict[int, frozenset] = {entry: frozenset()}
+    clean_in: dict[int, frozenset] = {entry: frozenset()}
+    findings: dict[tuple[str, int], Finding] = {}
+
+    def sink(check: str, index: int, message: str) -> None:
+        findings.setdefault((check, index), Finding(
+            check=check, index=index, message=message,
+            program=program.name))
+
+    work = [entry]
+    while work:
+        i = work.pop()
+        d = program.decoded[i]
+        state = (regs_in[i], blob_in[i], tkeys_in[i], clean_in[i])
+        if d is not None:
+            state = _itransfer(d, i, state, result, sink)
+        regs, blob, tkeys, clean = state
+        for s in result.iedges.get(i, ()):
+            if s == EXIT:
+                continue
+            if s not in regs_in:
+                regs_in[s] = regs
+                blob_in[s] = blob
+                tkeys_in[s] = tkeys
+                clean_in[s] = clean
+                work.append(s)
+                continue
+            m_regs = regs_in[s] | regs
+            m_blob = blob_in[s] or blob
+            m_tkeys = tkeys_in[s] | tkeys
+            m_clean = clean_in[s] & clean
+            if (m_regs != regs_in[s] or m_blob != blob_in[s]
+                    or m_tkeys != tkeys_in[s] or m_clean != clean_in[s]):
+                regs_in[s] = m_regs
+                blob_in[s] = m_blob
+                tkeys_in[s] = m_tkeys
+                clean_in[s] = m_clean
+                work.append(s)
+    return sorted(findings.values(), key=lambda f: (f.index, f.check))
+
+
+_IState = tuple[int, bool, "frozenset[_Key]", "frozenset[_Key]"]
+
+
+def _itransfer(d: Decoded, i: int, state: _IState,
+               result: InterpResult, sink: _Sink) -> _IState:
+    regs, blob, tkeys, clean = state
+    m = d.mnemonic
+    used = insn.uses(d)
+    if d.is_branch:
+        if insn.branch_condition_uses(d) & regs:
+            names = insn.mask_names(insn.branch_condition_uses(d) & regs)
+            sink("secret-dependent-branch", i,
+                 f"branch condition depends on secret data "
+                 f"(via {', '.join(names)}): {result.program.line(i)}")
+        return regs, blob, tkeys, clean
+    if m in ("jr", "jalr") and (used & regs):
+        sink("secret-dependent-branch", i,
+             f"indirect jump target depends on secret data: "
+             f"{result.program.line(i)}")
+        return regs, blob, tkeys, clean
+    addr = result.addr_info.get(i)
+    if d.is_load:
+        if (1 << d.rs) & ~1 & regs:
+            sink("secret-dependent-address", i,
+                 f"load address depends on secret data: "
+                 f"{result.program.line(i)}")
+        tainted = bool((1 << d.rs) & ~1 & regs)
+        if not tainted and any(_may_alias(addr, k) for k in tkeys):
+            tainted = True
+        if not tainted and blob:
+            key = _exact_key(addr)
+            tainted = key is None or key not in clean
+        define = insn.defs(d)
+        regs = (regs | define) if tainted else (regs & ~define)
+        return regs, blob, tkeys, clean
+    if d.is_store:
+        if (1 << d.rs) & ~1 & regs:
+            sink("secret-dependent-address", i,
+                 f"store address depends on secret data: "
+                 f"{result.program.line(i)}")
+        value_tainted = bool((1 << d.rt) & ~1 & regs)
+        key = _exact_key(addr) if m == "sw" else None
+        if value_tainted:
+            if key is not None:
+                tkeys = tkeys | {key}
+                clean = clean - {key}
+            else:
+                # unresolved/ranged/partial secret store: everything it
+                # may alias is suspect
+                blob = True
+                clean = frozenset(k for k in clean
+                                  if not _may_alias(addr, k))
+        else:
+            if key is not None:  # strong public overwrite of one word
+                tkeys = tkeys - {key}
+                clean = clean | {key}
+        return regs, blob, tkeys, clean
+    define = insn.defs(d)
+    if define:
+        regs = (regs | define) if (used & regs) else (regs & ~define)
+    return regs, blob, tkeys, clean

@@ -126,6 +126,31 @@ KERNEL_ANCHOR_SPECS: tuple[tuple, ...] = (
 )
 
 
+#: Kernels whose static cycle bound must land within 2x of an observed
+#: run (the analyzer's tightness acceptance on straight-line GF(p)
+#: kernels).  Only constant-time kernels qualify: their observed cycle
+#: counts are independent of the random operands, so the band verdict
+#: is deterministic across runs.
+TIGHTNESS_KERNELS: tuple[str, ...] = ("mp_add", "mp_sub", "os_mul")
+
+
+def tightness_comparisons() -> list[BandComparison]:
+    """Static-bound tightness (bound/observed cycles) per kernel."""
+    from repro.analysis.registry import KERNELS
+    from repro.analysis.verify import verify_kernel
+
+    known = {s.name: s for s in KERNELS}
+    runner = shared_runner()
+    out = []
+    for name in TIGHTNESS_KERNELS:
+        report = verify_kernel(known[name], runner=runner)
+        out.append(BandComparison(
+            f"static bound tightness {name}",
+            report.tightness if report.tightness is not None else math.inf,
+            1.0, 2.0, "bound >= observed, within 2x"))
+    return out
+
+
 def factor_comparisons(model: SystemModel) -> list[BandComparison]:
     def uj(curve, config):
         return model.report(curve, config).total_uj
@@ -156,7 +181,7 @@ def all_rows(model: SystemModel | None = None
     verdicts reconcile by construction."""
     model = model or SystemModel()
     return (latency_comparisons(model) + anchor_comparisons(),
-            factor_comparisons(model))
+            factor_comparisons(model) + tightness_comparisons())
 
 
 def run_report(verbose: bool = True) -> tuple[int, int]:

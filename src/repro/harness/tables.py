@@ -158,12 +158,52 @@ def table7_5() -> list[dict]:
     return rows
 
 
+def table_bounds() -> list[dict]:
+    """Static analyzer summary per registered kernel.
+
+    Purely static (no simulator run, no random operands), so the rows
+    are deterministic and safe for the content-addressed sweep cache:
+    the whole-program cycle/memory upper bounds
+    (:mod:`repro.analysis.bounds`), the static superblock map, and the
+    finding/waiver tallies from the verifier.  An analysis refusal
+    (unbounded loop, irreducible region) surfaces as ``certified=0``
+    with ``-1`` bounds rather than a crash.
+    """
+    from repro.analysis.bounds import compute_bound
+    from repro.analysis.registry import KERNELS, report_kernel
+    from repro.analysis.superblock import coverage, static_blocks
+    from repro.analysis.verify import analyze_spec
+
+    rows = []
+    for spec in KERNELS:
+        program, result = analyze_spec(spec)
+        br = compute_bound(result)
+        lint = report_kernel(spec)
+        certified = br.certified
+        total = br.total
+        rows.append({
+            "kernel": spec.name, "k": spec.measure_k,
+            "certified": int(certified),
+            "bound_cycles": total.cycles if certified else -1,
+            "bound_instrs": total.instructions if certified else -1,
+            "ram_writes": total.ram_writes if certified else -1,
+            "superblocks": len(static_blocks(program)),
+            "sb_coverage": coverage(program),
+            "dead_branches": len(result.dead_branches),
+            "calls": len(result.calls),
+            "findings": len(lint.findings) + len(result.findings),
+            "waived": len(lint.waived),
+        })
+    return rows
+
+
 TABLES = {
     "7.1": table7_1,
     "7.2": table7_2,
     "7.3": table7_3,
     "7.4": table7_4,
     "7.5": table7_5,
+    "bounds": table_bounds,
 }
 
 

@@ -431,6 +431,39 @@ class KernelRunner:
         assert got == (scalar * value) & 0xFFFFFFFF, "scalar_ladder mismatch"
         return self._result("scalar_ladder", k, cpu)
 
+    def _run_fmul_p192(self, k: int = 6) -> KernelResult:
+        """Composed field multiply: os_mul then red_p192, one image."""
+        from repro.kernels import composed
+
+        a = _RNG.getrandbits(192)
+        b = _RNG.getrandbits(192)
+        cpu, entry = self._build_cpu(composed.gen_fmul_p192(),
+                                     "fmul_p192", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, 6))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, 6))
+        self._launch(cpu, entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+        assert got == (a * b) % NIST_PRIMES[192], "fmul_p192 mismatch"
+        return self._result("fmul_p192", 6, cpu)
+
+    def _run_fmul_b163(self, k: int = 6) -> KernelResult:
+        """Composed field multiply: comb_mul then red_b163, one image."""
+        from repro.kernels import composed
+
+        a = _RNG.getrandbits(163)
+        b = _RNG.getrandbits(163)
+        cpu, entry = self._build_cpu(composed.gen_fmul_b163(),
+                                     "fmul_b163", False, False)
+        self._set_ptr_args(cpu, dst=DST_OFF, a=A_OFF, b=B_OFF)
+        cpu.mem.write_ram_words(RAM_BASE + A_OFF, from_int(a, 6))
+        cpu.mem.write_ram_words(RAM_BASE + B_OFF, from_int(b, 6))
+        self._launch(cpu, entry)
+        got = to_int(cpu.mem.read_ram_words(RAM_BASE + DST_OFF, 6))
+        assert got == reduce_binary(_poly_mul(a, b), 163), \
+            "fmul_b163 mismatch"
+        return self._result("fmul_b163", 6, cpu)
+
     # -- helpers ---------------------------------------------------------------
 
     @staticmethod

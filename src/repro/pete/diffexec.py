@@ -243,16 +243,51 @@ def lockstep(fast: Pete, entry: int, *, label: str = "",
             return report
 
 
+def certify_static(cpu: Pete, report: DiffReport) -> None:
+    """Cross-check dynamic superblock discovery against the static map.
+
+    The abstract analyzer's superblock map
+    (:mod:`repro.analysis.superblock`) must be a superset of what the
+    fastpath discovered at runtime: every compiled block inside a
+    statically mapped region, every declined pc statically rated below
+    the compile threshold.  A mismatch is reported through the same
+    ``divergence`` channel as a lock-step failure, so the CI job gates
+    on it with no extra plumbing.
+    """
+    if cpu.fastpath is None or cpu.program is None:
+        return
+    from repro.analysis.cfg import AsmProgram
+    from repro.analysis.superblock import certify, static_blocks
+
+    program = AsmProgram.from_assembled(cpu.program, name=report.label)
+    problems = certify(program, cpu.fastpath._blocks)
+    if problems:
+        if report.divergence is None:
+            report.divergence = Divergence(
+                "static superblock map",
+                "superset of dynamic discovery",
+                f"{len(problems)} mismatch(es)",
+                cpu.pc, report.instructions,
+                context="\n".join(problems))
+        return
+    report.notes.append(
+        f"  static map certified: {len(static_blocks(program))} static "
+        f"regions cover all {report.blocks} dynamic block executions")
+
+
 def diff_kernel(name: str, k: int, *,
                 max_cycles: int = 50_000_000) -> DiffReport:
     """Lock-step one generated kernel (same harness the measurements
-    use) on the fast vs reference interpreters."""
+    use) on the fast vs reference interpreters, then certify the
+    dynamic superblock discovery against the static map."""
     from repro.kernels.runner import KernelRunner
 
     runner = KernelRunner(cache={})
     cpu, entry = runner.prepare(name, k)
-    return lockstep(cpu, entry, label=f"{name}:{k}",
-                    max_cycles=max_cycles)
+    report = lockstep(cpu, entry, label=f"{name}:{k}",
+                      max_cycles=max_cycles)
+    certify_static(cpu, report)
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -1,8 +1,10 @@
 """Baseline snapshot + regression gate.
 
 ``python -m repro.regress baseline`` measures a catalog of cycle and
-energy quantities -- kernel cycle counts on the Pete simulator and the
-whole-primitive model quantities from
+energy quantities -- kernel cycle counts on the Pete simulator, static
+cycle bounds from the whole-program analyzer
+(:mod:`repro.analysis.bounds`) and the whole-primitive model
+quantities from
 :meth:`repro.model.system.SystemModel.snapshot` -- and freezes them,
 with per-quantity tolerances, into ``results/baseline/BASELINE.json``
 (committed, regenerated via ``make baseline``).
@@ -43,6 +45,16 @@ SMOKE_KERNELS: tuple[tuple[str, int], ...] = (
 FULL_KERNELS: tuple[tuple[str, int], ...] = SMOKE_KERNELS + (
     ("mp_add", 6), ("mp_sub", 6), ("ps_sqr_ext", 6), ("bsqr_table", 6),
     ("bsqr_ext", 6), ("scalar_daa", 8), ("scalar_ladder", 8),
+    ("fmul_p192", 6), ("fmul_b163", 6),
+)
+
+#: Kernels whose *static* cycle bound (the abstract interpreter's
+#: longest-path cost, :mod:`repro.analysis.bounds`) the gate freezes in
+#: the smoke subset; the full set is the whole analysis registry.
+#: Bounds are deterministic analyzer outputs, so their tolerance is
+#: exact -- a drifting bound means the analyzer or a kernel changed.
+SMOKE_ANALYSIS: tuple[str, ...] = (
+    "os_mul", "red_p192", "comb_mul", "speck64",
 )
 
 #: (curve, config) model rows.  The smoke subset exercises the software,
@@ -87,6 +99,20 @@ def measure_quantities(smoke: bool = False, runner=None, model=None
             cycles = instrs = None
         out[f"kernel/{name}:{k}/cycles"] = cycles
         out[f"kernel/{name}:{k}/instructions"] = instrs
+    from repro.analysis.bounds import compute_bound
+    from repro.analysis.registry import KERNELS as ANALYSIS_KERNELS
+    from repro.analysis.verify import analyze_spec
+
+    for spec in ANALYSIS_KERNELS:
+        if smoke and spec.name not in SMOKE_ANALYSIS:
+            continue
+        try:
+            _, result = analyze_spec(spec)
+            br = compute_bound(result)
+            bound = float(br.total.cycles) if br.certified else None
+        except Exception:
+            bound = None
+        out[f"analysis/{spec.name}:{spec.measure_k}/bound_cycles"] = bound
     for curve, config in (SMOKE_MODEL if smoke else full_model_rows()):
         base = f"model/{curve}:{config}"
         try:

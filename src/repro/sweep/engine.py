@@ -31,7 +31,12 @@ from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 
+from typing import TYPE_CHECKING
+
 from repro.sweep.keys import artifact_key
+
+if TYPE_CHECKING:
+    from repro.energy.calibration import Calibration
 
 #: Per-task wall-clock budget in pooled runs, measured from the moment
 #: the task's worker process starts (inline runs are not preemptible
@@ -44,8 +49,9 @@ DEFAULT_RETRIES = 1
 _KILL_GRACE_S = 5.0
 
 
-def _compute_payload(kind: str, name: str, calibration=None,
-                     fast=None) -> dict:
+def _compute_payload(kind: str, name: str,
+                     calibration: "Calibration | None" = None,
+                     fast: bool | None = None) -> dict:
     """Default task body (top-level so pool workers can unpickle it).
 
     ``calibration`` installs the matching

@@ -29,6 +29,11 @@ import importlib.util
 import json
 import os
 from functools import lru_cache
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.energy.calibration import Calibration
+    from repro.harness.registry import ArtifactSpec
 
 #: Bump when the key layout (not the hashed content) changes.
 KEY_SCHEMA = "repro.sweep.key.v1"
@@ -171,8 +176,9 @@ def code_graph(package: str = "repro") -> CodeGraph:
     return CodeGraph(package)
 
 
-def artifact_key(spec, calibration=None, graph: CodeGraph | None = None
-                 ) -> str:
+def artifact_key(spec: "ArtifactSpec",
+                 calibration: "Calibration | None" = None,
+                 graph: CodeGraph | None = None) -> str:
     """The content-addressed cache key of one artifact.
 
     ``spec`` is an :class:`repro.harness.registry.ArtifactSpec`;

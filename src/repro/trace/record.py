@@ -30,7 +30,8 @@ SCHEMA_V1 = "repro.bench.v1"
 #: Every schema this reader understands, oldest first.
 KNOWN_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
-_RECORD_KINDS = ("bench", "profile", "scorecard", "gate", "sweep")
+_RECORD_KINDS = ("bench", "profile", "scorecard", "gate", "sweep",
+                 "analysis")
 
 
 def _git(args: list[str], repo_dir: str | None) -> str | None:

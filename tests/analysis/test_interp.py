@@ -1,0 +1,113 @@
+"""The whole-program abstract interpreter: call graph, ranges, loops.
+
+Small hand-written images exercise each capability the verifier leans
+on -- constant-derived trip counts, jal/jr call-return resolution,
+dead-branch proofs, and the assumed-bound escape hatch -- so a interp
+regression is localized here before it surfaces as a refused bound in
+``verify --all``.
+"""
+
+from repro.analysis.cfg import AsmProgram
+from repro.analysis.interp import analyze_image
+
+HALT = "\n__halt:\n    halt\n"
+
+
+def _interp(src, name="t", assume_trips=None):
+    program = AsmProgram.from_source(src + HALT, name=name)
+    halt = program.labels["__halt"]
+    result = analyze_image(program, 0,
+                           entry_values={31: program.address(halt)},
+                           assume_trips=assume_trips)
+    return program, result
+
+
+def test_constant_trip_count_inferred():
+    program, result = _interp("""
+        li $t0, 4
+    loop:
+        addiu $t0, $t0, -1
+        bne $t0, $zero, loop
+        nop
+        jr $ra
+        nop
+    """)
+    header = program.labels["loop"]
+    # trip_bounds are upper bounds: sound (never below the 4 actual
+    # iterations), allowed one conservative extra
+    assert 4 <= result.trip_bounds[(0, header)] <= 5
+    assert result.assumed_loops == []
+    assert not result.findings
+
+
+def test_call_and_return_resolved():
+    program, result = _interp("""
+        move $t7, $ra
+        jal callee
+        nop
+        jr $t7
+        nop
+    callee:
+        addu $v0, $a0, $a1
+        jr $ra
+        nop
+    """)
+    callee = program.labels["callee"]
+    assert list(result.calls.values()) == [callee]
+    assert len(result.functions) == 2
+    # the callee's jr resolves back to the call site, the outer jr to
+    # the harness halt stub
+    assert not result.findings
+
+
+def test_dead_branch_proved():
+    _, result = _interp("""
+        li $t0, 0
+        bne $t0, $zero, dead
+        nop
+        jr $ra
+        nop
+    dead:
+        sw $zero, 0($zero)
+        jr $ra
+        nop
+    """)
+    assert [(i, d) for i, d in result.dead_branches] and \
+        result.dead_branches[0][1] == "fall"
+    # the never-taken arm is never walked
+    feas = result.branch_feasible[result.dead_branches[0][0]]
+    assert feas == frozenset({"fall"})
+
+
+def test_unbounded_loop_reported_then_assumable():
+    src = """
+    loop:
+        lw $t0, 0($a0)
+        bne $t0, $zero, loop
+        nop
+        jr $ra
+        nop
+    """
+    program, result = _interp(src)
+    assert any(f.check == "unbounded-loop" for f in result.findings)
+
+    header = program.labels["loop"]
+    program, result = _interp(src, assume_trips={header: 8})
+    assert not result.findings
+    assert (header, 8) in result.assumed_loops
+    assert result.trip_bounds[(0, header)] == 8
+
+
+def test_value_range_tracks_loop_counter():
+    program, result = _interp("""
+        li $t0, 0
+        li $t1, 6
+    loop:
+        addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        nop
+        jr $ra
+        nop
+    """)
+    header = program.labels["loop"]
+    assert 6 <= result.trip_bounds[(0, header)] <= 7

@@ -1,0 +1,83 @@
+"""Static superblock map and the static >= dynamic certification."""
+
+from repro.analysis.cfg import AsmProgram
+from repro.analysis.superblock import (
+    certify,
+    coverage,
+    run_lengths,
+    static_blocks,
+)
+from repro.pete.fastpath import MIN_BLOCK_LEN
+
+
+def _program(src, name="t"):
+    return AsmProgram.from_source(src, name=name)
+
+
+STRAIGHT = """
+    addu $t0, $a0, $a1
+    addiu $t1, $t0, 4
+    sll $t2, $t1, 2
+    sw $t2, 0($a0)
+    jr $ra
+    nop
+"""
+
+
+def test_run_lengths_end_at_uncompilable():
+    program = _program(STRAIGHT)
+    runs = run_lengths(program)
+    # four simple ops, then jr (not compilable) ends the run
+    assert runs[0] == 4
+    assert runs[3] == 1
+    assert runs[4] == 0  # jr
+
+
+def test_static_blocks_respect_min_length():
+    program = _program(STRAIGHT)
+    blocks = static_blocks(program)
+    assert (blocks[0].start, blocks[0].length) == (0, 4)
+    assert all(b.length >= MIN_BLOCK_LEN for b in blocks)
+    assert 0.0 < coverage(program) < 1.0
+
+
+def test_branch_splits_runs():
+    runs = run_lengths(_program("""
+        addu $t0, $a0, $a1
+        beq $t0, $zero, 0x10
+        nop
+        addu $t2, $t0, $t0
+        jr $ra
+        nop
+    """))
+    assert runs[0] == 1   # run ends at the branch
+    assert runs[1] == 0   # the branch itself
+
+
+def _fake_block(n):
+    def fn(cpu):  # pragma: no cover - never executed
+        raise AssertionError
+    fn.__fastpath_len__ = n
+    return fn
+
+
+def test_certify_accepts_consistent_dynamic_map():
+    program = _program(STRAIGHT)
+    assert certify(program, {program.base + 0: _fake_block(4)}) == []
+    # a shorter dynamic block inside the static region is fine too
+    assert certify(program, {program.base + 4: _fake_block(3)}) == []
+
+
+def test_certify_rejects_dynamic_block_exceeding_static_map():
+    program = _program(STRAIGHT)
+    problems = certify(program, {program.base + 0: _fake_block(5)})
+    assert problems and "5" in problems[0]
+
+
+def test_certify_rejects_unexplained_decline():
+    program = _program(STRAIGHT)
+    # the fast path declined (None) a pc the static map rates >= MIN
+    problems = certify(program, {program.base + 0: None})
+    assert problems
+    # declining where the static map also rates the run too short is ok
+    assert certify(program, {program.base + 16: None}) == []

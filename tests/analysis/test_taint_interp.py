@@ -1,0 +1,178 @@
+"""Taint edge cases: HI/LO, delay slots, jr dispatch, call trees.
+
+The first half pins down propagation paths the original intraprocedural
+pass must get right (accumulator flow, delay-slot copies, indirect
+dispatch); the second half is a seeded leak corpus for the
+interprocedural pass (:func:`repro.analysis.taint.taint_interp`) --
+secrets flowing through calls, spills and per-word memory taint, with
+the non-aliasing cases that must *not* flag proving the precision the
+composed ``fmul_*`` kernels rely on.
+"""
+
+import pytest
+
+from repro.analysis.cfg import AsmProgram, build_cfg
+from repro.analysis.interp import analyze_image
+from repro.analysis.taint import TaintSpec, taint_findings, taint_interp
+
+SCALAR_SECRET = TaintSpec(secret_regs=("a1",))
+
+HALT = "\n__halt:\n    halt\n"
+
+
+def _intra(src, spec=SCALAR_SECRET, name="t"):
+    cfg = build_cfg(AsmProgram.from_source(src, name=name))
+    return taint_findings(cfg, spec)
+
+
+def _interp_taint(src, spec=SCALAR_SECRET, name="t"):
+    program = AsmProgram.from_source(src + HALT, name=name)
+    halt = program.labels["__halt"]
+    result = analyze_image(program, 0,
+                           entry_values={31: program.address(halt)})
+    assert not result.findings, [f.message for f in result.findings]
+    return taint_interp(result, spec)
+
+
+# -- propagation edge cases --------------------------------------------------
+
+
+def test_hi_lo_flow_carries_taint():
+    src = """
+        li $t1, 3
+        mult $a1, $t1
+        mflo $t2
+        beq $t2, $zero, 0x18
+        nop
+        jr $ra
+        nop
+    """
+    for found in (_intra(src), _interp_taint(src)):
+        assert [f.check for f in found] == ["secret-dependent-branch"]
+
+
+def test_hi_lo_cleared_by_public_issue():
+    # a later public mult overwrites the accumulator: no stale taint
+    src = """
+        mult $a1, $a1
+        li $t1, 3
+        mult $t1, $t1
+        mflo $t2
+        beq $t2, $zero, 0x1c
+        nop
+        jr $ra
+        nop
+    """
+    for found in (_intra(src), _interp_taint(src)):
+        assert found == []
+
+
+def test_delay_slot_copy_carries_taint():
+    src = """
+        move $t0, $a1
+        beq $zero, $zero, join
+        .ds move $t1, $t0
+    join:
+        beq $t1, $zero, out
+        nop
+    out:
+        jr $ra
+        nop
+    """
+    for found in (_intra(src), _interp_taint(src)):
+        assert "secret-dependent-branch" in {f.check for f in found}
+        assert any(f.index == 3 for f in found)  # the join-block branch
+
+
+def test_jr_dispatch_on_secret_flagged():
+    found = _intra("""
+        sll $t0, $a1, 2
+        addu $t0, $t0, $ra
+        jr $t0
+        nop
+    """)
+    assert "secret-dependent-branch" in {f.check for f in found}
+
+
+# -- seeded interprocedural leak corpus --------------------------------------
+
+#: (name, source, leaks) -- each source is a small call tree; ``leaks``
+#: states whether the interprocedural pass must flag it.  The clean
+#: entries are precision seeds: an intraprocedural one-bit memory model
+#: cannot prove them (a secret store poisons all loads), the per-word
+#: interprocedural model must.
+LEAK_CORPUS = (
+    ("leak-through-return-value", """
+        move $t7, $ra
+        jal callee
+        nop
+        beq $v0, $zero, out
+        nop
+    out:
+        jr $t7
+        nop
+    callee:
+        move $v0, $a1
+        jr $ra
+        nop
+    """, True),
+    ("leak-through-spilled-secret", """
+        move $t7, $ra
+        sw $a1, 0($a0)
+        jal callee
+        nop
+        jr $t7
+        nop
+    callee:
+        lw $t0, 0($a0)
+        beq $t0, $zero, back
+        nop
+    back:
+        jr $ra
+        nop
+    """, True),
+    ("clean-spill-different-arena", """
+        move $t7, $ra
+        sw $a1, 0($a0)
+        jal callee
+        nop
+        jr $t7
+        nop
+    callee:
+        lw $t0, 0($a2)
+        beq $t0, $zero, back
+        nop
+    back:
+        jr $ra
+        nop
+    """, False),
+    ("clean-overwritten-before-reload", """
+        sw $a1, 0($a0)
+        sw $zero, 0($a0)
+        lw $t0, 0($a0)
+        beq $t0, $zero, out
+        nop
+    out:
+        jr $ra
+        nop
+    """, False),
+)
+
+
+@pytest.mark.parametrize("name,src,leaks",
+                         LEAK_CORPUS, ids=[c[0] for c in LEAK_CORPUS])
+def test_interprocedural_leak_corpus(name, src, leaks):
+    found = _interp_taint(src)
+    if leaks:
+        assert "secret-dependent-branch" in {f.check for f in found}, name
+    else:
+        assert found == [], (name, [f.message for f in found])
+
+
+def test_intra_memory_blob_is_coarser_than_interp():
+    # the precision seed: one-bit memory taint must flag the
+    # different-arena reload the per-word model proves clean
+    _, src, _ = LEAK_CORPUS[2][:3]
+    intra = _intra(src)
+    assert "secret-dependent-branch" in {f.check for f in intra}
+    assert _interp_taint(src) == []
