@@ -323,7 +323,8 @@ class AbsState:
             return AbsState(self.regs, {}) if self.mem else self
         mem = {k: v for k, v in self.mem.items()
                if not (k[0] == sym
-                       and (lo is None or lo - 3 <= k[1] <= (hi or lo) + 3))}
+                       and (lo is None or lo - 3 <= k[1]
+                            <= (hi if hi is not None else lo) + 3))}
         if len(mem) == len(self.mem):
             return self
         return AbsState(self.regs, mem)

@@ -38,7 +38,11 @@ every loop header the entry state is *generalized* -- induction
 registers get their entry value widened by ``stride * trips``, other
 loop-defined registers go to TOP, tracked words the body may store to
 are dropped (per base symbol) -- so the header state covers every
-iteration and the acyclic walk stays sound.
+iteration and the acyclic walk stays sound.  A call anywhere in the
+body defeats that per-body reasoning (the callee may write any
+register or tracked word, and may rewrite the loop counter out from
+under a derived trip bound), so such headers generalize to TOP
+registers, empty memory, and an assumed-only trip bound.
 """
 
 from __future__ import annotations
@@ -586,6 +590,19 @@ class _Walker:
                     f"{program.line(o)} targets 0x{addr:08x}, outside "
                     f"the image or misaligned")
                 continue
+            if t in self.cfg.slots:
+                # slot-entered execution runs the slot instruction and
+                # falls through without branching; the walk models a
+                # slot node with its owner's control semantics, so --
+                # like branch_target_index -- refuse instead of walking
+                # it wrong
+                self._finding(
+                    "jump-into-delay-slot", o,
+                    f"{program.line(o)} targets 0x{addr:08x}, the delay "
+                    f"slot of '{program.line(t - 1)}'; entering a slot "
+                    f"without its owner has no well-defined semantics "
+                    f"here")
+                continue
             targets.append(t)
             if t not in self.extra.get(slot, ()):
                 new_extra.append(t)
@@ -640,6 +657,18 @@ class _Walker:
             if len(ds) == 1 and ds[0].mnemonic in ("addiu", "addi") \
                     and ds[0].rs == r and ds[0].rt == r and ds[0].imm:
                 strides[r] = ds[0].imm
+        # a call in the body clobbers everything a callee may touch:
+        # registers it writes keep their iteration-0 values in a
+        # per-body generalization, and the single-addiu stride shape
+        # (hence any derived trip bound) is void if the callee writes
+        # the counter -- so the header state drops to TOP registers and
+        # empty memory, mirroring clobber_memory(), and only an
+        # *assumed* trip bound survives
+        if calls_in_body:
+            trips = self.assume_trips.get(header)
+            if trips is not None:
+                self.result.assumed_loops.append((header, trips))
+            return AbsState((AbsVal.const(0),) + (TOP,) * 31, {}), trips
         trips = self._infer_trips(loop, s, strides, defs_by_reg)
         if trips is None and header in self.assume_trips:
             trips = self.assume_trips[header]
@@ -651,8 +680,6 @@ class _Walker:
             elif r in defs_by_reg:
                 regs[r] = TOP
         out = AbsState(tuple(regs), s.mem)
-        if calls_in_body:
-            return out.clobber_memory(), trips
         # drop tracked words the body may store to, by base symbol --
         # the store base register is usually loop-derived (TOP in the
         # generalized state), so chase its def chain to the symbol
@@ -795,11 +822,13 @@ class _Walker:
         if m in ("and", "or", "xor", "nor"):
             return s.set(d.rd, _bitwise(m, s.get(d.rs), s.get(d.rt)))
         if m in ("slt", "sltu"):
-            return s.set(d.rd, _compare_lt(s.get(d.rs), s.get(d.rt)))
+            return s.set(d.rd, _compare_lt(s.get(d.rs), s.get(d.rt),
+                                           signed=(m == "slt")))
         if m in ("slti", "sltiu"):
             imm = d.imm & MASK32 if m == "sltiu" else d.imm
             return s.set(d.rt, _compare_lt(s.get(d.rs),
-                                           AbsVal.const(imm)))
+                                           AbsVal.const(imm),
+                                           signed=(m == "slti")))
         # everything else (muldiv moves, shifts-by-register, cop2,
         # syscall): clear whatever GPRs it defines
         mask = insn.defs(d) & MASK32
@@ -860,14 +889,46 @@ def _bitwise(m: str, a: AbsVal, b: AbsVal) -> AbsVal:
     return TOP
 
 
-def _compare_lt(a: AbsVal, b: AbsVal) -> AbsVal:
-    """slt/sltu result: decided when comparable, else [0, 1].
+def _signed_bounds(a: AbsVal) -> tuple[int, int] | None:
+    """The value set as a signed interval, or ``None`` when undecidable.
 
-    Only decided for same-base (or both-absolute, in-range) operands,
-    where the no-wrap assumption makes offset order value order.
+    Only absolute ranges whose 32-bit values sit entirely on one side
+    of the sign boundary map cleanly: ``[0, 2^31)`` is its own signed
+    range, ``[2^31, 2^32)`` maps down by ``2^32`` (a state singleton
+    like ``0xFFFFFFFF`` is the wrapped form of ``-1``), and unnormed
+    small negatives (``slti``'s sign-extended immediate) are already
+    signed.  Symbolic values never decide a signed order: the unknown
+    base could put the two operands on opposite sides of ``2^31``.
+    """
+    if a.is_top or a.sym is not None:
+        return None
+    if -(1 << 31) <= a.lo and a.hi < (1 << 31):
+        return a.lo, a.hi
+    if (1 << 31) <= a.lo and a.hi <= MASK32:
+        return a.lo - (1 << 32), a.hi - (1 << 32)
+    return None
+
+
+def _compare_lt(a: AbsVal, b: AbsVal, signed: bool) -> AbsVal:
+    """slt/slti (``signed``) or sltu/sltiu result: decided when
+    comparable, else [0, 1].
+
+    The unsigned order is decided for same-base (or both-absolute,
+    in-range) operands, where the no-wrap assumption makes offset order
+    value order.  The signed order is decided only when both operands
+    map to signed intervals (see :func:`_signed_bounds`) -- deciding it
+    with the unsigned order would invert every comparison against a
+    wrapped negative (``slt $t1, $t0, $zero`` with ``$t0 = -1``).
     """
     decided = None
-    if not a.is_top and not b.is_top and a.sym == b.sym:
+    if signed:
+        sa, sb = _signed_bounds(a), _signed_bounds(b)
+        if sa is not None and sb is not None:
+            if sa[1] < sb[0]:
+                decided = 1
+            elif sb[1] <= sa[0]:
+                decided = 0
+    elif not a.is_top and not b.is_top and a.sym == b.sym:
         if a.hi < b.lo:
             decided = 1
         elif b.hi <= a.lo:
