@@ -29,10 +29,12 @@ bench:
 
 # Observability smoke: profiled Table 7.1 subset, per-symbol kernel
 # profile, Chrome trace, and the BENCH_smoke.json + BENCH_fastpath.json
-# records (reference and superblock fast-path timings side by side).
+# + BENCH_obs.json records (reference vs fast-path timings, and the
+# telemetry plane's enabled-path cost).
 profile:
 	PYTHONPATH=src python benchmarks/smoke_profile.py results/smoke
 	PYTHONPATH=src python benchmarks/bench_fastpath.py results/smoke
+	PYTHONPATH=src python benchmarks/bench_obs.py results/smoke
 	PYTHONPATH=src python -m repro.harness.runall --profile
 
 # Lock-step differential verification of the superblock fast path

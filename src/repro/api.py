@@ -18,6 +18,7 @@ ordinary use.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.harness.registry import (
     ArtifactSpec,
     UnknownArtifactError,
@@ -60,7 +61,9 @@ def compute_artifact(name: str, kind: str | None = None) -> dict:
     ``energy_uj``, ``data``, ``components``) and the production
     ``wall_s``.
     """
-    return _resolve(name, kind).payload()
+    spec = _resolve(name, kind)
+    with obs.span("api.compute_artifact", artifact=spec.artifact_id):
+        return spec.payload()
 
 
 def sweep(only=None, jobs: int = 1, cache: bool = True,
@@ -82,7 +85,9 @@ def sweep(only=None, jobs: int = 1, cache: bool = True,
     store = ResultCache(cache_dir) if (cache or cache_dir) else None
     engine = SweepEngine(jobs=jobs, cache=store,
                          calibration=calibration, **engine_kwargs)
-    return engine.run(specs)
+    with obs.span("api.sweep", jobs=str(jobs),
+                  artifacts=str(len(specs))):
+        return engine.run(specs)
 
 
 class Session:
@@ -116,11 +121,13 @@ class Session:
         return KernelRunner(ledger=ledger, calibration=self.calibration)
 
     def compute_artifact(self, name: str, kind: str | None = None) -> dict:
-        with self:
+        with self, obs.span("api.session",
+                            calibration=self.fingerprint[:12]):
             return compute_artifact(name, kind)
 
     def sweep(self, only=None, jobs: int = 1, **kwargs) -> SweepResult:
-        with self:
+        with self, obs.span("api.session",
+                            calibration=self.fingerprint[:12]):
             return sweep(only, jobs=jobs,
                          calibration=self.calibration, **kwargs)
 

@@ -19,6 +19,13 @@ Observability modes (instead of rendering artifacts):
 * ``--trace FILE [--trace-kernel NAME:K]`` -- run one kernel with
   tracing on and write a Chrome ``trace_event`` JSON (open in Perfetto
   or chrome://tracing).
+
+``--obs`` (with artifact runs) additionally switches on the
+:mod:`repro.obs` telemetry plane: hierarchical wall-clock spans across
+the run and every pool worker plus cache/fastpath/task metrics,
+exported under ``--obs-out`` (default ``results/telemetry``) and
+summarized in a ``kind="telemetry"`` ledger record -- inspect with
+``python -m repro.obs report``.
 """
 
 from __future__ import annotations
@@ -189,6 +196,17 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="NAME:K",
                         help="kernel for --trace "
                              f"(default {DEFAULT_TRACE_KERNEL})")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the telemetry plane (repro.obs): "
+                             "spans + runtime metrics across the run "
+                             "and its pool workers, exported as "
+                             "JSON/OpenMetrics/Chrome trace plus a "
+                             "kind=telemetry ledger record")
+    parser.add_argument("--obs-out", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="telemetry export directory (implies "
+                             "--obs; default results/telemetry or "
+                             "$REPRO_OBS_DIR)")
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -206,6 +224,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace:
             _run_trace(args.trace, args.trace_kernel)
         return 0
+
+    root = None
+    if args.obs or args.obs_out is not None:
+        from repro import obs
+
+        tel = obs.enable()
+        root = tel.begin("runall", activate=True, jobs=str(args.jobs),
+                         fast="1" if args.fast else "0")
 
     ledger = None
     if args.out:
@@ -264,10 +290,33 @@ def main(argv: list[str] | None = None) -> int:
             "cached": result.hits,
             "failed": len(result.failed),
             "jobs": result.jobs,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "retries": result.retries,
+            "reaped": result.reaped,
         }
+        for key, value in result.fastpath.items():
+            stats[f"fastpath_{key}"] = value
         args.stats_json.parent.mkdir(parents=True, exist_ok=True)
         args.stats_json.write_text(
             json.dumps(stats, sort_keys=True) + "\n")
+    if root is not None:
+        from repro import obs
+        from repro.obs.export import telemetry_record, write_export
+
+        root.finish("error" if result.failed else "ok")
+        snapshot = obs.disable()
+        paths = write_export(
+            snapshot, str(args.obs_out) if args.obs_out else None)
+        record = telemetry_record(snapshot, config=f"jobs={args.jobs}",
+                                  export_path=paths["json"])
+        if ledger is not None:
+            ledger.append(record)
+        else:
+            from repro.regress.ledger import default_ledger
+
+            default_ledger().append(record)
+        print(f"telemetry: {paths['json']}", file=sys.stderr)
     if ledger is not None:
         print(f"(ledger: {ledger.path_for('bench')})")
     return 1 if result.failed else 0

@@ -1,0 +1,136 @@
+"""``python -m repro.obs`` -- inspect and re-export saved telemetry.
+
+::
+
+    python -m repro.obs report [telemetry.json] [--spans] [--metrics]
+                               [--json OUT] [--openmetrics OUT]
+                               [--chrome OUT]
+
+``report`` reads a telemetry snapshot (default:
+``results/telemetry/telemetry.json``, i.e. what a ``--obs`` run wrote)
+and prints a summary; ``--spans`` adds the ASCII span tree,
+``--metrics`` the collected metric table, and the ``--json`` /
+``--openmetrics`` / ``--chrome`` options re-export to files (pass ``-``
+to print OpenMetrics or JSON to stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.obs import export as ox
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    schema = snapshot.get("schema")
+    if schema != "repro.obs.v1":
+        raise SystemExit(f"{path}: unknown telemetry schema {schema!r}")
+    return snapshot
+
+
+def _summary(snapshot: dict) -> str:
+    spans = snapshot.get("spans", [])
+    roots, children = ox.span_tree(spans)
+    registry = ox.registry_from_state(snapshot.get("metrics", {}))
+    pids = sorted({s.get("pid") for s in spans})
+    lines = [
+        f"trace {snapshot.get('trace_id')}  "
+        f"({len(spans)} spans, {len(roots)} root(s), "
+        f"{len(pids)} process(es))",
+    ]
+    for root in roots:
+        lines.append(f"  root: {root['name']}  "
+                     f"{root.get('wall_s', 0.0):.3f}s  "
+                     f"status={root.get('status')}  "
+                     f"children={len(children.get(root['span_id'], []))}")
+    samples = registry.collect()
+    if samples:
+        lines.append(f"  metrics: {len(samples)} sample(s) across "
+                     f"{len({s.name for s in samples})} familie(s)")
+    return "\n".join(lines)
+
+
+def _metric_table(snapshot: dict) -> str:
+    registry = ox.registry_from_state(snapshot.get("metrics", {}))
+    lines = []
+    for sample in registry.collect():
+        if sample.kind == "series":
+            value = f"({len(sample.value)} points)"
+        elif sample.kind == "histogram":
+            value = (f"count={sample.value['count']:.0f} "
+                     f"p50={sample.value['p50']:.6g} "
+                     f"p90={sample.value['p90']:.6g} "
+                     f"p99={sample.value['p99']:.6g}")
+        else:
+            value = f"{sample.value:g}"
+        labels = ("{" + ",".join(f"{k}={v}" for k, v in
+                                 sorted(sample.labels.items())) + "}"
+                  if sample.labels else "")
+        lines.append(f"  {sample.kind:<9} {sample.name}{labels} = {value}")
+    return "\n".join(lines) if lines else "  (no metrics)"
+
+
+def _emit(text: str, out: str) -> None:
+    if out == "-":
+        sys.stdout.write(text)
+        return
+    os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect and re-export saved telemetry snapshots")
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="summarize a telemetry snapshot")
+    report.add_argument(
+        "snapshot", nargs="?",
+        default=os.path.join(ox.default_obs_dir(), "telemetry.json"),
+        help="telemetry.json to read (default: %(default)s)")
+    report.add_argument("--spans", action="store_true",
+                        help="print the span tree")
+    report.add_argument("--metrics", action="store_true",
+                        help="print the metric table")
+    report.add_argument("--json", metavar="OUT",
+                        help="re-export the snapshot as JSON ('-': stdout)")
+    report.add_argument("--openmetrics", metavar="OUT",
+                        help="export OpenMetrics text ('-': stdout)")
+    report.add_argument("--chrome", metavar="OUT",
+                        help="export a Chrome trace of the spans")
+    args = parser.parse_args(argv)
+
+    snapshot = _load(args.snapshot)
+    print(_summary(snapshot))
+    if args.spans:
+        print("\nspans:")
+        print(ox.render_spans(snapshot.get("spans", [])))
+    if args.metrics:
+        print("\nmetrics:")
+        print(_metric_table(snapshot))
+    if args.json:
+        _emit(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+              args.json)
+    if args.openmetrics:
+        om = ox.to_openmetrics(snapshot)
+        ox.parse_openmetrics(om)   # self-check before handing it out
+        _emit(om, args.openmetrics)
+    if args.chrome:
+        from repro.trace.chrome import write_trace
+
+        os.makedirs(os.path.dirname(os.path.abspath(args.chrome)),
+                    exist_ok=True)
+        write_trace(args.chrome, ox.spans_to_chrome(snapshot))
+        print(f"wrote {args.chrome}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

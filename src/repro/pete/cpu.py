@@ -170,6 +170,12 @@ class Pete:
         self.muldiv.tracer = tracer
         if self.icache is not None:
             self.icache.tracer = tracer
+        if tracer is not None and self.fastpath is not None:
+            # a core that has been running fast will now deoptimize to
+            # the reference interpreter at the next block boundary
+            from repro.pete.fastpath import note_deopt
+
+            note_deopt()
 
     def clone(self) -> "Pete":
         """An independent copy of this core's full architectural state.
@@ -303,6 +309,13 @@ class Pete:
 
             self.fastpath = Fastpath(self)
         fastpath = self.fastpath
+        if self.tracer is not None or self.trace_enabled:
+            # fast mode requested but tracing is on: the whole run
+            # executes on the reference interpreter (counted once here,
+            # never inside the block loop)
+            from repro.pete.fastpath import note_deopt
+
+            note_deopt()
         while self.cycle < max_cycles:
             # deopt conditions are re-checked at every block boundary,
             # so a tracer attached mid-run takes effect immediately

@@ -43,8 +43,10 @@ median-of-three trials) compile each block once per process.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro import obs
 from repro.pete.cpu import _sources
 from repro.pete.isa import Decoded, PeteISA
 from repro.pete.muldiv import MASK32
@@ -89,6 +91,32 @@ _SIGN = 0x8000_0000
 #: closure, so re-simulating a kernel reuses the compiled blocks.
 _CODE_CACHE: dict[tuple, Callable] = {}
 _CODE_CACHE_MAX = 4096
+
+#: Process-wide fast-path activity counters, always maintained (cold
+#: path only -- discovery and compilation, never block execution) so
+#: the sweep engine can report per-run deltas even with telemetry off.
+RUNTIME_STATS: dict[str, int] = {
+    "blocks_discovered": 0,
+    "blocks_compiled": 0,
+    "code_cache_hits": 0,
+    "deopt_runs": 0,
+}
+
+
+def runtime_stats_snapshot() -> dict[str, int]:
+    """A copy of :data:`RUNTIME_STATS` (delta baselines for callers)."""
+    return dict(RUNTIME_STATS)
+
+
+def note_deopt() -> None:
+    """Record one deopt-to-reference event: a run that had to leave the
+    fast path because a tracer attached / tracing was switched on.
+    Called from :meth:`Pete.attach_tracer` and the fast-run prologue --
+    never from the per-block dispatch loop."""
+    RUNTIME_STATS["deopt_runs"] += 1
+    tel = obs.get()
+    if tel is not None:
+        tel.counter("fastpath_deopt_runs").inc()
 
 
 def _s32(value: int) -> int:
@@ -491,7 +519,12 @@ class Fastpath:
         return decs, words
 
     def _compile_at(self, pc: int) -> Optional[Callable]:
+        t0 = time.perf_counter()
         decs, words = self._discover(pc)
+        RUNTIME_STATS["blocks_discovered"] += 1
+        tel = obs.get()
+        if tel is not None:
+            tel.counter("fastpath_blocks_discovered").inc()
         if len(decs) < MIN_BLOCK_LEN:
             return None
         icache_on = self._cpu.icache is not None
@@ -503,6 +536,15 @@ class Fastpath:
                 _CODE_CACHE.clear()
             _CODE_CACHE[key] = fn
             self.compiled += 1
+            RUNTIME_STATS["blocks_compiled"] += 1
+            if tel is not None:
+                tel.counter("fastpath_blocks_compiled").inc()
+                tel.counter("fastpath_block_instructions").inc(len(decs))
+                tel.histogram("fastpath_compile_s").observe(
+                    time.perf_counter() - t0)
         else:
             self.code_cache_hits += 1
+            RUNTIME_STATS["code_cache_hits"] += 1
+            if tel is not None:
+                tel.counter("fastpath_code_cache_hits").inc()
         return fn

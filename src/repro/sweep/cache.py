@@ -15,6 +15,7 @@ import os
 import tempfile
 import time
 
+from repro import obs
 from repro.trace.record import repo_root
 
 CACHE_SCHEMA = "repro.sweep.v1"
@@ -39,25 +40,50 @@ class ResultCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    def _note_lookup(self, tel: obs.Telemetry, result: str, path: str,
+                     t0: float) -> None:
+        """Telemetry for one lookup: labeled hit/miss counter, lookup
+        latency histogram, and (on hits) the bytes read."""
+        name = "sweep_cache_hits" if result == "hit" else "sweep_cache_misses"
+        tel.counter(name).inc()
+        tel.histogram("sweep_cache_lookup_s", result=result).observe(
+            time.perf_counter() - t0)
+        if result == "hit":
+            try:
+                tel.counter("sweep_cache_read_bytes").inc(
+                    os.stat(path).st_size)
+            except OSError:
+                pass
+
     def get(self, key: str) -> dict | None:
         """The stored payload, or ``None`` (miss, or corrupt entry)."""
+        tel = obs.get()
+        t0 = time.perf_counter()
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
+            if tel is not None:
+                self._note_lookup(tel, "miss", path, t0)
             return None
         if (entry.get("schema") != CACHE_SCHEMA
                 or entry.get("key") != key
                 or not isinstance(entry.get("payload"), dict)):
             self.misses += 1
+            if tel is not None:
+                self._note_lookup(tel, "miss", path, t0)
             return None
         self.hits += 1
+        if tel is not None:
+            self._note_lookup(tel, "hit", path, t0)
         return entry["payload"]
 
     def put(self, key: str, payload: dict, artifact: str = "") -> str:
         """Store one payload atomically; returns the entry path."""
+        tel = obs.get()
+        t0 = time.perf_counter()
         os.makedirs(self.directory, exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA,
@@ -66,10 +92,11 @@ class ResultCache:
             "written": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "payload": payload,
         }
+        body = json.dumps(entry, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
+                fh.write(body)
             os.replace(tmp, self.path_for(key))
         except BaseException:
             try:
@@ -77,6 +104,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if tel is not None:
+            tel.counter("sweep_cache_writes").inc()
+            tel.counter("sweep_cache_written_bytes").inc(len(body))
+            tel.histogram("sweep_cache_write_s").observe(
+                time.perf_counter() - t0)
         return self.path_for(key)
 
     def keys(self) -> list[str]:

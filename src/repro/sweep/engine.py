@@ -26,13 +26,15 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import sys
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.sweep.keys import artifact_key
 
 if TYPE_CHECKING:
@@ -78,17 +80,54 @@ def _compute_payload(kind: str, name: str,
         return spec.payload()
 
 
-def _pool_worker(conn, compute, kind: str, name: str) -> None:
-    """Run one task in a dedicated process, reporting over ``conn``."""
+#: The fast-path activity counters the engine reports per run.
+_FASTPATH_KEYS = ("blocks_discovered", "blocks_compiled",
+                  "code_cache_hits", "deopt_runs")
+
+
+def _fastpath_counters() -> dict[str, int]:
+    """Current :data:`repro.pete.fastpath.RUNTIME_STATS`, without
+    importing the pete stack into processes that never simulate."""
+    mod = sys.modules.get("repro.pete.fastpath")
+    if mod is None:
+        return {}
+    return mod.runtime_stats_snapshot()
+
+
+def _fastpath_delta(base: dict[str, int]) -> dict[str, int] | None:
+    """Counter movement since ``base`` (``None`` if pete never ran)."""
+    now = _fastpath_counters()
+    if not now and not base:
+        return None
+    return {k: now.get(k, 0) - base.get(k, 0) for k in _FASTPATH_KEYS}
+
+
+def _pool_worker(conn, compute, kind: str, name: str,
+                 obs_ctx: dict | None = None) -> None:
+    """Run one task in a dedicated process, reporting over ``conn``.
+
+    The message is ``(status, value, extras)``: extras carry the
+    worker's fast-path counter delta (measured against this process's
+    own baseline, so a forked parent's counts never leak in) and -- when
+    ``obs_ctx`` joined it to the parent's trace -- the drained telemetry
+    snapshot, whose spans are parented under the dispatching task span.
+    """
+    if obs_ctx is not None:
+        obs.activate_from(obs_ctx)
+    base = _fastpath_counters()
+    span = obs.span("sweep.worker", kind=kind, task=name).start()
     try:
         message = ("ok", compute(kind, name))
+        span.finish("ok")
     except BaseException as exc:
+        span.finish("error")
         message = ("error", f"{type(exc).__name__}: {exc}")
+    extras = {"fastpath": _fastpath_delta(base), "telemetry": obs.drain()}
     try:
-        conn.send(message)
+        conn.send((*message, extras))
     except Exception as exc:
         conn.send(("error", f"unsendable result: "
-                            f"{type(exc).__name__}: {exc}"))
+                            f"{type(exc).__name__}: {exc}", None))
     finally:
         conn.close()
 
@@ -113,10 +152,16 @@ class TaskOutcome:
     attempts: int = 0
     error: str | None = None
     payload: dict | None = None
+    reaped: int = 0             # attempts killed for exceeding timeout
+    fastpath: dict[str, int] | None = None  # worker counter deltas
 
     @property
     def ok(self) -> bool:
         return self.status in ("hit", "computed")
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
     @property
     def artifact(self) -> str:
@@ -129,6 +174,12 @@ class SweepResult:
 
     outcomes: list[TaskOutcome]
     jobs: int
+    #: ResultCache hit/miss movement during this run (0/0 uncached)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: fast-path compiler activity across the run -- the inline
+    #: process's counter delta plus every pool worker's shipped delta
+    fastpath: dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -142,10 +193,27 @@ class SweepResult:
     def failed(self) -> list[TaskOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    @property
+    def reaped(self) -> int:
+        return sum(o.reaped for o in self.outcomes)
+
+    @property
+    def retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
     def summary(self) -> str:
-        return (f"sweep: {len(self.outcomes)} artifacts, "
-                f"{self.hits} cached, {self.computed} computed, "
-                f"{len(self.failed)} failed, jobs={self.jobs}")
+        out = (f"sweep: {len(self.outcomes)} artifacts, "
+               f"{self.hits} cached, {self.computed} computed, "
+               f"{len(self.failed)} failed, jobs={self.jobs}"
+               f"; cache {self.cache_hits} hits / "
+               f"{self.cache_misses} misses")
+        fp = self.fastpath
+        if fp:
+            out += (f"; fastpath {fp.get('blocks_compiled', 0)} compiled"
+                    f" / {fp.get('code_cache_hits', 0)} code-cache hits")
+        if self.reaped:
+            out += f"; {self.reaped} reaped"
+        return out
 
 
 class SweepEngine:
@@ -166,10 +234,15 @@ class SweepEngine:
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  retries: int = DEFAULT_RETRIES,
                  ledger=None, calibration=None, compute=None,
-                 fast: bool | None = None) -> None:
+                 fast: bool | None = None,
+                 mp_context: str | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: multiprocessing start method for pooled runs (``"fork"`` /
+        #: ``"spawn"`` / ``None`` = platform default); injectable so
+        #: the telemetry propagation tests cover both methods
+        self.mp_context = mp_context
         self.cache = cache
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
@@ -194,31 +267,68 @@ class SweepEngine:
         specs = list(specs)
         outcomes: dict[tuple[str, str], TaskOutcome] = {}
         keys: dict[tuple[str, str], str] = {}
+        cache_base = ((self.cache.hits, self.cache.misses)
+                      if self.cache is not None else (0, 0))
+        fastpath_base = _fastpath_counters()
 
-        pending = []
-        for spec in specs:
-            if self.cache is not None:
-                start = time.perf_counter()
-                keys[spec.key] = artifact_key(
-                    spec, calibration=self.calibration)
-                payload = self.cache.get(keys[spec.key])
-                if payload is not None:
-                    outcome = TaskOutcome(
-                        spec.kind, spec.name, "hit",
-                        wall_s=time.perf_counter() - start,
-                        payload=payload)
-                    outcomes[spec.key] = outcome
-                    self.ledger.append(self._record(outcome))
-                    continue
-            pending.append(spec)
+        with obs.span("sweep.run", jobs=str(self.jobs),
+                      tasks=str(len(specs))):
+            pending = []
+            for spec in specs:
+                if self.cache is not None:
+                    start = time.perf_counter()
+                    keys[spec.key] = artifact_key(
+                        spec, calibration=self.calibration)
+                    payload = self.cache.get(keys[spec.key])
+                    if payload is not None:
+                        outcome = TaskOutcome(
+                            spec.kind, spec.name, "hit",
+                            wall_s=time.perf_counter() - start,
+                            payload=payload)
+                        outcomes[spec.key] = outcome
+                        self.ledger.append(self._record(outcome))
+                        self._note_outcome(outcome, emit_span=True)
+                        continue
+                pending.append(spec)
 
-        if pending:
-            if self.jobs > 1:
-                self._run_pool(pending, outcomes, keys)
-            else:
-                self._run_inline(pending, outcomes, keys)
-        return SweepResult([outcomes[spec.key] for spec in specs],
-                           jobs=self.jobs)
+            if pending:
+                if self.jobs > 1:
+                    self._run_pool(pending, outcomes, keys)
+                else:
+                    self._run_inline(pending, outcomes, keys)
+
+        result = SweepResult([outcomes[spec.key] for spec in specs],
+                             jobs=self.jobs)
+        if self.cache is not None:
+            result.cache_hits = self.cache.hits - cache_base[0]
+            result.cache_misses = self.cache.misses - cache_base[1]
+        fastpath = _fastpath_delta(fastpath_base) or {}
+        for outcome in result.outcomes:
+            for key, value in (outcome.fastpath or {}).items():
+                fastpath[key] = fastpath.get(key, 0) + value
+        result.fastpath = fastpath
+        return result
+
+    def _note_outcome(self, outcome: TaskOutcome,
+                      emit_span: bool = False) -> None:
+        """Per-task telemetry: status counter, latency histogram,
+        retry/reap counters; ``emit_span`` also records the task as an
+        after-the-fact span (cache hits and inline tasks -- pooled
+        attempts already hold live ``sweep.task`` spans)."""
+        tel = obs.get()
+        if tel is None:
+            return
+        tel.counter("sweep_tasks_total", status=outcome.status).inc()
+        tel.histogram("sweep_task_wall_s").observe(outcome.wall_s)
+        if outcome.retries:
+            tel.counter("sweep_retries_total").inc(outcome.retries)
+        if outcome.reaped:
+            tel.counter("sweep_reaped_total").inc(outcome.reaped)
+        if emit_span:
+            tel.emit("sweep.task", wall_s=outcome.wall_s,
+                     status="ok" if outcome.ok else "error",
+                     kind=outcome.kind, task=outcome.name,
+                     result=outcome.status)
 
     # -- completion ---------------------------------------------------------
 
@@ -253,6 +363,7 @@ class SweepEngine:
                     wall_s=time.perf_counter() - start,
                     attempts=self.retries + 1, error=error)
             self._finish(spec, outcomes[spec.key], keys)
+            self._note_outcome(outcomes[spec.key], emit_span=True)
 
     def _run_pool(self, pending, outcomes, keys) -> None:
         """One dedicated worker process per task attempt.
@@ -263,18 +374,37 @@ class SweepEngine:
         for the queued/retried tasks instead of the sweep blocking on a
         hung simulation.
         """
-        ctx = multiprocessing.get_context()
+        ctx = multiprocessing.get_context(self.mp_context)
+        tel = obs.get()
         queue = deque((spec, 1) for spec in pending)
         first_start: dict[tuple[str, str], float] = {}
-        running: dict[object, tuple] = {}   # recv conn -> (proc, spec, n, t0)
+        reap_counts: dict[tuple[str, str], int] = {}
+        fastpath_by_key: dict[tuple[str, str], dict[str, int]] = {}
+        # recv conn -> (proc, spec, attempt, t0, task_span)
+        running: dict[object, tuple] = {}
+
+        def absorb_extras(spec, extras) -> None:
+            """Fold a worker's shipped counters/telemetry into the run."""
+            if not extras:
+                return
+            delta = extras.get("fastpath")
+            if delta:
+                acc = fastpath_by_key.setdefault(spec.key, {})
+                for key, value in delta.items():
+                    acc[key] = acc.get(key, 0) + value
+            if tel is not None:
+                tel.merge(extras.get("telemetry"))
 
         def settle(spec, attempt, status, payload=None, error=None):
             outcome = TaskOutcome(
                 spec.kind, spec.name, status,
                 wall_s=time.perf_counter() - first_start[spec.key],
-                attempts=attempt, error=error, payload=payload)
+                attempts=attempt, error=error, payload=payload,
+                reaped=reap_counts.get(spec.key, 0),
+                fastpath=fastpath_by_key.get(spec.key))
             outcomes[spec.key] = outcome
             self._finish(spec, outcome, keys)
+            self._note_outcome(outcome)
 
         def retry_or_fail(spec, attempt, error):
             if attempt <= self.retries:
@@ -287,28 +417,41 @@ class SweepEngine:
                 while queue and len(running) < self.jobs:
                     spec, attempt = queue.popleft()
                     recv, send = ctx.Pipe(duplex=False)
+                    task_span = None
+                    obs_ctx = None
+                    if tel is not None:
+                        task_span = tel.begin(
+                            "sweep.task", kind=spec.kind, task=spec.name,
+                            attempt=str(attempt))
+                        obs_ctx = {"trace_id": tel.trace_id,
+                                   "parent_id": task_span.span_id}
                     proc = ctx.Process(
                         target=_pool_worker,
-                        args=(send, self.compute, spec.kind, spec.name),
+                        args=(send, self.compute, spec.kind, spec.name,
+                              obs_ctx),
                         daemon=True)
                     proc.start()
                     send.close()
                     first_start.setdefault(spec.key, time.perf_counter())
                     running[recv] = (proc, spec, attempt,
-                                     time.perf_counter())
+                                     time.perf_counter(), task_span)
 
                 now = time.perf_counter()
                 budget = min(t0 + self.timeout_s
-                             for _, _, _, t0 in running.values()) - now
+                             for _, _, _, t0, _ in running.values()) - now
                 for conn in _connection_wait(list(running),
                                              timeout=max(0.0, budget)):
-                    proc, spec, attempt, _ = running.pop(conn)
+                    proc, spec, attempt, _, task_span = running.pop(conn)
                     try:
-                        status, value = conn.recv()
-                    except EOFError:
-                        status, value = "error", None
+                        status, value, extras = conn.recv()
+                    except (EOFError, ValueError):
+                        status, value, extras = "error", None, None
                     conn.close()
                     proc.join()
+                    absorb_extras(spec, extras)
+                    if task_span is not None:
+                        task_span.annotate(result=status).finish(
+                            "ok" if status == "ok" else "error")
                     if status == "ok":
                         settle(spec, attempt, "computed", payload=value)
                     else:
@@ -317,19 +460,25 @@ class SweepEngine:
                         retry_or_fail(spec, attempt, error)
 
                 now = time.perf_counter()
-                for conn, (proc, spec, attempt, t0) in list(running.items()):
+                for conn, (proc, spec, attempt, t0,
+                           task_span) in list(running.items()):
                     if now - t0 < self.timeout_s:
                         continue
                     del running[conn]
                     conn.close()
                     _reap(proc)
+                    reap_counts[spec.key] = reap_counts.get(spec.key, 0) + 1
+                    if task_span is not None:
+                        task_span.annotate(result="reaped").finish("error")
                     retry_or_fail(spec, attempt,
                                   f"timed out after {self.timeout_s:g}s")
         finally:
-            # an interrupt/crash must not leak live workers
-            for conn, (proc, _, _, _) in running.items():
+            # an interrupt/crash must not leak live workers (or spans)
+            for conn, (proc, _, _, _, task_span) in running.items():
                 conn.close()
                 _reap(proc)
+                if task_span is not None:
+                    task_span.annotate(result="aborted").finish("error")
 
     # -- ledger -------------------------------------------------------------
 
@@ -346,10 +495,13 @@ class SweepEngine:
             data={
                 "status": outcome.status,
                 "attempts": outcome.attempts,
+                "retries": outcome.retries,
+                "reaped": outcome.reaped,
                 "error": outcome.error,
                 "cached": self.cache is not None,
                 "fast": self.fast,
                 "compute_wall_s": payload.get("wall_s"),
+                "fastpath": outcome.fastpath,
             })
 
 

@@ -128,13 +128,28 @@ def build_chrome_trace(events, symbols=None, power_series=None,
                 "args": {"mW": round(mw, 6)},
             })
 
+    return trace_object(out, metadata, other={"clock_ns": clock_ns})
+
+
+def trace_object(trace_events: list[dict], metadata: dict | None = None,
+                 other: dict | None = None) -> dict:
+    """Wrap raw ``trace_event`` dicts in the Trace Event JSON object
+    format.  Shared by the cycle-domain export above and the wall-clock
+    span export (:mod:`repro.obs.export`)."""
     trace = {
-        "traceEvents": out,
+        "traceEvents": trace_events,
         "displayTimeUnit": "ns",
-        "otherData": {"clock_ns": clock_ns},
+        "otherData": dict(other or {}),
     }
     if metadata:
         trace["otherData"].update(metadata)
+    return trace
+
+
+def write_trace(path, trace: dict) -> dict:
+    """Write one assembled trace object as JSON; returns it."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
     return trace
 
 
@@ -142,8 +157,6 @@ def write_chrome_trace(path, events, symbols=None, power_series=None,
                        clock_ns: float = SYSTEM_CLOCK_NS,
                        metadata: dict | None = None) -> dict:
     """Build and write the trace JSON; returns the trace object."""
-    trace = build_chrome_trace(events, symbols, power_series, clock_ns,
-                               metadata)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(trace, fh)
-    return trace
+    return write_trace(path, build_chrome_trace(events, symbols,
+                                                power_series, clock_ns,
+                                                metadata))

@@ -69,6 +69,63 @@ class Series:
         self.points.append((x, y))
 
 
+#: Quantiles every histogram summary reports.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """A bag of observations summarized by count/sum/min/max/quantiles.
+
+    Raw observations are kept (the populations this repo measures are
+    dozens-to-hundreds of tasks or compiles per run, not millions), so
+    cross-process merging (:meth:`MetricsRegistry.merge_state`) is exact
+    rather than bucket-approximate.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the observations (0 if empty)."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        frac = pos - lo
+        if lo + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+    def summary(self) -> dict:
+        """JSON-friendly summary with the standard quantiles."""
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.values) if self.values else 0.0,
+            "max": max(self.values) if self.values else 0.0,
+            "mean": self.sum / self.count if self.values else 0.0,
+        }
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+
 class MetricsRegistry:
     """Named, labeled metrics with JSON export."""
 
@@ -90,6 +147,9 @@ class MetricsRegistry:
 
     def series(self, name: str, **labels: str) -> Series:
         return self._get("series", Series, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
 
     # -- ingestion from the existing counter bags --------------------------
 
@@ -122,8 +182,12 @@ class MetricsRegistry:
         out = []
         for (name, kind, labels), metric in sorted(
                 self._metrics.items(), key=lambda kv: kv[0][:2]):
-            value = ([list(p) for p in metric.points]
-                     if isinstance(metric, Series) else metric.value)
+            if isinstance(metric, Series):
+                value = [list(p) for p in metric.points]
+            elif isinstance(metric, Histogram):
+                value = metric.summary()
+            else:
+                value = metric.value
             out.append(Sample(name, kind, dict(labels), value))
         return out
 
@@ -138,6 +202,49 @@ class MetricsRegistry:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent)
+
+    # -- cross-process state (raw, mergeable) ------------------------------
+
+    def state_dict(self) -> dict:
+        """Raw, lossless serialization (histograms keep every
+        observation), suitable for shipping between processes and
+        merging with :meth:`merge_state`."""
+        out = []
+        for (name, kind, labels), metric in sorted(
+                self._metrics.items(), key=lambda kv: kv[0][:2]):
+            if isinstance(metric, Series):
+                value = [list(p) for p in metric.points]
+            elif isinstance(metric, Histogram):
+                value = list(metric.values)
+            else:
+                value = metric.value
+            out.append({"name": name, "kind": kind,
+                        "labels": dict(labels), "value": value})
+        return {"metrics": out}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`state_dict` into this one.
+
+        Counters add, gauges take the incoming value, series and
+        histograms extend -- so two pool workers incrementing the same
+        labeled counter merge to the sum, not a clobber.
+        """
+        for entry in state.get("metrics", []):
+            name, kind = entry["name"], entry["kind"]
+            labels, value = entry.get("labels", {}), entry["value"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(value)
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(value)
+            elif kind == "series":
+                series = self.series(name, **labels)
+                for x, y in value:
+                    series.append(x, y)
+            elif kind == "histogram":
+                self.histogram(name, **labels).values.extend(
+                    float(v) for v in value)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
 
 
 class PowerSampler:

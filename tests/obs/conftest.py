@@ -1,0 +1,12 @@
+"""Every obs test gets a clean, disabled telemetry plane."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.disable()
+    yield
+    obs.disable()
