@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench profile diffexec artifacts sweep sweep-clean compare regress baseline examples all
+.PHONY: install test lint bench profile diffexec lanes artifacts sweep sweep-clean compare regress baseline examples all
 
 install:
 	pip install -e .
@@ -42,6 +42,15 @@ profile:
 diffexec:
 	PYTHONPATH=src python -m repro.pete.diffexec \
 		--report results/diffexec-report.txt
+
+# Per-lane verification of the batched lane engine at batch 1/4/64
+# plus the batch throughput benchmark (mirrors the lanes-diff CI job;
+# requires numpy).
+lanes:
+	PYTHONPATH=src python -m repro.pete.diffexec --lanes 1 4 64 \
+		--report results/lanes-diff-report.txt
+	PYTHONPATH=src python benchmarks/bench_fastpath.py results/smoke \
+		--batch
 
 artifacts:
 	python -m repro.harness.runall --out results --csv

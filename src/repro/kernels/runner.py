@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -60,6 +61,45 @@ class KernelResult:
 #: from the old per-instance cache so sweeps, the gate and the harness
 #: never re-simulate a kernel another runner already measured).
 _SHARED_CACHE: dict[tuple, KernelResult] = {}
+
+#: Assembly memo keyed by full source text: batched preparation builds
+#: the same program once per lane, and the assembler dominates prepare
+#: time.  The Assembled object is immutable after construction, so
+#: sharing one instance across cores (and across runners) is safe.
+_ASSEMBLED_MEMO: dict[str, object] = {}
+_ASSEMBLED_MEMO_MAX = 256
+
+
+@dataclass(frozen=True)
+class BatchKernelResult:
+    """Per-lane timing of one lane-engine batch run.
+
+    Cycle/instruction counts are per lane (distinct operands per lane,
+    so branchy kernels legitimately differ across lanes); ``engine``
+    carries the lane engine's divergence/fallback accounting and
+    ``wall_s`` the host wall-clock for the whole batch.
+    """
+
+    name: str
+    k: int
+    lanes: int
+    cycles: tuple[int, ...]
+    instructions: tuple[int, ...]
+    wall_s: float
+    engine: dict
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    @property
+    def mean_cycles(self) -> float:
+        return sum(self.cycles) / len(self.cycles)
+
+    @property
+    def lanes_per_second(self) -> float:
+        """Completed kernel instances per host second."""
+        return self.lanes / self.wall_s if self.wall_s > 0 else 0.0
 
 
 def fast_mode_default() -> bool:
@@ -192,6 +232,54 @@ class KernelRunner:
         raise RuntimeError(
             f"kernel {name!r} never launched its cpu")  # pragma: no cover
 
+    def prepare_lanes(self, name: str, k: int,
+                      lanes: int) -> tuple[list[Pete], int]:
+        """``lanes`` independently-prepared cores for ``(kernel, k)``.
+
+        Each core gets fresh operands from the module RNG (exactly what
+        ``lanes`` consecutive :meth:`prepare` calls would draw), so a
+        batch is a fleet of *distinct* problem instances over one
+        program image.  Returns ``(cores, entry)``.
+        """
+        cores = []
+        entry = None
+        for _ in range(lanes):
+            cpu, e = self.prepare(name, k)
+            if entry is None:
+                entry = e
+            elif e != entry:  # pragma: no cover - programs are static
+                raise RuntimeError(f"kernel {name!r}: unstable entry")
+            cores.append(cpu)
+        assert entry is not None
+        return cores, entry
+
+    def measure_batch(self, name: str, k: int, lanes: int,
+                      max_cycles: int = 50_000_000) -> BatchKernelResult:
+        """Run ``lanes`` instances lock-step on the lane engine.
+
+        Simulated per-lane cycle counts are bit-identical to ``lanes``
+        scalar runs (gated by ``repro.pete.diffexec --lanes``); only
+        host wall-clock changes.  Requires numpy.
+        """
+        from repro import obs
+        from repro.pete.lanes import LaneEngine
+
+        cores, entry = self.prepare_lanes(name, k, lanes)
+        with obs.span("lanes.batch", kernel=f"{name}:{k}",
+                      lanes=str(lanes)):
+            t0 = time.perf_counter()
+            eng = LaneEngine(cores)
+            eng.run(entry, max_cycles=max_cycles)
+            wall = time.perf_counter() - t0
+        return BatchKernelResult(
+            name=name, k=k, lanes=lanes,
+            cycles=tuple(eng.lane_cycle(i) for i in range(lanes)),
+            instructions=tuple(
+                eng.lane_instructions(i) for i in range(lanes)),
+            wall_s=wall,
+            engine=eng.counters(),
+        )
+
     def _launch(self, cpu: Pete, entry: int):
         """Every kernel builder starts its cpu through this hook, so
         the fast/reference choice (and prepare()'s capture) apply
@@ -206,7 +294,11 @@ class KernelRunner:
                    extensions: bool, binary_extensions: bool
                    ) -> tuple[Pete, int]:
         full = source + "\n__halt:\n    halt\n"
-        program = assemble(full, base=0)
+        program = _ASSEMBLED_MEMO.get(full)
+        if program is None:
+            if len(_ASSEMBLED_MEMO) >= _ASSEMBLED_MEMO_MAX:
+                _ASSEMBLED_MEMO.clear()
+            program = _ASSEMBLED_MEMO[full] = assemble(full, base=0)
         cpu = Pete(extensions=extensions, binary_extensions=binary_extensions,
                    tracer=self._tracer)
         cpu.load(program)

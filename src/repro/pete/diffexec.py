@@ -275,6 +275,143 @@ def certify_static(cpu: Pete, report: DiffReport) -> None:
         f"regions cover all {report.blocks} dynamic block executions")
 
 
+def compare_lane_state(ref: Pete, eng, lane: int) -> Divergence | None:
+    """First architectural difference between a reference core and one
+    lane of a :class:`~repro.pete.lanes.LaneEngine`, or ``None``.
+
+    Demoted / bridge-halted lanes hold their truth in a scalar core and
+    go through :func:`compare_state` unchanged; vector lanes are read
+    through the engine's dense arrays."""
+    bridge = eng.lane_bridge(lane)
+    if bridge is not None:
+        return compare_state(ref, bridge)
+    import numpy as np
+
+    def div(what, ref_value, fast_value):
+        return Divergence(what, ref_value, fast_value, eng.lane_pc(lane),
+                          eng.lane_instructions(lane))
+
+    if ref.pc != eng.lane_pc(lane):
+        return div("pc", hex(ref.pc), hex(eng.lane_pc(lane)))
+    if ref.cycle != eng.lane_cycle(lane):
+        return div("cycle", ref.cycle, eng.lane_cycle(lane))
+    regs = eng.lane_regs(lane)
+    if ref.regs != regs:
+        for i, (a, b) in enumerate(zip(ref.regs, regs)):
+            if a != b:
+                return div(_reg_name(i), a, b)
+    if ref.muldiv.acc != eng.lane_acc(lane):
+        return div("muldiv.acc", hex(ref.muldiv.acc),
+                   hex(eng.lane_acc(lane)))
+    if ref.muldiv.busy_until != eng.lane_busy_until(lane):
+        return div("muldiv.busy_until", ref.muldiv.busy_until,
+                   eng.lane_busy_until(lane))
+    if ref.muldiv.issues != eng.lane_issues(lane):
+        return div("muldiv.issues", ref.muldiv.issues,
+                   eng.lane_issues(lane))
+    if ref._last_load_reg != eng.lane_load_latch(lane):
+        return div("load-use latch", ref._last_load_reg,
+                   eng.lane_load_latch(lane))
+    stats_diff = ref.stats.diff(eng.lane_stats(lane))
+    if stats_diff:
+        name, (a, b) = next(iter(stats_diff.items()))
+        return div(f"stats.{name}", a, b)
+    if ref._predictor != eng.lane_predictor(lane):
+        return div("branch predictor", ref._predictor,
+                   eng.lane_predictor(lane))
+    ref_ram = np.frombuffer(ref.mem.ram, dtype=np.uint8)
+    if not np.array_equal(ref_ram, eng.ram[lane]):
+        offset = int(np.nonzero(ref_ram != eng.ram[lane])[0][0])
+        from repro.pete.memory import RAM_BASE
+
+        return div(f"ram[0x{RAM_BASE + offset:08x}]",
+                   int(ref_ram[offset]), int(eng.ram[lane][offset]))
+    return None
+
+
+def lockstep_lanes(cores: list[Pete], entry: int, *, label: str = "",
+                   max_cycles: int = 50_000_000) -> DiffReport:
+    """Run N prepared cores through the lane engine against N reference
+    clones; every lane's full state is compared at every engine unit
+    boundary and the first per-lane divergence ends the run."""
+    from repro.pete.lanes import LaneEngine
+
+    refs = [core.clone() for core in cores]
+    eng = LaneEngine(cores)
+    eng.begin(entry)
+    for ref in refs:
+        ref.begin(entry)
+    n = len(refs)
+    report = DiffReport(label or f"pc=0x{entry:x}[x{n}]")
+    ref_alive = [True] * n
+    settled = [False] * n       # lane halted and verified; skip it
+
+    while True:
+        before = [eng.lane_instructions(i) for i in range(n)]
+        blocks_before = eng.vector_blocks
+        eng_alive = eng.step_unit()
+        report.blocks += eng.vector_blocks - blocks_before
+        report.boundaries += 1
+        for i in range(n):
+            if settled[i]:
+                continue
+            ref = refs[i]
+            for _ in range(eng.lane_instructions(i) - before[i]):
+                if not ref.step_instruction():
+                    ref_alive[i] = False
+                    break
+            if ref.cycle > max_cycles:
+                raise RuntimeError(
+                    f"{report.label}: no halt within {max_cycles} cycles")
+            divergence = compare_lane_state(ref, eng, i)
+            if divergence is None and ref_alive[i] == eng.lane_done(i):
+                divergence = Divergence(
+                    "halt", f"ref halted={not ref_alive[i]}",
+                    f"lane halted={eng.lane_done(i)}",
+                    eng.lane_pc(i), eng.lane_instructions(i))
+            if divergence is not None:
+                divergence.what = f"lane {i}: {divergence.what}"
+                divergence.context = _context(refs[i])
+                report.divergence = divergence
+                report.instructions = sum(
+                    eng.lane_instructions(j) for j in range(n))
+                return report
+            if eng.lane_done(i):
+                settled[i] = True
+        if not eng_alive:
+            report.instructions = sum(
+                eng.lane_instructions(j) for j in range(n))
+            counters = eng.counters()
+            report.notes.append(
+                "  lanes: {lanes} | vector blocks {vector_blocks} | "
+                "divergences {divergences} (demotions {demotions}, "
+                "rejoins {rejoins}, fallback instructions "
+                "{fallback_instructions})".format(**counters))
+            return report
+
+
+def diff_kernel_lanes(name: str, k: int, lanes: int, *,
+                      max_cycles: int = 50_000_000) -> DiffReport:
+    """Per-lane lock-step of one generated kernel: ``lanes`` prepared
+    instances (distinct operands, same program) through the lane engine
+    vs per-lane reference interpreters."""
+    from repro.kernels.runner import KernelRunner
+
+    runner = KernelRunner(cache={})
+    cores = []
+    entry = None
+    for _ in range(lanes):
+        cpu, e = runner.prepare(name, k)
+        if entry is None:
+            entry = e
+        elif e != entry:
+            raise RuntimeError(f"{name}:{k}: unstable entry point")
+        cores.append(cpu)
+    assert entry is not None
+    return lockstep_lanes(cores, entry, label=f"{name}:{k}[x{lanes}]",
+                          max_cycles=max_cycles)
+
+
 def diff_kernel(name: str, k: int, *,
                 max_cycles: int = 50_000_000) -> DiffReport:
     """Lock-step one generated kernel (same harness the measurements
@@ -305,7 +442,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the full report (with divergence "
                              "details) to this file")
     parser.add_argument("--max-cycles", type=int, default=50_000_000)
+    parser.add_argument("--lanes", nargs="+", type=int, metavar="N",
+                        default=None,
+                        help="verify the lane engine instead of the "
+                             "scalar fast path: per-lane lock-step at "
+                             "each of these batch sizes")
     args = parser.parse_args(argv)
+
+    if args.lanes:
+        from repro.pete.lanes import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            raise SystemExit("diffexec: --lanes requires numpy")
 
     reports = []
     for token in args.kernels:
@@ -314,14 +462,22 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"diffexec: bad kernel spec {token!r} "
                              f"(expected NAME:K, like os_mul:8)")
         try:
-            report = diff_kernel(name, int(k),
-                                 max_cycles=args.max_cycles)
+            if args.lanes:
+                batch = [
+                    diff_kernel_lanes(name, int(k), lanes,
+                                      max_cycles=args.max_cycles)
+                    for lanes in args.lanes
+                ]
+            else:
+                batch = [diff_kernel(name, int(k),
+                                     max_cycles=args.max_cycles)]
         except KeyError as exc:
             raise SystemExit(f"diffexec: {exc.args[0]}")
-        reports.append(report)
-        print(report.summary())
-        if not report.ok:
-            print(report.divergence.format())
+        for report in batch:
+            reports.append(report)
+            print(report.summary())
+            if not report.ok:
+                print(report.divergence.format())
 
     diverged = [r for r in reports if not r.ok]
     total = sum(r.instructions for r in reports)

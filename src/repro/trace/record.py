@@ -31,7 +31,7 @@ SCHEMA_V1 = "repro.bench.v1"
 KNOWN_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
 _RECORD_KINDS = ("bench", "profile", "scorecard", "gate", "sweep",
-                 "analysis", "telemetry")
+                 "analysis", "telemetry", "lanes")
 
 
 def _git(args: list[str], repo_dir: str | None) -> str | None:

@@ -1,0 +1,78 @@
+"""Surface stability: the exported API and registry encapsulation.
+
+These tests pin contracts rather than behavior: ``repro.api.__all__``
+is the supported import surface (docs/API.md documents exactly these
+names), and :mod:`repro.harness.registry` privates stay private --
+no other module under ``src/`` may import or reference them.
+"""
+
+import pathlib
+import re
+
+import repro.api as api
+
+EXPECTED_API = [
+    "ArtifactSpec",
+    "BatchItem",
+    "BatchLane",
+    "BatchRequest",
+    "BatchResult",
+    "Session",
+    "SweepResult",
+    "UnknownArtifactError",
+    "compute_artifact",
+    "compute_batch",
+    "open_session",
+    "sweep",
+]
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: importing a leading-underscore name straight out of the module
+_PRIVATE_IMPORT = re.compile(
+    r"from\s+repro\.harness\.registry\s+import\s+[^\n]*\b_\w+")
+#: the module imported under the name ``registry`` (other modules named
+#: registry -- e.g. the telemetry metric registry -- don't count)
+_HARNESS_REGISTRY = re.compile(
+    r"(?:from\s+repro\.harness\s+import\s+[^\n]*\bregistry\b"
+    r"|import\s+repro\.harness\.registry\s+as\s+registry)")
+_PRIVATE_ATTR = re.compile(r"\bregistry\._\w+")
+
+
+def test_api_all_is_stable_and_sorted():
+    assert list(api.__all__) == EXPECTED_API
+    assert sorted(api.__all__) == list(api.__all__)
+
+
+def test_api_all_names_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_no_module_reaches_registry_privates():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "registry.py" and path.parent.name == "harness":
+            continue
+        text = path.read_text()
+        if _PRIVATE_IMPORT.search(text) or (
+                _HARNESS_REGISTRY.search(text)
+                and _PRIVATE_ATTR.search(text)):
+            offenders.append(str(path.relative_to(SRC)))
+    assert not offenders, (
+        "modules reaching into repro.harness.registry privates: "
+        f"{offenders}")
+
+
+def test_runall_shims_are_gone():
+    """The PR-4 deprecation shims were removed; the old private names
+    must raise AttributeError, not silently resolve."""
+    import repro.harness.runall as runall
+
+    for name in ("_normalize", "_matches", "_artifact_record",
+                 "_to_csv"):
+        try:
+            getattr(runall, name)
+        except AttributeError:
+            continue
+        raise AssertionError(f"runall.{name} still resolves")

@@ -1,12 +1,17 @@
-"""The public facade: compute_artifact, sweep, sessions."""
+"""The public facade: batch engine, scalar wrappers, sessions."""
 
 import dataclasses
 
 import pytest
 
-from repro.api import UnknownArtifactError, compute_artifact, \
-    open_session, sweep
+from repro.api import BatchItem, BatchRequest, UnknownArtifactError, \
+    compute_artifact, compute_batch, open_session, sweep
 from repro.energy.calibration import CALIBRATION
+
+
+def _stable(payload):
+    """Payload minus the run-to-run wall-clock field."""
+    return {k: v for k, v in payload.items() if k != "wall_s"}
 
 
 def test_compute_artifact_accepts_only_style_tokens():
@@ -79,6 +84,79 @@ def test_pooled_session_sweep_prices_with_its_calibration(tmp_path):
                              cache_dir=tmp_path)
     assert warm.hits == 1
     assert warm.outcomes[0].payload["text"] == expected
+
+
+def test_scalar_wrapper_is_identical_to_direct_production():
+    """compute_artifact is a batch-of-one now; its payload must stay
+    identical (modulo wall clock) to producing the spec directly."""
+    from repro.harness.registry import get_spec
+
+    assert _stable(compute_artifact("table_7.3")) == \
+        _stable(get_spec("table", "7.3").payload())
+
+
+def test_scalar_wrapper_still_propagates_producer_errors():
+    def boom():
+        raise ValueError("producer exploded")
+
+    from repro.harness import registry
+
+    spec = registry.select(["table_7.3"])[0]
+    broken = dataclasses.replace(spec, producer=boom)
+    import repro.api as api
+    orig = api._resolve
+    api._resolve = lambda name, kind: broken
+    try:
+        with pytest.raises(ValueError, match="producer exploded"):
+            compute_artifact("table_7.3")
+    finally:
+        api._resolve = orig
+
+
+def test_compute_batch_mixed_artifacts_and_order():
+    result = compute_batch([BatchItem("table_7.3"),
+                            BatchItem("figure_7.4")])
+    assert result.ok and len(result) == 2
+    assert result.lanes[0].payload["text"].startswith("Table 7.3")
+    assert result.lanes[0].item.name == "table_7.3"
+    assert result.lanes[1].item.name == "figure_7.4"
+    assert result.stats["computed"] == 2
+    assert result.stats["failed"] == 0
+
+
+def test_compute_batch_kernel_fleet():
+    pytest.importorskip("numpy")
+    result = compute_batch(BatchRequest.kernels("os_mul", 8, lanes=6))
+    assert result.ok and len(result) == 6
+    for j, lane in enumerate(result.lanes):
+        assert lane.payload["kernel"] == "os_mul"
+        assert lane.payload["lane"] == j
+        assert lane.payload["cycles"] > 0
+    assert result.stats["lane_engine"]["lanes"] == 6
+
+
+def test_compute_batch_accepts_strings_and_overrides(tmp_path):
+    result = compute_batch(["table_7.3"], cache=True,
+                           cache_dir=tmp_path)
+    assert result.ok
+    assert result.sweep is not None
+    warm = compute_batch(["table_7.3"], cache=True, cache_dir=tmp_path)
+    assert warm.lanes[0].status == "hit"
+    assert warm.stats["hits"] == 1
+
+
+def test_compute_batch_kernel_item_requires_k():
+    with pytest.raises(ValueError, match="needs k="):
+        compute_batch([BatchItem("os_mul", "kernel")])
+
+
+def test_sweep_remains_byte_identical_through_batch(tmp_path):
+    """The batch re-plumbing must not change what sweep returns."""
+    from repro.harness.registry import get_spec
+
+    result = sweep(only=["table_7.3"], cache=False)
+    assert _stable(result.outcomes[0].payload) == \
+        _stable(get_spec("table", "7.3").payload())
 
 
 def test_unmatched_session_exit_raises():
