@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench profile diffexec lanes artifacts sweep sweep-clean compare regress baseline examples all
+.PHONY: install test lint bench profile diffexec lanes artifacts sweep sweep-clean serve compare regress baseline examples all
 
 install:
 	pip install -e .
@@ -63,6 +63,16 @@ sweep:
 
 sweep-clean:
 	rm -rf results/cache
+
+# Service-plane load benchmark: boot the always-on signing service,
+# offer mixed sign/verify/ecdh traffic at two arrival rates, and gate
+# on zero errors + warm steady state (mirrors the serve-smoke CI job;
+# requires numpy).  BENCH_serve.json + telemetry land in results/serve.
+serve:
+	PYTHONPATH=src python benchmarks/bench_serve.py \
+		--requests 250 --rates 200,800 --workers 2 \
+		--obs --require-warm \
+		--out results/serve --stats-json results/serve/serve_stats.json
 
 compare:
 	python -m repro.harness.compare

@@ -1,0 +1,24 @@
+"""Signing-service load benchmark (BENCH_serve.json).
+
+Boots the always-on service plane (:mod:`repro.serve`), offers
+open-loop mixed-curve traffic at one or more arrival rates, and
+records throughput, latency percentiles, shed rate and energy per
+request.  This is the same entry point as ``python -m repro.serve``;
+the CI ``serve-smoke`` job runs it with ``--require-warm`` so a
+post-warm block compile or a single errored request fails the build.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_serve.py
+[--requests N] [--rates R1,R2] [--workers W] [--obs] [--out DIR]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

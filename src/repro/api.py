@@ -17,6 +17,14 @@ Batch-first entry points (documented in ``docs/API.md``):
   runner and batch prices against a caller-supplied
   :class:`~repro.energy.calibration.Calibration` instead of the
   default.
+* :func:`serve_session` -- the always-on service plane: an async
+  context that boots a :class:`~repro.serve.service.SigningService`
+  (warm worker processes behind an admission queue), yields it for
+  :meth:`~repro.serve.service.SigningService.submit` calls, and
+  drains + stops it on exit.  The request/response vocabulary
+  (:class:`ServeRequest`, :class:`ServeResponse`) and the typed
+  rejections (:class:`ServiceDraining`, :class:`RequestShed`) are
+  re-exported here.
 
 The scalar and batch surfaces share one keyword vocabulary --- ``jobs``
 (process fan-out for artifact items), ``cache``/``cache_dir`` (the
@@ -43,6 +51,13 @@ from repro.harness.registry import (
     get_spec,
     select,
 )
+from repro.serve.service import ServeConfig, SigningService
+from repro.serve.types import (
+    RequestShed,
+    ServeRequest,
+    ServeResponse,
+    ServiceDraining,
+)
 from repro.sweep.cache import ResultCache
 from repro.sweep.engine import SweepEngine, SweepResult
 
@@ -52,12 +67,19 @@ __all__ = [
     "BatchLane",
     "BatchRequest",
     "BatchResult",
+    "RequestShed",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceDraining",
     "Session",
+    "SigningService",
     "SweepResult",
     "UnknownArtifactError",
     "compute_artifact",
     "compute_batch",
     "open_session",
+    "serve_session",
     "sweep",
 ]
 
@@ -493,3 +515,30 @@ def open_session(calibration=None) -> Session:
             payload = s.compute_artifact("table_7.1")
     """
     return Session(calibration)
+
+
+@contextlib.asynccontextmanager
+async def serve_session(config: ServeConfig | None = None, **kwargs):
+    """Boot the signing service for the duration of an ``async with``.
+
+    ``config`` is a :class:`ServeConfig`; keyword arguments override
+    its fields (or build one from scratch), so the common cases stay
+    one-liners::
+
+        async with serve_session(workers=2) as service:
+            response = await service.submit(ServeRequest("sign"))
+
+    On exit the service drains in-flight requests (new submissions
+    raise :class:`ServiceDraining`), stops every worker process, and
+    appends its ``kind="serve"`` ledger record.
+    """
+    if config is None:
+        config = ServeConfig(**kwargs)
+    elif kwargs:
+        config = replace(config, **kwargs)
+    service = SigningService(config)
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.stop()

@@ -351,6 +351,12 @@ def main(argv: list[str] | None = None) -> int:
         }
         for key, value in result.fastpath.items():
             stats[f"fastpath_{key}"] = value
+        for key, value in result.serve.items():
+            stats[f"serve_{key}"] = value
+        if result.serve.get("batches_formed"):
+            stats["serve_mean_batch_occupancy"] = round(
+                result.serve.get("lanes_dispatched", 0)
+                / result.serve["batches_formed"], 3)
         args.stats_json.parent.mkdir(parents=True, exist_ok=True)
         args.stats_json.write_text(
             json.dumps(stats, sort_keys=True) + "\n")

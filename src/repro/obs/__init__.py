@@ -20,7 +20,9 @@ from repro.obs.core import (
     drain,
     enable,
     enabled,
+    gauge,
     get,
+    histogram,
     propagation_context,
     span,
 )
@@ -37,7 +39,9 @@ __all__ = [
     "drain",
     "enable",
     "enabled",
+    "gauge",
     "get",
+    "histogram",
     "propagation_context",
     "span",
 ]

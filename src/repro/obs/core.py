@@ -299,6 +299,16 @@ def counter(name: str, **labels: str) -> "Counter | None":
     return None if tel is None else tel.counter(name, **labels)
 
 
+def gauge(name: str, **labels: str) -> "Gauge | None":
+    tel = _TELEMETRY
+    return None if tel is None else tel.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> "Histogram | None":
+    tel = _TELEMETRY
+    return None if tel is None else tel.histogram(name, **labels)
+
+
 def current_span_id() -> str | None:
     return _CURRENT.get()
 

@@ -548,3 +548,27 @@ class Fastpath:
             if tel is not None:
                 tel.counter("fastpath_code_cache_hits").inc()
         return fn
+
+    def precompile(self, starts) -> int:
+        """Drive this core's shared block map to closure over
+        ``starts`` (statically known block-start pcs, e.g. CFG basic-
+        block leaders), including every ``MAX_BLOCK_LEN`` continuation.
+        Short runs are *decided* (stored as ``None``) rather than
+        compiled, so they also stop counting as discoveries later.
+        After closure, data-dependent control flow cannot trigger a
+        first-time compile on this program image under this
+        configuration.  Returns the number of blocks newly compiled.
+        """
+        before = RUNTIME_STATS["blocks_compiled"]
+        seen: set[int] = set()
+        work = [int(pc) for pc in starts]
+        while work:
+            pc = work.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            self.lookup(pc)
+            decs, _ = self._discover(pc)
+            if len(decs) == MAX_BLOCK_LEN:
+                work.append(pc + 4 * MAX_BLOCK_LEN)
+        return RUNTIME_STATS["blocks_compiled"] - before

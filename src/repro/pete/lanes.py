@@ -1287,3 +1287,137 @@ class LaneEngine:
             "rejoins": self.rejoins,
             "fallback_instructions": self.fallback_instructions,
         }
+
+    def precompile(self, starts) -> int:
+        """Drive the lane code cache to closure over ``starts``.
+
+        ``starts`` are statically known block-start pcs (CFG basic-
+        block leaders).  Every straight-line run from a start is
+        compiled, including its ``MAX_BLOCK_LEN`` continuations and
+        the delay slot of the control transfer that terminates it --
+        the full set of pcs this engine can ever begin a block at.
+        After closure, *data-dependent* control flow (a rarely taken
+        carry branch, a divergence demotion/rejoin) can no longer
+        trigger a first-time compile mid-run, which is what lets a
+        serving worker promise compile-free steady state.
+
+        Returns the number of blocks newly compiled.
+        """
+        before = RUNTIME_STATS["lane_blocks_compiled"]
+        seen: set[int] = set()
+        work = [int(pc) for pc in starts]
+        while work:
+            pc = work.pop()
+            if pc in seen or pc < 0 or pc + 4 > self._rom_size:
+                continue
+            seen.add(pc)
+            # measure the compilable run at pc
+            length = 0
+            at = pc
+            while length < MAX_BLOCK_LEN:
+                try:
+                    d = self._decode(at)
+                except (ValueError, MemoryError):
+                    break
+                if d.mnemonic not in COMPILABLE:
+                    break
+                length += 1
+                at += 4
+            if length:
+                self._compile_at(pc)
+                if length == MAX_BLOCK_LEN:
+                    work.append(at)   # continuation is a block start
+                    continue
+            # the run ended at a control transfer: pre-fill its delay
+            # slot's single-instruction closure (the _exec_slot path)
+            try:
+                slot = self._decode(at + 4)
+            except (ValueError, MemoryError):
+                continue
+            if slot.mnemonic in COMPILABLE:
+                key = (at + 4, (slot.word,))
+                if key not in _LANE_CODE_CACHE:
+                    if len(_LANE_CODE_CACHE) >= _LANE_CODE_CACHE_MAX:
+                        _LANE_CODE_CACHE.clear()
+                    _LANE_CODE_CACHE[key] = compile_lane_block(
+                        [slot], at + 4)
+                    RUNTIME_STATS["lane_blocks_compiled"] += 1
+        return RUNTIME_STATS["lane_blocks_compiled"] - before
+
+
+# ---------------------------------------------------------------------------
+# Prepared-lane pools
+# ---------------------------------------------------------------------------
+
+
+class LanePool:
+    """A stock of prepared, ready-to-run cores keyed by kernel+config.
+
+    Preparing a lane (assembling the program -- memoized -- then
+    building a :class:`~repro.pete.cpu.Pete`, loading the image and
+    writing fresh operands) is the dominant per-batch cost once the
+    lane code cache is warm.  A pool lets a long-lived server pay that
+    cost *between* batches: :meth:`restock` pre-prepares cores up to
+    ``stock_target`` while the dispatcher is idle, and :meth:`take`
+    consumes stocked cores first, preparing only the shortfall on the
+    request's critical path.
+
+    ``prepare`` is any callable with the signature of
+    :meth:`repro.kernels.runner.KernelRunner.prepare_lanes` --
+    ``prepare(name, k, n) -> (cores, entry)`` -- so every core carries
+    distinct operands exactly as ``n`` scalar preparations would.
+    Cores are consumed by execution (state mutates), so the pool never
+    re-issues a taken core; the key's ``config`` component keeps stocks
+    prepared under different calibrations or pricing configs apart.
+    """
+
+    def __init__(self, prepare: Callable, stock_target: int = 0) -> None:
+        self._prepare = prepare
+        self.stock_target = max(0, stock_target)
+        self._stock: dict[tuple, list] = {}     # key -> prepared cores
+        self._entries: dict[tuple, int] = {}    # key -> entry pc
+        self.prepared = 0
+        self.reused = 0
+
+    @staticmethod
+    def key_for(name: str, k: int, config: str = "") -> tuple:
+        return (name, k, config)
+
+    def _fill(self, key: tuple, n: int) -> None:
+        if n <= 0:
+            return
+        name, k, _ = key
+        cores, entry = self._prepare(name, k, n)
+        known = self._entries.setdefault(key, entry)
+        if entry != known:  # pragma: no cover - program images are static
+            raise RuntimeError(f"kernel {name!r}: unstable entry point")
+        self._stock.setdefault(key, []).extend(cores)
+        self.prepared += n
+
+    def take(self, name: str, k: int, n: int,
+             config: str = "") -> tuple[list, int]:
+        """``n`` prepared cores plus the entry pc, stock-first."""
+        key = self.key_for(name, k, config)
+        stock = self._stock.setdefault(key, [])
+        self.reused += min(len(stock), n)
+        self._fill(key, n - len(stock))
+        cores, self._stock[key] = stock[:n], stock[n:]
+        return cores, self._entries[key]
+
+    def restock(self, name: str, k: int, config: str = "") -> int:
+        """Top the key's stock up to ``stock_target``; returns how many
+        cores were prepared."""
+        key = self.key_for(name, k, config)
+        shortfall = self.stock_target - len(self._stock.get(key, ()))
+        self._fill(key, shortfall)
+        return max(0, shortfall)
+
+    def stocked(self, name: str, k: int, config: str = "") -> int:
+        return len(self._stock.get(self.key_for(name, k, config), ()))
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "pool_prepared": self.prepared,
+            "pool_reused": self.reused,
+            "pool_stocked": sum(len(v) for v in self._stock.values()),
+        }

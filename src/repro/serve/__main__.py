@@ -1,0 +1,176 @@
+"""CLI for the signing service plane: boot, load, measure, gate.
+
+``python -m repro.serve`` boots a :class:`SigningService`, drives it
+with the open-loop generator (:mod:`repro.serve.loadgen`) at one or
+more arrival rates, prints a per-rate summary, and writes
+
+* ``BENCH_serve.json`` -- throughput, latency percentiles, shed rate,
+  energy per request, service counters (via
+  :func:`repro.trace.record.write_record`);
+* ``telemetry.json`` / ``telemetry.om`` -- when ``--obs`` is on,
+  including the service's request-latency and batch-occupancy
+  histograms in the OpenMetrics export;
+* a ``serve_stats.json`` counters dump for ``--stats-json``.
+
+The exit code is the CI gate: nonzero when any request errored, when
+the generator's books disagree with the service counters, or (with
+``--require-warm``) when any post-warm batch compiled a block.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.serve --requests 500 \
+        --rates 200,800 --workers 2 --obs --require-warm \
+        --out results/serve
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="signing-service load benchmark")
+    parser.add_argument("--requests", type=int, default=500,
+                        help="requests per rate phase (default 500)")
+    parser.add_argument("--rates", default="500",
+                        help="comma-separated offered arrival rates "
+                             "in req/s (default '500')")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-depth", type=int, default=256)
+    parser.add_argument("--window-ms", type=float, default=2.0,
+                        help="batch linger window (default 2ms)")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--config", default="baseline",
+                        help="pricing config stamped on requests")
+    parser.add_argument("--uniform", action="store_true",
+                        help="uniform inter-arrivals instead of "
+                             "Poisson")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared warm cache directory (default: "
+                             "the sweep cache)")
+    parser.add_argument("--out", default="results/serve",
+                        help="output directory (default results/serve)")
+    parser.add_argument("--stats-json", default=None,
+                        help="write service counters to this path")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable telemetry and export it")
+    parser.add_argument("--require-warm", action="store_true",
+                        help="fail if any post-warm batch compiled")
+    return parser
+
+
+async def _run(args, rates: list[float]) -> tuple[dict, int]:
+    from repro import obs
+    from repro.serve.loadgen import LoadConfig, run_load
+    from repro.serve.service import ServeConfig, SigningService
+
+    cfg = ServeConfig(
+        workers=args.workers, max_depth=args.max_depth,
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1000.0,
+        cache_dir=args.cache_dir)
+    service = SigningService(cfg)
+    service.install_signal_handlers()
+    t0 = time.perf_counter()
+    await service.start()
+    boot_s = time.perf_counter() - t0
+    print(f"service up: {args.workers} workers, "
+          f"{len(service.profiles)} plans warmed in {boot_s:.2f}s")
+
+    phases = []
+    failures = 0
+    for rate in rates:
+        load = LoadConfig(requests=args.requests, rate_rps=rate,
+                          poisson=not args.uniform, seed=args.seed,
+                          config=args.config)
+        report = await run_load(service, load)
+        problems = report.reconcile(service.counters())
+        failures += report.failed + len(problems)
+        row = report.to_dict()
+        row["rate_rps"] = rate
+        row["reconcile"] = problems
+        phases.append(row)
+        lat = row["latency_s"]
+        print(f"rate {rate:7.0f}/s: {report.completed} ok, "
+              f"{report.shed} shed ({100 * report.shed_rate:.1f}%), "
+              f"{report.failed} failed | "
+              f"{report.throughput_rps:7.0f} req/s served | "
+              f"p50 {1e3 * lat.get('p50', 0):.2f}ms "
+              f"p99 {1e3 * lat.get('p99', 0):.2f}ms | "
+              f"{report.energy_per_request_nj:.1f} nJ/req")
+        for problem in problems:
+            print(f"  BOOKS MISMATCH: {problem}")
+
+    counters = await service.stop()
+    if args.require_warm and counters["post_warm_compiles"]:
+        failures += 1
+        print(f"WARM VIOLATION: {counters['post_warm_compiles']} "
+              f"blocks compiled after warm-up")
+
+    summary = {
+        "boot_s": round(boot_s, 4),
+        "phases": phases,
+        "counters": counters,
+        "profiles": service.profiles,
+    }
+    if args.obs:
+        tel = obs.get()
+        if tel is not None:
+            from repro.obs.export import write_export
+
+            paths = write_export(tel.snapshot(), args.out)
+            summary["telemetry"] = paths
+            print(f"telemetry: {paths['openmetrics']}")
+    return summary, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if not rates:
+        print("no rates given", file=sys.stderr)
+        return 2
+
+    from repro import obs
+
+    if args.obs:
+        obs.enable()
+    t0 = time.perf_counter()
+    summary, failures = asyncio.run(_run(args, rates))
+
+    from repro.trace.record import bench_record, write_record
+
+    record = bench_record(
+        "serve", kind="serve",
+        config=(f"workers={args.workers} rates={args.rates} "
+                f"requests={args.requests} config={args.config}"),
+        wall_s=time.perf_counter() - t0,
+        data=summary)
+    path = write_record(record, args.out)
+    print(f"serve record: {path}")
+
+    if args.stats_json:
+        os.makedirs(os.path.dirname(args.stats_json) or ".",
+                    exist_ok=True)
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(summary["counters"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats: {args.stats_json}")
+
+    if failures:
+        print(f"FAILED: {failures} errored requests / gate violations",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

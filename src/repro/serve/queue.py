@@ -1,0 +1,164 @@
+"""Admission/backpressure queue for the signing service.
+
+Bounded-depth admission with *typed* load shedding: :meth:`admit`
+either enqueues the request or raises -- :class:`RequestShed` when the
+configured depth is reached (backpressure engages immediately, the
+client never waits on a doomed request), :class:`ServiceDraining` once
+:meth:`close` has been called.  Nothing in the queue path blocks.
+
+Entries are grouped by (kernel plan, pricing config) so the
+dispatcher can form *homogeneous* micro-batches (one lane-engine
+batch runs one program image and prices under one config).  :meth:`next_batch` round-robins over the non-empty plan
+groups, optionally lingering ``window_s`` after the first arrival so a
+burst coalesces into one batch instead of many singletons; it returns
+``None`` only when the queue is closed *and* empty, which is the
+dispatcher's signal to exit.
+
+Telemetry (when :mod:`repro.obs` is enabled): a ``serve_queue_depth``
+gauge tracked on every transition, ``serve_admitted_total`` /
+``serve_shed_total`` counters, and a ``serve_queue_wait_s`` histogram
+observed as entries leave the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.serve.types import (
+    KernelPlan,
+    RequestShed,
+    ServeRequest,
+    ServiceDraining,
+)
+
+
+@dataclass
+class QueueEntry:
+    """One admitted request waiting for a batch slot."""
+
+    request: ServeRequest
+    plan: KernelPlan
+    future: asyncio.Future
+    admitted_s: float = field(default_factory=time.perf_counter)
+
+    @property
+    def queue_s(self) -> float:
+        return time.perf_counter() - self.admitted_s
+
+    @property
+    def group(self) -> tuple[KernelPlan, str]:
+        """Batching key: one batch shares one program image (the
+        plan) *and* one pricing config."""
+        return (self.plan, self.request.config)
+
+
+class AdmissionQueue:
+    """Bounded, plan-grouped admission queue with load shedding."""
+
+    def __init__(self, max_depth: int = 256) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.depth = 0
+        self.draining = False
+        self.admitted = 0
+        self.shed = 0
+        self._groups: dict[tuple, deque[QueueEntry]] = {}
+        self._rr: deque[tuple] = deque()        # round-robin group order
+        self._work = asyncio.Event()
+
+    # -- admission (sync, called from the event loop) --------------------
+
+    def admit(self, entry: QueueEntry) -> None:
+        """Enqueue ``entry`` or raise a typed rejection."""
+        if self.draining:
+            raise ServiceDraining(
+                "service is draining; request refused")
+        if self.depth >= self.max_depth:
+            self.shed += 1
+            shed = obs.counter("serve_shed_total")
+            if shed is not None:
+                shed.inc()
+            raise RequestShed(
+                f"admission queue at depth {self.max_depth}; "
+                f"request shed")
+        key = entry.group
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = deque()
+        if not group:
+            self._rr.append(key)
+        group.append(entry)
+        self.depth += 1
+        self.admitted += 1
+        tel = obs.get()
+        if tel is not None:
+            tel.counter("serve_admitted_total",
+                        op=entry.request.op,
+                        curve=entry.request.curve).inc()
+            tel.gauge("serve_queue_depth").set(self.depth)
+        self._work.set()
+
+    def close(self) -> None:
+        """Refuse new admissions; queued entries still drain."""
+        self.draining = True
+        self._work.set()      # wake dispatchers so they can observe it
+
+    # -- batch formation (async, one caller per dispatcher) --------------
+
+    async def next_batch(self, max_batch: int,
+                         window_s: float = 0.0
+                         ) -> list[QueueEntry] | None:
+        """Up to ``max_batch`` entries of one plan group, or ``None``
+        when the queue is closed and empty."""
+        while True:
+            if self._rr:
+                break
+            if self.draining:
+                return None
+            self._work.clear()
+            await self._work.wait()
+        if window_s > 0 and not self.draining:
+            # linger so a burst coalesces into one batch
+            head = self._groups[self._rr[0]]
+            if len(head) < max_batch:
+                await asyncio.sleep(window_s)
+        if not self._rr:          # a rival dispatcher drained the burst
+            return await self.next_batch(max_batch, window_s)
+        key = self._rr.popleft()
+        group = self._groups[key]
+        batch = [group.popleft()
+                 for _ in range(min(max_batch, len(group)))]
+        if group:
+            self._rr.append(key)
+        self.depth -= len(batch)
+        tel = obs.get()
+        if tel is not None:
+            tel.gauge("serve_queue_depth").set(self.depth)
+            wait = tel.histogram("serve_queue_wait_s")
+            for entry in batch:
+                wait.observe(entry.queue_s)
+        return batch
+
+    def flush(self, exc: BaseException) -> int:
+        """Fail every queued entry with ``exc``; returns the count."""
+        failed = 0
+        while self._rr:
+            key = self._rr.popleft()
+            for entry in self._groups[key]:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+                failed += 1
+            self._groups[key].clear()
+        self.depth = 0
+        tel = obs.get()
+        if tel is not None:
+            tel.gauge("serve_queue_depth").set(0)
+        return failed
+
+    def __len__(self) -> int:
+        return self.depth

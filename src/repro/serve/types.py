@@ -1,0 +1,167 @@
+"""Request/response model and typed errors for the signing service.
+
+A :class:`ServeRequest` names *what* a client wants -- an operation
+(``sign`` / ``verify`` / ``ecdh``), a curve and a uarch pricing config
+-- and the service maps it onto a :class:`KernelPlan`: the hot field
+primitive that dominates that operation on that curve, executed as one
+lane of a lock-step micro-batch on the lane engine
+(:mod:`repro.pete.lanes`).  Requests that share a plan coalesce into
+one batch regardless of their (op, curve) label, which is exactly what
+keeps batch occupancy high under a mixed-curve request stream.
+
+The ``config`` field selects the energy-pricing configuration (ISA
+extension factors, I-cache static/dynamic energy) the response's
+``energy_nj`` is computed with; the simulation itself is the plain
+software Pete run the kernel harnesses use.  Only the software configs
+are accepted -- accelerator configs (``monte``/``billie``) price
+coprocessor activity this service does not simulate, and naming one
+raises :class:`UnsupportedConfig` at admission rather than returning a
+misleading number.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+class ServeError(Exception):
+    """Base class for typed service-plane rejections."""
+
+
+class ServiceDraining(ServeError):
+    """The service is shutting down; new admissions are refused while
+    in-flight requests drain."""
+
+
+class RequestShed(ServeError):
+    """The admission queue was at its configured depth; the request was
+    load-shed (a typed rejection, never a timeout)."""
+
+
+class UnknownOperation(ServeError):
+    """The request named an (op, curve) pair with no kernel plan."""
+
+
+class UnsupportedConfig(ServeError):
+    """The request named a uarch config the service cannot price."""
+
+
+class WorkerFailure(ServeError):
+    """A worker process died or errored while holding the request."""
+
+
+#: Operations the service multiplexes.
+OPERATIONS = ("sign", "verify", "ecdh")
+
+#: Curves with kernel plans (one prime-field, one binary-field).
+CURVES = ("P-192", "B-163")
+
+#: Software pricing configs (:mod:`repro.model.configs` names).
+SOFTWARE_CONFIGS = ("baseline", "isa_ext", "isa_ext_ic", "binary_isa")
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """The representative hot kernel one request class executes."""
+
+    kernel: str
+    k: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}:{self.k}"
+
+
+#: (op, curve) -> the dominating field primitive.  Sign is dominated by
+#: the composed field multiply (mul + reduction in one image), verify by
+#: the bare multi-precision multiply (the double-scalar recombination is
+#: multiply-bound), and ecdh by the scalar-loop ladder skeleton.
+PLANS: dict[tuple[str, str], KernelPlan] = {
+    ("sign", "P-192"): KernelPlan("fmul_p192", 6),
+    ("verify", "P-192"): KernelPlan("os_mul", 6),
+    ("ecdh", "P-192"): KernelPlan("scalar_ladder", 16),
+    ("sign", "B-163"): KernelPlan("fmul_b163", 6),
+    ("verify", "B-163"): KernelPlan("comb_mul", 6),
+    ("ecdh", "B-163"): KernelPlan("scalar_ladder", 16),
+}
+
+_REQUEST_IDS = itertools.count(1)
+
+
+def plan_for(op: str, curve: str) -> KernelPlan:
+    """The kernel plan for one (op, curve); raises typed errors."""
+    plan = PLANS.get((op, curve))
+    if plan is None:
+        raise UnknownOperation(
+            f"no kernel plan for op={op!r} curve={curve!r} "
+            f"(ops: {', '.join(OPERATIONS)}; curves: {', '.join(CURVES)})")
+    return plan
+
+
+def check_config(config: str) -> str:
+    """Validate a pricing config name; returns it unchanged."""
+    if config not in SOFTWARE_CONFIGS:
+        raise UnsupportedConfig(
+            f"config {config!r} is not a software pricing config "
+            f"(one of {', '.join(SOFTWARE_CONFIGS)})")
+    return config
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request: an operation on a curve, priced as a config.
+
+    ``request_id`` is assigned automatically (process-unique) unless
+    the caller provides one; it round-trips into the response so an
+    open-loop load generator can reconcile its accounting with the
+    service's counters.
+    """
+
+    op: str
+    curve: str = "P-192"
+    config: str = "baseline"
+    request_id: int = field(
+        default_factory=lambda: next(_REQUEST_IDS))
+
+    @property
+    def plan(self) -> KernelPlan:
+        return plan_for(self.op, self.curve)
+
+    def validate(self) -> "ServeRequest":
+        """Raise the typed admission error for a malformed request."""
+        plan_for(self.op, self.curve)
+        check_config(self.config)
+        return self
+
+
+@dataclass
+class ServeResponse:
+    """What the service returns for one admitted request.
+
+    ``cycles``/``instructions`` are the request's own lane of the
+    micro-batch it rode (distinct operands per lane, so branchy kernels
+    legitimately differ across lanes of one batch); ``energy_nj``
+    prices that lane's event counters with the request's config.
+    ``queue_s`` is time spent in the admission queue, ``service_s`` the
+    batch's host wall-clock, and ``batch_size`` the occupancy of the
+    dispatched batch.
+    """
+
+    request: ServeRequest
+    status: str                  # "ok" | "failed"
+    kernel: str = ""
+    k: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    energy_nj: float = 0.0
+    queue_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+    batch_size: int = 0
+    worker: int = -1             # worker index that ran the batch
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"

@@ -111,6 +111,23 @@ class ResultCache:
                 time.perf_counter() - t0)
         return self.path_for(key)
 
+    def memo(self, key: str, producer, artifact: str = "") -> dict:
+        """Get-or-compute: return the cached payload for ``key``, or
+        run ``producer()`` and store its result atomically.
+
+        Cross-process memoization for small derived payloads -- e.g.
+        the serving plane's per-plan warm profiles, which every worker
+        process needs but only one should ever measure.  Losing a
+        write race is harmless: the key is content-addressed, so both
+        writers store the same entry.
+        """
+        payload = self.get(key)
+        if payload is not None:
+            return payload
+        payload = producer()
+        self.put(key, payload, artifact=artifact)
+        return payload
+
     def keys(self) -> list[str]:
         """Keys of every entry currently in the directory."""
         try:

@@ -102,6 +102,28 @@ def _fastpath_delta(base: dict[str, int]) -> dict[str, int] | None:
     return {k: now.get(k, 0) - base.get(k, 0) for k in _FASTPATH_KEYS}
 
 
+#: The service-plane counters the engine reports per run.
+_SERVE_KEYS = ("requests_served", "requests_shed", "batches_formed",
+               "lanes_dispatched")
+
+
+def _serve_counters() -> dict[str, int]:
+    """Current :data:`repro.serve.service.RUNTIME_STATS`, without
+    importing the service plane into processes that never serve."""
+    mod = sys.modules.get("repro.serve.service")
+    if mod is None:
+        return {}
+    return mod.runtime_stats_snapshot()
+
+
+def _serve_delta(base: dict[str, int]) -> dict[str, int] | None:
+    """Counter movement since ``base`` (``None`` if nothing served)."""
+    now = _serve_counters()
+    if not now and not base:
+        return None
+    return {k: now.get(k, 0) - base.get(k, 0) for k in _SERVE_KEYS}
+
+
 def _pool_worker(conn, compute, kind: str, name: str,
                  obs_ctx: dict | None = None) -> None:
     """Run one task in a dedicated process, reporting over ``conn``.
@@ -180,6 +202,9 @@ class SweepResult:
     #: fast-path compiler activity across the run -- the inline
     #: process's counter delta plus every pool worker's shipped delta
     fastpath: dict[str, int] = field(default_factory=dict)
+    #: service-plane activity during the run (requests served by any
+    #: in-process SigningService while the sweep was running)
+    serve: dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -211,6 +236,14 @@ class SweepResult:
         if fp:
             out += (f"; fastpath {fp.get('blocks_compiled', 0)} compiled"
                     f" / {fp.get('code_cache_hits', 0)} code-cache hits")
+        sv = self.serve
+        if sv and sv.get("requests_served"):
+            batches = sv.get("batches_formed", 0)
+            occupancy = (sv.get("lanes_dispatched", 0) / batches
+                         if batches else 0.0)
+            out += (f"; serve {sv['requests_served']} served / "
+                    f"{batches} batches "
+                    f"(mean occupancy {occupancy:.1f})")
         if self.reaped:
             out += f"; {self.reaped} reaped"
         return out
@@ -270,6 +303,7 @@ class SweepEngine:
         cache_base = ((self.cache.hits, self.cache.misses)
                       if self.cache is not None else (0, 0))
         fastpath_base = _fastpath_counters()
+        serve_base = _serve_counters()
 
         with obs.span("sweep.run", jobs=str(self.jobs),
                       tasks=str(len(specs))):
@@ -307,6 +341,7 @@ class SweepEngine:
             for key, value in (outcome.fastpath or {}).items():
                 fastpath[key] = fastpath.get(key, 0) + value
         result.fastpath = fastpath
+        result.serve = _serve_delta(serve_base) or {}
         return result
 
     def run_lanes(self, kernels, runner=None) -> SweepResult:

@@ -31,7 +31,7 @@ SCHEMA_V1 = "repro.bench.v1"
 KNOWN_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
 _RECORD_KINDS = ("bench", "profile", "scorecard", "gate", "sweep",
-                 "analysis", "telemetry", "lanes")
+                 "analysis", "telemetry", "lanes", "serve")
 
 
 def _git(args: list[str], repo_dir: str | None) -> str | None:

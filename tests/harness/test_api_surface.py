@@ -17,12 +17,19 @@ EXPECTED_API = [
     "BatchLane",
     "BatchRequest",
     "BatchResult",
+    "RequestShed",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceDraining",
     "Session",
+    "SigningService",
     "SweepResult",
     "UnknownArtifactError",
     "compute_artifact",
     "compute_batch",
     "open_session",
+    "serve_session",
     "sweep",
 ]
 

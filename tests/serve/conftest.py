@@ -1,0 +1,12 @@
+"""Serve tests run with a clean, disabled telemetry plane."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.disable()
+    yield
+    obs.disable()

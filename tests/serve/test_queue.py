@@ -1,0 +1,142 @@
+"""Admission-queue contracts: typed shedding, homogeneous batches.
+
+Backpressure must be *typed and immediate* -- a request over the
+configured depth raises :class:`RequestShed` at admission, it never
+sits in the queue waiting for a timeout -- and the queue's own
+counters (plus the :mod:`repro.obs` mirrors when enabled) must agree
+with what a caller observed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.serve.queue import AdmissionQueue, QueueEntry
+from repro.serve.types import (
+    RequestShed,
+    ServeRequest,
+    ServiceDraining,
+    WorkerFailure,
+    plan_for,
+)
+
+
+def _entry(op="sign", curve="P-192", config="baseline"):
+    request = ServeRequest(op=op, curve=curve, config=config)
+    return QueueEntry(
+        request=request,
+        plan=plan_for(op, curve),
+        future=asyncio.get_running_loop().create_future())
+
+
+def test_shed_is_typed_and_immediate():
+    async def scenario():
+        queue = AdmissionQueue(max_depth=2)
+        queue.admit(_entry())
+        queue.admit(_entry())
+        with pytest.raises(RequestShed):
+            queue.admit(_entry())
+        # the rejection never consumed a slot or an admission
+        assert queue.depth == 2
+        assert queue.admitted == 2
+        assert queue.shed == 1
+
+    asyncio.run(scenario())
+
+
+def test_draining_refuses_new_admissions():
+    async def scenario():
+        queue = AdmissionQueue(max_depth=4)
+        queue.admit(_entry())
+        queue.close()
+        with pytest.raises(ServiceDraining):
+            queue.admit(_entry())
+        # queued work still drains, then the dispatcher signal fires
+        batch = await queue.next_batch(max_batch=8)
+        assert batch is not None and len(batch) == 1
+        assert await queue.next_batch(max_batch=8) is None
+
+    asyncio.run(scenario())
+
+
+def test_batches_are_plan_and_config_homogeneous():
+    async def scenario():
+        queue = AdmissionQueue(max_depth=64)
+        # three distinct groups: two plans, and one plan split by config
+        for _ in range(3):
+            queue.admit(_entry("sign", "P-192", "baseline"))
+            queue.admit(_entry("verify", "P-192", "baseline"))
+            queue.admit(_entry("sign", "P-192", "isa_ext"))
+        queue.close()
+        batches = []
+        while True:
+            batch = await queue.next_batch(max_batch=8)
+            if batch is None:
+                break
+            batches.append(batch)
+        assert sum(len(b) for b in batches) == 9
+        groups = []
+        for batch in batches:
+            assert len({e.group for e in batch}) == 1
+            groups.append(batch[0].group)
+        # every (plan, config) class formed its own batch
+        assert len(set(groups)) == 3
+
+    asyncio.run(scenario())
+
+
+def test_round_robin_alternates_groups():
+    async def scenario():
+        queue = AdmissionQueue(max_depth=64)
+        for _ in range(4):
+            queue.admit(_entry("sign", "P-192"))
+            queue.admit(_entry("verify", "P-192"))
+        queue.close()
+        order = []
+        while True:
+            batch = await queue.next_batch(max_batch=2)
+            if batch is None:
+                break
+            order.append(batch[0].plan.kernel)
+        # neither group starves: the dispatcher alternates between them
+        assert order == ["fmul_p192", "os_mul", "fmul_p192", "os_mul"]
+
+    asyncio.run(scenario())
+
+
+def test_flush_fails_every_pending_future():
+    async def scenario():
+        queue = AdmissionQueue(max_depth=8)
+        entries = [_entry(), _entry("verify"), _entry("ecdh")]
+        for entry in entries:
+            queue.admit(entry)
+        failed = queue.flush(WorkerFailure("workers gone"))
+        assert failed == 3
+        assert queue.depth == 0
+        for entry in entries:
+            with pytest.raises(WorkerFailure):
+                entry.future.result()
+
+    asyncio.run(scenario())
+
+
+def test_obs_counters_match_queue_accounting():
+    async def scenario():
+        tel = obs.enable()
+        queue = AdmissionQueue(max_depth=2)
+        queue.admit(_entry())
+        queue.admit(_entry("verify"))
+        with pytest.raises(RequestShed):
+            queue.admit(_entry())
+        assert tel.gauge("serve_queue_depth").value == queue.depth == 2
+        assert tel.counter("serve_shed_total").value == queue.shed == 1
+        admitted = sum(
+            tel.counter("serve_admitted_total", op=op, curve="P-192").value
+            for op in ("sign", "verify"))
+        assert admitted == queue.admitted == 2
+        await queue.next_batch(max_batch=8)   # one batch = one group
+        await queue.next_batch(max_batch=8)
+        assert tel.gauge("serve_queue_depth").value == queue.depth == 0
+
+    asyncio.run(scenario())
